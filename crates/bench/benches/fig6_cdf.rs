@@ -1,0 +1,60 @@
+//! Fig. 6 — Transaction-size CDFs on the capacity-unconstrained InfCap
+//! configuration: every committed TX's distinct-block footprint as seen by
+//! (1) the baseline HTM (all blocks), (2) HinTM-st (blocks touched by
+//! non-statically-safe accesses), and (3) full HinTM (blocks touched by
+//! fully-unsafe accesses). The far-right tail beyond 64 blocks is the
+//! population that must capacity-abort on P8.
+
+use hintm::{Experiment, HintMode, HtmKind};
+use hintm_bench::{banner, pct, print_machine, SEED};
+use hintm_types::stats_util::{frac_above, percentile};
+
+const PANELS: [&str; 4] = ["bayes", "genome", "labyrinth", "vacation"];
+const P8_CAPACITY: u64 = 64;
+
+fn main() {
+    banner(
+        "Figure 6: transaction size CDFs (baseline / HinTM-st / HinTM views)",
+        "per panel: footprint percentiles in 64B blocks and the fraction exceeding P8's 64 entries",
+    );
+    print_machine();
+
+    for name in PANELS {
+        let r = Experiment::new(name)
+            .htm(HtmKind::InfCap)
+            .hint_mode(HintMode::Full)
+            .record_tx_sizes(true)
+            .seed(SEED)
+            .run()
+            .unwrap();
+        let views: [(&str, &Vec<u32>); 3] = [
+            ("baseline", &r.stats.tx_sizes_all),
+            ("HinTM-st", &r.stats.tx_sizes_nonstatic),
+            ("HinTM", &r.stats.tx_sizes_unsafe),
+        ];
+        println!("--- {name} ({} committed TXs) ---", r.stats.tx_sizes_all.len());
+        println!(
+            "{:<9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>10}",
+            "view", "p25", "p50", "p75", "p95", "max", ">64 blocks"
+        );
+        for (label, sizes) in views {
+            let s: Vec<u64> = sizes.iter().map(|v| *v as u64).collect();
+            println!(
+                "{:<9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>10}",
+                label,
+                percentile(&s, 25.0),
+                percentile(&s, 50.0),
+                percentile(&s, 75.0),
+                percentile(&s, 95.0),
+                s.iter().max().copied().unwrap_or(0),
+                pct(frac_above(&s, P8_CAPACITY)),
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper shape: HinTM-st overlaps baseline for bayes and genome; for labyrinth the\n\
+         whole distribution collapses below 64; for vacation ~2% of baseline TXs exceed\n\
+         64 and HinTM-st halves that tail"
+    );
+}

@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks of the core structures: hardware signature,
+//! P8 transactional buffer, cache hierarchy, TLB/page walk, and treap ops.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hintm_htm::{Signature, Tracker};
+use hintm_mem::ds::{SimTreap, TreapSites};
+use hintm_mem::{AddressSpace, NullSink};
+use hintm_types::{AccessKind, Addr, BlockAddr, CoreId, MachineConfig, SiteId, ThreadId};
+use hintm_vm::VmSystem;
+
+fn bench_signature(c: &mut Criterion) {
+    c.bench_function("signature_insert_query", |b| {
+        let mut sig = Signature::new(1024, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            sig.insert(BlockAddr::from_index(i));
+            black_box(sig.maybe_contains(BlockAddr::from_index(i ^ 0x5555)));
+            if i.is_multiple_of(512) {
+                sig.clear();
+            }
+        })
+    });
+}
+
+fn bench_p8_buffer(c: &mut Criterion) {
+    c.bench_function("p8_track_64", |b| {
+        b.iter(|| {
+            let mut t = Tracker::p8(64);
+            for i in 0..64u64 {
+                t.track(BlockAddr::from_index(i), i % 4 == 0).unwrap();
+            }
+            black_box(t.footprint())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_stream", |b| {
+        let mut h = hintm_cache::Hierarchy::new(&MachineConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let core = CoreId((i % 8) as u32);
+            let blk = Addr::new((i * 64) % (1 << 22)).block();
+            black_box(h.access(core, blk, if i.is_multiple_of(5) { AccessKind::Store } else { AccessKind::Load }).latency)
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    c.bench_function("vm_translate", |b| {
+        let mut vm = VmSystem::new(&MachineConfig::default(), false);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let core = CoreId((i % 8) as u32);
+            let tid = ThreadId((i % 8) as u32);
+            black_box(vm.access(core, tid, hintm_types::PageId::from_index(i % 512), AccessKind::Load).cost)
+        })
+    });
+}
+
+fn bench_treap(c: &mut Criterion) {
+    c.bench_function("treap_lookup_4k", |b| {
+        let mut space = AddressSpace::new(1);
+        let mut t = SimTreap::new(48);
+        let sites = TreapSites::uniform(SiteId(0));
+        for k in 0..4096u64 {
+            t.insert(k, k, ThreadId(0), &mut space, &mut NullSink, sites);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(997);
+            black_box(t.get(i % 4096, &mut NullSink, sites))
+        })
+    });
+}
+
+fn bench_classify(c: &mut Criterion) {
+    use hintm_ir::{classify, ModuleBuilder};
+    c.bench_function("ir_classify_kernel", |b| {
+        b.iter(|| {
+            let mut m = ModuleBuilder::new();
+            let g = m.global("grid");
+            let mut w = m.func("worker", 0);
+            let my = w.halloc();
+            w.begin_loop();
+            w.tx_begin();
+            let ga = w.global_addr(g);
+            w.memcpy(my, ga);
+            w.begin_loop();
+            w.load(my);
+            w.store(my);
+            w.end_block();
+            w.store(ga);
+            w.tx_end();
+            w.end_block();
+            w.ret();
+            let worker = w.finish();
+            let mut main = m.func("main", 0);
+            main.spawn(worker, vec![]);
+            main.ret();
+            let entry = main.finish();
+            let module = m.finish(entry, worker);
+            black_box(classify(&module).stats())
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use hintm_sim::{Section, SimConfig, Simulator, TxBody, TxOp, Workload};
+    use hintm_types::{MemAccess, ThreadId};
+
+    struct Micro {
+        left: Vec<usize>,
+    }
+    impl Workload for Micro {
+        fn name(&self) -> &'static str {
+            "micro"
+        }
+        fn num_threads(&self) -> usize {
+            4
+        }
+        fn reset(&mut self, _s: u64) {
+            self.left = vec![50; 4];
+        }
+        fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+            let t = tid.index();
+            if self.left[t] == 0 {
+                return None;
+            }
+            self.left[t] -= 1;
+            let base = 0x10_0000 + t as u64 * 0x1_0000 + self.left[t] as u64 * 256;
+            Some(Section::Tx(TxBody::new(
+                (0..8)
+                    .map(|k| TxOp::Access(MemAccess::store(Addr::new(base + k * 64), SiteId(0))))
+                    .collect(),
+            )))
+        }
+    }
+
+    c.bench_function("engine_200_small_txs", |b| {
+        b.iter(|| {
+            let mut w = Micro { left: vec![] };
+            black_box(Simulator::new(SimConfig::default()).run(&mut w, 1).commits)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_signature,
+    bench_p8_buffer,
+    bench_cache,
+    bench_vm,
+    bench_treap,
+    bench_classify,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table I — HinTM's hardware additions, as implemented by this
+//! reproduction (where each lives and what it costs).
+
+use hintm_bench::banner;
+use hintm_types::MachineConfig;
+
+fn main() {
+    banner("Table I: HinTM's required hardware modifications", "and where this repo implements them");
+    let cfg = MachineConfig::default();
+    println!(
+        "Core           | safety-flag bit on load/store instructions (safe load/store\n\
+         \u{20}              | opcodes)                     -> hintm_types::SafetyHint,\n\
+         \u{20}              |                                  hintm_ir::classify (producer)\n\
+         TLB            | +2 bits per entry (ro, shared) and tid per PT entry\n\
+         \u{20}              |                               -> hintm_vm::PageState / Tlb\n\
+         HTM controller | skip tracking for hinted accesses\n\
+         \u{20}              |                               -> hintm_htm::HtmThread::on_access\n"
+    );
+    println!("Cost model (§V): minor fault {} cyc; TLB shootdown {} cyc initiator / {} cyc per slave",
+        cfg.minor_fault_cost.raw(),
+        cfg.shootdown_initiator_cost.raw(),
+        cfg.shootdown_slave_cost.raw());
+    println!("\n{}", cfg.table2_summary());
+}

@@ -1,0 +1,38 @@
+//! Methodology check — run-to-run variance: the headline speedups across
+//! five seeds, reported as min/geomean/max. Narrow spreads justify quoting
+//! single-seed numbers in EXPERIMENTS.md.
+
+use hintm::{Experiment, HintMode, HtmKind};
+use hintm_bench::{banner, geomean, print_machine};
+
+const SEEDS: [u64; 5] = [11, 42, 97, 1234, 31337];
+
+fn main() {
+    banner(
+        "Variance check: HinTM speedup over baseline P8 across 5 seeds",
+        "min / geomean / max per workload; spread = (max-min)/geomean",
+    );
+    print_machine();
+    println!("{:<10} {:>8} {:>9} {:>8} {:>9}", "workload", "min", "geomean", "max", "spread");
+    for name in hintm::WORKLOAD_NAMES {
+        let bases = Experiment::new(name).htm(HtmKind::P8).run_seeds(&SEEDS).unwrap();
+        let hinted = Experiment::new(name)
+            .htm(HtmKind::P8)
+            .hint_mode(HintMode::Full)
+            .run_seeds(&SEEDS)
+            .unwrap();
+        let speedups: Vec<f64> =
+            hinted.iter().zip(&bases).map(|(h, b)| h.speedup_vs(b)).collect();
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let gm = geomean(&speedups);
+        println!(
+            "{:<10} {:>7.2}x {:>8.2}x {:>7.2}x {:>8.1}%",
+            name,
+            min,
+            gm,
+            max,
+            if gm > 0.0 { 100.0 * (max - min) / gm } else { 0.0 },
+        );
+    }
+}

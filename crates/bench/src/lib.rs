@@ -1,0 +1,78 @@
+//! Shared helpers for the figure-regeneration bench harnesses.
+//!
+//! Each `benches/figN_*.rs` target (built with `harness = false`) runs the
+//! simulator configurations behind one figure of the paper's evaluation and
+//! prints the same rows/series the paper plots. Absolute numbers come from
+//! our simulator, not the authors' SESC testbed — the *shape* (who wins,
+//! by roughly what factor, where the crossovers sit) is the reproduction
+//! target; see EXPERIMENTS.md for the side-by-side record.
+
+use hintm::{Experiment, HintMode, HtmKind, RunReport, Scale};
+
+/// The seed every figure harness uses.
+pub const SEED: u64 = 42;
+
+/// Runs one `(workload, htm, hint)` cell at the given scale.
+pub fn run_cell(workload: &str, htm: HtmKind, hint: HintMode, scale: Scale) -> RunReport {
+    Experiment::new(workload)
+        .htm(htm)
+        .hint_mode(hint)
+        .scale(scale)
+        .seed(SEED)
+        .run()
+        .expect("registered workload")
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str, detail: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("{detail}");
+    println!("================================================================");
+}
+
+/// Prints the Table II machine summary (every harness leads with it).
+pub fn print_machine() {
+    println!("{}", hintm::MachineConfig::default().table2_summary());
+    println!();
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(f: f64) -> String {
+    format!("{:5.1}%", f * 100.0)
+}
+
+/// Formats a speedup.
+pub fn x(f: f64) -> String {
+    format!("{f:5.2}x")
+}
+
+/// Geometric mean (re-exported for the harnesses).
+pub fn geomean(values: &[f64]) -> f64 {
+    hintm_types::stats_util::geomean(values)
+}
+
+/// Arithmetic mean (re-exported for the harnesses).
+pub fn mean(values: &[f64]) -> f64 {
+    hintm_types::stats_util::mean(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(x(1.5), " 1.50x");
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let r = run_cell("ssca2", HtmKind::P8, HintMode::Off, Scale::Sim);
+        assert!(r.stats.commits > 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The two-level coherent hierarchy: per-core L1s, shared L2, snoopy MESI.
+
+use crate::set_assoc::{MesiState, SetAssocCache};
+use hintm_types::{AccessKind, BlockAddr, CoreId, Cycles, MachineConfig};
+
+/// The result of one memory access through the hierarchy.
+#[derive(Clone, Debug, Default)]
+pub struct AccessOutcome {
+    /// Latency charged to the accessing core.
+    pub latency: Cycles,
+    /// The access hit in the local L1.
+    pub l1_hit: bool,
+    /// The block was found in the L2 (only meaningful on an L1 miss).
+    pub l2_hit: bool,
+    /// Remote cores whose L1 copy was invalidated (the access was a write,
+    /// or an upgrade). Eager HTM conflict detection keys off this.
+    pub invalidated: Vec<CoreId>,
+    /// Remote cores downgraded M→S (the access was a read of dirty data).
+    pub downgraded: Vec<CoreId>,
+    /// Block evicted from the local L1 to make room, if any.
+    pub l1_victim: Option<BlockAddr>,
+}
+
+/// Aggregate hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (on L1 miss).
+    pub l2_hits: u64,
+    /// Cache-to-cache transfers (dirty peer supplied the block).
+    pub peer_transfers: u64,
+    /// Memory fetches.
+    pub mem_fetches: u64,
+    /// Write upgrades (S→M with remote invalidations).
+    pub upgrades: u64,
+}
+
+/// A coherent two-level cache hierarchy (Table II).
+///
+/// See the crate docs for an example.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1s: Vec<SetAssocCache>,
+    l2: SetAssocCache,
+    l1_latency: Cycles,
+    l2_latency: Cycles,
+    mem_latency: Cycles,
+    stats: CacheStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for the given machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Hierarchy {
+            l1s: (0..cfg.num_cores)
+                .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways))
+                .collect(),
+            l2: SetAssocCache::new(cfg.l2_bytes, cfg.l2_ways),
+            l1_latency: cfg.l1_latency,
+            l2_latency: cfg.l2_latency,
+            mem_latency: cfg.mem_latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cores (L1 caches).
+    pub fn num_cores(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The MESI state of `block` in `core`'s L1 (test/inspection hook).
+    pub fn l1_state(&self, core: CoreId, block: BlockAddr) -> MesiState {
+        self.l1s[core.index()].state_of(block)
+    }
+
+    /// Performs a load or store by `core` to `block`, applying all MESI
+    /// transitions, and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: CoreId, block: BlockAddr, kind: AccessKind) -> AccessOutcome {
+        self.stats.accesses += 1;
+        let mut out = AccessOutcome::default();
+        let ci = core.index();
+        let local_state = self.l1s[ci].touch(block);
+
+        match (kind, local_state) {
+            // L1 load hit in any valid state.
+            (AccessKind::Load, s) if s.is_valid() => {
+                self.stats.l1_hits += 1;
+                out.l1_hit = true;
+                out.latency = self.l1_latency;
+            }
+            // L1 store hit with ownership.
+            (AccessKind::Store, MesiState::Modified) => {
+                self.stats.l1_hits += 1;
+                out.l1_hit = true;
+                out.latency = self.l1_latency;
+            }
+            (AccessKind::Store, MesiState::Exclusive) => {
+                self.stats.l1_hits += 1;
+                out.l1_hit = true;
+                out.latency = self.l1_latency;
+                self.l1s[ci].set_state(block, MesiState::Modified);
+            }
+            // Store hit without ownership: upgrade, invalidating sharers.
+            (AccessKind::Store, MesiState::Shared) => {
+                self.stats.l1_hits += 1;
+                self.stats.upgrades += 1;
+                out.l1_hit = true;
+                out.latency = self.l2_latency;
+                self.invalidate_remote(core, block, &mut out);
+                self.l1s[ci].set_state(block, MesiState::Modified);
+            }
+            // Miss paths.
+            (AccessKind::Load, _) => {
+                out.latency = self.miss_fill(core, block, AccessKind::Load, &mut out);
+            }
+            (AccessKind::Store, _) => {
+                out.latency = self.miss_fill(core, block, AccessKind::Store, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Handles an L1 miss: snoop peers, consult the L2, fetch from memory,
+    /// and install the line locally. Returns the latency.
+    fn miss_fill(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        out: &mut AccessOutcome,
+    ) -> Cycles {
+        let ci = core.index();
+        // Snoop peers for the block.
+        let mut dirty_peer: Option<usize> = None;
+        let mut sharers: Vec<usize> = Vec::new();
+        for (i, l1) in self.l1s.iter().enumerate() {
+            if i == ci {
+                continue;
+            }
+            match l1.state_of(block) {
+                MesiState::Modified => dirty_peer = Some(i),
+                MesiState::Exclusive | MesiState::Shared => sharers.push(i),
+                MesiState::Invalid => {}
+            }
+        }
+
+        let l2_has = self.l2.contains(block);
+        out.l2_hit = l2_has;
+
+        let latency;
+        let install_state;
+        match kind {
+            AccessKind::Load => {
+                if let Some(p) = dirty_peer {
+                    // Cache-to-cache transfer; writer downgrades to Shared.
+                    self.stats.peer_transfers += 1;
+                    self.l1s[p].set_state(block, MesiState::Shared);
+                    out.downgraded.push(CoreId(p as u32));
+                    // The writeback also populates the L2.
+                    self.ensure_l2(block);
+                    latency = self.l2_latency;
+                    install_state = MesiState::Shared;
+                } else if !sharers.is_empty() {
+                    self.stats.peer_transfers += 1;
+                    for &s in &sharers {
+                        if self.l1s[s].state_of(block) == MesiState::Exclusive {
+                            self.l1s[s].set_state(block, MesiState::Shared);
+                        }
+                    }
+                    latency = self.l2_latency;
+                    install_state = MesiState::Shared;
+                } else if l2_has {
+                    self.stats.l2_hits += 1;
+                    self.l2.touch(block);
+                    latency = self.l2_latency;
+                    install_state = MesiState::Exclusive;
+                } else {
+                    self.stats.mem_fetches += 1;
+                    self.ensure_l2(block);
+                    latency = self.mem_latency;
+                    install_state = MesiState::Exclusive;
+                }
+            }
+            AccessKind::Store => {
+                // Read-for-ownership: every peer copy dies.
+                self.invalidate_remote(core, block, out);
+                if dirty_peer.is_some() || !sharers.is_empty() {
+                    self.stats.peer_transfers += 1;
+                    self.ensure_l2(block);
+                    latency = self.l2_latency;
+                } else if l2_has {
+                    self.stats.l2_hits += 1;
+                    self.l2.touch(block);
+                    latency = self.l2_latency;
+                } else {
+                    self.stats.mem_fetches += 1;
+                    self.ensure_l2(block);
+                    latency = self.mem_latency;
+                }
+                install_state = MesiState::Modified;
+            }
+        }
+
+        if let Some((victim, vstate)) = self.l1s[ci].install(block, install_state) {
+            out.l1_victim = Some(victim);
+            if vstate == MesiState::Modified {
+                // Dirty writeback lands in the L2 (latency hidden).
+                self.ensure_l2(victim);
+            }
+        }
+        latency
+    }
+
+    /// Invalidates every remote L1 copy of `block`, recording the victims.
+    fn invalidate_remote(&mut self, core: CoreId, block: BlockAddr, out: &mut AccessOutcome) {
+        for i in 0..self.l1s.len() {
+            if i == core.index() {
+                continue;
+            }
+            let prev = self.l1s[i].invalidate(block);
+            if prev.is_valid() {
+                out.invalidated.push(CoreId(i as u32));
+                if prev == MesiState::Modified {
+                    self.ensure_l2(block);
+                }
+            }
+        }
+    }
+
+    /// Installs `block` in the L2 if absent (victim simply dropped: the L2
+    /// is non-inclusive and clean victims need no action; dirty L2 victims
+    /// write back to memory, whose latency we do not model separately).
+    fn ensure_l2(&mut self, block: BlockAddr) {
+        if !self.l2.contains(block) {
+            let _ = self.l2.install(block, MesiState::Shared);
+        } else {
+            self.l2.touch(block);
+        }
+    }
+
+    /// Drops `block` from `core`'s L1 without any coherence action
+    /// (used by the HTM layer when rolling back speculatively written
+    /// lines on abort).
+    pub fn discard_local(&mut self, core: CoreId, block: BlockAddr) {
+        self.l1s[core.index()].invalidate(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Hierarchy {
+        Hierarchy::new(&MachineConfig::default())
+    }
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn cold_load_misses_to_memory() {
+        let mut h = mk();
+        let out = h.access(CoreId(0), blk(10), AccessKind::Load);
+        assert!(!out.l1_hit);
+        assert!(!out.l2_hit);
+        assert_eq!(out.latency, Cycles(100));
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Exclusive);
+    }
+
+    #[test]
+    fn warm_load_hits_l1() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(10), AccessKind::Load);
+        let out = h.access(CoreId(0), blk(10), AccessKind::Load);
+        assert!(out.l1_hit);
+        assert_eq!(out.latency, Cycles(3));
+    }
+
+    #[test]
+    fn store_after_exclusive_load_is_silent_upgrade() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(10), AccessKind::Load);
+        let out = h.access(CoreId(0), blk(10), AccessKind::Store);
+        assert!(out.l1_hit);
+        assert!(out.invalidated.is_empty());
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Modified);
+    }
+
+    #[test]
+    fn read_shared_by_two_cores() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(10), AccessKind::Load);
+        let out = h.access(CoreId(1), blk(10), AccessKind::Load);
+        assert_eq!(out.latency, Cycles(12), "peer transfer at L2 latency");
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Shared);
+        assert_eq!(h.l1_state(CoreId(1), blk(10)), MesiState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(10), AccessKind::Load);
+        h.access(CoreId(1), blk(10), AccessKind::Load);
+        let out = h.access(CoreId(2), blk(10), AccessKind::Store);
+        let mut inv = out.invalidated.clone();
+        inv.sort_by_key(|c| c.0);
+        assert_eq!(inv, vec![CoreId(0), CoreId(1)]);
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Invalid);
+        assert_eq!(h.l1_state(CoreId(2), blk(10)), MesiState::Modified);
+    }
+
+    #[test]
+    fn read_of_dirty_line_downgrades_writer() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(10), AccessKind::Store);
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Modified);
+        let out = h.access(CoreId(1), blk(10), AccessKind::Load);
+        assert_eq!(out.downgraded, vec![CoreId(0)]);
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Shared);
+        assert_eq!(h.l1_state(CoreId(1), blk(10)), MesiState::Shared);
+    }
+
+    #[test]
+    fn shared_store_upgrade_invalidates() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(10), AccessKind::Load);
+        h.access(CoreId(1), blk(10), AccessKind::Load);
+        let out = h.access(CoreId(0), blk(10), AccessKind::Store);
+        assert!(out.l1_hit);
+        assert_eq!(out.invalidated, vec![CoreId(1)]);
+        assert_eq!(h.l1_state(CoreId(0), blk(10)), MesiState::Modified);
+        assert_eq!(h.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn l2_serves_after_l1_eviction() {
+        let mut h = mk();
+        // L1: 32 KiB 8-way = 64 sets. Blocks i*64 all map to set 0.
+        for i in 0..9u64 {
+            h.access(CoreId(0), blk(i * 64), AccessKind::Load);
+        }
+        // Block 0 was evicted from L1 but lives in L2 (fetched from memory).
+        let out = h.access(CoreId(0), blk(0), AccessKind::Load);
+        assert!(!out.l1_hit);
+        assert!(out.l2_hit);
+        assert_eq!(out.latency, Cycles(12));
+    }
+
+    #[test]
+    fn eviction_reports_victim() {
+        let mut h = mk();
+        let mut victims = 0;
+        for i in 0..9u64 {
+            let out = h.access(CoreId(0), blk(i * 64), AccessKind::Load);
+            if out.l1_victim.is_some() {
+                victims += 1;
+            }
+        }
+        assert_eq!(victims, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(1), AccessKind::Load);
+        h.access(CoreId(0), blk(1), AccessKind::Load);
+        let s = h.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.mem_fetches, 1);
+    }
+
+    #[test]
+    fn discard_local_drops_line_silently() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(5), AccessKind::Store);
+        h.discard_local(CoreId(0), blk(5));
+        assert_eq!(h.l1_state(CoreId(0), blk(5)), MesiState::Invalid);
+    }
+
+    #[test]
+    fn store_miss_with_dirty_peer_transfers_and_invalidates() {
+        let mut h = mk();
+        h.access(CoreId(0), blk(7), AccessKind::Store);
+        let out = h.access(CoreId(1), blk(7), AccessKind::Store);
+        assert_eq!(out.invalidated, vec![CoreId(0)]);
+        assert_eq!(out.latency, Cycles(12));
+        assert_eq!(h.l1_state(CoreId(1), blk(7)), MesiState::Modified);
+        assert_eq!(h.l1_state(CoreId(0), blk(7)), MesiState::Invalid);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cache hierarchy model for the HinTM reproduction.
+//!
+//! Models the paper's Table II memory system: per-core private L1 data
+//! caches (32 KiB, 8-way, 64 B blocks, 3-cycle latency), a shared
+//! non-inclusive L2 (8 MiB, 16-way, 12 cycles), snoopy MESI coherence, and
+//! 100-cycle memory. The model tracks block presence and MESI state (no
+//! data values — the simulator keeps logical values elsewhere) and returns,
+//! for every access, the latency charged plus the coherence side effects the
+//! HTM layer needs for eager conflict detection:
+//!
+//! * which remote cores were invalidated (a write took ownership),
+//! * which remote cores were downgraded M→S (a read observed dirty data),
+//! * which block, if any, was evicted from the local L1 (in-L1 transactional
+//!   tracking aborts when a transactionally-marked line spills, §V "L1TM").
+//!
+//! # Examples
+//!
+//! ```
+//! use hintm_cache::Hierarchy;
+//! use hintm_types::{AccessKind, Addr, CoreId, MachineConfig};
+//!
+//! let mut mem = Hierarchy::new(&MachineConfig::default());
+//! let block = Addr::new(0x4000).block();
+//! let miss = mem.access(CoreId(0), block, AccessKind::Load);
+//! assert!(!miss.l1_hit);
+//! let hit = mem.access(CoreId(0), block, AccessKind::Load);
+//! assert!(hit.l1_hit);
+//! assert!(hit.latency < miss.latency);
+//! ```
+
+pub mod hierarchy;
+pub mod set_assoc;
+
+pub use hierarchy::{AccessOutcome, CacheStats, Hierarchy};
+pub use set_assoc::{MesiState, SetAssocCache};

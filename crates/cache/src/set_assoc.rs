@@ -1,0 +1,318 @@
+//! A single set-associative cache with LRU replacement and MESI line states.
+
+use hintm_types::{BlockAddr, BLOCK_SIZE};
+use std::fmt;
+
+/// MESI coherence state of a cache line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Line holds no valid block.
+    Invalid,
+    /// Clean, possibly shared with other caches.
+    Shared,
+    /// Clean, exclusively held by this cache.
+    Exclusive,
+    /// Dirty, exclusively held by this cache.
+    Modified,
+}
+
+impl MesiState {
+    /// Returns `true` for `Exclusive` or `Modified`.
+    #[inline]
+    pub const fn is_exclusive(self) -> bool {
+        matches!(self, MesiState::Exclusive | MesiState::Modified)
+    }
+
+    /// Returns `true` unless `Invalid`.
+    #[inline]
+    pub const fn is_valid(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::Invalid => 'I',
+            MesiState::Shared => 'S',
+            MesiState::Exclusive => 'E',
+            MesiState::Modified => 'M',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    state: MesiState,
+    lru: u64,
+}
+
+const INVALID_LINE: Line = Line { tag: 0, state: MesiState::Invalid, lru: 0 };
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tracks block presence and MESI state only; the simulator keeps data
+/// values in its own logical structures.
+///
+/// # Examples
+///
+/// ```
+/// use hintm_cache::{MesiState, SetAssocCache};
+/// use hintm_types::Addr;
+///
+/// let mut c = SetAssocCache::new(32 * 1024, 8);
+/// let b = Addr::new(0x1000).block();
+/// assert_eq!(c.state_of(b), MesiState::Invalid);
+/// c.install(b, MesiState::Exclusive);
+/// assert_eq!(c.state_of(b), MesiState::Exclusive);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Line>,
+    num_sets: usize,
+    ways: usize,
+    tick: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` with the given associativity and
+    /// 64-byte blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is a multiple of `ways * 64` and the
+    /// resulting set count is a power of two.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        let blocks = size_bytes / BLOCK_SIZE;
+        assert_eq!(blocks % ways, 0, "size must be a multiple of ways * block size");
+        let num_sets = blocks / ways;
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocCache { sets: vec![INVALID_LINE; blocks], num_sets, ways, tick: 0 }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity_blocks(&self) -> usize {
+        self.num_sets * self.ways
+    }
+
+    #[inline]
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.index() as usize) & (self.num_sets - 1)
+    }
+
+    #[inline]
+    fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
+        let s = self.set_index(block);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<usize> {
+        self.set_range(block)
+            .find(|&i| self.sets[i].state.is_valid() && self.sets[i].tag == block.index())
+    }
+
+    /// Returns the MESI state of `block` ([`MesiState::Invalid`] if absent).
+    pub fn state_of(&self, block: BlockAddr) -> MesiState {
+        self.find(block).map_or(MesiState::Invalid, |i| self.sets[i].state)
+    }
+
+    /// Returns `true` if the block is present in a valid state.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Marks `block` most-recently-used and returns its state, or
+    /// `Invalid` on a miss (no state change).
+    pub fn touch(&mut self, block: BlockAddr) -> MesiState {
+        self.tick += 1;
+        match self.find(block) {
+            Some(i) => {
+                self.sets[i].lru = self.tick;
+                self.sets[i].state
+            }
+            None => MesiState::Invalid,
+        }
+    }
+
+    /// Sets the state of a present block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is absent or `state` is `Invalid` (use
+    /// [`SetAssocCache::invalidate`]).
+    pub fn set_state(&mut self, block: BlockAddr, state: MesiState) {
+        assert!(state.is_valid(), "use invalidate() to drop a line");
+        let i = self.find(block).expect("set_state on absent block");
+        self.sets[i].state = state;
+    }
+
+    /// Installs `block` with `state`, evicting the LRU victim of its set if
+    /// needed. Returns the evicted block and its state, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already present or `state` is `Invalid`.
+    pub fn install(
+        &mut self,
+        block: BlockAddr,
+        state: MesiState,
+    ) -> Option<(BlockAddr, MesiState)> {
+        assert!(state.is_valid(), "cannot install an invalid line");
+        assert!(self.find(block).is_none(), "install of already-present block");
+        self.tick += 1;
+        let range = self.set_range(block);
+        // Prefer an invalid way.
+        let slot = match range.clone().find(|&i| !self.sets[i].state.is_valid()) {
+            Some(i) => i,
+            None => range.clone().min_by_key(|&i| self.sets[i].lru).expect("nonempty set"),
+        };
+        let victim = if self.sets[slot].state.is_valid() {
+            let set_base = (self.set_index(block) as u64) & (self.num_sets as u64 - 1);
+            debug_assert_eq!(
+                self.sets[slot].tag as usize & (self.num_sets - 1),
+                set_base as usize
+            );
+            Some((BlockAddr::from_index(self.sets[slot].tag), self.sets[slot].state))
+        } else {
+            None
+        };
+        self.sets[slot] = Line { tag: block.index(), state, lru: self.tick };
+        victim
+    }
+
+    /// Drops `block` from the cache, returning its former state.
+    pub fn invalidate(&mut self, block: BlockAddr) -> MesiState {
+        match self.find(block) {
+            Some(i) => {
+                let s = self.sets[i].state;
+                self.sets[i] = INVALID_LINE;
+                s
+            }
+            None => MesiState::Invalid,
+        }
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|l| l.state.is_valid()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hintm_types::Addr;
+
+    fn block(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut c = SetAssocCache::new(1024, 2); // 16 blocks, 8 sets
+        assert_eq!(c.num_sets(), 8);
+        c.install(block(1), MesiState::Shared);
+        assert!(c.contains(block(1)));
+        assert_eq!(c.state_of(block(1)), MesiState::Shared);
+        assert!(!c.contains(block(2)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1024, 2); // 8 sets
+        // Blocks 0, 8, 16 all map to set 0 in a 8-set cache.
+        c.install(block(0), MesiState::Exclusive);
+        c.install(block(8), MesiState::Exclusive);
+        c.touch(block(0)); // 0 is now MRU
+        let victim = c.install(block(16), MesiState::Exclusive);
+        assert_eq!(victim, Some((block(8), MesiState::Exclusive)));
+        assert!(c.contains(block(0)));
+        assert!(c.contains(block(16)));
+        assert!(!c.contains(block(8)));
+    }
+
+    #[test]
+    fn install_prefers_invalid_way() {
+        let mut c = SetAssocCache::new(1024, 2);
+        c.install(block(0), MesiState::Modified);
+        c.install(block(8), MesiState::Shared);
+        c.invalidate(block(0));
+        let victim = c.install(block(16), MesiState::Shared);
+        assert_eq!(victim, None, "invalid way should absorb the install");
+        assert!(c.contains(block(8)));
+    }
+
+    #[test]
+    fn invalidate_returns_state() {
+        let mut c = SetAssocCache::new(1024, 2);
+        c.install(block(3), MesiState::Modified);
+        assert_eq!(c.invalidate(block(3)), MesiState::Modified);
+        assert_eq!(c.invalidate(block(3)), MesiState::Invalid);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = SetAssocCache::new(1024, 2);
+        c.install(block(5), MesiState::Exclusive);
+        c.set_state(block(5), MesiState::Modified);
+        assert_eq!(c.state_of(block(5)), MesiState::Modified);
+        c.set_state(block(5), MesiState::Shared);
+        assert_eq!(c.state_of(block(5)), MesiState::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent block")]
+    fn set_state_on_absent_panics() {
+        let mut c = SetAssocCache::new(1024, 2);
+        c.set_state(block(1), MesiState::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_install_panics() {
+        let mut c = SetAssocCache::new(1024, 2);
+        c.install(block(1), MesiState::Shared);
+        c.install(block(1), MesiState::Shared);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = SetAssocCache::new(1024, 2);
+        assert_eq!(c.occupancy(), 0);
+        c.install(block(1), MesiState::Shared);
+        c.install(block(2), MesiState::Shared);
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate(block(1));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn addr_block_mapping_spans_sets() {
+        let c = SetAssocCache::new(32 * 1024, 8); // 64 sets
+        let a = Addr::new(0).block();
+        let b = Addr::new(64).block();
+        assert_ne!(c.set_index(a), c.set_index(b));
+    }
+
+    #[test]
+    fn mesi_state_helpers() {
+        assert!(MesiState::Modified.is_exclusive());
+        assert!(MesiState::Exclusive.is_exclusive());
+        assert!(!MesiState::Shared.is_exclusive());
+        assert!(!MesiState::Invalid.is_valid());
+        assert_eq!(MesiState::Modified.to_string(), "M");
+    }
+}

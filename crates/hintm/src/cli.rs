@@ -1,0 +1,384 @@
+//! Command-line interface: argument parsing and command execution for the
+//! `hintm` binary.
+//!
+//! Hand-rolled parsing (no CLI dependency): three subcommands —
+//!
+//! ```text
+//! hintm list
+//! hintm run   --workload vacation [--htm p8|p8s|l1tm|infcap|rot|logtm]
+//!             [--hints off|static|dynamic|full] [--seed N] [--scale sim|large]
+//!             [--threads N] [--smt2] [--preserve] [--csv]
+//! hintm suite [--htm ...] [--hints ...] [--seed N] [--scale ...] [--csv]
+//! ```
+
+use crate::{AbortKind, Experiment, HintMode, HtmKind, RunReport, Scale, WORKLOAD_NAMES};
+use std::fmt;
+
+/// A CLI parsing or execution error (rendered to stderr by the binary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Print the workload registry.
+    List,
+    /// Run one experiment.
+    Run(RunArgs),
+    /// Run the whole suite under one configuration.
+    Suite(RunArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by `run` and `suite`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Workload name (`run` only; ignored by `suite`).
+    pub workload: Option<String>,
+    /// HTM configuration.
+    pub htm: HtmKind,
+    /// Hint mode.
+    pub hints: HintMode,
+    /// Run seed.
+    pub seed: u64,
+    /// Input scale.
+    pub scale: Scale,
+    /// Thread-count override.
+    pub threads: Option<usize>,
+    /// 2-way SMT.
+    pub smt2: bool,
+    /// §VI-B preserve optimization.
+    pub preserve: bool,
+    /// Emit CSV instead of a table.
+    pub csv: bool,
+    /// Print a lifecycle timeline after the run (`run` only).
+    pub trace: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            workload: None,
+            htm: HtmKind::P8,
+            hints: HintMode::Off,
+            seed: 42,
+            scale: Scale::Sim,
+            threads: None,
+            smt2: false,
+            preserve: false,
+            csv: false,
+            trace: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hintm — HinTM (HPCA 2023) reproduction CLI
+
+USAGE:
+  hintm list
+  hintm run --workload <name> [options]
+  hintm suite [options]
+
+OPTIONS:
+  --workload <name>        one of the registered workloads (see `hintm list`)
+  --htm <kind>             p8 | p8s | l1tm | infcap | rot | logtm   [p8]
+  --hints <mode>           off | static | dynamic | full            [off]
+  --seed <n>               run seed                                  [42]
+  --scale <s>              sim | large                              [sim]
+  --threads <n>            override the workload's thread count
+  --smt2                   2-way SMT (16 hardware threads)
+  --preserve               enable the preserve page-transition optimization
+  --csv                    machine-readable CSV output
+  --trace                  print a per-thread lifecycle timeline (run only)
+";
+
+fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
+    match v.to_ascii_lowercase().as_str() {
+        "p8" => Ok(HtmKind::P8),
+        "p8s" => Ok(HtmKind::P8S),
+        "l1tm" => Ok(HtmKind::L1Tm),
+        "infcap" => Ok(HtmKind::InfCap),
+        "rot" => Ok(HtmKind::Rot),
+        "logtm" => Ok(HtmKind::LogTm),
+        other => Err(CliError(format!("unknown --htm `{other}`"))),
+    }
+}
+
+fn parse_hints(v: &str) -> Result<HintMode, CliError> {
+    match v.to_ascii_lowercase().as_str() {
+        "off" => Ok(HintMode::Off),
+        "static" | "st" => Ok(HintMode::Static),
+        "dynamic" | "dyn" => Ok(HintMode::Dynamic),
+        "full" => Ok(HintMode::Full),
+        other => Err(CliError(format!("unknown --hints `{other}`"))),
+    }
+}
+
+fn parse_scale(v: &str) -> Result<Scale, CliError> {
+    match v.to_ascii_lowercase().as_str() {
+        "sim" => Ok(Scale::Sim),
+        "large" => Ok(Scale::Large),
+        other => Err(CliError(format!("unknown --scale `{other}`"))),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown subcommands, unknown flags, missing or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" | "suite" => {
+            let mut ra = RunArgs::default();
+            let mut i = 1;
+            let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| CliError(format!("{flag} requires a value")))
+            };
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--workload" => ra.workload = Some(value(&mut i, "--workload")?),
+                    "--htm" => ra.htm = parse_htm(&value(&mut i, "--htm")?)?,
+                    "--hints" => ra.hints = parse_hints(&value(&mut i, "--hints")?)?,
+                    "--seed" => {
+                        let v = value(&mut i, "--seed")?;
+                        ra.seed = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad --seed `{v}`")))?;
+                    }
+                    "--scale" => ra.scale = parse_scale(&value(&mut i, "--scale")?)?,
+                    "--threads" => {
+                        let v = value(&mut i, "--threads")?;
+                        ra.threads = Some(
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad --threads `{v}`")))?,
+                        );
+                    }
+                    "--smt2" => ra.smt2 = true,
+                    "--preserve" => ra.preserve = true,
+                    "--csv" => ra.csv = true,
+                    "--trace" => ra.trace = true,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            if sub == "run" {
+                if ra.workload.is_none() {
+                    return Err(CliError("`run` requires --workload <name>".into()));
+                }
+                Ok(Command::Run(ra))
+            } else {
+                Ok(Command::Suite(ra))
+            }
+        }
+        other => Err(CliError(format!("unknown command `{other}` (try `hintm help`)"))),
+    }
+}
+
+fn run_one(name: &str, ra: &RunArgs) -> Result<RunReport, CliError> {
+    let mut e = Experiment::new(name)
+        .htm(ra.htm)
+        .hint_mode(ra.hints)
+        .seed(ra.seed)
+        .scale(ra.scale)
+        .smt2(ra.smt2)
+        .preserve(ra.preserve);
+    if let Some(t) = ra.threads {
+        e = e.threads(t);
+    }
+    e.run().map_err(|e| CliError(e.to_string()))
+}
+
+/// CSV header matching [`csv_row`].
+pub const CSV_HEADER: &str = "workload,htm,hints,seed,cycles,commits,fallback,\
+conflict,capacity,false_conflict,page_mode,lock,shootdowns,safe_pages,total_pages";
+
+/// Renders one report as a CSV row.
+pub fn csv_row(r: &RunReport, seed: u64) -> String {
+    let s = &r.stats;
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.workload,
+        r.htm,
+        r.hint_mode,
+        seed,
+        s.total_cycles.raw(),
+        s.commits,
+        s.fallback_commits,
+        s.aborts_of(AbortKind::Conflict),
+        s.aborts_of(AbortKind::Capacity),
+        s.aborts_of(AbortKind::FalseConflict),
+        s.aborts_of(AbortKind::PageMode),
+        s.aborts_of(AbortKind::FallbackLock),
+        s.vm.shootdowns,
+        s.safe_pages.0,
+        s.safe_pages.1,
+    )
+}
+
+/// Executes a parsed command, writing to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] if an experiment fails to run.
+pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| CliError(e.to_string());
+    match cmd {
+        Command::Help => writeln!(out, "{USAGE}").map_err(io),
+        Command::List => {
+            for name in WORKLOAD_NAMES {
+                writeln!(out, "{name}").map_err(io)?;
+            }
+            Ok(())
+        }
+        Command::Run(ra) => {
+            let name = ra.workload.as_deref().expect("validated by parse");
+            if ra.trace {
+                let mut e = Experiment::new(name)
+                    .htm(ra.htm)
+                    .hint_mode(ra.hints)
+                    .seed(ra.seed)
+                    .scale(ra.scale)
+                    .smt2(ra.smt2)
+                    .preserve(ra.preserve);
+                if let Some(t) = ra.threads {
+                    e = e.threads(t);
+                }
+                let (r, trace) =
+                    e.run_traced(100_000).map_err(|e| CliError(e.to_string()))?;
+                writeln!(out, "{r}").map_err(io)?;
+                let threads = if ra.smt2 { 16 } else { 8 };
+                writeln!(out, "
+timeline (C commit, a/A/P aborts, F fallback, s shootdown):")
+                    .map_err(io)?;
+                writeln!(out, "{}", trace.render_timeline(threads, 100)).map_err(io)?;
+                return Ok(());
+            }
+            let r = run_one(name, ra)?;
+            if ra.csv {
+                writeln!(out, "{CSV_HEADER}").map_err(io)?;
+                writeln!(out, "{}", csv_row(&r, ra.seed)).map_err(io)?;
+            } else {
+                writeln!(out, "{r}").map_err(io)?;
+            }
+            Ok(())
+        }
+        Command::Suite(ra) => {
+            if ra.csv {
+                writeln!(out, "{CSV_HEADER}").map_err(io)?;
+            }
+            for name in WORKLOAD_NAMES {
+                let r = run_one(name, ra)?;
+                if ra.csv {
+                    writeln!(out, "{}", csv_row(&r, ra.seed)).map_err(io)?;
+                } else {
+                    writeln!(out, "{r}").map_err(io)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_list_and_help() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_full_run_command() {
+        let cmd = parse(&argv(
+            "run --workload vacation --htm l1tm --hints full --seed 7 --scale large \
+             --threads 16 --smt2 --preserve --csv",
+        ))
+        .unwrap();
+        let Command::Run(ra) = cmd else { panic!("expected run") };
+        assert_eq!(ra.workload.as_deref(), Some("vacation"));
+        assert_eq!(ra.htm, HtmKind::L1Tm);
+        assert_eq!(ra.hints, HintMode::Full);
+        assert_eq!(ra.seed, 7);
+        assert_eq!(ra.scale, Scale::Large);
+        assert_eq!(ra.threads, Some(16));
+        assert!(ra.smt2 && ra.preserve && ra.csv);
+    }
+
+    #[test]
+    fn run_requires_workload() {
+        assert!(parse(&argv("run --htm p8")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_values() {
+        assert!(parse(&argv("run --workload x --htm weird")).is_err());
+        assert!(parse(&argv("run --workload x --hints weird")).is_err());
+        assert!(parse(&argv("run --workload x --seed nope")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --workload")).is_err());
+    }
+
+    #[test]
+    fn hint_aliases() {
+        assert_eq!(parse_hints("st").unwrap(), HintMode::Static);
+        assert_eq!(parse_hints("dyn").unwrap(), HintMode::Dynamic);
+    }
+
+    #[test]
+    fn executes_list() {
+        let mut buf = Vec::new();
+        execute(&Command::List, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("vacation"));
+        assert_eq!(s.lines().count(), WORKLOAD_NAMES.len());
+    }
+
+    #[test]
+    fn executes_run_csv() {
+        let cmd = parse(&argv("run --workload kmeans --csv --seed 3")).unwrap();
+        let mut buf = Vec::new();
+        execute(&cmd, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("kmeans,P8,baseline,3,"));
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn run_reports_unknown_workload() {
+        let cmd = parse(&argv("run --workload nope")).unwrap();
+        let mut buf = Vec::new();
+        let err = execute(&cmd, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,493 @@
+//! Transactional state tracking backends (one per HTM configuration).
+
+use crate::signature::Signature;
+use hintm_types::BlockAddr;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Error: the access could not be tracked within the HTM's capacity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CapacityAbort;
+
+impl fmt::Display for CapacityAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transactional tracking capacity exceeded")
+    }
+}
+
+impl std::error::Error for CapacityAbort {}
+
+/// Read/write membership flags for one tracked block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Rw {
+    r: bool,
+    w: bool,
+}
+
+/// A transactional read/write-set tracking backend.
+///
+/// All variants expose the same queries; what differs is the capacity
+/// model:
+///
+/// * [`Tracker::p8`] — bounded fully-associative buffer (reads + writes).
+/// * [`Tracker::p8_sig`] — bounded buffer whose *read* overflow spills into
+///   a lossy [`Signature`]; only write pressure can capacity-abort.
+/// * [`Tracker::l1`] — unbounded map, but [`Tracker::on_l1_eviction`]
+///   reports a capacity abort when a tracked line spills from the L1.
+/// * [`Tracker::inf`] — unbounded, never aborts.
+#[derive(Clone, Debug)]
+pub struct Tracker(Backend);
+
+#[derive(Clone, Debug)]
+enum Backend {
+    /// Dedicated fully-associative transactional buffer (POWER8 TMCAM).
+    P8 { entries: HashMap<BlockAddr, Rw>, capacity: usize },
+    /// P8 buffer plus a read-set overflow signature. `overflow_reads` is a
+    /// precise shadow of signature contents (false-conflict classification
+    /// and statistics only — not hardware state).
+    P8Sig {
+        entries: HashMap<BlockAddr, Rw>,
+        capacity: usize,
+        sig: Signature,
+        overflow_reads: HashSet<BlockAddr>,
+    },
+    /// Read/write bits in the L1 cache.
+    L1 { entries: HashMap<BlockAddr, Rw> },
+    /// Unbounded tracking.
+    Inf { entries: HashMap<BlockAddr, Rw> },
+    /// Rollback-only: writes tracked in a bounded buffer, loads dropped.
+    Rot { entries: HashMap<BlockAddr, Rw>, capacity: usize },
+    /// LogTM-style: bounded fast path + unbounded memory log.
+    Log { entries: HashMap<BlockAddr, Rw>, capacity: usize, overflowed: u64 },
+}
+
+impl Tracker {
+    /// A P8-style buffer of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn p8(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Tracker(Backend::P8 { entries: HashMap::new(), capacity })
+    }
+
+    /// A P8 buffer with a readset-overflow signature of `sig_bits` bits and
+    /// `sig_hashes` hash functions.
+    pub fn p8_sig(capacity: usize, sig_bits: usize, sig_hashes: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Tracker(Backend::P8Sig {
+            entries: HashMap::new(),
+            capacity,
+            sig: Signature::new(sig_bits, sig_hashes),
+            overflow_reads: HashSet::new(),
+        })
+    }
+
+    /// In-L1 tracking (capacity enforced through cache evictions).
+    pub fn l1() -> Self {
+        Tracker(Backend::L1 { entries: HashMap::new() })
+    }
+
+    /// Unbounded tracking.
+    pub fn inf() -> Self {
+        Tracker(Backend::Inf { entries: HashMap::new() })
+    }
+
+    /// Rollback-only transaction tracking (SI-HTM-style, §VII): *loads are
+    /// not tracked at all* — only the writeset occupies the buffer and
+    /// participates in conflict detection. Models the capacity behaviour of
+    /// snapshot-isolation HTMs; their extra commit-ordering machinery is
+    /// not simulated, so read-write races go undetected (exactly the
+    /// relaxation the paper contrasts HinTM's strict-2PL approach against).
+    pub fn rot(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Tracker(Backend::Rot { entries: HashMap::new(), capacity })
+    }
+
+    /// LogTM-style "large HTM" tracking (§VII): the first `capacity` blocks
+    /// live in fast hardware state; overflow spills to an in-memory log, so
+    /// the transaction never capacity-aborts, but the caller should charge
+    /// [`Tracker::overflowed_blocks`] extra work per spilled entry on abort
+    /// (log unroll) and commit.
+    pub fn log_tm(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Tracker(Backend::Log { entries: HashMap::new(), capacity, overflowed: 0 })
+    }
+
+    /// Blocks tracked beyond the fast-path capacity (LogTM log length);
+    /// 0 for every other backend.
+    pub fn overflowed_blocks(&self) -> u64 {
+        match &self.0 {
+            Backend::Log { overflowed, .. } => *overflowed,
+            _ => 0,
+        }
+    }
+
+    /// Records a transactional access to `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityAbort`] when the backend cannot hold the new
+    /// block: a full P8 buffer, or a full P8S buffer with no read-only
+    /// entry to spill for an incoming write.
+    pub fn track(&mut self, block: BlockAddr, is_write: bool) -> Result<(), CapacityAbort> {
+        match &mut self.0 {
+            Backend::P8 { entries, capacity } => {
+                if let Some(e) = entries.get_mut(&block) {
+                    e.r |= !is_write;
+                    e.w |= is_write;
+                    return Ok(());
+                }
+                if entries.len() >= *capacity {
+                    return Err(CapacityAbort);
+                }
+                entries.insert(block, Rw { r: !is_write, w: is_write });
+                Ok(())
+            }
+            Backend::P8Sig { entries, capacity, sig, overflow_reads } => {
+                if let Some(e) = entries.get_mut(&block) {
+                    e.r |= !is_write;
+                    e.w |= is_write;
+                    return Ok(());
+                }
+                if entries.len() < *capacity {
+                    entries.insert(block, Rw { r: !is_write, w: is_write });
+                    return Ok(());
+                }
+                if !is_write {
+                    // Read overflow: hash straight into the signature.
+                    sig.insert(block);
+                    overflow_reads.insert(block);
+                    return Ok(());
+                }
+                // Write needs a buffer slot: spill a read-only entry.
+                let spill = entries.iter().find(|(_, rw)| rw.r && !rw.w).map(|(b, _)| *b);
+                match spill {
+                    Some(victim) => {
+                        entries.remove(&victim);
+                        sig.insert(victim);
+                        overflow_reads.insert(victim);
+                        entries.insert(block, Rw { r: false, w: true });
+                        Ok(())
+                    }
+                    None => Err(CapacityAbort),
+                }
+            }
+            Backend::L1 { entries } | Backend::Inf { entries } => {
+                let e = entries.entry(block).or_default();
+                e.r |= !is_write;
+                e.w |= is_write;
+                Ok(())
+            }
+            Backend::Rot { entries, capacity } => {
+                if !is_write {
+                    return Ok(()); // rollback-only TXs do not track loads
+                }
+                if let Some(e) = entries.get_mut(&block) {
+                    e.w = true;
+                    return Ok(());
+                }
+                if entries.len() >= *capacity {
+                    return Err(CapacityAbort);
+                }
+                entries.insert(block, Rw { r: false, w: true });
+                Ok(())
+            }
+            Backend::Log { entries, capacity, overflowed } => {
+                if let Some(e) = entries.get_mut(&block) {
+                    e.r |= !is_write;
+                    e.w |= is_write;
+                    return Ok(());
+                }
+                if entries.len() >= *capacity {
+                    *overflowed += 1;
+                }
+                entries.insert(block, Rw { r: !is_write, w: is_write });
+                Ok(())
+            }
+        }
+    }
+
+    /// Notifies the tracker that `block` was evicted from the owning L1.
+    ///
+    /// Returns `true` when this implies a capacity abort (in-L1 tracking of
+    /// a transactionally-marked line); all other backends keep their state
+    /// in dedicated structures and return `false`.
+    pub fn on_l1_eviction(&self, block: BlockAddr) -> bool {
+        match &self.0 {
+            Backend::L1 { entries } => entries.contains_key(&block),
+            _ => false,
+        }
+    }
+
+    /// Does the tracked readset cover `block`? May report a false positive
+    /// for the signature-backed backend (aliasing).
+    pub fn reads_block(&self, block: BlockAddr) -> bool {
+        match &self.0 {
+            Backend::P8 { entries, .. }
+            | Backend::L1 { entries }
+            | Backend::Inf { entries }
+            | Backend::Rot { entries, .. }
+            | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.r),
+            Backend::P8Sig { entries, sig, .. } => {
+                entries.get(&block).is_some_and(|e| e.r) || sig.maybe_contains(block)
+            }
+        }
+    }
+
+    /// Does the *precise* readset cover `block`? Used to classify a
+    /// signature hit as genuine or false.
+    pub fn precise_reads_block(&self, block: BlockAddr) -> bool {
+        match &self.0 {
+            Backend::P8 { entries, .. }
+            | Backend::L1 { entries }
+            | Backend::Inf { entries }
+            | Backend::Rot { entries, .. }
+            | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.r),
+            Backend::P8Sig { entries, overflow_reads, .. } => {
+                entries.get(&block).is_some_and(|e| e.r) || overflow_reads.contains(&block)
+            }
+        }
+    }
+
+    /// Does the tracked writeset cover `block`? Always precise (writesets
+    /// never spill into signatures).
+    pub fn writes_block(&self, block: BlockAddr) -> bool {
+        match &self.0 {
+            Backend::P8 { entries, .. }
+            | Backend::P8Sig { entries, .. }
+            | Backend::L1 { entries }
+            | Backend::Inf { entries }
+            | Backend::Rot { entries, .. }
+            | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.w),
+        }
+    }
+
+    /// All speculatively written blocks (for rollback on abort).
+    pub fn write_blocks(&self) -> Vec<BlockAddr> {
+        self.entries().iter().filter(|(_, rw)| rw.w).map(|(b, _)| *b).collect()
+    }
+
+    /// Precise readset size in blocks (including signature-spilled reads).
+    pub fn read_set_size(&self) -> usize {
+        let base = self.entries().values().filter(|rw| rw.r).count();
+        match &self.0 {
+            Backend::P8Sig { overflow_reads, .. } => base + overflow_reads.len(),
+            _ => base,
+        }
+    }
+
+    /// Precise writeset size in blocks.
+    pub fn write_set_size(&self) -> usize {
+        self.entries().values().filter(|rw| rw.w).count()
+    }
+
+    /// Total distinct tracked blocks (readset ∪ writeset), precise.
+    pub fn footprint(&self) -> usize {
+        match &self.0 {
+            Backend::P8Sig { entries, overflow_reads, .. } => {
+                entries.len() + overflow_reads.iter().filter(|b| !entries.contains_key(b)).count()
+            }
+            _ => self.entries().len(),
+        }
+    }
+
+    /// Clears all tracking state (commit or abort).
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Backend::P8 { entries, .. }
+            | Backend::L1 { entries }
+            | Backend::Inf { entries }
+            | Backend::Rot { entries, .. } => entries.clear(),
+            Backend::Log { entries, overflowed, .. } => {
+                entries.clear();
+                *overflowed = 0;
+            }
+            Backend::P8Sig { entries, sig, overflow_reads, .. } => {
+                entries.clear();
+                sig.clear();
+                overflow_reads.clear();
+            }
+        }
+    }
+
+    fn entries(&self) -> &HashMap<BlockAddr, Rw> {
+        match &self.0 {
+            Backend::P8 { entries, .. }
+            | Backend::P8Sig { entries, .. }
+            | Backend::L1 { entries }
+            | Backend::Inf { entries }
+            | Backend::Rot { entries, .. }
+            | Backend::Log { entries, .. } => entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn p8_tracks_until_capacity() {
+        let mut t = Tracker::p8(4);
+        for i in 0..4u64 {
+            t.track(blk(i), false).unwrap();
+        }
+        assert_eq!(t.track(blk(99), false), Err(CapacityAbort));
+        // Re-touching an existing block is fine at capacity.
+        assert_eq!(t.track(blk(0), true), Ok(()));
+        assert!(t.writes_block(blk(0)));
+        assert!(t.reads_block(blk(0)));
+    }
+
+    #[test]
+    fn p8_footprint_counts_distinct_blocks() {
+        let mut t = Tracker::p8(64);
+        t.track(blk(1), false).unwrap();
+        t.track(blk(1), true).unwrap();
+        t.track(blk(2), true).unwrap();
+        assert_eq!(t.footprint(), 2);
+        assert_eq!(t.read_set_size(), 1);
+        assert_eq!(t.write_set_size(), 2);
+        assert_eq!(t.write_blocks().len(), 2);
+    }
+
+    #[test]
+    fn p8_clear_resets() {
+        let mut t = Tracker::p8(2);
+        t.track(blk(1), true).unwrap();
+        t.clear();
+        assert_eq!(t.footprint(), 0);
+        assert!(!t.writes_block(blk(1)));
+        t.track(blk(2), false).unwrap();
+        t.track(blk(3), false).unwrap();
+        assert!(t.track(blk(4), false).is_err());
+    }
+
+    #[test]
+    fn p8sig_reads_never_capacity_abort() {
+        let mut t = Tracker::p8_sig(4, 1024, 2);
+        for i in 0..1000u64 {
+            t.track(blk(i), false).unwrap();
+        }
+        assert_eq!(t.read_set_size(), 1000);
+        // Every read is still visible to conflict checks.
+        for i in 0..1000u64 {
+            assert!(t.reads_block(blk(i)));
+            assert!(t.precise_reads_block(blk(i)));
+        }
+    }
+
+    #[test]
+    fn p8sig_write_spills_read_entry() {
+        let mut t = Tracker::p8_sig(2, 1024, 2);
+        t.track(blk(1), false).unwrap();
+        t.track(blk(2), false).unwrap();
+        // Buffer full of reads; a write spills one read to the signature.
+        t.track(blk(3), true).unwrap();
+        assert!(t.writes_block(blk(3)));
+        assert!(t.reads_block(blk(1)) && t.reads_block(blk(2)));
+    }
+
+    #[test]
+    fn p8sig_write_overflow_aborts() {
+        let mut t = Tracker::p8_sig(2, 1024, 2);
+        t.track(blk(1), true).unwrap();
+        t.track(blk(2), true).unwrap();
+        assert_eq!(t.track(blk(3), true), Err(CapacityAbort));
+    }
+
+    #[test]
+    fn p8sig_false_positive_is_detectable() {
+        let mut t = Tracker::p8_sig(4, 256, 2);
+        // Saturate the signature.
+        for i in 0..600u64 {
+            t.track(blk(i), false).unwrap();
+        }
+        // Find an address it claims to read but precisely does not.
+        let fp = (10_000..60_000u64)
+            .map(blk)
+            .find(|b| t.reads_block(*b) && !t.precise_reads_block(*b));
+        assert!(fp.is_some(), "saturated small signature must alias");
+    }
+
+    #[test]
+    fn l1_tracker_aborts_on_tracked_eviction() {
+        let mut t = Tracker::l1();
+        t.track(blk(5), false).unwrap();
+        assert!(t.on_l1_eviction(blk(5)));
+        assert!(!t.on_l1_eviction(blk(6)));
+    }
+
+    #[test]
+    fn p8_ignores_l1_evictions() {
+        let mut t = Tracker::p8(4);
+        t.track(blk(5), true).unwrap();
+        assert!(!t.on_l1_eviction(blk(5)));
+    }
+
+    #[test]
+    fn inf_never_aborts() {
+        let mut t = Tracker::inf();
+        for i in 0..100_000u64 {
+            t.track(blk(i), i % 3 == 0).unwrap();
+        }
+        assert_eq!(t.footprint(), 100_000);
+    }
+
+    #[test]
+    fn rot_tracks_writes_only() {
+        let mut t = Tracker::rot(4);
+        for i in 0..1000u64 {
+            t.track(blk(i), false).unwrap(); // loads never abort
+        }
+        assert_eq!(t.read_set_size(), 0, "loads are dropped entirely");
+        assert!(!t.reads_block(blk(5)));
+        for i in 0..4u64 {
+            t.track(blk(i), true).unwrap();
+        }
+        assert_eq!(t.track(blk(99), true), Err(CapacityAbort));
+        assert!(t.writes_block(blk(0)));
+        t.clear();
+        assert_eq!(t.footprint(), 0);
+    }
+
+    #[test]
+    fn logtm_overflows_into_the_log() {
+        let mut t = Tracker::log_tm(4);
+        for i in 0..10u64 {
+            t.track(blk(i), true).unwrap();
+        }
+        assert_eq!(t.overflowed_blocks(), 6);
+        assert_eq!(t.footprint(), 10);
+        assert!(t.writes_block(blk(9)));
+        // Re-touching tracked blocks does not grow the log.
+        t.track(blk(0), false).unwrap();
+        assert_eq!(t.overflowed_blocks(), 6);
+        t.clear();
+        assert_eq!(t.overflowed_blocks(), 0);
+    }
+
+    #[test]
+    fn non_log_backends_report_zero_overflow() {
+        let mut t = Tracker::p8(2);
+        t.track(blk(0), true).unwrap();
+        assert_eq!(t.overflowed_blocks(), 0);
+        assert_eq!(Tracker::inf().overflowed_blocks(), 0);
+    }
+
+    #[test]
+    fn write_then_read_keeps_write_flag() {
+        let mut t = Tracker::p8(8);
+        t.track(blk(1), true).unwrap();
+        t.track(blk(1), false).unwrap();
+        assert!(t.writes_block(blk(1)));
+        assert!(t.reads_block(blk(1)));
+        assert_eq!(t.footprint(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Textual rendering of IR modules, with optional classification verdicts
+//! inline — the `-emit-ir`-style debugging view of the hint pipeline.
+
+use crate::classify::StaticClassification;
+use crate::module::{FuncId, Instr, Module, Stmt};
+use hintm_types::SiteId;
+use std::fmt::Write;
+
+/// Renders `module` as structured text.
+///
+/// # Examples
+///
+/// ```
+/// use hintm_ir::{print_module, ModuleBuilder};
+/// let mut m = ModuleBuilder::new();
+/// let mut f = m.func("worker", 0);
+/// let buf = f.halloc();
+/// f.tx_begin();
+/// f.store(buf);
+/// f.tx_end();
+/// f.ret();
+/// let worker = f.finish();
+/// let module = m.finish(worker, worker);
+/// let text = print_module(&module, None);
+/// assert!(text.contains("fn worker"));
+/// assert!(text.contains("txbegin"));
+/// ```
+pub fn print_module(module: &Module, verdicts: Option<&StaticClassification>) -> String {
+    let mut out = String::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        let _ = writeln!(out, "global @{} ; g{}", g.name, i);
+    }
+    for (fid, f) in module.iter_funcs() {
+        let mut tags = Vec::new();
+        if fid == module.entry {
+            tags.push("entry");
+        }
+        if fid == module.thread_root {
+            tags.push("thread-root");
+        }
+        let tag = if tags.is_empty() { String::new() } else { format!("  ; {}", tags.join(", ")) };
+        let _ = writeln!(out, "\nfn {}({} params){tag} {{", f.name, f.num_params);
+        print_stmts(module, &f.body, verdicts, 1, &mut out);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn verdict_suffix(site: SiteId, verdicts: Option<&StaticClassification>) -> &'static str {
+    match verdicts {
+        Some(c) if c.is_safe(site) => "  ; SAFE",
+        Some(_) => "  ; unsafe",
+        None => "",
+    }
+}
+
+fn print_stmts(
+    module: &Module,
+    stmts: &[Stmt],
+    verdicts: Option<&StaticClassification>,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    for s in stmts {
+        match s {
+            Stmt::Instr(i) => {
+                let line = match i {
+                    Instr::Alloca { out } => format!("v{} = alloca", out.0),
+                    Instr::Halloc { out } => format!("v{} = halloc", out.0),
+                    Instr::Free { ptr } => format!("free v{}", ptr.0),
+                    Instr::Global { out, global } => format!("v{} = &g{}", out.0, global.0),
+                    Instr::Gep { out, base } => format!("v{} = gep v{}", out.0, base.0),
+                    Instr::Load { out: Some(o), ptr, site } => {
+                        format!("v{} = load.ptr v{} @site{}{}", o.0, ptr.0, site.0, verdict_suffix(*site, verdicts))
+                    }
+                    Instr::Load { out: None, ptr, site } => {
+                        format!("load v{} @site{}{}", ptr.0, site.0, verdict_suffix(*site, verdicts))
+                    }
+                    Instr::Store { ptr, val: Some(v), site } => {
+                        format!("store.ptr v{} <- v{} @site{}{}", ptr.0, v.0, site.0, verdict_suffix(*site, verdicts))
+                    }
+                    Instr::Store { ptr, val: None, site } => {
+                        format!("store v{} @site{}{}", ptr.0, site.0, verdict_suffix(*site, verdicts))
+                    }
+                    Instr::Memcpy { dst, src, load_site, store_site } => format!(
+                        "memcpy v{} <- v{} @site{}/{}{}{}",
+                        dst.0,
+                        src.0,
+                        load_site.0,
+                        store_site.0,
+                        verdict_suffix(*load_site, verdicts),
+                        verdict_suffix(*store_site, verdicts),
+                    ),
+                    Instr::Call { callee, args, out, id } => {
+                        let args: Vec<String> = args.iter().map(|a| format!("v{}", a.0)).collect();
+                        let dst = out.map(|o| format!("v{} = ", o.0)).unwrap_or_default();
+                        format!(
+                            "{dst}call {}({}) @cs{}",
+                            func_name(module, *callee),
+                            args.join(", "),
+                            id.0
+                        )
+                    }
+                    Instr::Spawn { callee, args } => {
+                        let args: Vec<String> = args.iter().map(|a| format!("v{}", a.0)).collect();
+                        format!("spawn {}({})", func_name(module, *callee), args.join(", "))
+                    }
+                    Instr::TxBegin => "txbegin".to_string(),
+                    Instr::TxEnd => "txend".to_string(),
+                    Instr::Return { val: Some(v) } => format!("ret v{}", v.0),
+                    Instr::Return { val: None } => "ret".to_string(),
+                };
+                let _ = writeln!(out, "{pad}{line}");
+            }
+            Stmt::Loop(b) => {
+                let _ = writeln!(out, "{pad}loop {{");
+                print_stmts(module, b, verdicts, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::If(a, b) => {
+                let _ = writeln!(out, "{pad}if {{");
+                print_stmts(module, a, verdicts, depth + 1, out);
+                if b.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    print_stmts(module, b, verdicts, depth + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+}
+
+fn func_name(module: &Module, f: FuncId) -> &str {
+    &module.func(f).name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::module::ModuleBuilder;
+
+    fn sample() -> Module {
+        let mut m = ModuleBuilder::new();
+        let g = m.global("table");
+        let mut w = m.func("worker", 1);
+        let p = w.param(0);
+        let buf = w.halloc();
+        w.begin_loop();
+        w.tx_begin();
+        w.store(buf);
+        let ga = w.global_addr(g);
+        w.load(ga);
+        w.begin_if();
+        w.load(p);
+        w.begin_else();
+        w.memcpy(buf, p);
+        w.end_block();
+        w.tx_end();
+        w.end_block();
+        w.free(buf);
+        w.ret();
+        let worker = w.finish();
+        let mut main = m.func("main", 0);
+        let shared = main.halloc();
+        main.spawn(worker, vec![shared]);
+        main.ret();
+        let entry = main.finish();
+        m.finish(entry, worker)
+    }
+
+    #[test]
+    fn renders_all_constructs() {
+        let module = sample();
+        let text = print_module(&module, None);
+        for needle in [
+            "global @table",
+            "fn worker(1 params)",
+            "fn main(0 params)",
+            "thread-root",
+            "entry",
+            "halloc",
+            "txbegin",
+            "txend",
+            "loop {",
+            "if {",
+            "} else {",
+            "memcpy",
+            "spawn worker",
+            "free",
+            "ret",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn verdicts_annotate_sites() {
+        let module = sample();
+        let c = classify(&module);
+        let text = print_module(&module, Some(&c));
+        assert!(text.contains("; SAFE") || text.contains("; unsafe"));
+        // Every access site line carries a verdict.
+        for line in text.lines() {
+            if line.contains("@site") {
+                assert!(
+                    line.contains("SAFE") || line.contains("unsafe"),
+                    "unannotated site line: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_print_has_no_verdicts() {
+        let text = print_module(&sample(), None);
+        assert!(!text.contains("SAFE"));
+    }
+}

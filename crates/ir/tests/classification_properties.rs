@@ -1,0 +1,256 @@
+//! Property tests of the static classification pipeline on randomly
+//! generated modules: the pipeline must always terminate, be deterministic,
+//! and — the soundness property — never mark an access safe when its
+//! targets include memory another thread could race on.
+
+use hintm_ir::{classify, FuncId, Instr, Module, ModuleBuilder, Stmt, ValueId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A recipe for one instruction inside the worker body. Values refer to a
+/// rolling pool of previously-defined pointers by index, so any recipe
+/// sequence builds a valid module.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloca,
+    Halloc,
+    GlobalAddr(u8),
+    Gep(u8),
+    Load(u8),
+    Store(u8),
+    StorePtr(u8, u8),
+    Memcpy(u8, u8),
+    PublishToGlobal(u8, u8), // store_ptr(global g, pool value)
+    LoopedLoadStore(u8),
+    TxWindow(Vec<OpInTx>),
+}
+
+#[derive(Clone, Debug)]
+enum OpInTx {
+    Alloca,
+    Halloc,
+    Load(u8),
+    Store(u8),
+    Memcpy(u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Alloca),
+        2 => Just(Op::Halloc),
+        2 => (0u8..3).prop_map(Op::GlobalAddr),
+        1 => (0u8..8).prop_map(Op::Gep),
+        2 => (0u8..8).prop_map(Op::Load),
+        2 => (0u8..8).prop_map(Op::Store),
+        1 => (0u8..8, 0u8..8).prop_map(|(a, b)| Op::StorePtr(a, b)),
+        1 => (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Memcpy(a, b)),
+        1 => (0u8..3, 0u8..8).prop_map(|(g, v)| Op::PublishToGlobal(g, v)),
+        1 => (0u8..8).prop_map(Op::LoopedLoadStore),
+        3 => prop::collection::vec(arb_op_in_tx(), 1..6).prop_map(Op::TxWindow),
+    ]
+}
+
+fn arb_op_in_tx() -> impl Strategy<Value = OpInTx> {
+    prop_oneof![
+        Just(OpInTx::Alloca),
+        Just(OpInTx::Halloc),
+        (0u8..8).prop_map(OpInTx::Load),
+        (0u8..8).prop_map(OpInTx::Store),
+        (0u8..8, 0u8..8).prop_map(|(a, b)| OpInTx::Memcpy(a, b)),
+    ]
+}
+
+/// Builds a module from a recipe: main stores to global 0 (initialization),
+/// then spawns the worker, whose body is generated from `ops`.
+fn build(ops: &[Op]) -> (Module, FuncId, Vec<hintm_types::SiteId>) {
+    let mut m = ModuleBuilder::new();
+    let globals = [m.global("g0"), m.global("g1"), m.global("g2")];
+
+    let mut w = m.func("worker", 0);
+    let mut pool: Vec<ValueId> = Vec::new();
+    let seed = w.halloc();
+    pool.push(seed);
+    let mut sites = Vec::new();
+    let pick = |pool: &[ValueId], i: u8| pool[i as usize % pool.len()];
+
+    for op in ops {
+        match op {
+            Op::Alloca => pool.push(w.alloca()),
+            Op::Halloc => pool.push(w.halloc()),
+            Op::GlobalAddr(g) => pool.push(w.global_addr(globals[*g as usize % 3])),
+            Op::Gep(v) => {
+                let b = pick(&pool, *v);
+                pool.push(w.gep(b));
+            }
+            Op::Load(v) => sites.push(w.load(pick(&pool, *v))),
+            Op::Store(v) => sites.push(w.store(pick(&pool, *v))),
+            Op::StorePtr(p, v) => {
+                sites.push(w.store_ptr(pick(&pool, *p), pick(&pool, *v)));
+            }
+            Op::Memcpy(d, s) => {
+                let (l, st) = w.memcpy(pick(&pool, *d), pick(&pool, *s));
+                sites.push(l);
+                sites.push(st);
+            }
+            Op::PublishToGlobal(g, v) => {
+                let ga = w.global_addr(globals[*g as usize % 3]);
+                pool.push(ga);
+                sites.push(w.store_ptr(ga, pick(&pool, *v)));
+            }
+            Op::LoopedLoadStore(v) => {
+                let p = pick(&pool, *v);
+                w.begin_loop();
+                sites.push(w.load(p));
+                sites.push(w.store(p));
+                w.end_block();
+            }
+            Op::TxWindow(body) => {
+                w.tx_begin();
+                for o in body {
+                    match o {
+                        OpInTx::Alloca => pool.push(w.alloca()),
+                        OpInTx::Halloc => pool.push(w.halloc()),
+                        OpInTx::Load(v) => sites.push(w.load(pick(&pool, *v))),
+                        OpInTx::Store(v) => sites.push(w.store(pick(&pool, *v))),
+                        OpInTx::Memcpy(d, s) => {
+                            let (l, st) = w.memcpy(pick(&pool, *d), pick(&pool, *s));
+                            sites.push(l);
+                            sites.push(st);
+                        }
+                    }
+                }
+                w.tx_end();
+            }
+        }
+    }
+    w.ret();
+    let worker = w.finish();
+
+    let mut main = m.func("main", 0);
+    let ga = main.global_addr(globals[0]);
+    main.store(ga);
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    (m.finish(entry, worker), worker, sites)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// classify() terminates and is deterministic on arbitrary modules.
+    #[test]
+    fn classify_is_total_and_deterministic(ops in prop::collection::vec(arb_op(), 0..25)) {
+        let (module, _, _) = build(&ops);
+        let a = classify(&module);
+        let b = classify(&module);
+        let sa: BTreeSet<_> = a.safe_sites().iter().copied().collect();
+        let sb: BTreeSet<_> = b.safe_sites().iter().copied().collect();
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Soundness proxy: a site marked safe never targets an object that is
+    /// (a) a global or spawn-reachable (shared) AND (b) written anywhere in
+    /// the parallel region. We re-derive the ground truth with the
+    /// analyses' own primitives but *without* the safe-classification
+    /// shortcuts, so a classification bug that over-approximates safety is
+    /// caught.
+    #[test]
+    fn safe_sites_never_touch_racy_memory(ops in prop::collection::vec(arb_op(), 0..25)) {
+        let (module, worker, _) = build(&ops);
+        let c = classify(&module);
+        let pt = hintm_ir::points_to::points_to(&module);
+        let sh = hintm_ir::sharing::sharing(&module, &pt);
+
+        // Ground truth: shared objects written in the parallel region.
+        let mut racy: BTreeSet<_> = BTreeSet::new();
+        for o in pt.iter_objects() {
+            if sh.shared.contains(&o) && !sh.read_only_shared.contains(&o) {
+                racy.insert(o);
+            }
+        }
+
+        module.visit_instrs(worker, |i| {
+            // Stores to objects allocated *inside* the transaction are
+            // exempt: even if the object is later published (making it
+            // shared in the whole-program view), its pre-commit contents
+            // are invisible to other threads and dead on abort — the
+            // paper's "newly created objects about to be entered into a
+            // shared data structure" rule. Loads enjoy no such exemption.
+            let (targets, is_store): (Vec<_>, bool) = match i {
+                Instr::Load { ptr, site, .. } if c.is_safe(*site) => {
+                    (pt.pts(worker, *ptr).iter().copied().collect(), false)
+                }
+                Instr::Store { ptr, site, .. } if c.is_safe(*site) => {
+                    (pt.pts(worker, *ptr).iter().copied().collect(), true)
+                }
+                Instr::Memcpy { src, load_site, .. } if c.is_safe(*load_site) => {
+                    (pt.pts(worker, *src).iter().copied().collect(), false)
+                }
+                _ => (Vec::new(), false),
+            };
+            for o in targets {
+                if is_store && pt.obj_info(o).in_tx {
+                    continue;
+                }
+                assert!(
+                    !racy.contains(&o),
+                    "safe site targets racy object {o:?} in {i:?}"
+                );
+            }
+        });
+    }
+
+    /// Stores marked safe always target exclusively thread-private (or
+    /// TX-fresh) memory — never anything shared.
+    #[test]
+    fn safe_stores_target_private_memory(ops in prop::collection::vec(arb_op(), 0..25)) {
+        let (module, worker, _) = build(&ops);
+        let c = classify(&module);
+        let pt = hintm_ir::points_to::points_to(&module);
+        let sh = hintm_ir::sharing::sharing(&module, &pt);
+        module.visit_instrs(worker, |i| {
+            let ptr = match i {
+                Instr::Store { ptr, site, .. } if c.is_safe(*site) => Some(ptr),
+                Instr::Memcpy { dst, store_site, .. } if c.is_safe(*store_site) => Some(dst),
+                _ => None,
+            };
+            if let Some(ptr) = ptr {
+                for o in pt.pts(worker, *ptr) {
+                    // TX-fresh objects may be published later and still be
+                    // safely initialized beforehand (see the racy-memory
+                    // test's exemption).
+                    assert!(
+                        !sh.shared.contains(o) || pt.obj_info(*o).in_tx,
+                        "safe store targets shared object {o:?}"
+                    );
+                }
+            }
+        });
+    }
+
+    /// Loop/branch structure never breaks the builder/visitor round trip.
+    #[test]
+    fn visit_instr_count_is_stable(ops in prop::collection::vec(arb_op(), 0..25)) {
+        let (module, worker, _) = build(&ops);
+        let mut count1 = 0u32;
+        module.visit_instrs(worker, |_| count1 += 1);
+        let mut count2 = 0u32;
+        module.visit_instrs(worker, |_| count2 += 1);
+        prop_assert_eq!(count1, count2);
+        prop_assert!(count1 > 0);
+        // Statement tree matches: every instruction is reachable.
+        fn tree_count(stmts: &[Stmt]) -> u32 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Instr(_) => 1,
+                    Stmt::Loop(b) => tree_count(b),
+                    Stmt::If(a, b) => tree_count(a) + tree_count(b),
+                })
+                .sum()
+        }
+        prop_assert_eq!(tree_count(&module.func(worker).body), count1);
+    }
+}

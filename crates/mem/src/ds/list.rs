@@ -1,0 +1,349 @@
+//! A singly linked list with simulated node addresses.
+
+use crate::{AccessSink, AddressSpace};
+use hintm_types::{Addr, SiteId, ThreadId};
+
+/// Node layout: `[key: u64][value: u64][next: u64]` plus padding to
+/// `node_size` bytes.
+const KEY_OFF: u64 = 0;
+const VAL_OFF: u64 = 8;
+const NEXT_OFF: u64 = 16;
+
+/// The static access sites a list operation reports through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ListSites {
+    /// Loads of a node's key/next while traversing.
+    pub traverse: SiteId,
+    /// Stores initializing a new node's fields.
+    pub node_init: SiteId,
+    /// Stores re-linking `next` pointers (or the head).
+    pub link: SiteId,
+}
+
+impl ListSites {
+    /// All sites mapped to a single id (tests, simple workloads).
+    pub fn uniform(site: SiteId) -> Self {
+        ListSites { traverse: site, node_init: site, link: site }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: u64,
+    value: u64,
+    addr: Addr,
+    next: Option<usize>,
+}
+
+/// A sorted singly linked list (ascending by key), as used by STAMP's
+/// `list_t` (genome's segment lists, bayes' ad-tree node lists).
+///
+/// Traversal loads each visited node once (key + next are in the same
+/// block for the default 32-byte node).
+///
+/// # Examples
+///
+/// ```
+/// use hintm_mem::{AddressSpace, VecSink};
+/// use hintm_mem::ds::{ListSites, SimList};
+/// use hintm_types::{SiteId, ThreadId};
+///
+/// let mut space = AddressSpace::new(1);
+/// let mut list = SimList::new(32);
+/// let sites = ListSites::uniform(SiteId(0));
+/// let mut sink = VecSink::new();
+/// list.insert(5, 50, ThreadId(0), &mut space, &mut sink, sites);
+/// list.insert(3, 30, ThreadId(0), &mut space, &mut sink, sites);
+/// assert_eq!(list.find(5, &mut sink, sites), Some(50));
+/// assert_eq!(list.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimList {
+    nodes: Vec<Node>,
+    head: Option<usize>,
+    node_size: u64,
+    len: usize,
+    free: Vec<usize>,
+}
+
+impl SimList {
+    /// Creates an empty list whose nodes occupy `node_size` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_size < 24` (the three fields).
+    pub fn new(node_size: u64) -> Self {
+        assert!(node_size >= 24, "node must hold key/value/next");
+        SimList { nodes: Vec::new(), head: None, node_size, len: 0, free: Vec::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc_node(
+        &mut self,
+        key: u64,
+        value: u64,
+        tid: ThreadId,
+        space: &mut AddressSpace,
+    ) -> usize {
+        if let Some(idx) = self.free.pop() {
+            let size = self.node_size;
+            let addr = space.halloc(tid, size);
+            self.nodes[idx] = Node { key, value, addr, next: None };
+            idx
+        } else {
+            let addr = space.halloc(tid, self.node_size);
+            self.nodes.push(Node { key, value, addr, next: None });
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Inserts `(key, value)` keeping ascending key order; duplicate keys are
+    /// allowed and land adjacent. Emits traversal loads to the insertion
+    /// point, initializing stores for the new node, and a link store.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        value: u64,
+        tid: ThreadId,
+        space: &mut AddressSpace,
+        sink: &mut impl AccessSink,
+        sites: ListSites,
+    ) {
+        let new_idx = self.alloc_node(key, value, tid, space);
+        let new_addr = self.nodes[new_idx].addr;
+        // Initializing stores to the fresh node.
+        sink.store(new_addr.offset(KEY_OFF), sites.node_init);
+        sink.store(new_addr.offset(VAL_OFF), sites.node_init);
+        sink.store(new_addr.offset(NEXT_OFF), sites.node_init);
+
+        // Find predecessor.
+        let mut prev: Option<usize> = None;
+        let mut cur = self.head;
+        while let Some(c) = cur {
+            sink.load(self.nodes[c].addr.offset(KEY_OFF), sites.traverse);
+            if self.nodes[c].key >= key {
+                break;
+            }
+            prev = Some(c);
+            cur = self.nodes[c].next;
+        }
+        match prev {
+            None => {
+                self.nodes[new_idx].next = self.head;
+                self.head = Some(new_idx);
+                // Head pointer update is a store to the list header; model it
+                // as a store to the first node's next slot owner (the head
+                // cell lives with the first node's predecessor in C; we
+                // charge the new node's next store above plus one link store).
+                sink.store(new_addr.offset(NEXT_OFF), sites.link);
+            }
+            Some(p) => {
+                self.nodes[new_idx].next = self.nodes[p].next;
+                self.nodes[p].next = Some(new_idx);
+                sink.store(self.nodes[p].addr.offset(NEXT_OFF), sites.link);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Looks up `key`, emitting one load per visited node.
+    pub fn find(&self, key: u64, sink: &mut impl AccessSink, sites: ListSites) -> Option<u64> {
+        let mut cur = self.head;
+        while let Some(c) = cur {
+            sink.load(self.nodes[c].addr.offset(KEY_OFF), sites.traverse);
+            if self.nodes[c].key == key {
+                return Some(self.nodes[c].value);
+            }
+            if self.nodes[c].key > key {
+                return None;
+            }
+            cur = self.nodes[c].next;
+        }
+        None
+    }
+
+    /// Removes the first node with `key`, returning its value. Emits
+    /// traversal loads and the unlink store; frees the node's memory.
+    pub fn remove(
+        &mut self,
+        key: u64,
+        tid: ThreadId,
+        space: &mut AddressSpace,
+        sink: &mut impl AccessSink,
+        sites: ListSites,
+    ) -> Option<u64> {
+        let mut prev: Option<usize> = None;
+        let mut cur = self.head;
+        while let Some(c) = cur {
+            sink.load(self.nodes[c].addr.offset(KEY_OFF), sites.traverse);
+            if self.nodes[c].key == key {
+                let next = self.nodes[c].next;
+                match prev {
+                    None => {
+                        self.head = next;
+                        // Head cell update.
+                        sink.store(self.nodes[c].addr.offset(NEXT_OFF), sites.link);
+                    }
+                    Some(p) => {
+                        self.nodes[p].next = next;
+                        sink.store(self.nodes[p].addr.offset(NEXT_OFF), sites.link);
+                    }
+                }
+                let value = self.nodes[c].value;
+                space.hfree(tid, self.nodes[c].addr, self.node_size);
+                self.free.push(c);
+                self.len -= 1;
+                return Some(value);
+            }
+            if self.nodes[c].key > key {
+                return None;
+            }
+            prev = Some(c);
+            cur = self.nodes[c].next;
+        }
+        None
+    }
+
+    /// Pops the head node, if any, emitting its load and the head update.
+    pub fn pop_front(
+        &mut self,
+        tid: ThreadId,
+        space: &mut AddressSpace,
+        sink: &mut impl AccessSink,
+        sites: ListSites,
+    ) -> Option<(u64, u64)> {
+        let h = self.head?;
+        sink.load(self.nodes[h].addr.offset(KEY_OFF), sites.traverse);
+        sink.load(self.nodes[h].addr.offset(NEXT_OFF), sites.traverse);
+        self.head = self.nodes[h].next;
+        sink.store(self.nodes[h].addr.offset(NEXT_OFF), sites.link);
+        let kv = (self.nodes[h].key, self.nodes[h].value);
+        space.hfree(tid, self.nodes[h].addr, self.node_size);
+        self.free.push(h);
+        self.len -= 1;
+        Some(kv)
+    }
+
+    /// Iterates all nodes in key order, emitting one load per node, and
+    /// returns the keys.
+    pub fn keys_traced(&self, sink: &mut impl AccessSink, sites: ListSites) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while let Some(c) = cur {
+            sink.load(self.nodes[c].addr.offset(KEY_OFF), sites.traverse);
+            out.push(self.nodes[c].key);
+            cur = self.nodes[c].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, NullSink, VecSink};
+
+    fn setup() -> (AddressSpace, SimList, ListSites) {
+        (AddressSpace::new(2), SimList::new(32), ListSites::uniform(SiteId(1)))
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let (mut sp, mut l, st) = setup();
+        let mut sink = NullSink;
+        for k in [5u64, 1, 3, 2, 4] {
+            l.insert(k, k * 10, ThreadId(0), &mut sp, &mut sink, st);
+        }
+        assert_eq!(l.keys_traced(&mut NullSink, st), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn find_hits_and_misses() {
+        let (mut sp, mut l, st) = setup();
+        l.insert(10, 100, ThreadId(0), &mut sp, &mut NullSink, st);
+        l.insert(20, 200, ThreadId(0), &mut sp, &mut NullSink, st);
+        assert_eq!(l.find(10, &mut NullSink, st), Some(100));
+        assert_eq!(l.find(15, &mut NullSink, st), None);
+        assert_eq!(l.find(25, &mut NullSink, st), None);
+    }
+
+    #[test]
+    fn traversal_loads_scale_with_position() {
+        let (mut sp, mut l, st) = setup();
+        for k in 0..10u64 {
+            l.insert(k, k, ThreadId(0), &mut sp, &mut NullSink, st);
+        }
+        let mut s1 = CountingSink::new();
+        l.find(0, &mut s1, st);
+        let mut s9 = CountingSink::new();
+        l.find(9, &mut s9, st);
+        assert!(s9.loads > s1.loads);
+        assert_eq!(s9.loads, 10);
+    }
+
+    #[test]
+    fn remove_unlinks_and_frees() {
+        let (mut sp, mut l, st) = setup();
+        l.insert(1, 10, ThreadId(0), &mut sp, &mut NullSink, st);
+        l.insert(2, 20, ThreadId(0), &mut sp, &mut NullSink, st);
+        let mut sink = VecSink::new();
+        assert_eq!(l.remove(1, ThreadId(0), &mut sp, &mut sink, st), Some(10));
+        assert_eq!(l.len(), 1);
+        assert!(sink.stores() >= 1);
+        assert_eq!(l.find(1, &mut NullSink, st), None);
+        assert_eq!(sp.stats().heap_frees, 1);
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let (mut sp, mut l, st) = setup();
+        l.insert(1, 10, ThreadId(0), &mut sp, &mut NullSink, st);
+        assert_eq!(l.remove(9, ThreadId(0), &mut sp, &mut NullSink, st), None);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn pop_front_in_order() {
+        let (mut sp, mut l, st) = setup();
+        for k in [3u64, 1, 2] {
+            l.insert(k, k, ThreadId(0), &mut sp, &mut NullSink, st);
+        }
+        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), Some((1, 1)));
+        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), Some((2, 2)));
+        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), Some((3, 3)));
+        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), None);
+    }
+
+    #[test]
+    fn insert_emits_initializing_stores() {
+        let (mut sp, mut l, _) = setup();
+        let sites = ListSites {
+            traverse: SiteId(1),
+            node_init: SiteId(2),
+            link: SiteId(3),
+        };
+        let mut sink = VecSink::new();
+        l.insert(1, 1, ThreadId(0), &mut sp, &mut sink, sites);
+        let init_stores =
+            sink.accesses.iter().filter(|a| a.site == SiteId(2) && a.kind.is_store()).count();
+        assert_eq!(init_stores, 3);
+    }
+
+    #[test]
+    fn node_reuse_after_free() {
+        let (mut sp, mut l, st) = setup();
+        l.insert(1, 1, ThreadId(0), &mut sp, &mut NullSink, st);
+        l.remove(1, ThreadId(0), &mut sp, &mut NullSink, st);
+        l.insert(2, 2, ThreadId(0), &mut sp, &mut NullSink, st);
+        assert_eq!(sp.stats().heap_recycled, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! A bounded ring-buffer queue over contiguous simulated memory.
+
+use crate::{AccessSink, AddressSpace};
+use hintm_types::{Addr, SiteId, ThreadId};
+
+/// The static access sites a queue operation reports through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueSites {
+    /// Loads/stores of the head/tail control words.
+    pub control: SiteId,
+    /// Loads/stores of slot payloads.
+    pub slot: SiteId,
+}
+
+impl QueueSites {
+    /// All sites mapped to a single id (tests, simple workloads).
+    pub fn uniform(site: SiteId) -> Self {
+        QueueSites { control: site, slot: site }
+    }
+}
+
+/// A bounded multi-producer work queue, as used by intruder's packet queue
+/// and labyrinth/yada's work lists.
+///
+/// Layout: an 64-byte control block holding `head`/`tail`, followed by
+/// `capacity` 8-byte slots. Push and pop both touch the control block (the
+/// classic shared hot line) plus one slot.
+///
+/// # Examples
+///
+/// ```
+/// use hintm_mem::{AddressSpace, VecSink};
+/// use hintm_mem::ds::{QueueSites, SimQueue};
+/// use hintm_types::{SiteId, ThreadId};
+///
+/// let mut space = AddressSpace::new(1);
+/// let mut q = SimQueue::new(&mut space, ThreadId(0), 8);
+/// let sites = QueueSites::uniform(SiteId(0));
+/// let mut sink = VecSink::new();
+/// assert!(q.push(11, &mut sink, sites));
+/// assert_eq!(q.pop(&mut sink, sites), Some(11));
+/// assert_eq!(q.pop(&mut sink, sites), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimQueue {
+    control: Addr,
+    slots: Addr,
+    items: std::collections::VecDeque<u64>,
+    capacity: usize,
+    head: usize,
+    tail: usize,
+}
+
+impl SimQueue {
+    /// Creates a queue with `capacity` slots in `tid`'s heap arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(space: &mut AddressSpace, tid: ThreadId, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let control = space.halloc(tid, 64);
+        let slots = space.halloc(tid, capacity as u64 * 8);
+        SimQueue {
+            control,
+            slots,
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    fn slot_addr(&self, idx: usize) -> Addr {
+        self.slots.offset((idx % self.capacity) as u64 * 8)
+    }
+
+    /// Pushes `value`; returns `false` (after the control-word load) if full.
+    pub fn push(&mut self, value: u64, sink: &mut impl AccessSink, sites: QueueSites) -> bool {
+        sink.load(self.control, sites.control);
+        if self.is_full() {
+            return false;
+        }
+        sink.store(self.slot_addr(self.tail), sites.slot);
+        sink.store(self.control, sites.control);
+        self.items.push_back(value);
+        self.tail = (self.tail + 1) % self.capacity;
+        true
+    }
+
+    /// Pops the oldest value; returns `None` (after the control-word load)
+    /// if empty.
+    pub fn pop(&mut self, sink: &mut impl AccessSink, sites: QueueSites) -> Option<u64> {
+        sink.load(self.control, sites.control);
+        let v = self.items.pop_front()?;
+        sink.load(self.slot_addr(self.head), sites.slot);
+        sink.store(self.control, sites.control);
+        self.head = (self.head + 1) % self.capacity;
+        Some(v)
+    }
+
+    /// Pushes without tracing (setup code); returns `false` if full.
+    pub fn push_untraced(&mut self, value: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.items.push_back(value);
+        self.tail = (self.tail + 1) % self.capacity;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, NullSink, VecSink};
+
+    fn setup(cap: usize) -> (AddressSpace, SimQueue, QueueSites) {
+        let mut sp = AddressSpace::new(1);
+        let q = SimQueue::new(&mut sp, ThreadId(0), cap);
+        (sp, q, QueueSites::uniform(SiteId(0)))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (_sp, mut q, st) = setup(4);
+        for v in 1..=3u64 {
+            assert!(q.push(v, &mut NullSink, st));
+        }
+        assert_eq!(q.pop(&mut NullSink, st), Some(1));
+        assert_eq!(q.pop(&mut NullSink, st), Some(2));
+        assert_eq!(q.pop(&mut NullSink, st), Some(3));
+        assert_eq!(q.pop(&mut NullSink, st), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let (_sp, mut q, st) = setup(2);
+        assert!(q.push(1, &mut NullSink, st));
+        assert!(q.push(2, &mut NullSink, st));
+        assert!(q.is_full());
+        assert!(!q.push(3, &mut NullSink, st));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let (_sp, mut q, st) = setup(2);
+        let mut sink = VecSink::new();
+        q.push(1, &mut sink, st);
+        q.pop(&mut sink, st);
+        q.push(2, &mut sink, st);
+        q.pop(&mut sink, st);
+        q.push(3, &mut sink, st);
+        // Slot addresses cycle within the two slots.
+        let slot_stores: Vec<_> = sink
+            .accesses
+            .iter()
+            .filter(|a| a.kind.is_store() && a.addr.raw() >= q.slots.raw())
+            .map(|a| a.addr)
+            .collect();
+        assert_eq!(slot_stores[0], slot_stores[2]);
+    }
+
+    #[test]
+    fn push_touches_control_and_slot() {
+        let (_sp, mut q, st) = setup(4);
+        let mut sink = CountingSink::new();
+        q.push(1, &mut sink, st);
+        assert_eq!(sink.loads, 1);
+        assert_eq!(sink.stores, 2);
+    }
+
+    #[test]
+    fn pop_empty_still_loads_control() {
+        let (_sp, mut q, st) = setup(4);
+        let mut sink = CountingSink::new();
+        assert_eq!(q.pop(&mut sink, st), None);
+        assert_eq!(sink.loads, 1);
+        assert_eq!(sink.stores, 0);
+    }
+
+    #[test]
+    fn untraced_push_counts() {
+        let (_sp, mut q, st) = setup(2);
+        assert!(q.push_untraced(9));
+        assert!(q.push_untraced(8));
+        assert!(!q.push_untraced(7));
+        assert_eq!(q.pop(&mut NullSink, st), Some(9));
+    }
+}

@@ -1,0 +1,662 @@
+//! The simulation engine: clock-ordered interleaving of hardware threads,
+//! transaction lifecycle, eager conflict detection, fallback locking, and
+//! page-mode abort orchestration.
+
+use crate::config::SimConfig;
+use crate::section::{Section, TxBody, TxOp, Workload};
+use crate::stats::RunStats;
+use crate::trace::{Event, Trace};
+use hintm_cache::Hierarchy;
+use hintm_htm::HtmThread;
+use hintm_types::{
+    AbortKind, AccessKind, BlockAddr, ConflictPolicy, CoreId, Cycles, MemAccess, PageId, SiteId,
+    ThreadId,
+};
+use hintm_vm::{SharingProfiler, VmSystem};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// What a hardware thread is doing.
+#[derive(Clone, Debug)]
+enum RunState {
+    /// Needs a new section from the workload.
+    Idle,
+    /// Executing a hardware transaction.
+    InTx { body: Rc<TxBody>, pos: usize },
+    /// Backing off before retrying an aborted transaction.
+    WaitRetry { body: Rc<TxBody>, resume_at: Cycles },
+    /// Waiting for the fallback lock; `fallback` says whether the thread
+    /// will run the body under the lock or just retry in HTM mode once the
+    /// lock is free.
+    WaitLock { body: Rc<TxBody>, fallback: bool },
+    /// Executing a body under the global fallback lock.
+    InFallback { body: Rc<TxBody>, pos: usize },
+    /// Executing non-transactional operations.
+    NonTx { ops: Rc<Vec<TxOp>>, pos: usize },
+    /// Parked at a barrier.
+    AtBarrier,
+    /// Finished.
+    Done,
+}
+
+struct ThreadCtx {
+    clock: Cycles,
+    htm: HtmThread,
+    state: RunState,
+    core: CoreId,
+    /// Inside a Suspend..Resume escape window of the current TX.
+    suspended: bool,
+    /// Pages this TX attempt accessed under a *dynamic* safe verdict.
+    touched_safe_pages: HashSet<PageId>,
+    /// Per-attempt access classification counts `[static, dynamic, unsafe]`.
+    attempt_breakdown: [u64; 3],
+    /// Per-attempt footprints for the Fig. 6 views.
+    fp_all: HashSet<BlockAddr>,
+    fp_nonstatic: HashSet<BlockAddr>,
+    fp_unsafe: HashSet<BlockAddr>,
+}
+
+/// The outcome of executing one operation.
+enum StepOutcome {
+    Continue,
+    SelfAborted,
+}
+
+/// The simulator. Construct with a [`SimConfig`], then [`Simulator::run`]
+/// a [`Workload`]; see the crate docs for an example.
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `workload` to completion with `seed` and returns the measured
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine exceeds `max_steps` (runaway workload) or the
+    /// thread states deadlock (malformed workload).
+    pub fn run(&self, workload: &mut dyn Workload, seed: u64) -> RunStats {
+        let (stats, _) = self.run_inner(workload, seed, None);
+        stats
+    }
+
+    /// Like [`Simulator::run`], additionally recording up to `trace_cap`
+    /// lifecycle events (begins, commits, aborts, fallback acquisitions,
+    /// shootdowns, barrier releases) for debugging.
+    pub fn run_traced(
+        &self,
+        workload: &mut dyn Workload,
+        seed: u64,
+        trace_cap: usize,
+    ) -> (RunStats, Trace) {
+        let (stats, trace) = self.run_inner(workload, seed, Some(Trace::new(trace_cap)));
+        (stats, trace.expect("trace requested"))
+    }
+
+    fn run_inner(
+        &self,
+        workload: &mut dyn Workload,
+        seed: u64,
+        mut trace: Option<Trace>,
+    ) -> (RunStats, Option<Trace>) {
+        workload.reset(seed);
+        let safe_sites: HashSet<SiteId> = if self.cfg.hint_mode.uses_static() {
+            workload.static_safe_sites()
+        } else {
+            HashSet::new()
+        };
+        // Raw static sites (for the hint-independent Fig. 6 views).
+        let raw_static_sites = workload.static_safe_sites();
+        // Notary-style manual privatization ranges, expanded to pages.
+        let mut notary_pages: HashSet<hintm_types::PageId> = HashSet::new();
+        for (base, len) in workload.notary_safe_ranges() {
+            let mut page = base.page().index();
+            let last = base.offset(len.saturating_sub(1).max(0)).page().index();
+            while page <= last {
+                notary_pages.insert(hintm_types::PageId::from_index(page));
+                page += 1;
+            }
+        }
+
+        let n = workload.num_threads();
+        let smt = self.cfg.machine.smt.ways();
+        assert!(
+            n <= self.cfg.machine.num_cores * smt,
+            "workload wants {n} threads but the machine has {} hardware threads",
+            self.cfg.machine.num_cores * smt
+        );
+
+        let mut mem = Hierarchy::new(&self.cfg.machine);
+        let mut vm = VmSystem::new(&self.cfg.machine, self.cfg.preserve);
+        let mut profiler = self.cfg.profile_sharing.then(SharingProfiler::new);
+        let mut stats = RunStats::default();
+
+        let mut threads: Vec<ThreadCtx> = (0..n)
+            .map(|i| ThreadCtx {
+                clock: Cycles::ZERO,
+                htm: HtmThread::new(&self.cfg.htm),
+                state: RunState::Idle,
+                core: CoreId((i / smt) as u32),
+                suspended: false,
+                touched_safe_pages: HashSet::new(),
+                attempt_breakdown: [0; 3],
+                fp_all: HashSet::new(),
+                fp_nonstatic: HashSet::new(),
+                fp_unsafe: HashSet::new(),
+            })
+            .collect();
+
+        let mut lock_holder: Option<usize> = None;
+        let mut lock_free_at = Cycles::ZERO;
+        let mut steps = 0u64;
+
+        loop {
+            steps += 1;
+            assert!(steps <= self.cfg.max_steps, "engine exceeded max_steps");
+
+            // Pick the runnable thread with the smallest ready time.
+            let mut pick: Option<(usize, Cycles)> = None;
+            let mut all_done = true;
+            let mut all_parked = true;
+            for (i, t) in threads.iter().enumerate() {
+                let ready = match &t.state {
+                    RunState::Done => continue,
+                    RunState::AtBarrier => {
+                        all_done = false;
+                        continue;
+                    }
+                    RunState::WaitLock { .. } => {
+                        all_done = false;
+                        if lock_holder.is_some() {
+                            continue;
+                        }
+                        t.clock.max(lock_free_at)
+                    }
+                    RunState::WaitRetry { resume_at, .. } => {
+                        all_done = false;
+                        t.clock.max(*resume_at)
+                    }
+                    _ => {
+                        all_done = false;
+                        t.clock
+                    }
+                };
+                all_parked = false;
+                if pick.is_none_or(|(_, best)| ready < best) {
+                    pick = Some((i, ready));
+                }
+            }
+
+            let Some((i, ready)) = pick else {
+                if all_done {
+                    break;
+                }
+                if all_parked {
+                    // Either everyone is at the barrier (release it) or we
+                    // are deadlocked.
+                    let any_barrier =
+                        threads.iter().any(|t| matches!(t.state, RunState::AtBarrier));
+                    assert!(any_barrier, "engine deadlock: no runnable threads");
+                    let release = threads
+                        .iter()
+                        .filter(|t| matches!(t.state, RunState::AtBarrier))
+                        .map(|t| t.clock)
+                        .fold(Cycles::ZERO, Cycles::max);
+                    for t in &mut threads {
+                        if matches!(t.state, RunState::AtBarrier) {
+                            t.clock = release;
+                            t.state = RunState::Idle;
+                        }
+                    }
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(Event::BarrierRelease { at: release });
+                    }
+                    continue;
+                }
+                unreachable!("pick is None only when all threads are parked or done");
+            };
+            threads[i].clock = ready;
+
+            self.step(
+                i,
+                workload,
+                &mut threads,
+                &mut mem,
+                &mut vm,
+                &mut profiler,
+                &mut stats,
+                &mut lock_holder,
+                &mut lock_free_at,
+                &safe_sites,
+                &raw_static_sites,
+                &notary_pages,
+                &mut trace,
+            );
+        }
+
+        // Fold per-thread HTM stats.
+        for t in &threads {
+            let s = t.htm.stats();
+            stats.commits += s.commits;
+            stats.fallback_commits += s.fallback_commits;
+            for (k, v) in s.aborts.iter().enumerate() {
+                stats.aborts[k] += v;
+            }
+            stats.total_cycles = stats.total_cycles.max(t.clock);
+            stats.sum_cycles += t.clock;
+        }
+        stats.vm = vm.stats();
+        stats.cache = mem.stats();
+        stats.safe_pages = vm.safe_page_census();
+        stats.steps = steps;
+        if let Some(mut p) = profiler {
+            stats.sharing = Some((
+                p.safe_block_fraction(),
+                p.safe_page_fraction(),
+                p.safe_tx_read_fraction_page(),
+                p.safe_tx_read_fraction_block(),
+            ));
+        }
+        (stats, trace)
+    }
+
+    /// Executes one scheduling step for thread `i`.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        i: usize,
+        workload: &mut dyn Workload,
+        threads: &mut [ThreadCtx],
+        mem: &mut Hierarchy,
+        vm: &mut VmSystem,
+        profiler: &mut Option<SharingProfiler>,
+        stats: &mut RunStats,
+        lock_holder: &mut Option<usize>,
+        lock_free_at: &mut Cycles,
+        safe_sites: &HashSet<SiteId>,
+        raw_static_sites: &HashSet<SiteId>,
+        notary_pages: &HashSet<PageId>,
+        trace: &mut Option<Trace>,
+    ) {
+        match threads[i].state.clone() {
+            RunState::Done | RunState::AtBarrier => unreachable!("parked threads never step"),
+            RunState::Idle => match workload.next_section(ThreadId(i as u32)) {
+                None => threads[i].state = RunState::Done,
+                Some(Section::Barrier) => threads[i].state = RunState::AtBarrier,
+                Some(Section::NonTx(ops)) => {
+                    threads[i].state = RunState::NonTx { ops: Rc::new(ops), pos: 0 };
+                }
+                Some(Section::Tx(body)) => {
+                    self.try_begin_tx(i, Rc::new(body), threads, lock_holder, *lock_free_at, trace);
+                }
+            },
+            RunState::WaitRetry { body, .. } => {
+                self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, trace);
+            }
+            RunState::WaitLock { body, fallback } => {
+                debug_assert!(lock_holder.is_none());
+                threads[i].clock = threads[i].clock.max(*lock_free_at);
+                if fallback {
+                    // Acquire the lock and kill every running transaction
+                    // (lock subscription).
+                    *lock_holder = Some(i);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(Event::FallbackAcquire { thread: i, at: threads[i].clock });
+                    }
+                    for j in 0..threads.len() {
+                        if j != i && threads[j].htm.is_active() {
+                            self.abort_thread(j, AbortKind::FallbackLock, threads, mem, stats, trace);
+                        }
+                    }
+                    threads[i].htm.enter_fallback();
+                    threads[i].state = RunState::InFallback { body, pos: 0 };
+                } else {
+                    self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, trace);
+                }
+            }
+            RunState::NonTx { ops, pos } => {
+                if pos >= ops.len() {
+                    threads[i].state = RunState::Idle;
+                    return;
+                }
+                let op = ops[pos].clone();
+                threads[i].state = RunState::NonTx { ops, pos: pos + 1 };
+                let _ = self.exec_op(
+                    i, &op, false, threads, mem, vm, profiler, stats, safe_sites,
+                    raw_static_sites, notary_pages, trace,
+                );
+            }
+            RunState::InFallback { body, pos } => {
+                if pos >= body.ops.len() {
+                    threads[i].htm.commit_fallback();
+                    *lock_holder = None;
+                    *lock_free_at = threads[i].clock;
+                    threads[i].state = RunState::Idle;
+                    return;
+                }
+                let op = body.ops[pos].clone();
+                threads[i].state = RunState::InFallback { body, pos: pos + 1 };
+                let _ = self.exec_op(
+                    i, &op, false, threads, mem, vm, profiler, stats, safe_sites,
+                    raw_static_sites, notary_pages, trace,
+                );
+            }
+            RunState::InTx { body, pos } => {
+                if pos >= body.ops.len() {
+                    // Commit.
+                    threads[i].clock += self.cfg.tx_commit_cost;
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(Event::TxCommit {
+                            thread: i,
+                            at: threads[i].clock,
+                            footprint: threads[i].htm.footprint(),
+                        });
+                    }
+                    threads[i].htm.commit();
+                    let bd = threads[i].attempt_breakdown;
+                    for (k, v) in bd.iter().enumerate() {
+                        stats.access_breakdown[k] += v;
+                    }
+                    if self.cfg.record_tx_sizes {
+                        stats.tx_sizes_all.push(threads[i].fp_all.len() as u32);
+                        stats.tx_sizes_nonstatic.push(threads[i].fp_nonstatic.len() as u32);
+                        stats.tx_sizes_unsafe.push(threads[i].fp_unsafe.len() as u32);
+                    }
+                    threads[i].touched_safe_pages.clear();
+                    threads[i].state = RunState::Idle;
+                    return;
+                }
+                let op = body.ops[pos].clone();
+                threads[i].state = RunState::InTx { body, pos: pos + 1 };
+                let _ = self.exec_op(
+                    i, &op, true, threads, mem, vm, profiler, stats, safe_sites,
+                    raw_static_sites, notary_pages, trace,
+                );
+            }
+        }
+    }
+
+    /// Starts (or queues) a transaction attempt for thread `i`.
+    fn try_begin_tx(
+        &self,
+        i: usize,
+        body: Rc<TxBody>,
+        threads: &mut [ThreadCtx],
+        lock_holder: &Option<usize>,
+        lock_free_at: Cycles,
+        trace: &mut Option<Trace>,
+    ) {
+        if lock_holder.is_some() {
+            threads[i].state = RunState::WaitLock { body, fallback: false };
+            return;
+        }
+        threads[i].clock = threads[i].clock.max(lock_free_at) + self.cfg.tx_begin_cost;
+        let now = threads[i].clock;
+        if let Some(tr) = trace.as_mut() {
+            tr.record(Event::TxBegin { thread: i, at: now });
+        }
+        threads[i].htm.begin_at(now);
+        threads[i].suspended = false;
+        threads[i].touched_safe_pages.clear();
+        threads[i].attempt_breakdown = [0; 3];
+        threads[i].fp_all.clear();
+        threads[i].fp_nonstatic.clear();
+        threads[i].fp_unsafe.clear();
+        threads[i].state = RunState::InTx { body, pos: 0 };
+    }
+
+    /// Aborts thread `j`'s active transaction and schedules its next move.
+    #[allow(clippy::too_many_arguments)]
+    fn abort_thread(
+        &self,
+        j: usize,
+        kind: AbortKind,
+        threads: &mut [ThreadCtx],
+        mem: &mut Hierarchy,
+        stats: &mut RunStats,
+        trace: &mut Option<Trace>,
+    ) {
+        debug_assert!(threads[j].htm.is_active());
+        let lost = threads[j].clock.saturating_sub(threads[j].htm.tx_start()).raw();
+        if let Some(tr) = trace.as_mut() {
+            tr.record(Event::TxAbort { thread: j, at: threads[j].clock, kind, lost });
+        }
+        let ki = AbortKind::ALL.iter().position(|k| *k == kind).expect("kind");
+        stats.wasted_cycles[ki] += lost;
+        if kind == AbortKind::PageMode {
+            stats.page_mode_cycles += lost;
+        }
+        // Roll back speculatively written lines.
+        let core = threads[j].core;
+        for b in threads[j].htm.write_blocks() {
+            mem.discard_local(core, b);
+        }
+        // LogTM-style eager versioning pays a log unroll per spilled block.
+        let unroll = threads[j].htm.overflowed_blocks() * self.cfg.log_unroll_cost.raw();
+        threads[j].htm.abort(kind);
+        threads[j].clock += self.cfg.abort_penalty + unroll;
+        threads[j].suspended = false;
+        threads[j].touched_safe_pages.clear();
+
+        let body = match &threads[j].state {
+            RunState::InTx { body, .. } => Rc::clone(body),
+            other => unreachable!("active TX with state {other:?}"),
+        };
+        let retries = threads[j].htm.retries();
+        threads[j].state = if kind == AbortKind::FallbackLock {
+            // Killed by a lock acquisition: just wait for the lock and
+            // retry in HTM mode.
+            RunState::WaitLock { body, fallback: false }
+        } else if kind == AbortKind::Capacity || retries > self.cfg.machine.max_retries {
+            // Capacity aborts never succeed on retry (§I): fall back.
+            RunState::WaitLock { body, fallback: true }
+        } else {
+            let backoff = (self.cfg.backoff_base.raw() << (retries.min(6).saturating_sub(1)))
+                + 37 * j as u64; // deterministic per-thread jitter
+            RunState::WaitRetry { body, resume_at: threads[j].clock + backoff }
+        };
+    }
+
+    /// Executes one operation for thread `i`. `in_tx` marks speculative
+    /// execution (fallback and non-TX sections pass `false`).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_op(
+        &self,
+        i: usize,
+        op: &TxOp,
+        in_tx: bool,
+        threads: &mut [ThreadCtx],
+        mem: &mut Hierarchy,
+        vm: &mut VmSystem,
+        profiler: &mut Option<SharingProfiler>,
+        stats: &mut RunStats,
+        safe_sites: &HashSet<SiteId>,
+        raw_static_sites: &HashSet<SiteId>,
+        notary_pages: &HashSet<PageId>,
+        trace: &mut Option<Trace>,
+    ) -> StepOutcome {
+        let a: MemAccess = match op {
+            TxOp::Compute(c) => {
+                threads[i].clock += Cycles(*c);
+                return StepOutcome::Continue;
+            }
+            TxOp::Suspend => {
+                debug_assert!(!threads[i].suspended, "nested suspend");
+                threads[i].suspended = true;
+                return StepOutcome::Continue;
+            }
+            TxOp::Resume => {
+                debug_assert!(threads[i].suspended, "resume without suspend");
+                threads[i].suspended = false;
+                return StepOutcome::Continue;
+            }
+            TxOp::Access(a) => *a,
+        };
+        // Escape-action window: the access executes non-transactionally.
+        let in_tx = in_tx && !threads[i].suspended;
+        let tid = ThreadId(i as u32);
+        let core = threads[i].core;
+        let page = a.addr.page();
+        let block = a.addr.block();
+
+        // 1. Translation + dynamic page classification.
+        let vm_res = vm.access(core, tid, page, a.kind);
+        threads[i].clock += vm_res.cost;
+        let mut self_aborted = false;
+        if let Some(sd) = vm_res.shootdown {
+            if let Some(tr) = trace.as_mut() {
+                tr.record(Event::Shootdown {
+                    thread: i,
+                    at: threads[i].clock,
+                    page: sd.page,
+                    slaves: sd.slave_cores.len(),
+                });
+            }
+            stats.page_mode_cycles += self.cfg.machine.shootdown_initiator_cost.raw();
+            for slave in &sd.slave_cores {
+                stats.page_mode_cycles += self.cfg.machine.shootdown_slave_cost.raw();
+                for (j, t) in threads.iter_mut().enumerate() {
+                    if t.core == *slave && j != i {
+                        t.clock += self.cfg.machine.shootdown_slave_cost;
+                    }
+                }
+            }
+            // Page-mode abort every TX that safely touched the page.
+            for j in 0..threads.len() {
+                if threads[j].htm.is_active() && threads[j].touched_safe_pages.contains(&sd.page)
+                {
+                    if j == i {
+                        self_aborted = true;
+                    }
+                    self.abort_thread(j, AbortKind::PageMode, threads, mem, stats, trace);
+                }
+            }
+        }
+        if self_aborted {
+            return StepOutcome::SelfAborted;
+        }
+
+        // 2. Safety verdicts.
+        let hint_safe = a.hint.is_safe()
+            || safe_sites.contains(&a.site)
+            || (self.cfg.hint_mode.uses_static() && notary_pages.contains(&page));
+        let static_safe = self.cfg.hint_mode.uses_static() && hint_safe;
+        let dyn_safe = self.cfg.hint_mode.uses_dynamic()
+            && !static_safe
+            && a.kind == AccessKind::Load
+            && vm_res.safe_load;
+        let safe = in_tx && (static_safe || dyn_safe);
+
+        // 3. Cache access.
+        let out = mem.access(core, block, a.kind);
+        threads[i].clock += out.latency;
+
+        // 4. Eager conflict detection against all other active TXs.
+        let mut victims: Vec<(usize, AbortKind)> = Vec::new();
+        for (j, t) in threads.iter().enumerate() {
+            if j == i || !t.htm.is_active() {
+                continue;
+            }
+            let (hits, writes) = match a.kind {
+                AccessKind::Store => {
+                    (t.htm.writes_block(block) || t.htm.reads_block(block),
+                     t.htm.writes_block(block))
+                }
+                AccessKind::Load => {
+                    let w = t.htm.writes_block(block);
+                    (w, w)
+                }
+            };
+            if hits {
+                let kind = if !writes
+                    && t.htm.reads_block(block)
+                    && !t.htm.precise_reads_block(block)
+                {
+                    AbortKind::FalseConflict
+                } else {
+                    AbortKind::Conflict
+                };
+                victims.push((j, kind));
+            }
+        }
+        for (j, kind) in victims {
+            match self.cfg.machine.conflict_policy {
+                ConflictPolicy::RequesterWins => {
+                    self.abort_thread(j, kind, threads, mem, stats, trace);
+                }
+                ConflictPolicy::ResponderWins => {
+                    if in_tx && threads[i].htm.is_active() {
+                        self.abort_thread(i, kind, threads, mem, stats, trace);
+                        return StepOutcome::SelfAborted;
+                    }
+                    self.abort_thread(j, kind, threads, mem, stats, trace);
+                }
+            }
+        }
+
+        // 5. L1 eviction → in-L1 tracking capacity aborts (self or SMT
+        // sibling sharing the L1).
+        if let Some(victim) = out.l1_victim {
+            let mut evicted: Vec<usize> = Vec::new();
+            for (j, t) in threads.iter().enumerate() {
+                if t.core == core && t.htm.on_l1_eviction(victim) {
+                    evicted.push(j);
+                }
+            }
+            for j in evicted {
+                if j == i {
+                    self_aborted = true;
+                }
+                self.abort_thread(j, AbortKind::Capacity, threads, mem, stats, trace);
+            }
+            if self_aborted {
+                return StepOutcome::SelfAborted;
+            }
+        }
+
+        // 6. Profiling + transactional tracking.
+        if let Some(p) = profiler.as_mut() {
+            p.record(tid, a.addr, a.kind, in_tx);
+        }
+        if in_tx {
+            if dyn_safe {
+                threads[i].touched_safe_pages.insert(page);
+            }
+            let slot = if static_safe {
+                0
+            } else if dyn_safe {
+                1
+            } else {
+                2
+            };
+            threads[i].attempt_breakdown[slot] += 1;
+            if self.cfg.record_tx_sizes {
+                let raw_static = a.hint.is_safe() || raw_static_sites.contains(&a.site);
+                let raw_dyn = a.kind == AccessKind::Load && vm_res.safe_load;
+                threads[i].fp_all.insert(block);
+                if !raw_static {
+                    threads[i].fp_nonstatic.insert(block);
+                }
+                if !raw_static && !raw_dyn {
+                    threads[i].fp_unsafe.insert(block);
+                }
+            }
+            if threads[i].htm.on_access(block, a.kind, safe).is_err() {
+                self.abort_thread(i, AbortKind::Capacity, threads, mem, stats, trace);
+                return StepOutcome::SelfAborted;
+            }
+        }
+        StepOutcome::Continue
+    }
+}

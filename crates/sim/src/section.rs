@@ -1,0 +1,258 @@
+//! Workload sections: the interface between workloads and the engine.
+
+use hintm_types::{Addr, Cycles, MemAccess, SiteId, ThreadId};
+use std::collections::HashSet;
+
+/// One operation inside a section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxOp {
+    /// A memory access (with its static site and compiler hint).
+    Access(MemAccess),
+    /// Pure computation of the given number of cycles.
+    Compute(u64),
+    /// Begin an escape-action window (§VII: Intel/IBM suspend, LogTM escape
+    /// actions): accesses until [`TxOp::Resume`] execute non-transactionally
+    /// — untracked and invisible to conflict detection against this thread.
+    Suspend,
+    /// End the escape-action window opened by [`TxOp::Suspend`].
+    Resume,
+}
+
+/// A replayable transaction body.
+///
+/// The engine may execute a body several times (aborts/retries) before
+/// moving on; the op list is replayed verbatim, which is the standard
+/// execution-driven-with-replay compromise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxBody {
+    /// The operations, in program order.
+    pub ops: Vec<TxOp>,
+}
+
+impl TxBody {
+    /// Creates a body from ops.
+    pub fn new(ops: Vec<TxOp>) -> Self {
+        TxBody { ops }
+    }
+
+    /// Number of memory accesses in the body.
+    pub fn num_accesses(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, TxOp::Access(_))).count()
+    }
+
+    /// `true` if every [`TxOp::Suspend`] is closed by a matching
+    /// [`TxOp::Resume`] (workload sanity checks).
+    pub fn suspends_balanced(&self) -> bool {
+        let mut depth = 0i64;
+        for op in &self.ops {
+            match op {
+                TxOp::Suspend => depth += 1,
+                TxOp::Resume => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        depth == 0
+    }
+
+    /// Distinct cache blocks touched by the body.
+    pub fn footprint_blocks(&self) -> usize {
+        let mut blocks = HashSet::new();
+        for op in &self.ops {
+            if let TxOp::Access(a) = op {
+                blocks.insert(a.addr.block());
+            }
+        }
+        blocks.len()
+    }
+}
+
+/// One schedulable unit of a thread's execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Section {
+    /// A transaction (atomic, may abort and replay).
+    Tx(TxBody),
+    /// Non-transactional operations.
+    NonTx(Vec<TxOp>),
+    /// Wait until every live thread reaches its barrier.
+    Barrier,
+}
+
+/// A workload drives one section stream per thread.
+///
+/// Contract: `next_section(tid)` is called once per section, in the order
+/// the thread executes them; internal state may advance at generation time
+/// because a returned `Tx` body is replayed verbatim on aborts. Workloads
+/// must be deterministic given the `reset` seed.
+pub trait Workload {
+    /// Short stable name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Number of software threads the workload wants.
+    fn num_threads(&self) -> usize;
+
+    /// Re-initializes all state for a fresh run with `seed`.
+    fn reset(&mut self, seed: u64);
+
+    /// Produces `tid`'s next section, or `None` when the thread is done.
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section>;
+
+    /// Access sites statically classified safe by the compiler pass
+    /// (empty when the workload has no static model).
+    fn static_safe_sites(&self) -> HashSet<SiteId> {
+        HashSet::new()
+    }
+
+    /// Notary-style manual privatization (§VII): byte ranges the programmer
+    /// declares thread-private or read-only. Accesses inside them are
+    /// treated like statically-hinted safe accesses whenever static hints
+    /// are enabled. Default: none.
+    fn notary_safe_ranges(&self) -> Vec<(Addr, u64)> {
+        Vec::new()
+    }
+}
+
+/// Rewrites a transaction body so every access whose site is statically
+/// safe executes inside a [`TxOp::Suspend`]/[`TxOp::Resume`] escape window
+/// instead of carrying a hint — the §VII alternative of wrapping each
+/// compiler-identified safe load/store in suspend/resume on ISAs that lack
+/// safe-access opcodes. Runs of consecutive safe accesses share one window.
+pub fn wrap_safe_in_escapes(body: &TxBody, safe_sites: &HashSet<SiteId>) -> TxBody {
+    let mut ops = Vec::with_capacity(body.ops.len() + 8);
+    let mut open = false;
+    for op in &body.ops {
+        let is_safe_access = matches!(
+            op,
+            TxOp::Access(a) if a.hint.is_safe() || safe_sites.contains(&a.site)
+        );
+        match (open, is_safe_access) {
+            (false, true) => {
+                ops.push(TxOp::Suspend);
+                open = true;
+            }
+            (true, false) => {
+                ops.push(TxOp::Resume);
+                open = false;
+            }
+            _ => {}
+        }
+        ops.push(op.clone());
+    }
+    if open {
+        ops.push(TxOp::Resume);
+    }
+    TxBody::new(ops)
+}
+
+/// Wraps a workload so its statically-safe accesses are expressed as
+/// suspend/resume escape windows instead of per-instruction hints (§VII's
+/// alternative encoding). The wrapped workload reports *no* static safe
+/// sites — the information now lives in the op stream itself.
+pub struct EscapeEncoded {
+    inner: Box<dyn Workload>,
+    sites: HashSet<SiteId>,
+}
+
+impl EscapeEncoded {
+    /// Wraps `inner`, capturing its static classification.
+    pub fn new(inner: Box<dyn Workload>) -> Self {
+        let sites = inner.static_safe_sites();
+        EscapeEncoded { inner, sites }
+    }
+}
+
+impl Workload for EscapeEncoded {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(seed);
+    }
+
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+        Some(match self.inner.next_section(tid)? {
+            Section::Tx(body) => Section::Tx(wrap_safe_in_escapes(&body, &self.sites)),
+            other => other,
+        })
+    }
+
+    fn notary_safe_ranges(&self) -> Vec<(Addr, u64)> {
+        self.inner.notary_safe_ranges()
+    }
+}
+
+/// Convenience: total cycles of compute in a body (tests/diagnostics).
+pub fn compute_cycles(body: &TxBody) -> Cycles {
+    Cycles(body.ops.iter().map(|o| if let TxOp::Compute(c) = o { *c } else { 0 }).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hintm_types::Addr;
+
+    #[test]
+    fn body_footprint_counts_blocks() {
+        let body = TxBody::new(vec![
+            TxOp::Access(MemAccess::load(Addr::new(0), SiteId(0))),
+            TxOp::Access(MemAccess::load(Addr::new(8), SiteId(0))),
+            TxOp::Access(MemAccess::store(Addr::new(64), SiteId(0))),
+            TxOp::Compute(100),
+        ]);
+        assert_eq!(body.num_accesses(), 3);
+        assert_eq!(body.footprint_blocks(), 2);
+        assert_eq!(compute_cycles(&body), Cycles(100));
+    }
+
+    #[test]
+    fn escape_wrapping_groups_safe_runs() {
+        use hintm_types::SafetyHint;
+        let safe = |a: u64| {
+            TxOp::Access(MemAccess::load(Addr::new(a), SiteId(7)).with_hint(SafetyHint::Safe))
+        };
+        let unsafe_ = |a: u64| TxOp::Access(MemAccess::store(Addr::new(a), SiteId(1)));
+        let body = TxBody::new(vec![safe(0), safe(64), unsafe_(128), safe(192)]);
+        let wrapped = wrap_safe_in_escapes(&body, &HashSet::new());
+        assert!(wrapped.suspends_balanced());
+        let kinds: Vec<&str> = wrapped
+            .ops
+            .iter()
+            .map(|o| match o {
+                TxOp::Suspend => "S",
+                TxOp::Resume => "R",
+                TxOp::Access(_) => "A",
+                TxOp::Compute(_) => "c",
+            })
+            .collect();
+        assert_eq!(kinds, ["S", "A", "A", "R", "A", "S", "A", "R"]);
+    }
+
+    #[test]
+    fn escape_wrapping_honors_site_sets() {
+        let body = TxBody::new(vec![
+            TxOp::Access(MemAccess::load(Addr::new(0), SiteId(3))),
+            TxOp::Access(MemAccess::load(Addr::new(64), SiteId(4))),
+        ]);
+        let mut sites = HashSet::new();
+        sites.insert(SiteId(3));
+        let wrapped = wrap_safe_in_escapes(&body, &sites);
+        assert_eq!(wrapped.ops.len(), 4); // S A R A
+        assert!(wrapped.suspends_balanced());
+    }
+
+    #[test]
+    fn empty_body() {
+        let body = TxBody::default();
+        assert_eq!(body.num_accesses(), 0);
+        assert_eq!(body.footprint_blocks(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Execution tracing: an optional event log of the transactional lifecycle,
+//! with a text timeline renderer for simulator debugging.
+
+use hintm_types::{AbortKind, Cycles, PageId};
+use std::fmt;
+
+/// One traced engine event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A hardware transaction attempt began.
+    TxBegin {
+        /// Hardware thread index.
+        thread: usize,
+        /// Engine time.
+        at: Cycles,
+    },
+    /// A transaction committed.
+    TxCommit {
+        /// Hardware thread index.
+        thread: usize,
+        /// Engine time.
+        at: Cycles,
+        /// Tracked footprint at commit, in blocks.
+        footprint: usize,
+    },
+    /// A transaction aborted.
+    TxAbort {
+        /// Hardware thread index.
+        thread: usize,
+        /// Engine time.
+        at: Cycles,
+        /// Why.
+        kind: AbortKind,
+        /// Speculative cycles discarded.
+        lost: u64,
+    },
+    /// A thread acquired the fallback lock.
+    FallbackAcquire {
+        /// Hardware thread index.
+        thread: usize,
+        /// Engine time.
+        at: Cycles,
+    },
+    /// A safe→unsafe page transition (TLB shootdown).
+    Shootdown {
+        /// Initiating hardware thread.
+        thread: usize,
+        /// Engine time.
+        at: Cycles,
+        /// The page that turned unsafe.
+        page: PageId,
+        /// Cores whose TLB entry died.
+        slaves: usize,
+    },
+    /// All threads passed a barrier.
+    BarrierRelease {
+        /// Engine time (the latest arrival).
+        at: Cycles,
+    },
+}
+
+impl Event {
+    /// The engine time of the event.
+    pub fn at(&self) -> Cycles {
+        match self {
+            Event::TxBegin { at, .. }
+            | Event::TxCommit { at, .. }
+            | Event::TxAbort { at, .. }
+            | Event::FallbackAcquire { at, .. }
+            | Event::Shootdown { at, .. }
+            | Event::BarrierRelease { at } => *at,
+        }
+    }
+
+    /// The hardware thread the event belongs to (`None` for barriers).
+    pub fn thread(&self) -> Option<usize> {
+        match self {
+            Event::TxBegin { thread, .. }
+            | Event::TxCommit { thread, .. }
+            | Event::TxAbort { thread, .. }
+            | Event::FallbackAcquire { thread, .. }
+            | Event::Shootdown { thread, .. } => Some(*thread),
+            Event::BarrierRelease { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::TxBegin { thread, at } => write!(f, "[{at}] H{thread} txbegin"),
+            Event::TxCommit { thread, at, footprint } => {
+                write!(f, "[{at}] H{thread} commit ({footprint} blocks)")
+            }
+            Event::TxAbort { thread, at, kind, lost } => {
+                write!(f, "[{at}] H{thread} abort:{kind} (-{lost} cyc)")
+            }
+            Event::FallbackAcquire { thread, at } => {
+                write!(f, "[{at}] H{thread} fallback-lock")
+            }
+            Event::Shootdown { thread, at, page, slaves } => {
+                write!(f, "[{at}] H{thread} shootdown {page} ({slaves} slaves)")
+            }
+            Event::BarrierRelease { at } => write!(f, "[{at}] barrier release"),
+        }
+    }
+}
+
+/// A bounded event log (oldest events win; the tail is dropped when the
+/// capacity is reached, with a counter of everything missed).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace buffer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Appends an event (drops it if the buffer is full).
+    pub fn record(&mut self, ev: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in engine order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events that did not fit in the buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events belonging to one hardware thread.
+    pub fn for_thread(&self, thread: usize) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.thread() == Some(thread))
+    }
+
+    /// Renders a compact per-thread timeline: time flows left to right in
+    /// `buckets` columns; each cell shows the most severe event in the
+    /// bucket (`C` commit, `a` conflict abort, `A` capacity abort, `P`
+    /// page-mode abort, `F` fallback, `s` shootdown, `.` begin only).
+    pub fn render_timeline(&self, threads: usize, buckets: usize) -> String {
+        let end = self.events.iter().map(|e| e.at().raw()).max().unwrap_or(0).max(1);
+        let mut grid = vec![vec![' '; buckets]; threads];
+        let sev = |c: char| match c {
+            'F' => 6,
+            'A' => 5,
+            'P' => 4,
+            'a' => 3,
+            'C' => 2,
+            's' => 1,
+            '.' => 0,
+            _ => -1,
+        };
+        for ev in &self.events {
+            let Some(t) = ev.thread() else { continue };
+            if t >= threads {
+                continue;
+            }
+            let b = ((ev.at().raw() * buckets as u64) / (end + 1)) as usize;
+            let c = match ev {
+                Event::BarrierRelease { .. } => continue,
+                Event::TxBegin { .. } => '.',
+                Event::TxCommit { .. } => 'C',
+                Event::TxAbort { kind: AbortKind::Capacity, .. } => 'A',
+                Event::TxAbort { kind: AbortKind::PageMode, .. } => 'P',
+                Event::TxAbort { .. } => 'a',
+                Event::FallbackAcquire { .. } => 'F',
+                Event::Shootdown { .. } => 's',
+            };
+            if sev(c) > sev(grid[t][b]) {
+                grid[t][b] = c;
+            }
+        }
+        let mut out = String::new();
+        for (t, row) in grid.iter().enumerate() {
+            out.push_str(&format!("H{t:<2} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_caps() {
+        let mut t = Trace::new(2);
+        t.record(Event::TxBegin { thread: 0, at: Cycles(1) });
+        t.record(Event::TxCommit { thread: 0, at: Cycles(5), footprint: 3 });
+        t.record(Event::BarrierRelease { at: Cycles(9) });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::TxAbort { thread: 3, at: Cycles(7), kind: AbortKind::Conflict, lost: 42 };
+        assert_eq!(e.at(), Cycles(7));
+        assert_eq!(e.thread(), Some(3));
+        assert_eq!(Event::BarrierRelease { at: Cycles(1) }.thread(), None);
+        assert!(e.to_string().contains("abort:conflict"));
+    }
+
+    #[test]
+    fn timeline_places_events() {
+        let mut t = Trace::new(16);
+        t.record(Event::TxBegin { thread: 0, at: Cycles(0) });
+        t.record(Event::TxCommit { thread: 0, at: Cycles(99), footprint: 1 });
+        t.record(Event::TxAbort {
+            thread: 1,
+            at: Cycles(50),
+            kind: AbortKind::Capacity,
+            lost: 10,
+        });
+        let s = t.render_timeline(2, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("H0"));
+        assert!(lines[0].contains("|."), "begin in first bucket: {s}");
+        assert!(lines[0].contains('C'));
+        assert!(lines[1].contains('A'));
+    }
+
+    #[test]
+    fn per_thread_filter() {
+        let mut t = Trace::new(16);
+        t.record(Event::TxBegin { thread: 0, at: Cycles(0) });
+        t.record(Event::TxBegin { thread: 1, at: Cycles(1) });
+        t.record(Event::TxCommit { thread: 1, at: Cycles(2), footprint: 0 });
+        assert_eq!(t.for_thread(1).count(), 2);
+        assert_eq!(t.for_thread(0).count(), 1);
+    }
+
+    #[test]
+    fn severity_ordering_in_buckets() {
+        let mut t = Trace::new(16);
+        // Commit and a capacity abort land in the same bucket; abort wins.
+        t.record(Event::TxCommit { thread: 0, at: Cycles(10), footprint: 0 });
+        t.record(Event::TxAbort { thread: 0, at: Cycles(11), kind: AbortKind::Capacity, lost: 0 });
+        let s = t.render_timeline(1, 1);
+        assert!(s.contains('A'));
+        assert!(!s.contains('C'));
+    }
+}

@@ -1,0 +1,424 @@
+//! Behavioural tests of the simulation engine with hand-built workloads.
+
+use hintm_htm::HtmKind;
+use hintm_sim::{HintMode, Section, SimConfig, Simulator, TxBody, TxOp, Workload};
+use hintm_types::{AbortKind, Addr, MemAccess, SafetyHint, SiteId, ThreadId};
+
+/// A scripted workload: a fixed queue of sections per thread.
+struct Scripted {
+    name: &'static str,
+    script: Vec<Vec<Section>>,
+    cursor: Vec<usize>,
+}
+
+impl Scripted {
+    fn new(name: &'static str, script: Vec<Vec<Section>>) -> Self {
+        let cursor = vec![0; script.len()];
+        Scripted { name, script, cursor }
+    }
+}
+
+impl Workload for Scripted {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn num_threads(&self) -> usize {
+        self.script.len()
+    }
+    fn reset(&mut self, _seed: u64) {
+        self.cursor.iter_mut().for_each(|c| *c = 0);
+    }
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+        let c = self.cursor[tid.index()];
+        self.cursor[tid.index()] += 1;
+        self.script[tid.index()].get(c).cloned()
+    }
+}
+
+fn load(addr: u64) -> TxOp {
+    TxOp::Access(MemAccess::load(Addr::new(addr), SiteId(0)))
+}
+
+fn store(addr: u64) -> TxOp {
+    TxOp::Access(MemAccess::store(Addr::new(addr), SiteId(0)))
+}
+
+fn safe_load(addr: u64) -> TxOp {
+    TxOp::Access(MemAccess::load(Addr::new(addr), SiteId(0)).with_hint(SafetyHint::Safe))
+}
+
+/// Private address for a thread: distinct pages per thread.
+fn priv_addr(tid: usize, i: u64) -> u64 {
+    0x100_0000 + tid as u64 * 0x10_0000 + i * 64
+}
+
+#[test]
+fn disjoint_transactions_commit_without_aborts() {
+    let script = (0..4)
+        .map(|t| {
+            (0..10)
+                .map(|k| {
+                    Section::Tx(TxBody::new(vec![
+                        load(priv_addr(t, k)),
+                        store(priv_addr(t, k + 100)),
+                    ]))
+                })
+                .collect()
+        })
+        .collect();
+    let mut w = Scripted::new("disjoint", script);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.commits, 40);
+    assert_eq!(r.total_aborts(), 0);
+    assert_eq!(r.fallback_commits, 0);
+    assert!(r.total_cycles.raw() > 0);
+}
+
+#[test]
+fn conflicting_writes_cause_conflict_aborts_but_finish() {
+    // Both threads hammer the same block inside long transactions.
+    let hot = 0x5000;
+    let body = || {
+        let mut ops = vec![TxOp::Compute(500), store(hot), TxOp::Compute(500), store(hot + 8)];
+        ops.push(TxOp::Compute(200));
+        Section::Tx(TxBody::new(ops))
+    };
+    let script = vec![(0..20).map(|_| body()).collect(), (0..20).map(|_| body()).collect()];
+    let mut w = Scripted::new("conflict", script);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.commits + r.fallback_commits, 40, "every section eventually completes");
+    assert!(r.aborts_of(AbortKind::Conflict) > 0, "overlapping TXs must conflict");
+}
+
+#[test]
+fn p8_capacity_abort_falls_back_to_lock() {
+    // One TX touching 100 distinct blocks cannot fit 64 entries.
+    let ops: Vec<TxOp> = (0..100).map(|k| store(priv_addr(0, k))).collect();
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+    let mut w = Scripted::new("capacity", script);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 1);
+    assert_eq!(r.fallback_commits, 1, "capacity aborts skip retries and take the lock");
+    assert_eq!(r.commits, 0);
+}
+
+#[test]
+fn infcap_never_capacity_aborts() {
+    let ops: Vec<TxOp> = (0..5000).map(|k| store(priv_addr(0, k))).collect();
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+    let mut w = Scripted::new("infcap", script);
+    let r = Simulator::new(SimConfig::with_htm(HtmKind::InfCap)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(r.commits, 1);
+}
+
+#[test]
+fn static_hints_expand_effective_capacity() {
+    // 60 unsafe stores + 100 statically-safe loads: fits P8 only with hints.
+    let mut ops: Vec<TxOp> = (0..60).map(|k| store(priv_addr(0, k))).collect();
+    ops.extend((100..200).map(|k| safe_load(priv_addr(0, k))));
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+
+    let mut w = Scripted::new("hints", script.clone());
+    let base = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(base.aborts_of(AbortKind::Capacity), 1, "baseline ignores hints");
+
+    let mut w = Scripted::new("hints", script);
+    let hinted =
+        Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
+    assert_eq!(hinted.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(hinted.commits, 1);
+    assert!(hinted.total_cycles < base.total_cycles, "no fallback serialization");
+}
+
+#[test]
+fn dynamic_hints_classify_private_page_loads_safe() {
+    // 100 loads of thread-private pages + 10 stores: fits P8 only when the
+    // dynamic classifier marks the loads safe.
+    let mut ops: Vec<TxOp> = (0..100).map(|k| load(priv_addr(0, k))).collect();
+    ops.extend((200..210).map(|k| store(priv_addr(0, k))));
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+
+    let mut w = Scripted::new("dyn", script.clone());
+    let base = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(base.aborts_of(AbortKind::Capacity), 1);
+
+    let mut w = Scripted::new("dyn", script);
+    let dyn_run =
+        Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
+    assert_eq!(dyn_run.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(dyn_run.commits, 1);
+    assert!(dyn_run.vm.safe_loads > 0);
+}
+
+#[test]
+fn dynamic_hints_never_mark_stores_safe() {
+    // 100 stores to private pages still overflow P8 under HinTM-dyn.
+    let ops: Vec<TxOp> = (0..100).map(|k| store(priv_addr(0, k))).collect();
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+    let mut w = Scripted::new("dynstore", script);
+    let r = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 1);
+}
+
+#[test]
+fn page_mode_abort_on_safe_page_turning_unsafe() {
+    // Thread 0 safely reads its page inside a long TX; thread 1 writes that
+    // page mid-flight → page-mode abort of thread 0's TX.
+    let shared_page = 0x77_0000u64;
+    let t0 = vec![Section::Tx(TxBody::new(vec![
+        load(shared_page),      // dyn-safe: first toucher
+        TxOp::Compute(50_000),  // stay in the TX long enough
+        store(priv_addr(0, 1)),
+    ]))];
+    let t1 = vec![
+        Section::NonTx(vec![TxOp::Compute(5_000), store(shared_page + 8)]),
+    ];
+    let mut w = Scripted::new("pagemode", vec![t0, t1]);
+    let r = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::PageMode), 1);
+    assert!(r.page_mode_cycles > 0);
+    assert_eq!(r.commits + r.fallback_commits, 1);
+    assert!(r.vm.shootdowns >= 1);
+}
+
+#[test]
+fn barrier_synchronizes_threads() {
+    // Thread 0 does heavy work before the barrier; thread 1 arrives early.
+    let t0 = vec![
+        Section::NonTx(vec![TxOp::Compute(100_000)]),
+        Section::Barrier,
+        Section::Tx(TxBody::new(vec![store(priv_addr(0, 0))])),
+    ];
+    let t1 = vec![
+        Section::NonTx(vec![TxOp::Compute(10)]),
+        Section::Barrier,
+        Section::Tx(TxBody::new(vec![store(priv_addr(1, 0))])),
+    ];
+    let mut w = Scripted::new("barrier", vec![t0, t1]);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.commits, 2);
+    // Thread 1's total must include the barrier wait.
+    assert!(r.total_cycles.raw() >= 100_000);
+}
+
+#[test]
+fn l1tm_set_conflict_eviction_aborts() {
+    // L1: 32 KiB, 8-way, 64 sets. Nine blocks mapping to the same set evict
+    // a transactionally-tracked line.
+    let same_set = |k: u64| (k * 64 * 64) * 64 + 0x40_0000; // block indices ≡ const mod 64
+    let ops: Vec<TxOp> = (0..9).map(|k| load(same_set(k))).collect();
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+    let mut w = Scripted::new("l1tm", script.clone());
+    let r = Simulator::new(SimConfig::with_htm(HtmKind::L1Tm)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 1, "set-conflict spill aborts");
+
+    // P8 holds 9 blocks comfortably.
+    let mut w = Scripted::new("l1tm", script);
+    let r8 = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r8.aborts_of(AbortKind::Capacity), 0);
+}
+
+#[test]
+fn p8s_absorbs_read_overflow() {
+    // 300 loads + 10 stores: P8 capacity-aborts, P8S does not.
+    let mut ops: Vec<TxOp> = (0..300).map(|k| load(priv_addr(0, k))).collect();
+    ops.extend((400..410).map(|k| store(priv_addr(0, k))));
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+
+    let mut w = Scripted::new("p8s", script.clone());
+    let p8 = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(p8.aborts_of(AbortKind::Capacity), 1);
+
+    let mut w = Scripted::new("p8s", script);
+    let p8s = Simulator::new(SimConfig::with_htm(HtmKind::P8S)).run(&mut w, 1);
+    assert_eq!(p8s.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(p8s.commits, 1);
+}
+
+#[test]
+fn fallback_lock_aborts_running_transactions() {
+    // Thread 0 overflows capacity → fallback; thread 1's long-running TX
+    // gets killed by the lock acquisition.
+    let t0: Vec<Section> = vec![Section::Tx(TxBody::new(
+        (0..100).map(|k| store(priv_addr(0, k))).collect(),
+    ))];
+    let t1 = vec![Section::Tx(TxBody::new(vec![
+        load(priv_addr(1, 0)),
+        TxOp::Compute(1_000_000),
+        store(priv_addr(1, 1)),
+    ]))];
+    let mut w = Scripted::new("lock", vec![t0, t1]);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert!(r.aborts_of(AbortKind::FallbackLock) >= 1);
+    assert_eq!(r.commits + r.fallback_commits, 2);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let script: Vec<Vec<Section>> = (0..4)
+        .map(|t| {
+            (0..30)
+                .map(|k| {
+                    Section::Tx(TxBody::new(vec![
+                        store(0x9000),
+                        load(priv_addr(t, k)),
+                        TxOp::Compute((k * 13) % 97),
+                    ]))
+                })
+                .collect()
+        })
+        .collect();
+    let run = |script: Vec<Vec<Section>>| {
+        let mut w = Scripted::new("det", script);
+        Simulator::new(SimConfig::default().hint_mode(HintMode::Full)).run(&mut w, 7)
+    };
+    let a = run(script.clone());
+    let b = run(script);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.aborts, b.aborts);
+    assert_eq!(a.commits, b.commits);
+    assert_eq!(a.steps, b.steps);
+}
+
+#[test]
+fn tx_size_recording_produces_three_views() {
+    let mut ops: Vec<TxOp> = (0..10).map(|k| safe_load(priv_addr(0, k))).collect();
+    ops.extend((20..30).map(|k| load(priv_addr(0, k)))); // dyn-safe loads
+    ops.extend((40..45).map(|k| store(0x33_0000 + k * 64))); // unsafe stores
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+    let mut w = Scripted::new("sizes", script);
+    let cfg = SimConfig {
+        record_tx_sizes: true,
+        ..SimConfig::with_htm(HtmKind::InfCap).hint_mode(HintMode::Full)
+    };
+    let r = Simulator::new(cfg).run(&mut w, 1);
+    assert_eq!(r.tx_sizes_all, vec![25]);
+    assert_eq!(r.tx_sizes_nonstatic, vec![15], "static-safe blocks excluded");
+    assert_eq!(r.tx_sizes_unsafe, vec![5], "dyn-safe loads excluded too");
+}
+
+#[test]
+fn access_breakdown_counts_committed_attempts_only() {
+    let ops = vec![safe_load(priv_addr(0, 0)), load(priv_addr(0, 1)), store(0x44_0000)];
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+    let mut w = Scripted::new("bd", script);
+    let r = Simulator::new(SimConfig::default().hint_mode(HintMode::Full)).run(&mut w, 1);
+    assert_eq!(r.access_breakdown, [1, 1, 1]);
+}
+
+#[test]
+fn responder_wins_aborts_the_requester() {
+    // Thread 0 holds a long TX reading `hot`; thread 1's TX stores it.
+    // Under responder-wins, the *requester* (thread 1) must die.
+    let hot = 0x6000;
+    let t0 = vec![Section::Tx(TxBody::new(vec![
+        load(hot),
+        TxOp::Compute(100_000),
+        store(priv_addr(0, 0)),
+    ]))];
+    let t1 = vec![Section::Tx(TxBody::new(vec![
+        TxOp::Compute(10_000),
+        store(hot),
+        store(priv_addr(1, 0)),
+    ]))];
+    let mut cfg = SimConfig::default();
+    cfg.machine.conflict_policy = hintm_types::ConflictPolicy::ResponderWins;
+    let mut w = Scripted::new("resp", vec![t0, t1]);
+    let r = Simulator::new(cfg).run(&mut w, 1);
+    assert!(r.aborts_of(AbortKind::Conflict) >= 1);
+    assert_eq!(r.commits + r.fallback_commits, 2, "both finish eventually");
+}
+
+#[test]
+fn smt_sibling_eviction_capacity_aborts_the_other_hw_thread() {
+    // Two SMT threads share one L1 (64 sets, 8 ways). Thread 0 tracks a
+    // line in set 0 transactionally; thread 1's non-TX streaming over set 0
+    // evicts it, capacity-aborting thread 0's TX under L1TM.
+    let same_set = |k: u64| k * 64 * 64; // block index ≡ 0 mod 64
+    let t0 = vec![Section::Tx(TxBody::new(vec![
+        load(same_set(0)),
+        TxOp::Compute(200_000),
+        store(priv_addr(0, 1)),
+    ]))];
+    let t1 = vec![Section::NonTx(
+        std::iter::once(TxOp::Compute(10_000))
+            .chain((1..10).map(|k| load(same_set(k))))
+            .collect(),
+    )];
+    let mut w = Scripted::new("smt", vec![t0, t1]);
+    let mut cfg = SimConfig::with_htm(HtmKind::L1Tm);
+    cfg.machine.smt = hintm_types::SmtMode::Smt2; // threads 0,1 share core 0
+    let r = Simulator::new(cfg).run(&mut w, 1);
+    assert!(
+        r.aborts_of(AbortKind::Capacity) >= 1,
+        "sibling eviction must spill tracked state"
+    );
+    // Same scenario on separate cores (no SMT): no interference.
+    let mut w = Scripted::new("smt", vec![
+        vec![Section::Tx(TxBody::new(vec![
+            load(same_set(0)),
+            TxOp::Compute(200_000),
+            store(priv_addr(0, 1)),
+        ]))],
+        vec![Section::NonTx(
+            std::iter::once(TxOp::Compute(10_000))
+                .chain((1..10).map(|k| load(same_set(k))))
+                .collect(),
+        )],
+    ]);
+    let r2 = Simulator::new(SimConfig::with_htm(HtmKind::L1Tm)).run(&mut w, 1);
+    assert_eq!(r2.aborts_of(AbortKind::Capacity), 0);
+}
+
+#[test]
+fn fallback_lock_serializes_other_fallbacks() {
+    // Two threads that both need the fallback lock take turns; both bodies
+    // complete and the second waits for the first.
+    let big = |t: usize| {
+        Section::Tx(TxBody::new(
+            (0..100).map(|k| store(priv_addr(t, k))).chain([TxOp::Compute(10_000)]).collect(),
+        ))
+    };
+    let mut w = Scripted::new("locks", vec![vec![big(0)], vec![big(1)]]);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.fallback_commits, 2);
+    // Serialized: total wall-clock at least two body lengths of compute.
+    assert!(r.total_cycles.raw() >= 20_000, "got {}", r.total_cycles.raw());
+}
+
+#[test]
+fn run_traced_records_lifecycle_events() {
+    use hintm_sim::Event;
+    let script = vec![
+        vec![Section::Tx(TxBody::new((0..100).map(|k| store(priv_addr(0, k))).collect()))],
+        vec![Section::Tx(TxBody::new(vec![store(priv_addr(1, 0))]))],
+    ];
+    let mut w = Scripted::new("traced", script);
+    let (stats, trace) = Simulator::new(SimConfig::default()).run_traced(&mut w, 1, 1024);
+    assert_eq!(stats.commits + stats.fallback_commits, 2);
+    let begins = trace.events().iter().filter(|e| matches!(e, Event::TxBegin { .. })).count();
+    let commits = trace.events().iter().filter(|e| matches!(e, Event::TxCommit { .. })).count();
+    let aborts = trace.events().iter().filter(|e| matches!(e, Event::TxAbort { .. })).count();
+    let fallbacks =
+        trace.events().iter().filter(|e| matches!(e, Event::FallbackAcquire { .. })).count();
+    assert_eq!(commits as u64, stats.commits);
+    assert_eq!(aborts as u64, stats.total_aborts());
+    assert_eq!(fallbacks as u64, stats.fallback_commits);
+    assert_eq!(begins as u64, stats.commits + stats.total_aborts());
+    // The timeline renders without panicking and shows the fallback.
+    let tl = trace.render_timeline(2, 40);
+    assert!(tl.contains('F'));
+}
+
+#[test]
+fn sharing_profiler_reports_fractions() {
+    let t0 = vec![Section::Tx(TxBody::new(vec![load(priv_addr(0, 0)), store(0x9000)]))];
+    let t1 = vec![Section::NonTx(vec![TxOp::Compute(10_000), store(0x9000)])];
+    let mut w = Scripted::new("prof", vec![t0, t1]);
+    let cfg = SimConfig { profile_sharing: true, ..SimConfig::default() };
+    let r = Simulator::new(cfg).run(&mut w, 1);
+    let (blk, pg, _txp, _txb) = r.sharing.expect("profiling enabled");
+    assert!(blk > 0.0 && blk <= 1.0);
+    assert!(pg > 0.0 && pg <= 1.0);
+}

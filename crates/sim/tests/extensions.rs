@@ -1,0 +1,201 @@
+//! Tests of the §VII-adjacent extension mechanisms: escape-action
+//! suspend/resume windows, Notary-style manual privatization, and the ROT /
+//! LogTM comparator HTMs.
+
+use hintm_htm::HtmKind;
+use hintm_sim::{HintMode, Section, SimConfig, Simulator, TxBody, TxOp, Workload};
+use hintm_types::{AbortKind, Addr, MemAccess, SiteId, ThreadId};
+
+struct Scripted {
+    script: Vec<Vec<Section>>,
+    cursor: Vec<usize>,
+    notary: Vec<(Addr, u64)>,
+}
+
+impl Scripted {
+    fn new(script: Vec<Vec<Section>>) -> Self {
+        let cursor = vec![0; script.len()];
+        Scripted { script, cursor, notary: Vec::new() }
+    }
+
+    fn with_notary(mut self, ranges: Vec<(Addr, u64)>) -> Self {
+        self.notary = ranges;
+        self
+    }
+}
+
+impl Workload for Scripted {
+    fn name(&self) -> &'static str {
+        "scripted-ext"
+    }
+    fn num_threads(&self) -> usize {
+        self.script.len()
+    }
+    fn reset(&mut self, _seed: u64) {
+        self.cursor.iter_mut().for_each(|c| *c = 0);
+    }
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+        let c = self.cursor[tid.index()];
+        self.cursor[tid.index()] += 1;
+        self.script[tid.index()].get(c).cloned()
+    }
+    fn notary_safe_ranges(&self) -> Vec<(Addr, u64)> {
+        self.notary.clone()
+    }
+}
+
+fn load(addr: u64) -> TxOp {
+    TxOp::Access(MemAccess::load(Addr::new(addr), SiteId(0)))
+}
+
+fn store(addr: u64) -> TxOp {
+    TxOp::Access(MemAccess::store(Addr::new(addr), SiteId(0)))
+}
+
+fn blk(i: u64) -> u64 {
+    0x20_0000 + i * 64
+}
+
+#[test]
+fn suspended_accesses_skip_tracking() {
+    // 100 loads inside a suspend window + 10 tracked stores: fits P8.
+    let mut ops = vec![TxOp::Suspend];
+    ops.extend((0..100).map(|k| load(blk(k))));
+    ops.push(TxOp::Resume);
+    ops.extend((200..210).map(|k| store(blk(k))));
+    let mut w = Scripted::new(vec![vec![Section::Tx(TxBody::new(ops))]]);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(r.commits, 1);
+}
+
+#[test]
+fn without_suspend_the_same_body_overflows() {
+    let mut ops: Vec<TxOp> = (0..100).map(|k| load(blk(k))).collect();
+    ops.extend((200..210).map(|k| store(blk(k))));
+    let mut w = Scripted::new(vec![vec![Section::Tx(TxBody::new(ops))]]);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 1);
+}
+
+#[test]
+fn suspended_accesses_are_invisible_to_conflicts() {
+    // Thread 0 reads a block inside an escape window; thread 1's store to
+    // it must not abort thread 0 (the block is not in its readset).
+    let hot = 0x9_0000;
+    let t0 = vec![Section::Tx(TxBody::new(vec![
+        TxOp::Suspend,
+        load(hot),
+        TxOp::Resume,
+        TxOp::Compute(50_000),
+        store(blk(0)),
+    ]))];
+    let t1 = vec![Section::NonTx(vec![TxOp::Compute(5_000), store(hot)])];
+    let mut w = Scripted::new(vec![t0, t1]);
+    let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(r.total_aborts(), 0, "escaped read cannot conflict");
+    assert_eq!(r.commits, 1);
+}
+
+#[test]
+fn suspends_balanced_helper() {
+    let good = TxBody::new(vec![TxOp::Suspend, load(blk(0)), TxOp::Resume]);
+    assert!(good.suspends_balanced());
+    let bad = TxBody::new(vec![TxOp::Resume, TxOp::Suspend]);
+    assert!(!bad.suspends_balanced());
+    let open = TxBody::new(vec![TxOp::Suspend]);
+    assert!(!open.suspends_balanced());
+}
+
+#[test]
+fn notary_ranges_act_as_static_hints() {
+    // 100 loads of an annotated region + 10 stores elsewhere.
+    let region = Addr::new(0x80_0000);
+    let mut ops: Vec<TxOp> = (0..100).map(|k| load(0x80_0000 + k * 64)).collect();
+    ops.extend((0..10).map(|k| store(blk(k))));
+    let script = vec![vec![Section::Tx(TxBody::new(ops))]];
+
+    // Without the annotation (or with hints off), it overflows.
+    let mut w = Scripted::new(script.clone());
+    let base = Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
+    assert_eq!(base.aborts_of(AbortKind::Capacity), 1);
+
+    // With the Notary annotation and static hints enabled, it fits.
+    let mut w = Scripted::new(script.clone()).with_notary(vec![(region, 100 * 64)]);
+    let annotated =
+        Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
+    assert_eq!(annotated.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(annotated.commits, 1);
+
+    // Annotations ride on the static-hint channel: with hints fully off
+    // they are ignored (conventional HTM).
+    let mut w = Scripted::new(script).with_notary(vec![(region, 100 * 64)]);
+    let off = Simulator::new(SimConfig::default()).run(&mut w, 1);
+    assert_eq!(off.aborts_of(AbortKind::Capacity), 1);
+}
+
+#[test]
+fn rot_ignores_read_capacity_but_bounds_writes() {
+    // 500 loads + 10 stores: overflows P8, fits ROT (loads untracked).
+    let mut ops: Vec<TxOp> = (0..500).map(|k| load(blk(k))).collect();
+    ops.extend((600..610).map(|k| store(blk(k))));
+    let mut w = Scripted::new(vec![vec![Section::Tx(TxBody::new(ops))]]);
+    let r = Simulator::new(SimConfig::with_htm(HtmKind::Rot)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(r.commits, 1);
+
+    // 100 stores still overflow the 64-entry write buffer.
+    let ops: Vec<TxOp> = (0..100).map(|k| store(blk(k))).collect();
+    let mut w = Scripted::new(vec![vec![Section::Tx(TxBody::new(ops))]]);
+    let r = Simulator::new(SimConfig::with_htm(HtmKind::Rot)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 1);
+}
+
+#[test]
+fn rot_does_not_detect_read_write_conflicts() {
+    // The SI relaxation: a store hitting another ROT's *read* goes
+    // unnoticed (loads are untracked); write-write still conflicts.
+    let hot = 0xa_0000;
+    let t0 = vec![Section::Tx(TxBody::new(vec![
+        load(hot),
+        TxOp::Compute(50_000),
+        store(blk(1)),
+    ]))];
+    let t1 = vec![Section::NonTx(vec![TxOp::Compute(5_000), store(hot)])];
+    let mut w = Scripted::new(vec![t0, t1]);
+    let r = Simulator::new(SimConfig::with_htm(HtmKind::Rot)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Conflict), 0, "read untracked -> no conflict");
+}
+
+#[test]
+fn logtm_never_capacity_aborts_but_pays_unroll_on_abort() {
+    // A big TX on LogTM commits without capacity aborts.
+    let ops: Vec<TxOp> = (0..500).map(|k| store(blk(k))).collect();
+    let mut w = Scripted::new(vec![vec![Section::Tx(TxBody::new(ops))]]);
+    let r = Simulator::new(SimConfig::with_htm(HtmKind::LogTm)).run(&mut w, 1);
+    assert_eq!(r.aborts_of(AbortKind::Capacity), 0);
+    assert_eq!(r.commits, 1);
+
+    // When a big overflowed TX is conflict-aborted, the log unroll makes
+    // the abort more expensive than a small TX's abort.
+    let hot = 0xb_0000;
+    let big_victim = |n: u64| {
+        let t0 = vec![Section::Tx(TxBody::new({
+            let mut ops = vec![load(hot), TxOp::Compute(50_000)];
+            ops.extend((0..n).map(|k| store(blk(k))));
+            ops.push(TxOp::Compute(200_000));
+            ops
+        }))];
+        let t1 = vec![Section::NonTx(vec![TxOp::Compute(150_000), store(hot)])];
+        let mut w = Scripted::new(vec![t0, t1]);
+        Simulator::new(SimConfig::with_htm(HtmKind::LogTm)).run(&mut w, 1)
+    };
+    let small = big_victim(4);
+    let big = big_victim(400);
+    assert!(small.aborts_of(AbortKind::Conflict) >= 1);
+    assert!(big.aborts_of(AbortKind::Conflict) >= 1);
+    assert!(
+        big.total_cycles > small.total_cycles,
+        "log unroll should make the overflowed abort costlier"
+    );
+}

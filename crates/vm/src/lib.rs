@@ -1,0 +1,55 @@
+//! Virtual-memory subsystem for the HinTM reproduction.
+//!
+//! Implements the paper's §III-B / §IV-B dynamic classification mechanism:
+//! the process page table is extended with per-page `{owner tid, read-only,
+//! shared}` state, per-core TLBs cache translations together with the
+//! derived safety bits, and pages walk the Fig. 2 state machine as threads
+//! access them:
+//!
+//! ```text
+//!            first read            first write
+//!  untouched ──────────► ⟨private,ro⟩   untouched ─────► ⟨private,rw⟩
+//!  ⟨private,ro⟩ ──owner write (minor fault, 1450 cyc)──► ⟨private,rw⟩
+//!  ⟨private,ro⟩ ──other thread read──► ⟨shared,ro⟩          (still safe)
+//!  ⟨private,ro⟩ ──other thread write─► ⟨shared,rw⟩  + TLB shootdown
+//!  ⟨private,rw⟩ ──other thread access► ⟨shared,rw⟩  + TLB shootdown
+//!  ⟨shared,ro⟩  ──any write──────────► ⟨shared,rw⟩  + TLB shootdown
+//! ```
+//!
+//! Reads of a `⟨private,*⟩` page (by its owner) or of a `⟨shared,ro⟩` page
+//! are *safe* and skip HTM tracking; `⟨shared,rw⟩` is sticky-unsafe (each
+//! page transitions to unsafe at most once, §VI-B). Safe→unsafe transitions
+//! cost a TLB shootdown — 6600 cycles on the initiator and 1450 on each
+//! core caching the translation (§V) — and must page-mode-abort every
+//! active transaction that touched the page while it was safe (the
+//! simulator enforces that part).
+//!
+//! The optional *preserve* mode models the §VI-B optimization probed for
+//! vacation: a remote **read** of a `⟨private,rw⟩` page downgrades it to
+//! `⟨shared,ro⟩` without a shootdown or aborts (sound because dynamic
+//! classification never marks stores safe, so all prior writes to the page
+//! were tracked); only writes force the unsafe transition.
+//!
+//! # Examples
+//!
+//! ```
+//! use hintm_vm::{PageSafety, VmSystem};
+//! use hintm_types::{AccessKind, Addr, CoreId, MachineConfig, ThreadId};
+//!
+//! let mut vm = VmSystem::new(&MachineConfig::default(), false);
+//! let page = Addr::new(0x8000).page();
+//! let a = vm.access(CoreId(0), ThreadId(0), page, AccessKind::Load);
+//! assert!(a.safe_load, "first toucher reads its private page safely");
+//! let b = vm.access(CoreId(1), ThreadId(1), page, AccessKind::Store);
+//! assert!(b.shootdown.is_some(), "remote write makes the page unsafe");
+//! ```
+
+pub mod page_state;
+pub mod profiler;
+pub mod system;
+pub mod tlb;
+
+pub use page_state::{PageSafety, PageState, Transition};
+pub use profiler::SharingProfiler;
+pub use system::{Shootdown, VmAccess, VmStats, VmSystem};
+pub use tlb::Tlb;

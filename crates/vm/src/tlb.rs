@@ -1,0 +1,145 @@
+//! A per-core TLB caching translations plus HinTM's page safety bits.
+
+use hintm_types::PageId;
+use std::collections::HashMap;
+
+/// A fully-associative LRU TLB.
+///
+/// Only presence matters to the model: a hit avoids the page-walk latency
+/// and, on a safe→unsafe page transition, the set of cores whose TLB holds
+/// the page determines the shootdown's slave set.
+///
+/// # Examples
+///
+/// ```
+/// use hintm_vm::Tlb;
+/// use hintm_types::PageId;
+///
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.lookup(PageId::from_index(1)));
+/// tlb.install(PageId::from_index(1));
+/// assert!(tlb.lookup(PageId::from_index(1)));
+/// tlb.install(PageId::from_index(2));
+/// tlb.install(PageId::from_index(3)); // evicts page 1 (LRU)
+/// assert!(!tlb.contains(PageId::from_index(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: HashMap<PageId, u64>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb { entries: HashMap::new(), capacity, tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Looks up `page`, updating LRU order and hit/miss counters.
+    pub fn lookup(&mut self, page: PageId) -> bool {
+        self.tick += 1;
+        if let Some(lru) = self.entries.get_mut(&page) {
+            *lru = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Returns `true` if `page` is cached (no LRU/counter side effects).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Installs `page`, evicting the LRU entry if full.
+    pub fn install(&mut self, page: PageId) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &lru)| lru) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(page, self.tick);
+    }
+
+    /// Drops `page` (shootdown). Returns `true` if it was present.
+    pub fn invalidate(&mut self, page: PageId) -> bool {
+        self.entries.remove(&page).is_some()
+    }
+
+    /// Drops everything (full TLB flush).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached translations.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pg(i: u64) -> PageId {
+        PageId::from_index(i)
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(4);
+        assert!(!t.lookup(pg(1)));
+        t.install(pg(1));
+        assert!(t.lookup(pg(1)));
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.install(pg(1));
+        t.install(pg(2));
+        t.lookup(pg(1)); // 1 is MRU
+        t.install(pg(3));
+        assert!(t.contains(pg(1)));
+        assert!(!t.contains(pg(2)));
+        assert!(t.contains(pg(3)));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn reinstall_does_not_evict() {
+        let mut t = Tlb::new(2);
+        t.install(pg(1));
+        t.install(pg(2));
+        t.install(pg(1)); // refresh, no eviction
+        assert!(t.contains(pg(2)));
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = Tlb::new(4);
+        t.install(pg(1));
+        t.install(pg(2));
+        assert!(t.invalidate(pg(1)));
+        assert!(!t.invalidate(pg(1)));
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests of the dynamic classification subsystem: page safety is
+//! monotone, shootdowns are singular, and the census never lies.
+
+use hintm_types::{AccessKind, CoreId, MachineConfig, PageId, ThreadId};
+use hintm_vm::{PageState, VmSystem};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn arb_access() -> impl Strategy<Value = (u8, u8, bool)> {
+    // (thread/core 0..8, page slot 0..24, is_store)
+    (0u8..8, 0u8..24, any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Once a page is ⟨shared,rw⟩ it never becomes safe again, and each
+    /// page pays at most one shootdown in its lifetime (§VI-B).
+    #[test]
+    fn unsafety_is_sticky_and_shootdowns_singular(
+        accesses in prop::collection::vec(arb_access(), 1..300),
+        preserve in any::<bool>(),
+    ) {
+        let mut vm = VmSystem::new(&MachineConfig::default(), preserve);
+        let mut went_unsafe: HashSet<PageId> = HashSet::new();
+        let mut shootdowns: HashMap<PageId, u32> = HashMap::new();
+        for (t, slot, is_store) in accesses {
+            let page = PageId::from_index(slot as u64 + 100);
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let r = vm.access(CoreId(t as u32), ThreadId(t as u32), page, kind);
+            if let Some(sd) = &r.shootdown {
+                prop_assert_eq!(sd.page, page);
+                *shootdowns.entry(page).or_default() += 1;
+            }
+            let state = vm.page_state(page).expect("touched");
+            if state == PageState::SharedRw {
+                went_unsafe.insert(page);
+            }
+            if went_unsafe.contains(&page) {
+                prop_assert_eq!(vm.page_state(page), Some(PageState::SharedRw));
+                prop_assert!(!r.safe_load || kind == AccessKind::Store,
+                    "load of an unsafe page classified safe");
+            }
+        }
+        for (page, count) in shootdowns {
+            prop_assert_eq!(count, 1, "page {} shot down more than once", page);
+        }
+    }
+
+    /// A store access is never classified as a safe load, whatever the
+    /// history (§III-B: dynamic classification never marks writes safe).
+    #[test]
+    fn stores_are_never_safe(accesses in prop::collection::vec(arb_access(), 1..200)) {
+        let mut vm = VmSystem::new(&MachineConfig::default(), false);
+        for (t, slot, is_store) in accesses {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let r = vm.access(CoreId(t as u32), ThreadId(t as u32), PageId::from_index(slot as u64), kind);
+            if is_store {
+                prop_assert!(!r.safe_load);
+            }
+        }
+    }
+
+    /// Single-thread executions never pay a shootdown and all loads stay
+    /// safe (everything remains ⟨private,*⟩).
+    #[test]
+    fn single_thread_never_shoots_down(ops in prop::collection::vec((0u8..24, any::<bool>()), 1..200)) {
+        let mut vm = VmSystem::new(&MachineConfig::default(), false);
+        for (slot, is_store) in ops {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let r = vm.access(CoreId(0), ThreadId(0), PageId::from_index(slot as u64), kind);
+            prop_assert!(r.shootdown.is_none());
+            if kind == AccessKind::Load {
+                prop_assert!(r.safe_load);
+            }
+        }
+        let (safe, total) = vm.safe_page_census();
+        prop_assert_eq!(safe, total);
+    }
+
+    /// The census counts exactly the touched pages, and safe ≤ total.
+    #[test]
+    fn census_is_exact(accesses in prop::collection::vec(arb_access(), 1..250)) {
+        let mut vm = VmSystem::new(&MachineConfig::default(), false);
+        let mut touched: HashSet<u64> = HashSet::new();
+        for (t, slot, is_store) in accesses {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            vm.access(CoreId(t as u32), ThreadId(t as u32), PageId::from_index(slot as u64), kind);
+            touched.insert(slot as u64);
+        }
+        let (safe, total) = vm.safe_page_census();
+        prop_assert_eq!(total, touched.len() as u64);
+        prop_assert!(safe <= total);
+    }
+
+    /// `peek_load_safe` predicts exactly what the next access reports, and
+    /// never mutates state.
+    #[test]
+    fn peek_is_a_pure_oracle(accesses in prop::collection::vec(arb_access(), 1..150)) {
+        let mut vm = VmSystem::new(&MachineConfig::default(), false);
+        for (t, slot, is_store) in accesses {
+            let page = PageId::from_index(slot as u64);
+            let tid = ThreadId(t as u32);
+            let predicted = vm.peek_load_safe(tid, page);
+            let before = vm.page_state(page);
+            prop_assert_eq!(vm.page_state(page), before, "peek mutated state");
+            if !is_store {
+                let r = vm.access(CoreId(t as u32), tid, page, AccessKind::Load);
+                prop_assert_eq!(r.safe_load, predicted);
+            } else {
+                vm.access(CoreId(t as u32), tid, page, AccessKind::Store);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Transactional workload suite for the HinTM reproduction.
+//!
+//! Behavioural re-implementations of the paper's evaluation workloads (§V):
+//! the eight STAMP applications — bayes, genome, intruder, kmeans,
+//! labyrinth, ssca2, vacation, yada — plus TPC-C's new-order (`tpcc-no`)
+//! and payment (`tpcc-p`) queries. Each workload:
+//!
+//! * allocates its data structures in a simulated [`hintm_mem`] address
+//!   space (thread-affine heap arenas, global segment, stacks) and emits
+//!   genuine pointer-chasing access traces through the data-structure
+//!   library, so transactional footprints and sharing patterns have the
+//!   same shape as the original C kernels;
+//! * ships a [`hintm_ir`] module mirroring its kernel's pointer/allocation
+//!   structure; the static classification pipeline runs on it at
+//!   construction and the resulting safe-site set drives the compiler
+//!   hints (`HinTM-st`);
+//! * implements [`hintm_sim::Workload`], producing replayable transaction
+//!   bodies, non-transactional phases, and barriers.
+//!
+//! # Examples
+//!
+//! ```
+//! use hintm_sim::{SimConfig, Simulator};
+//! use hintm_workloads::{by_name, Scale};
+//!
+//! let mut w = by_name("kmeans", Scale::Sim).expect("known workload");
+//! let report = Simulator::new(SimConfig::default()).run(w.as_mut(), 42);
+//! assert!(report.commits > 0);
+//! ```
+
+pub mod bayes;
+pub mod common;
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod ssca2;
+pub mod tpcc;
+pub mod vacation;
+pub mod yada;
+
+pub use common::{Recorder, Scale};
+
+use hintm_sim::Workload;
+
+/// All workload names, in the paper's reporting order.
+pub const WORKLOAD_NAMES: [&str; 10] = [
+    "bayes",
+    "genome",
+    "intruder",
+    "kmeans",
+    "labyrinth",
+    "ssca2",
+    "vacation",
+    "yada",
+    "tpcc-no",
+    "tpcc-p",
+];
+
+/// Instantiates a workload by name at the given scale, with the paper's
+/// default thread counts (8 threads; 4 for genome and yada, §V).
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    let w: Box<dyn Workload> = match name {
+        "bayes" => Box::new(bayes::Bayes::new(scale, 8)),
+        "genome" => Box::new(genome::Genome::new(scale, 4)),
+        "intruder" => Box::new(intruder::Intruder::new(scale, 8)),
+        "kmeans" => Box::new(kmeans::Kmeans::new(scale, 8)),
+        "labyrinth" => Box::new(labyrinth::Labyrinth::new(scale, 8)),
+        "ssca2" => Box::new(ssca2::Ssca2::new(scale, 8)),
+        "vacation" => Box::new(vacation::Vacation::new(scale, 8)),
+        "yada" => Box::new(yada::Yada::new(scale, 4)),
+        "tpcc-no" => Box::new(tpcc::TpccNewOrder::new(scale, 8)),
+        "tpcc-p" => Box::new(tpcc::TpccPayment::new(scale, 8)),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Instantiates a workload by name with an explicit thread count (used for
+/// the 2-way SMT L1TM experiments, §VI-D2).
+pub fn by_name_with_threads(name: &str, scale: Scale, threads: usize) -> Option<Box<dyn Workload>> {
+    let w: Box<dyn Workload> = match name {
+        "bayes" => Box::new(bayes::Bayes::new(scale, threads)),
+        "genome" => Box::new(genome::Genome::new(scale, threads)),
+        "intruder" => Box::new(intruder::Intruder::new(scale, threads)),
+        "kmeans" => Box::new(kmeans::Kmeans::new(scale, threads)),
+        "labyrinth" => Box::new(labyrinth::Labyrinth::new(scale, threads)),
+        "ssca2" => Box::new(ssca2::Ssca2::new(scale, threads)),
+        "vacation" => Box::new(vacation::Vacation::new(scale, threads)),
+        "yada" => Box::new(yada::Yada::new(scale, threads)),
+        "tpcc-no" => Box::new(tpcc::TpccNewOrder::new(scale, threads)),
+        "tpcc-p" => Box::new(tpcc::TpccPayment::new(scale, threads)),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Instantiates the whole suite at the given scale.
+pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
+    WORKLOAD_NAMES.iter().map(|n| by_name(n, scale).expect("known name")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_every_name() {
+        for name in WORKLOAD_NAMES {
+            let w = by_name(name, Scale::Sim).expect("registered");
+            assert_eq!(w.name(), name);
+            assert!(w.num_threads() >= 2);
+        }
+        assert!(by_name("nope", Scale::Sim).is_none());
+    }
+
+    #[test]
+    fn thread_count_override() {
+        let w = by_name_with_threads("kmeans", Scale::Sim, 16).unwrap();
+        assert_eq!(w.num_threads(), 16);
+    }
+
+    #[test]
+    fn all_returns_ten() {
+        assert_eq!(all(Scale::Sim).len(), 10);
+    }
+}

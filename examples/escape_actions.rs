@@ -1,0 +1,116 @@
+//! Escape actions & manual annotation: the two §VII alternatives to
+//! HinTM's automatic hints, demonstrated on a scratchpad-heavy kernel:
+//!
+//! 1. suspend/resume windows around known-safe accesses (Intel/IBM-style
+//!    escape actions, generated here by `wrap_safe_in_escapes`);
+//! 2. Notary-style manual privatization of whole address ranges.
+//!
+//! ```sh
+//! cargo run --release --example escape_actions
+//! ```
+
+use hintm::{
+    AbortKind, HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload,
+};
+use hintm_sim::wrap_safe_in_escapes;
+use hintm_types::{Addr, MemAccess, SafetyHint, SiteId, ThreadId};
+use std::collections::HashSet;
+
+const SCRATCH_BASE: u64 = 0x600_0000;
+const SCRATCH_STRIDE: u64 = 0x10_0000; // one scratchpad region per thread
+
+/// Each transaction fills a 90-block thread-private scratchpad (safe: the
+/// compiler would prove it) and then updates a handful of shared counters
+/// (unsafe: the real conflict surface).
+struct Scratchpad {
+    mode: Mode,
+    remaining: Vec<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Plain,
+    Hinted,
+    Escaped,
+    Notary,
+}
+
+impl Workload for Scratchpad {
+    fn name(&self) -> &'static str {
+        "scratchpad"
+    }
+    fn num_threads(&self) -> usize {
+        8
+    }
+    fn reset(&mut self, _seed: u64) {
+        self.remaining = vec![40; 8];
+    }
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+        let t = tid.index();
+        if self.remaining[t] == 0 {
+            return None;
+        }
+        self.remaining[t] -= 1;
+        let k = self.remaining[t] as u64;
+        let scratch = Addr::new(SCRATCH_BASE + t as u64 * SCRATCH_STRIDE);
+        let mut ops = Vec::new();
+        for i in 0..90u64 {
+            let mut a = MemAccess::store(scratch.offset(i * 64), SiteId(1));
+            if self.mode == Mode::Hinted {
+                a = a.with_hint(SafetyHint::Safe);
+            }
+            ops.push(TxOp::Access(a));
+        }
+        for c in 0..4u64 {
+            ops.push(TxOp::Access(MemAccess::store(
+                Addr::new(0x100_0000 + ((k + c) % 16) * 64),
+                SiteId(2),
+            )));
+        }
+        let body = TxBody::new(ops);
+        let body = if self.mode == Mode::Escaped {
+            // Wrap the scratch stores (site 1) in suspend/resume windows.
+            let mut safe = HashSet::new();
+            safe.insert(SiteId(1));
+            wrap_safe_in_escapes(&body, &safe)
+        } else {
+            body
+        };
+        Some(Section::Tx(body))
+    }
+    fn notary_safe_ranges(&self) -> Vec<(Addr, u64)> {
+        if self.mode == Mode::Notary {
+            (0..8u64)
+                .map(|t| (Addr::new(SCRATCH_BASE + t * SCRATCH_STRIDE), 90 * 64))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn main() {
+    println!("90-block private scratchpad + 4 hot shared counters, 8 threads x 40 TXs\n");
+    println!("{:<34} {:>10} {:>10} {:>12}", "encoding", "capacity", "fallback", "cycles");
+    let cases = [
+        ("conventional HTM (tracks all)", Mode::Plain, HintMode::Off),
+        ("safe-store opcodes (HinTM-st)", Mode::Hinted, HintMode::Static),
+        ("suspend/resume escape windows", Mode::Escaped, HintMode::Off),
+        ("Notary range annotation", Mode::Notary, HintMode::Static),
+    ];
+    for (label, mode, hints) in cases {
+        let mut w = Scratchpad { mode, remaining: vec![] };
+        let r = Simulator::new(SimConfig::with_htm(HtmKind::P8).hint_mode(hints)).run(&mut w, 5);
+        println!(
+            "{:<34} {:>10} {:>10} {:>12}",
+            label,
+            r.aborts_of(AbortKind::Capacity),
+            r.fallback_commits,
+            r.total_cycles.raw(),
+        );
+    }
+    println!(
+        "\nall three annotation channels collapse the same footprint; only the\n\
+         conventional HTM drowns in capacity aborts (90+4 blocks > 64 entries)"
+    );
+}

@@ -1,0 +1,75 @@
+//! Hint pipeline: build a small transactional kernel in the IR, run the
+//! paper's §IV-A static classification passes over it, and inspect which
+//! access sites earn the safe-load/safe-store instruction flag and why.
+//!
+//! ```sh
+//! cargo run --release --example hint_pipeline
+//! ```
+
+use hintm_ir::{classify, ModuleBuilder};
+
+fn main() {
+    // A kernel resembling the paper's Listing 2 (labyrinth): a thread-
+    // private grid copied from a read-only base inside each transaction,
+    // plus a genuinely shared result list.
+    let mut m = ModuleBuilder::new();
+    let g_base = m.global("base_grid");
+    let g_list = m.global("result_list");
+
+    let mut w = m.func("worker", 0);
+    let my_grid = w.halloc(); // thread-private scratch grid
+    w.begin_loop();
+    w.tx_begin();
+    let base = w.global_addr(g_base);
+    let (copy_load, copy_store) = w.memcpy(my_grid, base);
+    w.begin_loop();
+    let exp_load = w.load(my_grid);
+    let exp_store = w.store(my_grid);
+    w.end_block();
+    let node = w.halloc(); // result record created inside the TX
+    let node_init = w.store(node);
+    let list = w.global_addr(g_list);
+    let publish = w.store_ptr(list, node);
+    w.tx_end();
+    w.end_block();
+    w.free(my_grid);
+    w.ret();
+    let worker = w.finish();
+
+    let mut main = m.func("main", 0);
+    let base = main.global_addr(g_base);
+    main.store(base); // initialized before the threads start
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    let module = m.finish(entry, worker);
+
+    let result = classify(&module);
+    println!("IR with classification verdicts:\n");
+    println!("{}", hintm_ir::print_module(&module, Some(&result)));
+    println!("static classification of the Listing-2-style kernel:\n");
+    let verdicts = [
+        (copy_load, "copy load   (shared base grid)", "read-only in the parallel region"),
+        (copy_store, "copy store  (private grid)", "initializing whole-object memcpy"),
+        (exp_load, "expand load (private grid)", "thread-private, never escapes"),
+        (exp_store, "expand store(private grid)", "object fully defined by the copy"),
+        (node_init, "node init   (fresh record)", "allocated inside this transaction"),
+        (publish, "publish     (shared list)", "escapes to a shared structure"),
+    ];
+    for (site, what, why) in verdicts {
+        println!(
+            "  {:<28} -> {:<6}  ({why})",
+            what,
+            if result.is_safe(site) { "SAFE" } else { "unsafe" },
+        );
+    }
+    let stats = result.stats();
+    println!(
+        "\n{} sites total: {} safe loads, {} safe stores, {} function(s) replicated",
+        stats.num_sites, stats.safe_loads, stats.safe_stores, stats.replicated_funcs
+    );
+    println!(
+        "\nonly the publish store (and the list head) must occupy HTM tracking\n\
+         resources — everything else rides free, which is the entire HinTM idea."
+    );
+}
