@@ -37,7 +37,11 @@ fn main() {
                 htm.to_string(),
                 off.stats.aborts_of(AbortKind::PageMode),
                 on.stats.aborts_of(AbortKind::PageMode),
-                format!("{} -> {}", pct(off.page_mode_fraction()), pct(on.page_mode_fraction())),
+                format!(
+                    "{} -> {}",
+                    pct(off.page_mode_fraction()),
+                    pct(on.page_mode_fraction())
+                ),
                 format!("{} -> {}", off.stats.vm.shootdowns, on.stats.vm.shootdowns),
                 x(on.speedup_vs(&off)),
             );

@@ -2,8 +2,20 @@
 //! vs. InfCap gap), fraction of safe memory regions at cache-block and page
 //! granularity, and fraction of transactional reads targeting safe regions.
 
-use hintm::{capacity_runtime_fraction, Experiment, HintMode, HtmKind, Scale, WORKLOAD_NAMES};
-use hintm_bench::{banner, mean, pct, print_machine, SEED};
+use hintm::{capacity_runtime_fraction, HtmKind, WORKLOAD_NAMES};
+use hintm_bench::{banner, mean, pct, print_machine, run_cells, SEED};
+use hintm_runner::Cell;
+
+fn fig1_cells(name: &str) -> [Cell; 3] {
+    [
+        Cell::new(name).htm(HtmKind::P8).seed(SEED),
+        Cell::new(name).htm(HtmKind::InfCap).seed(SEED),
+        Cell::new(name)
+            .htm(HtmKind::InfCap)
+            .profile_sharing(true)
+            .seed(SEED),
+    ]
+}
 
 fn main() {
     banner(
@@ -16,21 +28,20 @@ fn main() {
         "workload", "cap-time", "safe-blk", "safe-pg", "safeRd@pg", "safeRd@blk"
     );
 
+    // One parallel (and cached) sweep over the figure's whole grid.
+    let grid: Vec<Cell> = WORKLOAD_NAMES.iter().flat_map(|n| fig1_cells(n)).collect();
+    let results = run_cells(&grid);
+
     let mut cap = Vec::new();
     let mut pg = Vec::new();
     let mut rd_pg = Vec::new();
     let mut rd_blk = Vec::new();
     for name in WORKLOAD_NAMES {
-        let base = Experiment::new(name).htm(HtmKind::P8).seed(SEED).run().unwrap();
-        let inf = Experiment::new(name).htm(HtmKind::InfCap).seed(SEED).run().unwrap();
-        let prof = Experiment::new(name)
-            .htm(HtmKind::InfCap)
-            .hint_mode(HintMode::Off)
-            .profile_sharing(true)
-            .seed(SEED)
-            .run()
-            .unwrap();
-        let cap_frac = capacity_runtime_fraction(&base, &inf);
+        let [base_cell, inf_cell, prof_cell] = fig1_cells(name);
+        let base = results.expect_report(&base_cell);
+        let inf = results.expect_report(&inf_cell);
+        let prof = results.expect_report(&prof_cell);
+        let cap_frac = capacity_runtime_fraction(base, inf);
         let (blk_f, pg_f, rdpg_f, rdblk_f) = prof.stats.sharing.expect("profiling on");
         println!(
             "{:<10} {:>10} {:>12} {:>12} {:>14} {:>14}",
@@ -60,5 +71,4 @@ fn main() {
         "paper shape: cap-time up to 89% (labyrinth), ~22% mean; safe pages ~62% mean;\n\
          safe TX reads ~40% @page, ~60% @block"
     );
-    let _ = Scale::Sim;
 }

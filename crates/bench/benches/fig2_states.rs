@@ -16,7 +16,12 @@ fn main() {
         let mut vm = VmSystem::new(&MachineConfig::default(), preserve);
         let page = PageId::from_index(42);
         let steps: [(&str, CoreId, ThreadId, AccessKind); 5] = [
-            ("X reads (first touch)", CoreId(0), ThreadId(0), AccessKind::Load),
+            (
+                "X reads (first touch)",
+                CoreId(0),
+                ThreadId(0),
+                AccessKind::Load,
+            ),
             ("X writes", CoreId(0), ThreadId(0), AccessKind::Store),
             ("Y reads", CoreId(1), ThreadId(1), AccessKind::Load),
             ("Y writes", CoreId(1), ThreadId(1), AccessKind::Store),
@@ -27,10 +32,14 @@ fn main() {
             println!(
                 "  {:<24} -> {:<16} safe-load={:<5} cost={:>5} shootdown={}",
                 what,
-                vm.page_state(page).map(|s| s.to_string()).unwrap_or_default(),
+                vm.page_state(page)
+                    .map(|s| s.to_string())
+                    .unwrap_or_default(),
                 r.safe_load,
                 r.cost.raw(),
-                r.shootdown.map(|s| format!("{} slaves", s.slave_cores.len())).unwrap_or_else(|| "-".into()),
+                r.shootdown
+                    .map(|s| format!("{} slaves", s.slave_cores.len()))
+                    .unwrap_or_else(|| "-".into()),
             );
         }
         println!();

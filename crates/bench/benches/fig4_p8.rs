@@ -5,7 +5,7 @@
 //!     fraction of cycles spent on page-mode abort actions.
 
 use hintm::{AbortKind, HintMode, HtmKind, Scale, WORKLOAD_NAMES};
-use hintm_bench::{banner, geomean, pct, print_machine, run_cell, x};
+use hintm_bench::{banner, cell, geomean, pct, print_machine, run_cells, x};
 
 fn main() {
     banner(
@@ -15,42 +15,68 @@ fn main() {
     print_machine();
     println!(
         "{:<10} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7} {:>7} | {:>8}",
-        "workload", "red-st", "red-dyn", "red-full", "sp-st", "sp-dyn", "sp-full", "sp-inf", "pgmode"
+        "workload",
+        "red-st",
+        "red-dyn",
+        "red-full",
+        "sp-st",
+        "sp-dyn",
+        "sp-full",
+        "sp-inf",
+        "pgmode"
     );
+
+    // The figure's whole grid, executed as one parallel (and cached) sweep.
+    const CFGS: [(HtmKind, HintMode); 5] = [
+        (HtmKind::P8, HintMode::Off),
+        (HtmKind::P8, HintMode::Static),
+        (HtmKind::P8, HintMode::Dynamic),
+        (HtmKind::P8, HintMode::Full),
+        (HtmKind::InfCap, HintMode::Off),
+    ];
+    let grid: Vec<_> = WORKLOAD_NAMES
+        .iter()
+        .flat_map(|name| {
+            CFGS.iter()
+                .map(|&(htm, hint)| cell(name, htm, hint, Scale::Sim))
+        })
+        .collect();
+    let results = run_cells(&grid);
 
     let mut sp = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     let mut reds = [Vec::new(), Vec::new(), Vec::new()];
     for name in WORKLOAD_NAMES {
-        let base = run_cell(name, HtmKind::P8, HintMode::Off, Scale::Sim);
-        let st = run_cell(name, HtmKind::P8, HintMode::Static, Scale::Sim);
-        let dy = run_cell(name, HtmKind::P8, HintMode::Dynamic, Scale::Sim);
-        let full = run_cell(name, HtmKind::P8, HintMode::Full, Scale::Sim);
-        let inf = run_cell(name, HtmKind::InfCap, HintMode::Off, Scale::Sim);
+        let get = |htm, hint| results.expect_report(&cell(name, htm, hint, Scale::Sim));
+        let base = get(HtmKind::P8, HintMode::Off);
+        let st = get(HtmKind::P8, HintMode::Static);
+        let dy = get(HtmKind::P8, HintMode::Dynamic);
+        let full = get(HtmKind::P8, HintMode::Full);
+        let inf = get(HtmKind::InfCap, HintMode::Off);
 
-        let r = |a: &hintm::RunReport| a.capacity_abort_reduction_vs(&base);
-        let s = |a: &hintm::RunReport| a.speedup_vs(&base);
+        let r = |a: &hintm::RunReport| a.capacity_abort_reduction_vs(base);
+        let s = |a: &hintm::RunReport| a.speedup_vs(base);
         println!(
             "{:<10} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7} {:>7} | {:>8}",
             name,
-            pct(r(&st)),
-            pct(r(&dy)),
-            pct(r(&full)),
-            x(s(&st)),
-            x(s(&dy)),
-            x(s(&full)),
-            x(s(&inf)),
+            pct(r(st)),
+            pct(r(dy)),
+            pct(r(full)),
+            x(s(st)),
+            x(s(dy)),
+            x(s(full)),
+            x(s(inf)),
             pct(full.page_mode_fraction()),
         );
         let base_cap = base.stats.aborts_of(AbortKind::Capacity);
         if base_cap > 0 {
-            reds[0].push(r(&st));
-            reds[1].push(r(&dy));
-            reds[2].push(r(&full));
+            reds[0].push(r(st));
+            reds[1].push(r(dy));
+            reds[2].push(r(full));
         }
-        sp[0].push(s(&st));
-        sp[1].push(s(&dy));
-        sp[2].push(s(&full));
-        sp[3].push(s(&inf));
+        sp[0].push(s(st));
+        sp[1].push(s(dy));
+        sp[2].push(s(full));
+        sp[3].push(s(inf));
     }
     println!(
         "{:<10} | {:>8} {:>8} {:>8} | {:>7} {:>7} {:>7} {:>7} |",

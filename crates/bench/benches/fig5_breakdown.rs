@@ -6,8 +6,16 @@ use hintm::{Experiment, HintMode, HtmKind};
 use hintm_bench::{banner, pct, print_machine, SEED};
 
 /// The paper omits ssca2 and kmeans from Fig. 5 onward (§VI-C).
-const SUBSET: [&str; 8] =
-    ["bayes", "genome", "intruder", "labyrinth", "vacation", "yada", "tpcc-no", "tpcc-p"];
+const SUBSET: [&str; 8] = [
+    "bayes",
+    "genome",
+    "intruder",
+    "labyrinth",
+    "vacation",
+    "yada",
+    "tpcc-no",
+    "tpcc-p",
+];
 
 fn main() {
     banner(

@@ -32,7 +32,10 @@ fn main() {
             ("HinTM-st", &r.stats.tx_sizes_nonstatic),
             ("HinTM", &r.stats.tx_sizes_unsafe),
         ];
-        println!("--- {name} ({} committed TXs) ---", r.stats.tx_sizes_all.len());
+        println!(
+            "--- {name} ({} committed TXs) ---",
+            r.stats.tx_sizes_all.len()
+        );
         println!(
             "{:<9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>10}",
             "view", "p25", "p50", "p75", "p95", "max", ">64 blocks"

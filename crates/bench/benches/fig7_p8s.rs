@@ -4,10 +4,25 @@
 //! false-conflict elimination (signature aliasing).
 
 use hintm::{AbortKind, HintMode, HtmKind, Scale};
-use hintm_bench::{banner, geomean, pct, print_machine, run_cell, x};
+use hintm_bench::{banner, cell, geomean, pct, print_machine, run_cells, x};
 
-const SUBSET: [&str; 8] =
-    ["bayes", "genome", "intruder", "labyrinth", "vacation", "yada", "tpcc-no", "tpcc-p"];
+const SUBSET: [&str; 8] = [
+    "bayes",
+    "genome",
+    "intruder",
+    "labyrinth",
+    "vacation",
+    "yada",
+    "tpcc-no",
+    "tpcc-p",
+];
+
+const HINTS: [HintMode; 4] = [
+    HintMode::Off,
+    HintMode::Static,
+    HintMode::Dynamic,
+    HintMode::Full,
+];
 
 fn main() {
     banner(
@@ -20,12 +35,24 @@ fn main() {
         "workload", "capB", "capRed", "fcB", "fcRed", "sp-st", "sp-dyn", "sp-full"
     );
 
+    // One parallel (and cached) sweep over the figure's whole grid.
+    let grid: Vec<_> = SUBSET
+        .iter()
+        .flat_map(|name| {
+            HINTS
+                .iter()
+                .map(|&h| cell(name, HtmKind::P8S, h, Scale::Large))
+        })
+        .collect();
+    let results = run_cells(&grid);
+
     let mut sp = [Vec::new(), Vec::new(), Vec::new()];
     for name in SUBSET {
-        let base = run_cell(name, HtmKind::P8S, HintMode::Off, Scale::Large);
-        let st = run_cell(name, HtmKind::P8S, HintMode::Static, Scale::Large);
-        let dy = run_cell(name, HtmKind::P8S, HintMode::Dynamic, Scale::Large);
-        let full = run_cell(name, HtmKind::P8S, HintMode::Full, Scale::Large);
+        let get = |h| results.expect_report(&cell(name, HtmKind::P8S, h, Scale::Large));
+        let base = get(HintMode::Off);
+        let st = get(HintMode::Static);
+        let dy = get(HintMode::Dynamic);
+        let full = get(HintMode::Full);
 
         let cap_b = base.stats.aborts_of(AbortKind::Capacity);
         let fc_b = base.stats.aborts_of(AbortKind::FalseConflict);
@@ -33,16 +60,16 @@ fn main() {
             "{:<10} | {:>9} {:>9} | {:>9} {:>9} | {:>7} {:>7} {:>7}",
             name,
             cap_b,
-            pct(full.capacity_abort_reduction_vs(&base)),
+            pct(full.capacity_abort_reduction_vs(base)),
             fc_b,
-            pct(full.false_conflict_reduction_vs(&base)),
-            x(st.speedup_vs(&base)),
-            x(dy.speedup_vs(&base)),
-            x(full.speedup_vs(&base)),
+            pct(full.false_conflict_reduction_vs(base)),
+            x(st.speedup_vs(base)),
+            x(dy.speedup_vs(base)),
+            x(full.speedup_vs(base)),
         );
-        sp[0].push(st.speedup_vs(&base));
-        sp[1].push(dy.speedup_vs(&base));
-        sp[2].push(full.speedup_vs(&base));
+        sp[0].push(st.speedup_vs(base));
+        sp[1].push(dy.speedup_vs(base));
+        sp[2].push(full.speedup_vs(base));
     }
     println!(
         "{:<10} | {:>19} | {:>19} | {:>7} {:>7} {:>7}",

@@ -3,24 +3,43 @@
 //! roomier-but-contended tracking: capacity aborts now come from both
 //! capacity and set-conflict misses, amplified by the SMT sibling.
 
-use hintm::{AbortKind, Experiment, HintMode, HtmKind, Scale};
-use hintm_bench::{banner, geomean, pct, print_machine, x, SEED};
+use hintm::{AbortKind, HintMode, HtmKind, Scale};
+use hintm_bench::{banner, geomean, pct, print_machine, run_cells, x, SEED};
+use hintm_runner::Cell;
 
-const SUBSET: [&str; 8] =
-    ["bayes", "genome", "intruder", "labyrinth", "vacation", "yada", "tpcc-no", "tpcc-p"];
+const SUBSET: [&str; 8] = [
+    "bayes",
+    "genome",
+    "intruder",
+    "labyrinth",
+    "vacation",
+    "yada",
+    "tpcc-no",
+    "tpcc-p",
+];
 
-fn run(name: &str, hint: HintMode, htm: HtmKind) -> hintm::RunReport {
+const CFGS: [(HtmKind, HintMode); 5] = [
+    (HtmKind::L1Tm, HintMode::Off),
+    (HtmKind::L1Tm, HintMode::Static),
+    (HtmKind::L1Tm, HintMode::Dynamic),
+    (HtmKind::L1Tm, HintMode::Full),
+    (HtmKind::InfCap, HintMode::Off),
+];
+
+fn fig8_cell(name: &str, htm: HtmKind, hint: HintMode) -> Cell {
     // 2-way SMT: double each workload's paper-default thread count.
-    let threads = if matches!(name, "genome" | "yada") { 8 } else { 16 };
-    Experiment::new(name)
+    let threads = if matches!(name, "genome" | "yada") {
+        8
+    } else {
+        16
+    };
+    Cell::new(name)
         .htm(htm)
-        .hint_mode(hint)
+        .hint(hint)
         .scale(Scale::Large)
         .threads(threads)
         .smt2(true)
         .seed(SEED)
-        .run()
-        .unwrap()
 }
 
 fn main() {
@@ -34,29 +53,37 @@ fn main() {
         "workload", "capB", "capRed", "sp-st", "sp-dyn", "sp-full", "sp-inf", "pgmode"
     );
 
+    // One parallel (and cached) sweep over the figure's whole grid.
+    let grid: Vec<_> = SUBSET
+        .iter()
+        .flat_map(|name| CFGS.iter().map(|&(htm, hint)| fig8_cell(name, htm, hint)))
+        .collect();
+    let results = run_cells(&grid);
+
     let mut sp = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     for name in SUBSET {
-        let base = run(name, HintMode::Off, HtmKind::L1Tm);
-        let st = run(name, HintMode::Static, HtmKind::L1Tm);
-        let dy = run(name, HintMode::Dynamic, HtmKind::L1Tm);
-        let full = run(name, HintMode::Full, HtmKind::L1Tm);
-        let inf = run(name, HintMode::Off, HtmKind::InfCap);
+        let get = |htm, hint| results.expect_report(&fig8_cell(name, htm, hint));
+        let base = get(HtmKind::L1Tm, HintMode::Off);
+        let st = get(HtmKind::L1Tm, HintMode::Static);
+        let dy = get(HtmKind::L1Tm, HintMode::Dynamic);
+        let full = get(HtmKind::L1Tm, HintMode::Full);
+        let inf = get(HtmKind::InfCap, HintMode::Off);
 
         println!(
             "{:<10} | {:>9} {:>9} | {:>7} {:>7} {:>7} {:>7} | {:>8}",
             name,
             base.stats.aborts_of(AbortKind::Capacity),
-            pct(full.capacity_abort_reduction_vs(&base)),
-            x(st.speedup_vs(&base)),
-            x(dy.speedup_vs(&base)),
-            x(full.speedup_vs(&base)),
-            x(inf.speedup_vs(&base)),
+            pct(full.capacity_abort_reduction_vs(base)),
+            x(st.speedup_vs(base)),
+            x(dy.speedup_vs(base)),
+            x(full.speedup_vs(base)),
+            x(inf.speedup_vs(base)),
             pct(full.page_mode_fraction()),
         );
-        sp[0].push(st.speedup_vs(&base));
-        sp[1].push(dy.speedup_vs(&base));
-        sp[2].push(full.speedup_vs(&base));
-        sp[3].push(inf.speedup_vs(&base));
+        sp[0].push(st.speedup_vs(base));
+        sp[1].push(dy.speedup_vs(base));
+        sp[2].push(full.speedup_vs(base));
+        sp[3].push(inf.speedup_vs(base));
     }
     println!(
         "{:<10} | {:>19} | {:>7} {:>7} {:>7} {:>7} |",

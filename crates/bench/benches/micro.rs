@@ -1,114 +1,143 @@
-//! Criterion microbenchmarks of the core structures: hardware signature,
-//! P8 transactional buffer, cache hierarchy, TLB/page walk, and treap ops.
+//! Microbenchmarks of the core structures: hardware signature, P8
+//! transactional buffer, cache hierarchy, TLB/page walk, treap ops, the
+//! classification pipeline and the engine — timed with a small std-only
+//! harness (median of repeated batches, ns/op).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hintm_htm::{Signature, Tracker};
 use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AddressSpace, NullSink};
 use hintm_types::{AccessKind, Addr, BlockAddr, CoreId, MachineConfig, SiteId, ThreadId};
 use hintm_vm::VmSystem;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_signature(c: &mut Criterion) {
-    c.bench_function("signature_insert_query", |b| {
-        let mut sig = Signature::new(1024, 2);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            sig.insert(BlockAddr::from_index(i));
-            black_box(sig.maybe_contains(BlockAddr::from_index(i ^ 0x5555)));
-            if i.is_multiple_of(512) {
-                sig.clear();
+/// Times `f` in batches and prints the median per-iteration cost.
+fn bench(name: &str, iters_per_batch: u64, mut f: impl FnMut()) {
+    // Warm up.
+    for _ in 0..iters_per_batch / 4 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..15)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                f();
             }
+            start.elapsed().as_nanos() as f64 / iters_per_batch as f64
         })
-    });
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("{:<24} {:>10.1} ns/op", name, samples[samples.len() / 2]);
 }
 
-fn bench_p8_buffer(c: &mut Criterion) {
-    c.bench_function("p8_track_64", |b| {
-        b.iter(|| {
-            let mut t = Tracker::p8(64);
-            for i in 0..64u64 {
-                t.track(BlockAddr::from_index(i), i % 4 == 0).unwrap();
-            }
-            black_box(t.footprint())
-        })
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_access_stream", |b| {
-        let mut h = hintm_cache::Hierarchy::new(&MachineConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let core = CoreId((i % 8) as u32);
-            let blk = Addr::new((i * 64) % (1 << 22)).block();
-            black_box(h.access(core, blk, if i.is_multiple_of(5) { AccessKind::Store } else { AccessKind::Load }).latency)
-        })
-    });
-}
-
-fn bench_vm(c: &mut Criterion) {
-    c.bench_function("vm_translate", |b| {
-        let mut vm = VmSystem::new(&MachineConfig::default(), false);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let core = CoreId((i % 8) as u32);
-            let tid = ThreadId((i % 8) as u32);
-            black_box(vm.access(core, tid, hintm_types::PageId::from_index(i % 512), AccessKind::Load).cost)
-        })
-    });
-}
-
-fn bench_treap(c: &mut Criterion) {
-    c.bench_function("treap_lookup_4k", |b| {
-        let mut space = AddressSpace::new(1);
-        let mut t = SimTreap::new(48);
-        let sites = TreapSites::uniform(SiteId(0));
-        for k in 0..4096u64 {
-            t.insert(k, k, ThreadId(0), &mut space, &mut NullSink, sites);
+fn bench_signature() {
+    let mut sig = Signature::new(1024, 2);
+    let mut i = 0u64;
+    bench("signature_insert_query", 100_000, || {
+        i = i.wrapping_add(1);
+        sig.insert(BlockAddr::from_index(i));
+        black_box(sig.maybe_contains(BlockAddr::from_index(i ^ 0x5555)));
+        if i.is_multiple_of(512) {
+            sig.clear();
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(997);
-            black_box(t.get(i % 4096, &mut NullSink, sites))
-        })
     });
 }
 
-fn bench_classify(c: &mut Criterion) {
+fn bench_p8_buffer() {
+    bench("p8_track_64", 20_000, || {
+        let mut t = Tracker::p8(64);
+        for i in 0..64u64 {
+            t.track(BlockAddr::from_index(i), i % 4 == 0).unwrap();
+        }
+        black_box(t.footprint());
+    });
+}
+
+fn bench_cache() {
+    let mut h = hintm_cache::Hierarchy::new(&MachineConfig::default());
+    let mut i = 0u64;
+    bench("cache_access_stream", 100_000, || {
+        i = i.wrapping_add(1);
+        let core = CoreId((i % 8) as u32);
+        let blk = Addr::new((i * 64) % (1 << 22)).block();
+        black_box(
+            h.access(
+                core,
+                blk,
+                if i.is_multiple_of(5) {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+            )
+            .latency,
+        );
+    });
+}
+
+fn bench_vm() {
+    let mut vm = VmSystem::new(&MachineConfig::default(), false);
+    let mut i = 0u64;
+    bench("vm_translate", 100_000, || {
+        i = i.wrapping_add(1);
+        let core = CoreId((i % 8) as u32);
+        let tid = ThreadId((i % 8) as u32);
+        black_box(
+            vm.access(
+                core,
+                tid,
+                hintm_types::PageId::from_index(i % 512),
+                AccessKind::Load,
+            )
+            .cost,
+        );
+    });
+}
+
+fn bench_treap() {
+    let mut space = AddressSpace::new(1);
+    let mut t = SimTreap::new(48);
+    let sites = TreapSites::uniform(SiteId(0));
+    for k in 0..4096u64 {
+        t.insert(k, k, ThreadId(0), &mut space, &mut NullSink, sites);
+    }
+    let mut i = 0u64;
+    bench("treap_lookup_4k", 100_000, || {
+        i = i.wrapping_add(997);
+        black_box(t.get(i % 4096, &mut NullSink, sites));
+    });
+}
+
+fn bench_classify() {
     use hintm_ir::{classify, ModuleBuilder};
-    c.bench_function("ir_classify_kernel", |b| {
-        b.iter(|| {
-            let mut m = ModuleBuilder::new();
-            let g = m.global("grid");
-            let mut w = m.func("worker", 0);
-            let my = w.halloc();
-            w.begin_loop();
-            w.tx_begin();
-            let ga = w.global_addr(g);
-            w.memcpy(my, ga);
-            w.begin_loop();
-            w.load(my);
-            w.store(my);
-            w.end_block();
-            w.store(ga);
-            w.tx_end();
-            w.end_block();
-            w.ret();
-            let worker = w.finish();
-            let mut main = m.func("main", 0);
-            main.spawn(worker, vec![]);
-            main.ret();
-            let entry = main.finish();
-            let module = m.finish(entry, worker);
-            black_box(classify(&module).stats())
-        })
+    bench("ir_classify_kernel", 2_000, || {
+        let mut m = ModuleBuilder::new();
+        let g = m.global("grid");
+        let mut w = m.func("worker", 0);
+        let my = w.halloc();
+        w.begin_loop();
+        w.tx_begin();
+        let ga = w.global_addr(g);
+        w.memcpy(my, ga);
+        w.begin_loop();
+        w.load(my);
+        w.store(my);
+        w.end_block();
+        w.store(ga);
+        w.tx_end();
+        w.end_block();
+        w.ret();
+        let worker = w.finish();
+        let mut main = m.func("main", 0);
+        main.spawn(worker, vec![]);
+        main.ret();
+        let entry = main.finish();
+        let module = m.finish(entry, worker);
+        black_box(classify(&module).stats());
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     use hintm_sim::{Section, SimConfig, Simulator, TxBody, TxOp, Workload};
     use hintm_types::{MemAccess, ThreadId};
 
@@ -140,22 +169,19 @@ fn bench_engine(c: &mut Criterion) {
         }
     }
 
-    c.bench_function("engine_200_small_txs", |b| {
-        b.iter(|| {
-            let mut w = Micro { left: vec![] };
-            black_box(Simulator::new(SimConfig::default()).run(&mut w, 1).commits)
-        })
+    bench("engine_200_small_txs", 50, || {
+        let mut w = Micro { left: vec![] };
+        black_box(Simulator::new(SimConfig::default()).run(&mut w, 1).commits);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_signature,
-    bench_p8_buffer,
-    bench_cache,
-    bench_vm,
-    bench_treap,
-    bench_classify,
-    bench_engine
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<24} {:>10}", "benchmark", "median");
+    bench_signature();
+    bench_p8_buffer();
+    bench_cache();
+    bench_vm();
+    bench_treap();
+    bench_classify();
+    bench_engine();
+}

@@ -5,7 +5,10 @@ use hintm_bench::banner;
 use hintm_types::MachineConfig;
 
 fn main() {
-    banner("Table I: HinTM's required hardware modifications", "and where this repo implements them");
+    banner(
+        "Table I: HinTM's required hardware modifications",
+        "and where this repo implements them",
+    );
     let cfg = MachineConfig::default();
     println!(
         "Core           | safety-flag bit on load/store instructions (safe load/store\n\
@@ -16,9 +19,11 @@ fn main() {
          HTM controller | skip tracking for hinted accesses\n\
          \u{20}              |                               -> hintm_htm::HtmThread::on_access\n"
     );
-    println!("Cost model (§V): minor fault {} cyc; TLB shootdown {} cyc initiator / {} cyc per slave",
+    println!(
+        "Cost model (§V): minor fault {} cyc; TLB shootdown {} cyc initiator / {} cyc per slave",
         cfg.minor_fault_cost.raw(),
         cfg.shootdown_initiator_cost.raw(),
-        cfg.shootdown_slave_cost.raw());
+        cfg.shootdown_slave_cost.raw()
+    );
     println!("\n{}", cfg.table2_summary());
 }

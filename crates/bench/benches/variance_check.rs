@@ -2,10 +2,15 @@
 //! five seeds, reported as min/geomean/max. Narrow spreads justify quoting
 //! single-seed numbers in EXPERIMENTS.md.
 
-use hintm::{Experiment, HintMode, HtmKind};
-use hintm_bench::{banner, geomean, print_machine};
+use hintm::{HintMode, HtmKind};
+use hintm_bench::{banner, geomean, print_machine, run_cells};
+use hintm_runner::Cell;
 
 const SEEDS: [u64; 5] = [11, 42, 97, 1234, 31337];
+
+fn vcell(name: &str, hint: HintMode, seed: u64) -> Cell {
+    Cell::new(name).htm(HtmKind::P8).hint(hint).seed(seed)
+}
 
 fn main() {
     banner(
@@ -13,16 +18,32 @@ fn main() {
         "min / geomean / max per workload; spread = (max-min)/geomean",
     );
     print_machine();
-    println!("{:<10} {:>8} {:>9} {:>8} {:>9}", "workload", "min", "geomean", "max", "spread");
+    println!(
+        "{:<10} {:>8} {:>9} {:>8} {:>9}",
+        "workload", "min", "geomean", "max", "spread"
+    );
+
+    // One parallel (and cached) sweep: every workload, both hint modes,
+    // all five seeds.
+    let grid: Vec<Cell> = hintm::WORKLOAD_NAMES
+        .iter()
+        .flat_map(|name| {
+            [HintMode::Off, HintMode::Full]
+                .into_iter()
+                .flat_map(move |hint| SEEDS.iter().map(move |&s| vcell(name, hint, s)))
+        })
+        .collect();
+    let results = run_cells(&grid);
+
     for name in hintm::WORKLOAD_NAMES {
-        let bases = Experiment::new(name).htm(HtmKind::P8).run_seeds(&SEEDS).unwrap();
-        let hinted = Experiment::new(name)
-            .htm(HtmKind::P8)
-            .hint_mode(HintMode::Full)
-            .run_seeds(&SEEDS)
-            .unwrap();
-        let speedups: Vec<f64> =
-            hinted.iter().zip(&bases).map(|(h, b)| h.speedup_vs(b)).collect();
+        let speedups: Vec<f64> = SEEDS
+            .iter()
+            .map(|&s| {
+                let base = results.expect_report(&vcell(name, HintMode::Off, s));
+                let hinted = results.expect_report(&vcell(name, HintMode::Full, s));
+                hinted.speedup_vs(base)
+            })
+            .collect();
         let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
         let max = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let gm = geomean(&speedups);
@@ -32,7 +53,11 @@ fn main() {
             min,
             gm,
             max,
-            if gm > 0.0 { 100.0 * (max - min) / gm } else { 0.0 },
+            if gm > 0.0 {
+                100.0 * (max - min) / gm
+            } else {
+                0.0
+            },
         );
     }
 }

@@ -14,7 +14,11 @@ fn main() {
         "workload", "txs", "fb", "cap", "conf", "fc", "lock", "cycles"
     );
     for name in hintm::WORKLOAD_NAMES {
-        let r = Experiment::new(name).htm(HtmKind::P8).seed(42).run().unwrap();
+        let r = Experiment::new(name)
+            .htm(HtmKind::P8)
+            .seed(42)
+            .run()
+            .unwrap();
         println!(
             "{:<10} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
             name,

@@ -7,20 +7,42 @@
 //! by roughly what factor, where the crossovers sit) is the reproduction
 //! target; see EXPERIMENTS.md for the side-by-side record.
 
-use hintm::{Experiment, HintMode, HtmKind, RunReport, Scale};
+use hintm::{HintMode, HtmKind, RunReport, Scale};
+use hintm_runner::{Cell, Runner, SweepResult};
 
 /// The seed every figure harness uses.
 pub const SEED: u64 = 42;
 
-/// Runs one `(workload, htm, hint)` cell at the given scale.
-pub fn run_cell(workload: &str, htm: HtmKind, hint: HintMode, scale: Scale) -> RunReport {
-    Experiment::new(workload)
+/// The runner every harness shares: jobs and cache from the environment
+/// (`HINTM_JOBS`, `HINTM_CACHE_DIR`, `HINTM_NO_CACHE=1`), per-cell
+/// progress on stderr when `HINTM_PROGRESS` is set.
+pub fn runner() -> Runner {
+    Runner::from_env().progress(std::env::var_os("HINTM_PROGRESS").is_some())
+}
+
+/// Runs a harness's whole cell grid through the shared [`runner`]: cells
+/// execute in parallel and land in the on-disk cache, so regenerating a
+/// figure twice simulates nothing the second time.
+pub fn run_cells(cells: &[Cell]) -> SweepResult {
+    runner().run(cells)
+}
+
+/// A figure cell: `(workload, htm, hint)` at `scale` with the shared seed.
+pub fn cell(workload: &str, htm: HtmKind, hint: HintMode, scale: Scale) -> Cell {
+    Cell::new(workload)
         .htm(htm)
-        .hint_mode(hint)
+        .hint(hint)
         .scale(scale)
         .seed(SEED)
-        .run()
-        .expect("registered workload")
+}
+
+/// Runs one `(workload, htm, hint)` cell at the given scale (through the
+/// runner, so results are cached like any sweep's).
+pub fn run_cell(workload: &str, htm: HtmKind, hint: HintMode, scale: Scale) -> RunReport {
+    let c = cell(workload, htm, hint, scale);
+    run_cells(std::slice::from_ref(&c))
+        .expect_report(&c)
+        .clone()
 }
 
 /// Prints a figure banner.

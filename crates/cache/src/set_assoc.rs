@@ -49,7 +49,11 @@ struct Line {
     lru: u64,
 }
 
-const INVALID_LINE: Line = Line { tag: 0, state: MesiState::Invalid, lru: 0 };
+const INVALID_LINE: Line = Line {
+    tag: 0,
+    state: MesiState::Invalid,
+    lru: 0,
+};
 
 /// A set-associative cache with true-LRU replacement.
 ///
@@ -87,10 +91,22 @@ impl SetAssocCache {
     pub fn new(size_bytes: usize, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be positive");
         let blocks = size_bytes / BLOCK_SIZE;
-        assert_eq!(blocks % ways, 0, "size must be a multiple of ways * block size");
+        assert_eq!(
+            blocks % ways,
+            0,
+            "size must be a multiple of ways * block size"
+        );
         let num_sets = blocks / ways;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
-        SetAssocCache { sets: vec![INVALID_LINE; blocks], num_sets, ways, tick: 0 }
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        SetAssocCache {
+            sets: vec![INVALID_LINE; blocks],
+            num_sets,
+            ways,
+            tick: 0,
+        }
     }
 
     /// Number of sets.
@@ -126,7 +142,8 @@ impl SetAssocCache {
 
     /// Returns the MESI state of `block` ([`MesiState::Invalid`] if absent).
     pub fn state_of(&self, block: BlockAddr) -> MesiState {
-        self.find(block).map_or(MesiState::Invalid, |i| self.sets[i].state)
+        self.find(block)
+            .map_or(MesiState::Invalid, |i| self.sets[i].state)
     }
 
     /// Returns `true` if the block is present in a valid state.
@@ -171,13 +188,19 @@ impl SetAssocCache {
         state: MesiState,
     ) -> Option<(BlockAddr, MesiState)> {
         assert!(state.is_valid(), "cannot install an invalid line");
-        assert!(self.find(block).is_none(), "install of already-present block");
+        assert!(
+            self.find(block).is_none(),
+            "install of already-present block"
+        );
         self.tick += 1;
         let range = self.set_range(block);
         // Prefer an invalid way.
         let slot = match range.clone().find(|&i| !self.sets[i].state.is_valid()) {
             Some(i) => i,
-            None => range.clone().min_by_key(|&i| self.sets[i].lru).expect("nonempty set"),
+            None => range
+                .clone()
+                .min_by_key(|&i| self.sets[i].lru)
+                .expect("nonempty set"),
         };
         let victim = if self.sets[slot].state.is_valid() {
             let set_base = (self.set_index(block) as u64) & (self.num_sets as u64 - 1);
@@ -185,11 +208,18 @@ impl SetAssocCache {
                 self.sets[slot].tag as usize & (self.num_sets - 1),
                 set_base as usize
             );
-            Some((BlockAddr::from_index(self.sets[slot].tag), self.sets[slot].state))
+            Some((
+                BlockAddr::from_index(self.sets[slot].tag),
+                self.sets[slot].state,
+            ))
         } else {
             None
         };
-        self.sets[slot] = Line { tag: block.index(), state, lru: self.tick };
+        self.sets[slot] = Line {
+            tag: block.index(),
+            state,
+            lru: self.tick,
+        };
         victim
     }
 
@@ -233,7 +263,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = SetAssocCache::new(1024, 2); // 8 sets
-        // Blocks 0, 8, 16 all map to set 0 in a 8-set cache.
+                                                 // Blocks 0, 8, 16 all map to set 0 in a 8-set cache.
         c.install(block(0), MesiState::Exclusive);
         c.install(block(8), MesiState::Exclusive);
         c.touch(block(0)); // 0 is now MRU

@@ -1,92 +1,135 @@
 //! Model-checking the cache hierarchy: random access sequences must
 //! preserve the MESI single-writer/multiple-reader invariants at every
 //! step, and latencies must always be one of the modelled levels.
+//! (Randomized std-only tests over the deterministic in-tree generator.)
 
 use hintm_cache::{Hierarchy, MesiState};
+use hintm_types::rng::SmallRng;
 use hintm_types::{AccessKind, BlockAddr, CoreId, Cycles, MachineConfig};
-use proptest::prelude::*;
 
 /// One random access: (core, block-slot, is_store).
-fn arb_access() -> impl Strategy<Value = (u8, u16, bool)> {
-    (0u8..8, 0u16..96, any::<bool>())
+fn accesses(rng: &mut SmallRng, len_range: std::ops::Range<usize>) -> Vec<(u8, u16, bool)> {
+    let n = rng.gen_range(len_range);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..8u8),
+                rng.gen_range(0..96u16),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
 }
 
 /// Checks the coherence invariants for every block in the pool.
-fn check_invariants(h: &Hierarchy, blocks: &[BlockAddr]) -> Result<(), TestCaseError> {
+fn check_invariants(h: &Hierarchy, blocks: &[BlockAddr]) {
     for &b in blocks {
-        let states: Vec<MesiState> =
-            (0..8).map(|c| h.l1_state(CoreId(c), b)).collect();
-        let owners =
-            states.iter().filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive)).count();
+        let states: Vec<MesiState> = (0..8).map(|c| h.l1_state(CoreId(c), b)).collect();
+        let owners = states
+            .iter()
+            .filter(|s| matches!(s, MesiState::Modified | MesiState::Exclusive))
+            .count();
         let valid = states.iter().filter(|s| s.is_valid()).count();
         // Single-writer: at most one M/E copy machine-wide.
-        prop_assert!(owners <= 1, "block {b:?} has {owners} exclusive owners: {states:?}");
+        assert!(
+            owners <= 1,
+            "block {b:?} has {owners} exclusive owners: {states:?}"
+        );
         // An exclusive copy excludes all other valid copies.
         if owners == 1 {
-            prop_assert_eq!(
-                valid, 1,
-                "block {:?} exclusive but shared: {:?}", b, states
-            );
+            assert_eq!(valid, 1, "block {b:?} exclusive but shared: {states:?}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mesi_invariants_hold_under_random_traffic(accesses in prop::collection::vec(arb_access(), 1..400)) {
+#[test]
+fn mesi_invariants_hold_under_random_traffic() {
+    let mut rng = SmallRng::seed_from_u64(0x3E51);
+    for _ in 0..64 {
         let cfg = MachineConfig::default();
         let mut h = Hierarchy::new(&cfg);
         let blocks: Vec<BlockAddr> = (0..96).map(|i| BlockAddr::from_index(i * 37 + 5)).collect();
-        for (core, slot, is_store) in accesses {
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+        for (core, slot, is_store) in accesses(&mut rng, 1..400) {
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             let out = h.access(CoreId(core as u32), blocks[slot as usize], kind);
             // Latency is always one of the three modelled levels.
-            prop_assert!(
+            assert!(
                 [cfg.l1_latency, cfg.l2_latency, cfg.mem_latency].contains(&out.latency),
-                "unexpected latency {:?}", out.latency
+                "unexpected latency {:?}",
+                out.latency
             );
-            check_invariants(&h, &blocks)?;
+            check_invariants(&h, &blocks);
         }
     }
+}
 
-    #[test]
-    fn writer_always_ends_modified(accesses in prop::collection::vec(arb_access(), 1..200)) {
+#[test]
+fn writer_always_ends_modified() {
+    let mut rng = SmallRng::seed_from_u64(0x311A);
+    for _ in 0..64 {
         let mut h = Hierarchy::new(&MachineConfig::default());
         let blocks: Vec<BlockAddr> = (0..96).map(|i| BlockAddr::from_index(i * 11 + 3)).collect();
-        for (core, slot, is_store) in accesses {
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+        for (core, slot, is_store) in accesses(&mut rng, 1..200) {
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             let b = blocks[slot as usize];
             h.access(CoreId(core as u32), b, kind);
             if is_store {
-                prop_assert_eq!(h.l1_state(CoreId(core as u32), b), MesiState::Modified);
+                assert_eq!(h.l1_state(CoreId(core as u32), b), MesiState::Modified);
             } else {
-                prop_assert!(h.l1_state(CoreId(core as u32), b).is_valid());
+                assert!(h.l1_state(CoreId(core as u32), b).is_valid());
             }
         }
     }
+}
 
-    #[test]
-    fn repeat_access_is_always_an_l1_hit(core in 0u32..8, idx in 0u64..10_000, is_store in any::<bool>()) {
+#[test]
+fn repeat_access_is_always_an_l1_hit() {
+    let mut rng = SmallRng::seed_from_u64(0x717);
+    for _ in 0..100 {
+        let core = rng.gen_range(0..8u32);
+        let idx = rng.gen_range(0..10_000u64);
+        let is_store = rng.gen_bool(0.5);
         let mut h = Hierarchy::new(&MachineConfig::default());
-        let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+        let kind = if is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
         let b = BlockAddr::from_index(idx);
         h.access(CoreId(core), b, kind);
         let again = h.access(CoreId(core), b, kind);
-        prop_assert!(again.l1_hit);
-        prop_assert_eq!(again.latency, Cycles(3));
+        assert!(again.l1_hit);
+        assert_eq!(again.latency, Cycles(3));
     }
+}
 
-    #[test]
-    fn stats_accesses_match_calls(accesses in prop::collection::vec(arb_access(), 1..300)) {
+#[test]
+fn stats_accesses_match_calls() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7);
+    for _ in 0..64 {
         let mut h = Hierarchy::new(&MachineConfig::default());
-        for (core, slot, is_store) in &accesses {
-            let kind = if *is_store { AccessKind::Store } else { AccessKind::Load };
-            h.access(CoreId(*core as u32), BlockAddr::from_index(*slot as u64), kind);
+        let ops = accesses(&mut rng, 1..300);
+        for (core, slot, is_store) in &ops {
+            let kind = if *is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            h.access(
+                CoreId(*core as u32),
+                BlockAddr::from_index(*slot as u64),
+                kind,
+            );
         }
-        prop_assert_eq!(h.stats().accesses, accesses.len() as u64);
-        prop_assert!(h.stats().l1_hits <= h.stats().accesses);
+        assert_eq!(h.stats().accesses, ops.len() as u64);
+        assert!(h.stats().l1_hits <= h.stats().accesses);
     }
 }

@@ -35,8 +35,72 @@ pub enum Command {
     Run(RunArgs),
     /// Run the whole suite under one configuration.
     Suite(RunArgs),
+    /// Run a parallel sweep (dispatched by the `hintm-runner` binary).
+    Sweep(SweepArgs),
+    /// Clear the on-disk result cache (dispatched by `hintm-runner`).
+    CacheClear {
+        /// Cache directory override.
+        dir: Option<String>,
+    },
     /// Print usage.
     Help,
+}
+
+/// Options for `hintm sweep`. Parsing lives here with the other commands;
+/// execution lives in the `hintm-runner` crate (which depends on this
+/// one), so [`execute`] rejects it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepArgs {
+    /// Workloads to sweep (empty = every registered workload).
+    pub workloads: Vec<String>,
+    /// HTM configurations to sweep (empty = `[P8]`).
+    pub htms: Vec<HtmKind>,
+    /// Hint modes to sweep (empty = `[off]`).
+    pub hints: Vec<HintMode>,
+    /// Seeds to sweep (empty = `[42]`).
+    pub seeds: Vec<u64>,
+    /// Input scale.
+    pub scale: Scale,
+    /// Thread-count override.
+    pub threads: Option<usize>,
+    /// 2-way SMT.
+    pub smt2: bool,
+    /// §VI-B preserve optimization.
+    pub preserve: bool,
+    /// Worker threads (`None` = the machine's available parallelism).
+    pub jobs: Option<usize>,
+    /// Bypass the result cache entirely.
+    pub no_cache: bool,
+    /// Resume an interrupted sweep from the cache (the default behavior;
+    /// the flag documents intent and conflicts with `--no-cache`).
+    pub resume: bool,
+    /// Cache directory override.
+    pub cache_dir: Option<String>,
+    /// Artifact output directory (manifest + CSV/JSON tables).
+    pub out: Option<String>,
+    /// Also print the results CSV to stdout.
+    pub csv: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            workloads: Vec::new(),
+            htms: Vec::new(),
+            hints: Vec::new(),
+            seeds: Vec::new(),
+            scale: Scale::Sim,
+            threads: None,
+            smt2: false,
+            preserve: false,
+            jobs: None,
+            no_cache: false,
+            resume: false,
+            cache_dir: None,
+            out: None,
+            csv: false,
+        }
+    }
 }
 
 /// Options shared by `run` and `suite`.
@@ -89,6 +153,8 @@ USAGE:
   hintm list
   hintm run --workload <name> [options]
   hintm suite [options]
+  hintm sweep [sweep options]
+  hintm cache clear [--cache-dir <dir>]
 
 OPTIONS:
   --workload <name>        one of the registered workloads (see `hintm list`)
@@ -101,6 +167,19 @@ OPTIONS:
   --preserve               enable the preserve page-transition optimization
   --csv                    machine-readable CSV output
   --trace                  print a per-thread lifecycle timeline (run only)
+
+SWEEP OPTIONS (comma-separated lists sweep the cross product):
+  --workloads <a,b,..>     workloads to sweep                  [all registered]
+  --htm <k1,k2,..>         HTM configurations to sweep                    [p8]
+  --hints <m1,m2,..>       hint modes to sweep                           [off]
+  --seeds <n1,n2,..>       seeds to sweep                                 [42]
+  --scale / --threads / --smt2 / --preserve   as above, applied to every cell
+  --jobs <n>               worker threads            [machine's parallelism]
+  --no-cache               bypass the on-disk result cache
+  --resume                 resume an interrupted sweep from the cache
+  --cache-dir <dir>        cache location      [$HINTM_CACHE_DIR or .hintm-cache]
+  --out <dir>              write manifest.json + results.{csv,json} here
+  --csv                    also print the results CSV to stdout
 ";
 
 fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
@@ -146,6 +225,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match sub.as_str() {
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "sweep" => parse_sweep(&args[1..]),
+        "cache" => parse_cache(&args[1..]),
         "run" | "suite" => {
             let mut ra = RunArgs::default();
             let mut i = 1;
@@ -191,7 +272,97 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 Ok(Command::Suite(ra))
             }
         }
-        other => Err(CliError(format!("unknown command `{other}` (try `hintm help`)"))),
+        other => Err(CliError(format!(
+            "unknown command `{other}` (try `hintm help`)"
+        ))),
+    }
+}
+
+/// Splits a comma-separated flag value, mapping each piece through `f`.
+fn parse_list<T>(v: &str, f: impl Fn(&str) -> Result<T, CliError>) -> Result<Vec<T>, CliError> {
+    v.split(',').filter(|s| !s.is_empty()).map(f).collect()
+}
+
+fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
+    let mut sa = SweepArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => {
+                sa.workloads = parse_list(&value(&mut i, "--workloads")?, |s| Ok(s.to_string()))?;
+            }
+            "--htm" => sa.htms = parse_list(&value(&mut i, "--htm")?, parse_htm)?,
+            "--hints" => sa.hints = parse_list(&value(&mut i, "--hints")?, parse_hints)?,
+            "--seeds" => {
+                sa.seeds = parse_list(&value(&mut i, "--seeds")?, |s| {
+                    s.parse().map_err(|_| CliError(format!("bad seed `{s}`")))
+                })?;
+            }
+            "--scale" => sa.scale = parse_scale(&value(&mut i, "--scale")?)?,
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                sa.threads = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad --threads `{v}`")))?,
+                );
+            }
+            "--smt2" => sa.smt2 = true,
+            "--preserve" => sa.preserve = true,
+            "--jobs" => {
+                let v = value(&mut i, "--jobs")?;
+                sa.jobs = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad --jobs `{v}`")))?,
+                );
+            }
+            "--no-cache" => sa.no_cache = true,
+            "--resume" => sa.resume = true,
+            "--cache-dir" => sa.cache_dir = Some(value(&mut i, "--cache-dir")?),
+            "--out" => sa.out = Some(value(&mut i, "--out")?),
+            "--csv" => sa.csv = true,
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    if sa.no_cache && sa.resume {
+        return Err(CliError("--resume needs the cache; drop --no-cache".into()));
+    }
+    Ok(Command::Sweep(sa))
+}
+
+fn parse_cache(args: &[String]) -> Result<Command, CliError> {
+    match args.first().map(String::as_str) {
+        Some("clear") => {
+            let mut dir = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--cache-dir" => {
+                        i += 1;
+                        dir = Some(
+                            args.get(i)
+                                .cloned()
+                                .ok_or_else(|| CliError("--cache-dir requires a value".into()))?,
+                        );
+                    }
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::CacheClear { dir })
+        }
+        Some(other) => Err(CliError(format!(
+            "unknown cache action `{other}` (try `clear`)"
+        ))),
+        None => Err(CliError(
+            "`cache` requires an action (try `hintm cache clear`)".into(),
+        )),
     }
 }
 
@@ -244,6 +415,10 @@ pub fn csv_row(r: &RunReport, seed: u64) -> String {
 pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| CliError(e.to_string());
     match cmd {
+        Command::Sweep(_) | Command::CacheClear { .. } => Err(CliError(
+            "`sweep` and `cache` are handled by the hintm binary from the hintm-runner crate"
+                .into(),
+        )),
         Command::Help => writeln!(out, "{USAGE}").map_err(io),
         Command::List => {
             for name in WORKLOAD_NAMES {
@@ -264,13 +439,15 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<(), CliEr
                 if let Some(t) = ra.threads {
                     e = e.threads(t);
                 }
-                let (r, trace) =
-                    e.run_traced(100_000).map_err(|e| CliError(e.to_string()))?;
+                let (r, trace) = e.run_traced(100_000).map_err(|e| CliError(e.to_string()))?;
                 writeln!(out, "{r}").map_err(io)?;
                 let threads = if ra.smt2 { 16 } else { 8 };
-                writeln!(out, "
-timeline (C commit, a/A/P aborts, F fallback, s shootdown):")
-                    .map_err(io)?;
+                writeln!(
+                    out,
+                    "
+timeline (C commit, a/A/P aborts, F fallback, s shootdown):"
+                )
+                .map_err(io)?;
                 writeln!(out, "{}", trace.render_timeline(threads, 100)).map_err(io)?;
                 return Ok(());
             }
@@ -322,7 +499,9 @@ mod tests {
              --threads 16 --smt2 --preserve --csv",
         ))
         .unwrap();
-        let Command::Run(ra) = cmd else { panic!("expected run") };
+        let Command::Run(ra) = cmd else {
+            panic!("expected run")
+        };
         assert_eq!(ra.workload.as_deref(), Some("vacation"));
         assert_eq!(ra.htm, HtmKind::L1Tm);
         assert_eq!(ra.hints, HintMode::Full);
@@ -372,6 +551,71 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.starts_with("kmeans,P8,baseline,3,"));
         assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn parses_full_sweep_command() {
+        let cmd = parse(&argv(
+            "sweep --workloads vacation,labyrinth --htm p8,infcap --hints off,full \
+             --seeds 1,2,3 --scale large --threads 16 --smt2 --preserve --jobs 8 \
+             --cache-dir /tmp/c --out /tmp/o --csv",
+        ))
+        .unwrap();
+        let Command::Sweep(sa) = cmd else {
+            panic!("expected sweep")
+        };
+        assert_eq!(sa.workloads, vec!["vacation", "labyrinth"]);
+        assert_eq!(sa.htms, vec![HtmKind::P8, HtmKind::InfCap]);
+        assert_eq!(sa.hints, vec![HintMode::Off, HintMode::Full]);
+        assert_eq!(sa.seeds, vec![1, 2, 3]);
+        assert_eq!(sa.scale, Scale::Large);
+        assert_eq!(sa.threads, Some(16));
+        assert_eq!(sa.jobs, Some(8));
+        assert!(sa.smt2 && sa.preserve && sa.csv);
+        assert_eq!(sa.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(sa.out.as_deref(), Some("/tmp/o"));
+        assert!(!sa.no_cache && !sa.resume);
+    }
+
+    #[test]
+    fn sweep_defaults_are_empty_axes() {
+        let Command::Sweep(sa) = parse(&argv("sweep")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(sa, SweepArgs::default());
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(parse(&argv("sweep --htm p8,weird")).is_err());
+        assert!(parse(&argv("sweep --seeds 1,x")).is_err());
+        assert!(parse(&argv("sweep --jobs nope")).is_err());
+        assert!(parse(&argv("sweep --frobnicate")).is_err());
+        assert!(parse(&argv("sweep --no-cache --resume")).is_err());
+    }
+
+    #[test]
+    fn parses_cache_clear() {
+        assert_eq!(
+            parse(&argv("cache clear")).unwrap(),
+            Command::CacheClear { dir: None }
+        );
+        assert_eq!(
+            parse(&argv("cache clear --cache-dir /tmp/c")).unwrap(),
+            Command::CacheClear {
+                dir: Some("/tmp/c".into())
+            }
+        );
+        assert!(parse(&argv("cache")).is_err());
+        assert!(parse(&argv("cache nuke")).is_err());
+    }
+
+    #[test]
+    fn execute_defers_runner_commands() {
+        let mut buf = Vec::new();
+        let err = execute(&Command::Sweep(SweepArgs::default()), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("hintm-runner"));
+        assert!(execute(&Command::CacheClear { dir: None }, &mut buf).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod cli;
+pub mod json;
 
 pub use hintm_htm::{HtmConfig, HtmKind};
 pub use hintm_sim::{
@@ -45,6 +46,7 @@ pub use hintm_sim::{
 };
 pub use hintm_types::{AbortKind, Cycles, MachineConfig, SmtMode};
 pub use hintm_workloads::{all, by_name, by_name_with_threads, Scale, WORKLOAD_NAMES};
+pub use json::{Json, JsonError};
 
 use std::fmt;
 
@@ -54,7 +56,11 @@ pub struct UnknownWorkload(pub String);
 
 impl fmt::Display for UnknownWorkload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown workload `{}` (expected one of {:?})", self.0, WORKLOAD_NAMES)
+        write!(
+            f,
+            "unknown workload `{}` (expected one of {:?})",
+            self.0, WORKLOAD_NAMES
+        )
     }
 }
 
@@ -240,12 +246,14 @@ impl RunReport {
 
     /// Relative reduction in capacity aborts vs `baseline` (1.0 = all gone).
     pub fn capacity_abort_reduction_vs(&self, baseline: &RunReport) -> f64 {
-        self.stats.abort_reduction_vs(&baseline.stats, AbortKind::Capacity)
+        self.stats
+            .abort_reduction_vs(&baseline.stats, AbortKind::Capacity)
     }
 
     /// Relative reduction in false-conflict aborts vs `baseline`.
     pub fn false_conflict_reduction_vs(&self, baseline: &RunReport) -> f64 {
-        self.stats.abort_reduction_vs(&baseline.stats, AbortKind::FalseConflict)
+        self.stats
+            .abort_reduction_vs(&baseline.stats, AbortKind::FalseConflict)
     }
 
     /// Fraction of this run's aggregate cycles spent on page-mode aborts.
@@ -355,9 +363,16 @@ mod tests {
     #[test]
     fn capacity_runtime_fraction_is_gap() {
         let base = Experiment::new("labyrinth").threads(4).run().unwrap();
-        let inf = Experiment::new("labyrinth").threads(4).htm(HtmKind::InfCap).run().unwrap();
+        let inf = Experiment::new("labyrinth")
+            .threads(4)
+            .htm(HtmKind::InfCap)
+            .run()
+            .unwrap();
         let frac = capacity_runtime_fraction(&base, &inf);
-        assert!(frac > 0.3, "labyrinth wastes much of its runtime on capacity, got {frac:.2}");
+        assert!(
+            frac > 0.3,
+            "labyrinth wastes much of its runtime on capacity, got {frac:.2}"
+        );
         assert!(frac < 1.0);
     }
 
@@ -365,8 +380,7 @@ mod tests {
     fn run_seeds_and_spread() {
         let reports = Experiment::new("ssca2").run_seeds(&[1, 2, 3]).unwrap();
         assert_eq!(reports.len(), 3);
-        let spread =
-            Spread::of(&reports, |r| r.stats.total_cycles.raw() as f64).expect("nonempty");
+        let spread = Spread::of(&reports, |r| r.stats.total_cycles.raw() as f64).expect("nonempty");
         assert!(spread.min <= spread.geomean && spread.geomean <= spread.max);
         assert!(spread.relative_width() >= 0.0);
         assert!(Spread::of(&[], |_| 0.0).is_none());

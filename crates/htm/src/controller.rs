@@ -55,7 +55,12 @@ pub struct HtmConfig {
 impl HtmConfig {
     /// The paper's parameters for the given kind.
     pub fn new(kind: HtmKind) -> Self {
-        HtmConfig { kind, buffer_entries: 64, sig_bits: 1024, sig_hashes: 2 }
+        HtmConfig {
+            kind,
+            buffer_entries: 64,
+            sig_bits: 1024,
+            sig_hashes: 2,
+        }
     }
 
     fn make_tracker(&self) -> Tracker {
@@ -105,13 +110,19 @@ impl HtmThreadStats {
 
     /// Aborts of one kind.
     pub fn aborts_of(&self, kind: AbortKind) -> u64 {
-        let i = AbortKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        let i = AbortKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
         self.aborts[i]
     }
 
     /// Records an abort of `kind`.
     pub fn record_abort(&mut self, kind: AbortKind) {
-        let i = AbortKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        let i = AbortKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
         self.aborts[i] += 1;
     }
 }
@@ -225,7 +236,11 @@ impl HtmThread {
         kind: AccessKind,
         safe: bool,
     ) -> Result<(), CapacityAbort> {
-        assert_eq!(self.phase, TxPhase::Active, "transactional access while not active");
+        assert_eq!(
+            self.phase,
+            TxPhase::Active,
+            "transactional access while not active"
+        );
         if safe {
             self.stats.safe_skipped += 1;
             return Ok(());
@@ -385,7 +400,10 @@ mod tests {
         }
         assert_eq!(t.footprint(), 0);
         assert_eq!(t.stats().safe_skipped, 1000);
-        assert!(!t.reads_block(blk(5)), "safe accesses are invisible to conflicts");
+        assert!(
+            !t.reads_block(blk(5)),
+            "safe accesses are invisible to conflicts"
+        );
         t.commit();
     }
 
@@ -443,7 +461,10 @@ mod tests {
         assert!(t.on_l1_eviction(blk(3)));
         assert!(!t.on_l1_eviction(blk(4)));
         t.commit();
-        assert!(!t.on_l1_eviction(blk(3)), "idle thread never aborts on eviction");
+        assert!(
+            !t.on_l1_eviction(blk(3)),
+            "idle thread never aborts on eviction"
+        );
     }
 
     #[test]

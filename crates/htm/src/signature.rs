@@ -41,9 +41,20 @@ impl Signature {
     /// Panics unless `num_bits` is a power of two ≥ 64 and
     /// `1 ≤ num_hashes ≤ 8`.
     pub fn new(num_bits: usize, num_hashes: u32) -> Self {
-        assert!(num_bits >= 64 && num_bits.is_power_of_two(), "bits must be a power of two >= 64");
-        assert!((1..=8).contains(&num_hashes), "1..=8 hash functions supported");
-        Signature { bits: vec![0; num_bits / 64], num_bits, num_hashes, inserted: 0 }
+        assert!(
+            num_bits >= 64 && num_bits.is_power_of_two(),
+            "bits must be a power of two >= 64"
+        );
+        assert!(
+            (1..=8).contains(&num_hashes),
+            "1..=8 hash functions supported"
+        );
+        Signature {
+            bits: vec![0; num_bits / 64],
+            num_bits,
+            num_hashes,
+            inserted: 0,
+        }
     }
 
     /// Number of bits in the bitvector.
@@ -162,7 +173,9 @@ mod tests {
         for i in 0..512u64 {
             s.insert(blk(i));
         }
-        let fps = (100_000..101_000u64).filter(|&i| s.maybe_contains(blk(i))).count();
+        let fps = (100_000..101_000u64)
+            .filter(|&i| s.maybe_contains(blk(i)))
+            .count();
         assert!(fps > 0, "expected false positives at high fill");
         assert!(s.fill_ratio() > 0.3);
     }
@@ -173,8 +186,13 @@ mod tests {
         for i in 0..16u64 {
             s.insert(blk(i * 1001));
         }
-        let fps = (500_000..510_000u64).filter(|&i| s.maybe_contains(blk(i))).count();
-        assert!(fps < 200, "sparse signature should rarely alias, got {fps}/10000");
+        let fps = (500_000..510_000u64)
+            .filter(|&i| s.maybe_contains(blk(i)))
+            .count();
+        assert!(
+            fps < 200,
+            "sparse signature should rarely alias, got {fps}/10000"
+        );
     }
 
     #[test]
@@ -184,7 +202,10 @@ mod tests {
         let mut dedup = h.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert!(dedup.len() >= 3, "hash functions should mostly disagree: {h:?}");
+        assert!(
+            dedup.len() >= 3,
+            "hash functions should mostly disagree: {h:?}"
+        );
     }
 
     #[test]

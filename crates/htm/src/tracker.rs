@@ -41,7 +41,10 @@ pub struct Tracker(Backend);
 #[derive(Clone, Debug)]
 enum Backend {
     /// Dedicated fully-associative transactional buffer (POWER8 TMCAM).
-    P8 { entries: HashMap<BlockAddr, Rw>, capacity: usize },
+    P8 {
+        entries: HashMap<BlockAddr, Rw>,
+        capacity: usize,
+    },
     /// P8 buffer plus a read-set overflow signature. `overflow_reads` is a
     /// precise shadow of signature contents (false-conflict classification
     /// and statistics only — not hardware state).
@@ -56,9 +59,16 @@ enum Backend {
     /// Unbounded tracking.
     Inf { entries: HashMap<BlockAddr, Rw> },
     /// Rollback-only: writes tracked in a bounded buffer, loads dropped.
-    Rot { entries: HashMap<BlockAddr, Rw>, capacity: usize },
+    Rot {
+        entries: HashMap<BlockAddr, Rw>,
+        capacity: usize,
+    },
     /// LogTM-style: bounded fast path + unbounded memory log.
-    Log { entries: HashMap<BlockAddr, Rw>, capacity: usize, overflowed: u64 },
+    Log {
+        entries: HashMap<BlockAddr, Rw>,
+        capacity: usize,
+        overflowed: u64,
+    },
 }
 
 impl Tracker {
@@ -69,7 +79,10 @@ impl Tracker {
     /// Panics if `capacity` is zero.
     pub fn p8(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Tracker(Backend::P8 { entries: HashMap::new(), capacity })
+        Tracker(Backend::P8 {
+            entries: HashMap::new(),
+            capacity,
+        })
     }
 
     /// A P8 buffer with a readset-overflow signature of `sig_bits` bits and
@@ -86,12 +99,16 @@ impl Tracker {
 
     /// In-L1 tracking (capacity enforced through cache evictions).
     pub fn l1() -> Self {
-        Tracker(Backend::L1 { entries: HashMap::new() })
+        Tracker(Backend::L1 {
+            entries: HashMap::new(),
+        })
     }
 
     /// Unbounded tracking.
     pub fn inf() -> Self {
-        Tracker(Backend::Inf { entries: HashMap::new() })
+        Tracker(Backend::Inf {
+            entries: HashMap::new(),
+        })
     }
 
     /// Rollback-only transaction tracking (SI-HTM-style, §VII): *loads are
@@ -102,7 +119,10 @@ impl Tracker {
     /// relaxation the paper contrasts HinTM's strict-2PL approach against).
     pub fn rot(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Tracker(Backend::Rot { entries: HashMap::new(), capacity })
+        Tracker(Backend::Rot {
+            entries: HashMap::new(),
+            capacity,
+        })
     }
 
     /// LogTM-style "large HTM" tracking (§VII): the first `capacity` blocks
@@ -112,7 +132,11 @@ impl Tracker {
     /// (log unroll) and commit.
     pub fn log_tm(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Tracker(Backend::Log { entries: HashMap::new(), capacity, overflowed: 0 })
+        Tracker(Backend::Log {
+            entries: HashMap::new(),
+            capacity,
+            overflowed: 0,
+        })
     }
 
     /// Blocks tracked beyond the fast-path capacity (LogTM log length);
@@ -142,17 +166,34 @@ impl Tracker {
                 if entries.len() >= *capacity {
                     return Err(CapacityAbort);
                 }
-                entries.insert(block, Rw { r: !is_write, w: is_write });
+                entries.insert(
+                    block,
+                    Rw {
+                        r: !is_write,
+                        w: is_write,
+                    },
+                );
                 Ok(())
             }
-            Backend::P8Sig { entries, capacity, sig, overflow_reads } => {
+            Backend::P8Sig {
+                entries,
+                capacity,
+                sig,
+                overflow_reads,
+            } => {
                 if let Some(e) = entries.get_mut(&block) {
                     e.r |= !is_write;
                     e.w |= is_write;
                     return Ok(());
                 }
                 if entries.len() < *capacity {
-                    entries.insert(block, Rw { r: !is_write, w: is_write });
+                    entries.insert(
+                        block,
+                        Rw {
+                            r: !is_write,
+                            w: is_write,
+                        },
+                    );
                     return Ok(());
                 }
                 if !is_write {
@@ -162,7 +203,10 @@ impl Tracker {
                     return Ok(());
                 }
                 // Write needs a buffer slot: spill a read-only entry.
-                let spill = entries.iter().find(|(_, rw)| rw.r && !rw.w).map(|(b, _)| *b);
+                let spill = entries
+                    .iter()
+                    .find(|(_, rw)| rw.r && !rw.w)
+                    .map(|(b, _)| *b);
                 match spill {
                     Some(victim) => {
                         entries.remove(&victim);
@@ -194,7 +238,11 @@ impl Tracker {
                 entries.insert(block, Rw { r: false, w: true });
                 Ok(())
             }
-            Backend::Log { entries, capacity, overflowed } => {
+            Backend::Log {
+                entries,
+                capacity,
+                overflowed,
+            } => {
                 if let Some(e) = entries.get_mut(&block) {
                     e.r |= !is_write;
                     e.w |= is_write;
@@ -203,7 +251,13 @@ impl Tracker {
                 if entries.len() >= *capacity {
                     *overflowed += 1;
                 }
-                entries.insert(block, Rw { r: !is_write, w: is_write });
+                entries.insert(
+                    block,
+                    Rw {
+                        r: !is_write,
+                        w: is_write,
+                    },
+                );
                 Ok(())
             }
         }
@@ -245,9 +299,11 @@ impl Tracker {
             | Backend::Inf { entries }
             | Backend::Rot { entries, .. }
             | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.r),
-            Backend::P8Sig { entries, overflow_reads, .. } => {
-                entries.get(&block).is_some_and(|e| e.r) || overflow_reads.contains(&block)
-            }
+            Backend::P8Sig {
+                entries,
+                overflow_reads,
+                ..
+            } => entries.get(&block).is_some_and(|e| e.r) || overflow_reads.contains(&block),
         }
     }
 
@@ -266,7 +322,11 @@ impl Tracker {
 
     /// All speculatively written blocks (for rollback on abort).
     pub fn write_blocks(&self) -> Vec<BlockAddr> {
-        self.entries().iter().filter(|(_, rw)| rw.w).map(|(b, _)| *b).collect()
+        self.entries()
+            .iter()
+            .filter(|(_, rw)| rw.w)
+            .map(|(b, _)| *b)
+            .collect()
     }
 
     /// Precise readset size in blocks (including signature-spilled reads).
@@ -286,8 +346,16 @@ impl Tracker {
     /// Total distinct tracked blocks (readset ∪ writeset), precise.
     pub fn footprint(&self) -> usize {
         match &self.0 {
-            Backend::P8Sig { entries, overflow_reads, .. } => {
-                entries.len() + overflow_reads.iter().filter(|b| !entries.contains_key(b)).count()
+            Backend::P8Sig {
+                entries,
+                overflow_reads,
+                ..
+            } => {
+                entries.len()
+                    + overflow_reads
+                        .iter()
+                        .filter(|b| !entries.contains_key(b))
+                        .count()
             }
             _ => self.entries().len(),
         }
@@ -300,11 +368,20 @@ impl Tracker {
             | Backend::L1 { entries }
             | Backend::Inf { entries }
             | Backend::Rot { entries, .. } => entries.clear(),
-            Backend::Log { entries, overflowed, .. } => {
+            Backend::Log {
+                entries,
+                overflowed,
+                ..
+            } => {
                 entries.clear();
                 *overflowed = 0;
             }
-            Backend::P8Sig { entries, sig, overflow_reads, .. } => {
+            Backend::P8Sig {
+                entries,
+                sig,
+                overflow_reads,
+                ..
+            } => {
                 entries.clear();
                 sig.clear();
                 overflow_reads.clear();

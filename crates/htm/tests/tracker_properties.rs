@@ -1,17 +1,21 @@
-//! Property tests of the HTM tracking backends against reference set
-//! models, and of the signature's one-sided error.
+//! Randomized tests of the HTM tracking backends against reference set
+//! models, and of the signature's one-sided error (std-only: cases come
+//! from the deterministic in-tree generator).
 
 use hintm_htm::{Signature, Tracker};
+use hintm_types::rng::SmallRng;
 use hintm_types::BlockAddr;
-use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 fn blk(i: u64) -> BlockAddr {
     BlockAddr::from_index(i)
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0u64..96, any::<bool>()), 1..200)
+fn ops(rng: &mut SmallRng) -> Vec<(u64, bool)> {
+    let n = rng.gen_range(1..200usize);
+    (0..n)
+        .map(|_| (rng.gen_range(0..96u64), rng.gen_bool(0.5)))
+        .collect()
 }
 
 /// Reference read/write-set model.
@@ -28,136 +32,167 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The signature never produces a false negative.
-    #[test]
-    fn signature_has_no_false_negatives(
-        inserted in prop::collection::hash_set(0u64..100_000, 0..300),
-        probes in prop::collection::vec(0u64..100_000, 0..100),
-        bits_pow in 7u32..12,
-        hashes in 1u32..5,
-    ) {
+/// The signature never produces a false negative.
+#[test]
+fn signature_has_no_false_negatives() {
+    let mut rng = SmallRng::seed_from_u64(0x516);
+    for _ in 0..128 {
+        let inserted: HashSet<u64> = {
+            let n = rng.gen_range(0..300usize);
+            (0..n).map(|_| rng.gen_range(0..100_000u64)).collect()
+        };
+        let probes: Vec<u64> = {
+            let n = rng.gen_range(0..100usize);
+            (0..n).map(|_| rng.gen_range(0..100_000u64)).collect()
+        };
+        let bits_pow = rng.gen_range(7..12u32);
+        let hashes = rng.gen_range(1..5u32);
         let mut sig = Signature::new(1 << bits_pow, hashes);
         for &b in &inserted {
             sig.insert(blk(b));
         }
         for &b in &inserted {
-            prop_assert!(sig.maybe_contains(blk(b)));
+            assert!(sig.maybe_contains(blk(b)));
         }
         // Probes are allowed to false-positive but never to crash or
         // change state.
         for &p in &probes {
             let _ = sig.maybe_contains(blk(p));
         }
-        prop_assert_eq!(sig.inserted(), inserted.len() as u64);
+        assert_eq!(sig.inserted(), inserted.len() as u64);
         sig.clear();
         for &b in &inserted {
-            prop_assert!(!sig.maybe_contains(blk(b)));
+            assert!(!sig.maybe_contains(blk(b)));
         }
     }
+}
 
-    /// While tracking succeeds, an unbounded tracker agrees exactly with
-    /// the reference model's membership answers.
-    #[test]
-    fn inf_tracker_matches_model(ops in arb_ops()) {
+/// While tracking succeeds, an unbounded tracker agrees exactly with
+/// the reference model's membership answers.
+#[test]
+fn inf_tracker_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x1EF);
+    for _ in 0..128 {
         let mut t = Tracker::inf();
         let mut m = Model::default();
-        for (b, w) in ops {
+        for (b, w) in ops(&mut rng) {
             t.track(blk(b), w).unwrap();
             m.track(b, w);
         }
         for (&b, &(r, w)) in &m.sets {
-            prop_assert_eq!(t.reads_block(blk(b)), r);
-            prop_assert_eq!(t.precise_reads_block(blk(b)), r);
-            prop_assert_eq!(t.writes_block(blk(b)), w);
+            assert_eq!(t.reads_block(blk(b)), r);
+            assert_eq!(t.precise_reads_block(blk(b)), r);
+            assert_eq!(t.writes_block(blk(b)), w);
         }
-        prop_assert_eq!(t.footprint(), m.sets.len());
+        assert_eq!(t.footprint(), m.sets.len());
         let writes = m.sets.values().filter(|(_, w)| *w).count();
-        prop_assert_eq!(t.write_set_size(), writes);
-        prop_assert_eq!(t.write_blocks().len(), writes);
+        assert_eq!(t.write_set_size(), writes);
+        assert_eq!(t.write_blocks().len(), writes);
     }
+}
 
-    /// The P8 buffer never tracks more than its capacity and aborts
-    /// exactly when a new block arrives at a full buffer.
-    #[test]
-    fn p8_capacity_is_exact(ops in arb_ops(), cap in 1usize..32) {
+/// The P8 buffer never tracks more than its capacity and aborts
+/// exactly when a new block arrives at a full buffer.
+#[test]
+fn p8_capacity_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xF8);
+    for _ in 0..128 {
+        let cap = rng.gen_range(1..32usize);
         let mut t = Tracker::p8(cap);
-        let mut tracked: std::collections::HashSet<u64> = Default::default();
-        for (b, w) in ops {
+        let mut tracked: HashSet<u64> = Default::default();
+        for (b, w) in ops(&mut rng) {
             let is_new = !tracked.contains(&b);
             let res = t.track(blk(b), w);
             if is_new && tracked.len() >= cap {
-                prop_assert!(res.is_err());
+                assert!(res.is_err());
             } else {
-                prop_assert!(res.is_ok());
+                assert!(res.is_ok());
                 tracked.insert(b);
             }
-            prop_assert!(t.footprint() <= cap);
+            assert!(t.footprint() <= cap);
         }
     }
+}
 
-    /// P8S: reads are always visible to conflict checks, regardless of how
-    /// far past capacity the readset grows, and writes stay precise.
-    #[test]
-    fn p8s_reads_stay_visible(reads in prop::collection::hash_set(0u64..5_000, 1..400), cap in 1usize..16) {
+/// P8S: reads are always visible to conflict checks, regardless of how
+/// far past capacity the readset grows, and writes stay precise.
+#[test]
+fn p8s_reads_stay_visible() {
+    let mut rng = SmallRng::seed_from_u64(0xF85);
+    for _ in 0..128 {
+        let reads: HashSet<u64> = {
+            let n = rng.gen_range(1..400usize);
+            (0..n).map(|_| rng.gen_range(0..5_000u64)).collect()
+        };
+        let cap = rng.gen_range(1..16usize);
         let mut t = Tracker::p8_sig(cap, 1024, 2);
         for &b in &reads {
             t.track(blk(b), false).unwrap();
         }
         for &b in &reads {
-            prop_assert!(t.reads_block(blk(b)), "read of {b} lost");
-            prop_assert!(t.precise_reads_block(blk(b)));
+            assert!(t.reads_block(blk(b)), "read of {b} lost");
+            assert!(t.precise_reads_block(blk(b)));
         }
-        prop_assert_eq!(t.read_set_size(), reads.len());
+        assert_eq!(t.read_set_size(), reads.len());
     }
+}
 
-    /// ROT: loads never abort or become visible; the write bound is exact.
-    #[test]
-    fn rot_model(ops in arb_ops(), cap in 1usize..16) {
+/// ROT: loads never abort or become visible; the write bound is exact.
+#[test]
+fn rot_model() {
+    let mut rng = SmallRng::seed_from_u64(0x207);
+    for _ in 0..128 {
+        let cap = rng.gen_range(1..16usize);
         let mut t = Tracker::rot(cap);
-        let mut writes: std::collections::HashSet<u64> = Default::default();
-        for (b, w) in ops {
+        let mut writes: HashSet<u64> = Default::default();
+        for (b, w) in ops(&mut rng) {
             if !w {
-                prop_assert!(t.track(blk(b), false).is_ok());
+                assert!(t.track(blk(b), false).is_ok());
                 continue;
             }
             let is_new = !writes.contains(&b);
             let res = t.track(blk(b), true);
             if is_new && writes.len() >= cap {
-                prop_assert!(res.is_err());
+                assert!(res.is_err());
             } else {
-                prop_assert!(res.is_ok());
+                assert!(res.is_ok());
                 writes.insert(b);
             }
         }
         for &b in &writes {
-            prop_assert!(t.writes_block(blk(b)));
+            assert!(t.writes_block(blk(b)));
         }
-        prop_assert_eq!(t.read_set_size(), 0);
+        assert_eq!(t.read_set_size(), 0);
     }
+}
 
-    /// LogTM: never aborts; the overflow counter equals the blocks past
-    /// the fast-path capacity.
-    #[test]
-    fn logtm_overflow_accounting(ops in arb_ops(), cap in 1usize..16) {
+/// LogTM: never aborts; the overflow counter equals the blocks past
+/// the fast-path capacity.
+#[test]
+fn logtm_overflow_accounting() {
+    let mut rng = SmallRng::seed_from_u64(0x106);
+    for _ in 0..128 {
+        let cap = rng.gen_range(1..16usize);
         let mut t = Tracker::log_tm(cap);
-        let mut distinct: std::collections::HashSet<u64> = Default::default();
-        for (b, w) in ops {
-            prop_assert!(t.track(blk(b), w).is_ok());
+        let mut distinct: HashSet<u64> = Default::default();
+        for (b, w) in ops(&mut rng) {
+            assert!(t.track(blk(b), w).is_ok());
             distinct.insert(b);
         }
-        prop_assert_eq!(t.footprint(), distinct.len());
-        prop_assert_eq!(
+        assert_eq!(t.footprint(), distinct.len());
+        assert_eq!(
             t.overflowed_blocks(),
             distinct.len().saturating_sub(cap) as u64
         );
     }
+}
 
-    /// clear() always restores a pristine tracker.
-    #[test]
-    fn clear_restores_pristine(ops in arb_ops()) {
+/// clear() always restores a pristine tracker.
+#[test]
+fn clear_restores_pristine() {
+    let mut rng = SmallRng::seed_from_u64(0xC1EA2);
+    for _ in 0..64 {
+        let seq = ops(&mut rng);
         for mut t in [
             Tracker::p8(8),
             Tracker::p8_sig(8, 256, 2),
@@ -166,17 +201,17 @@ proptest! {
             Tracker::rot(8),
             Tracker::log_tm(8),
         ] {
-            for &(b, w) in &ops {
+            for &(b, w) in &seq {
                 let _ = t.track(blk(b), w);
             }
             t.clear();
-            prop_assert_eq!(t.footprint(), 0);
-            prop_assert_eq!(t.read_set_size(), 0);
-            prop_assert_eq!(t.write_set_size(), 0);
-            prop_assert_eq!(t.overflowed_blocks(), 0);
-            for &(b, _) in &ops {
-                prop_assert!(!t.reads_block(blk(b)));
-                prop_assert!(!t.writes_block(blk(b)));
+            assert_eq!(t.footprint(), 0);
+            assert_eq!(t.read_set_size(), 0);
+            assert_eq!(t.write_set_size(), 0);
+            assert_eq!(t.overflowed_blocks(), 0);
+            for &(b, _) in &seq {
+                assert!(!t.reads_block(blk(b)));
+                assert!(!t.writes_block(blk(b)));
             }
         }
     }

@@ -41,7 +41,10 @@ impl StaticClassification {
     /// (possibly replicated) call path: returns the clone's site if the
     /// call site was rewritten, the original otherwise.
     pub fn resolve(&self, call_site: CallSiteId, site: SiteId) -> SiteId {
-        self.site_map.get(&(call_site, site)).copied().unwrap_or(site)
+        self.site_map
+            .get(&(call_site, site))
+            .copied()
+            .unwrap_or(site)
     }
 
     /// Is the access at `site`, reached through `call_site`, safe?
@@ -164,7 +167,10 @@ mod tests {
         // Reads of the shared grid through the memcpy are *not* safe
         // (shared + written in region), but the private-copy accesses are.
         assert!(!c.is_safe(copy_load), "shared grid is written in-region");
-        assert!(c.is_safe(copy_store), "initializing memcpy into private grid");
+        assert!(
+            c.is_safe(copy_store),
+            "initializing memcpy into private grid"
+        );
         assert!(c.is_safe(exp_load), "private grid loads");
         assert!(c.is_safe(path_read));
         assert!(!c.is_safe(path_write), "write-back to shared grid");
@@ -250,8 +256,14 @@ mod tests {
         let c = classify(&module);
         assert_eq!(c.stats().replicated_funcs, 1);
         assert!(c.is_safe_via(safe_call, store_site), "clone path is safe");
-        assert!(!c.is_safe_via(unsafe_call, store_site), "shared path stays unsafe");
-        assert!(!c.is_safe(store_site), "original site unsafe (mixed contexts)");
+        assert!(
+            !c.is_safe_via(unsafe_call, store_site),
+            "shared path stays unsafe"
+        );
+        assert!(
+            !c.is_safe(store_site),
+            "original site unsafe (mixed contexts)"
+        );
     }
 
     #[test]

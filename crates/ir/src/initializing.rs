@@ -50,11 +50,21 @@ struct Walker<'a> {
 /// Computes the set of initializing (safe) store sites, including `memcpy`
 /// store sites.
 pub fn initializing_stores(module: &Module, pt: &PointsTo, sh: &Sharing) -> BTreeSet<SiteId> {
-    let mut w = Walker { module, pt, sh, verdicts: HashMap::new(), call_stack: Vec::new() };
+    let mut w = Walker {
+        module,
+        pt,
+        sh,
+        verdicts: HashMap::new(),
+        call_stack: Vec::new(),
+    };
     for &fid in &sh.reachable_thread {
         w.walk_function_toplevel(fid);
     }
-    w.verdicts.into_iter().filter(|(_, ok)| *ok).map(|(s, _)| s).collect()
+    w.verdicts
+        .into_iter()
+        .filter(|(_, ok)| *ok)
+        .map(|(s, _)| s)
+        .collect()
 }
 
 impl Walker<'_> {
@@ -70,7 +80,10 @@ impl Walker<'_> {
     }
 
     fn record(&mut self, site: SiteId, safe: bool) {
-        self.verdicts.entry(site).and_modify(|v| *v &= safe).or_insert(safe);
+        self.verdicts
+            .entry(site)
+            .and_modify(|v| *v &= safe)
+            .or_insert(safe);
     }
 
     /// Walks statements. `tx` is `Some` while inside a transaction;
@@ -101,7 +114,11 @@ impl Walker<'_> {
                         state.loaded.extend(pre_loaded);
                         state.accessed.extend(pre_accessed);
                     }
-                    let inner_loop = if tx.is_some() { loop_depth + 1 } else { loop_depth };
+                    let inner_loop = if tx.is_some() {
+                        loop_depth + 1
+                    } else {
+                        loop_depth
+                    };
                     tx_depth = self.walk_stmts(fid, body, idx, tx, tx_depth, inner_loop);
                 }
                 Stmt::If(a, b) => {
@@ -167,7 +184,12 @@ impl Walker<'_> {
                     state.accessed.extend(objs);
                 }
             }
-            Instr::Memcpy { dst, src, store_site, .. } => {
+            Instr::Memcpy {
+                dst,
+                src,
+                store_site,
+                ..
+            } => {
                 if let Some(state) = tx.as_mut() {
                     let dst_objs = self.pt.pts(fid, *dst).clone();
                     let src_objs = self.pt.pts(fid, *src).clone();
@@ -353,8 +375,14 @@ mod tests {
             w.tx_end();
         });
         let safe = analyze(&module);
-        assert!(!safe.contains(&loop_site.unwrap()), "looped store to pre-TX object");
-        assert!(safe.contains(&alloc_site.unwrap()), "looped store to TX-fresh object");
+        assert!(
+            !safe.contains(&loop_site.unwrap()),
+            "looped store to pre-TX object"
+        );
+        assert!(
+            safe.contains(&alloc_site.unwrap()),
+            "looped store to TX-fresh object"
+        );
     }
 
     #[test]
@@ -430,7 +458,10 @@ mod tests {
         main.ret();
         let entry = main.finish();
         let module = m.finish(entry, worker);
-        assert!(analyze(&module).contains(&site), "store in callee to TX-fresh object");
+        assert!(
+            analyze(&module).contains(&site),
+            "store in callee to TX-fresh object"
+        );
     }
 
     #[test]

@@ -64,8 +64,8 @@ pub mod replicate;
 pub mod sharing;
 
 pub use classify::{classify, ClassifyStats, StaticClassification};
-pub use printer::print_module;
 pub use module::{
     CallSiteId, FuncBuilder, FuncId, Function, GlobalId, Instr, Module, ModuleBuilder, ObjId,
     ObjKind, Stmt, ValueId,
 };
+pub use printer::print_module;

@@ -64,13 +64,31 @@ pub enum Instr {
     /// Derived pointer (field/index) into the same object(s) as `base`.
     Gep { out: ValueId, base: ValueId },
     /// Memory load through `ptr`; `out` is `Some` when a pointer is loaded.
-    Load { out: Option<ValueId>, ptr: ValueId, site: SiteId },
+    Load {
+        out: Option<ValueId>,
+        ptr: ValueId,
+        site: SiteId,
+    },
     /// Memory store through `ptr`; `val` is `Some` when a pointer is stored.
-    Store { ptr: ValueId, val: Option<ValueId>, site: SiteId },
+    Store {
+        ptr: ValueId,
+        val: Option<ValueId>,
+        site: SiteId,
+    },
     /// Whole-object copy from `src` to `dst` (LLVM `memcpy` intrinsic).
-    Memcpy { dst: ValueId, src: ValueId, load_site: SiteId, store_site: SiteId },
+    Memcpy {
+        dst: ValueId,
+        src: ValueId,
+        load_site: SiteId,
+        store_site: SiteId,
+    },
     /// Direct call.
-    Call { callee: FuncId, args: Vec<ValueId>, out: Option<ValueId>, id: CallSiteId },
+    Call {
+        callee: FuncId,
+        args: Vec<ValueId>,
+        out: Option<ValueId>,
+        id: CallSiteId,
+    },
     /// Thread spawn running `callee(args)` on every worker thread.
     Spawn { callee: FuncId, args: Vec<ValueId> },
     /// Transaction boundaries.
@@ -142,7 +160,10 @@ impl Module {
 
     /// Iterates over `(FuncId, &Function)`.
     pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
     }
 
     /// Visits every instruction of `f`'s body in syntactic order.
@@ -182,7 +203,9 @@ impl ModuleBuilder {
 
     /// Declares a global variable.
     pub fn global(&mut self, name: &str) -> GlobalId {
-        self.globals.push(GlobalDef { name: name.to_string() });
+        self.globals.push(GlobalDef {
+            name: name.to_string(),
+        });
         GlobalId(self.globals.len() as u32 - 1)
     }
 
@@ -205,7 +228,10 @@ impl ModuleBuilder {
     /// Panics if `entry` or `thread_root` is out of range.
     pub fn finish(self, entry: FuncId, thread_root: FuncId) -> Module {
         assert!((entry.0 as usize) < self.funcs.len(), "entry out of range");
-        assert!((thread_root.0 as usize) < self.funcs.len(), "thread_root out of range");
+        assert!(
+            (thread_root.0 as usize) < self.funcs.len(),
+            "thread_root out of range"
+        );
         Module {
             funcs: self.funcs,
             globals: self.globals,
@@ -257,7 +283,10 @@ impl FuncBuilder<'_> {
     }
 
     fn push(&mut self, i: Instr) {
-        self.stack.last_mut().expect("open block").push(Stmt::Instr(i));
+        self.stack
+            .last_mut()
+            .expect("open block")
+            .push(Stmt::Instr(i));
     }
 
     /// Emits a stack allocation.
@@ -296,7 +325,11 @@ impl FuncBuilder<'_> {
     /// Emits a data load; returns the access site.
     pub fn load(&mut self, ptr: ValueId) -> SiteId {
         let site = self.fresh_site();
-        self.push(Instr::Load { out: None, ptr, site });
+        self.push(Instr::Load {
+            out: None,
+            ptr,
+            site,
+        });
         site
     }
 
@@ -304,21 +337,33 @@ impl FuncBuilder<'_> {
     pub fn load_ptr(&mut self, ptr: ValueId) -> (ValueId, SiteId) {
         let site = self.fresh_site();
         let out = self.fresh_value();
-        self.push(Instr::Load { out: Some(out), ptr, site });
+        self.push(Instr::Load {
+            out: Some(out),
+            ptr,
+            site,
+        });
         (out, site)
     }
 
     /// Emits a data store; returns the access site.
     pub fn store(&mut self, ptr: ValueId) -> SiteId {
         let site = self.fresh_site();
-        self.push(Instr::Store { ptr, val: None, site });
+        self.push(Instr::Store {
+            ptr,
+            val: None,
+            site,
+        });
         site
     }
 
     /// Emits a pointer store (`*ptr = val`); returns the access site.
     pub fn store_ptr(&mut self, ptr: ValueId, val: ValueId) -> SiteId {
         let site = self.fresh_site();
-        self.push(Instr::Store { ptr, val: Some(val), site });
+        self.push(Instr::Store {
+            ptr,
+            val: Some(val),
+            site,
+        });
         site
     }
 
@@ -326,7 +371,12 @@ impl FuncBuilder<'_> {
     pub fn memcpy(&mut self, dst: ValueId, src: ValueId) -> (SiteId, SiteId) {
         let load_site = self.fresh_site();
         let store_site = self.fresh_site();
-        self.push(Instr::Memcpy { dst, src, load_site, store_site });
+        self.push(Instr::Memcpy {
+            dst,
+            src,
+            load_site,
+            store_site,
+        });
         (load_site, store_site)
     }
 
@@ -334,7 +384,12 @@ impl FuncBuilder<'_> {
     pub fn call(&mut self, callee: FuncId, args: Vec<ValueId>) -> CallSiteId {
         let id = CallSiteId(self.parent.next_call_site);
         self.parent.next_call_site += 1;
-        self.push(Instr::Call { callee, args, out: None, id });
+        self.push(Instr::Call {
+            callee,
+            args,
+            out: None,
+            id,
+        });
         id
     }
 
@@ -343,7 +398,12 @@ impl FuncBuilder<'_> {
         let id = CallSiteId(self.parent.next_call_site);
         self.parent.next_call_site += 1;
         let out = self.fresh_value();
-        self.push(Instr::Call { callee, args, out: Some(out), id });
+        self.push(Instr::Call {
+            callee,
+            args,
+            out: Some(out),
+            id,
+        });
         (out, id)
     }
 
@@ -410,13 +470,22 @@ impl FuncBuilder<'_> {
         let body = self.stack.pop().expect("open block");
         match self.frame_kinds.pop().expect("block kind") {
             FrameKind::Loop => {
-                self.stack.last_mut().expect("parent").push(Stmt::Loop(body));
+                self.stack
+                    .last_mut()
+                    .expect("parent")
+                    .push(Stmt::Loop(body));
             }
             FrameKind::Then => {
-                self.stack.last_mut().expect("parent").push(Stmt::If(body, Vec::new()));
+                self.stack
+                    .last_mut()
+                    .expect("parent")
+                    .push(Stmt::If(body, Vec::new()));
             }
             FrameKind::Else(then_body) => {
-                self.stack.last_mut().expect("parent").push(Stmt::If(then_body, body));
+                self.stack
+                    .last_mut()
+                    .expect("parent")
+                    .push(Stmt::If(then_body, body));
             }
         }
     }

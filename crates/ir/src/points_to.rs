@@ -94,7 +94,12 @@ pub fn points_to(module: &Module) -> PointsTo {
     let mut global_objs = Vec::new();
     for _g in &module.globals {
         global_objs.push(ObjId(objects.len() as u32));
-        objects.push(ObjInfo { kind: ObjKind::Global, func: None, in_tx: false, in_loop: false });
+        objects.push(ObjInfo {
+            kind: ObjKind::Global,
+            func: None,
+            in_tx: false,
+            in_loop: false,
+        });
     }
     let mut alloc_objs = std::collections::HashMap::new();
     for (fid, f) in module.iter_funcs() {
@@ -197,14 +202,22 @@ fn apply(module: &Module, pt: &mut PointsTo, fid: FuncId, idx: u32, instr: &Inst
             let src = pt.pts[vi(*b)].clone();
             changed |= add(&mut pt.pts[vi(*out)], &src);
         }
-        Instr::Load { out: Some(out), ptr, .. } => {
+        Instr::Load {
+            out: Some(out),
+            ptr,
+            ..
+        } => {
             let mut gathered = BTreeSet::new();
             for o in pt.pts[vi(*ptr)].clone() {
                 gathered.extend(pt.contents[o.0 as usize].iter().copied());
             }
             changed |= add(&mut pt.pts[vi(*out)], &gathered);
         }
-        Instr::Store { ptr, val: Some(val), .. } => {
+        Instr::Store {
+            ptr,
+            val: Some(val),
+            ..
+        } => {
             let vals = pt.pts[vi(*val)].clone();
             for o in pt.pts[vi(*ptr)].clone() {
                 changed |= add(&mut pt.contents[o.0 as usize], &vals);
@@ -220,7 +233,9 @@ fn apply(module: &Module, pt: &mut PointsTo, fid: FuncId, idx: u32, instr: &Inst
                 changed |= add(&mut pt.contents[o.0 as usize], &gathered);
             }
         }
-        Instr::Call { callee, args, out, .. } => {
+        Instr::Call {
+            callee, args, out, ..
+        } => {
             let callee_fn = module.func(*callee);
             let callee_base = pt.value_base[callee.0 as usize];
             for (i, a) in args.iter().enumerate().take(callee_fn.num_params) {

@@ -38,7 +38,11 @@ pub fn print_module(module: &Module, verdicts: Option<&StaticClassification>) ->
         if fid == module.thread_root {
             tags.push("thread-root");
         }
-        let tag = if tags.is_empty() { String::new() } else { format!("  ; {}", tags.join(", ")) };
+        let tag = if tags.is_empty() {
+            String::new()
+        } else {
+            format!("  ; {}", tags.join(", "))
+        };
         let _ = writeln!(out, "\nfn {}({} params){tag} {{", f.name, f.num_params);
         print_stmts(module, &f.body, verdicts, 1, &mut out);
         let _ = writeln!(out, "}}");
@@ -71,19 +75,62 @@ fn print_stmts(
                     Instr::Free { ptr } => format!("free v{}", ptr.0),
                     Instr::Global { out, global } => format!("v{} = &g{}", out.0, global.0),
                     Instr::Gep { out, base } => format!("v{} = gep v{}", out.0, base.0),
-                    Instr::Load { out: Some(o), ptr, site } => {
-                        format!("v{} = load.ptr v{} @site{}{}", o.0, ptr.0, site.0, verdict_suffix(*site, verdicts))
+                    Instr::Load {
+                        out: Some(o),
+                        ptr,
+                        site,
+                    } => {
+                        format!(
+                            "v{} = load.ptr v{} @site{}{}",
+                            o.0,
+                            ptr.0,
+                            site.0,
+                            verdict_suffix(*site, verdicts)
+                        )
                     }
-                    Instr::Load { out: None, ptr, site } => {
-                        format!("load v{} @site{}{}", ptr.0, site.0, verdict_suffix(*site, verdicts))
+                    Instr::Load {
+                        out: None,
+                        ptr,
+                        site,
+                    } => {
+                        format!(
+                            "load v{} @site{}{}",
+                            ptr.0,
+                            site.0,
+                            verdict_suffix(*site, verdicts)
+                        )
                     }
-                    Instr::Store { ptr, val: Some(v), site } => {
-                        format!("store.ptr v{} <- v{} @site{}{}", ptr.0, v.0, site.0, verdict_suffix(*site, verdicts))
+                    Instr::Store {
+                        ptr,
+                        val: Some(v),
+                        site,
+                    } => {
+                        format!(
+                            "store.ptr v{} <- v{} @site{}{}",
+                            ptr.0,
+                            v.0,
+                            site.0,
+                            verdict_suffix(*site, verdicts)
+                        )
                     }
-                    Instr::Store { ptr, val: None, site } => {
-                        format!("store v{} @site{}{}", ptr.0, site.0, verdict_suffix(*site, verdicts))
+                    Instr::Store {
+                        ptr,
+                        val: None,
+                        site,
+                    } => {
+                        format!(
+                            "store v{} @site{}{}",
+                            ptr.0,
+                            site.0,
+                            verdict_suffix(*site, verdicts)
+                        )
                     }
-                    Instr::Memcpy { dst, src, load_site, store_site } => format!(
+                    Instr::Memcpy {
+                        dst,
+                        src,
+                        load_site,
+                        store_site,
+                    } => format!(
                         "memcpy v{} <- v{} @site{}/{}{}{}",
                         dst.0,
                         src.0,
@@ -92,7 +139,12 @@ fn print_stmts(
                         verdict_suffix(*load_site, verdicts),
                         verdict_suffix(*store_site, verdicts),
                     ),
-                    Instr::Call { callee, args, out, id } => {
+                    Instr::Call {
+                        callee,
+                        args,
+                        out,
+                        id,
+                    } => {
                         let args: Vec<String> = args.iter().map(|a| format!("v{}", a.0)).collect();
                         let dst = out.map(|o| format!("v{} = ", o.0)).unwrap_or_default();
                         format!(

@@ -30,13 +30,19 @@ pub fn replicate(module: &Module, pt: &PointsTo, sh: &Sharing) -> (Module, Repli
     let mut call_contexts: HashMap<FuncId, Vec<(FuncId, CallSiteId, bool)>> = HashMap::new();
     for (fid, _) in module.iter_funcs() {
         module.visit_instrs(fid, |i| {
-            if let Instr::Call { callee, args, id, .. } = i {
+            if let Instr::Call {
+                callee, args, id, ..
+            } = i
+            {
                 let safe_ctx = args.iter().all(|a| {
                     let objs = pt.pts(fid, *a);
                     // Non-pointer args have empty pts and are irrelevant.
                     objs.is_empty() || sh.all_thread_private(objs)
                 }) && args.iter().any(|a| !pt.pts(fid, *a).is_empty());
-                call_contexts.entry(*callee).or_default().push((fid, *id, safe_ctx));
+                call_contexts
+                    .entry(*callee)
+                    .or_default()
+                    .push((fid, *id, safe_ctx));
             }
         });
     }
@@ -119,22 +125,38 @@ fn clone_stmts(
         .iter()
         .map(|s| match s {
             Stmt::Instr(i) => Stmt::Instr(match i {
-                Instr::Load { out, ptr, site } => {
-                    Instr::Load { out: *out, ptr: *ptr, site: fresh_site(*site, site_remap, next_site) }
-                }
-                Instr::Store { ptr, val, site } => {
-                    Instr::Store { ptr: *ptr, val: *val, site: fresh_site(*site, site_remap, next_site) }
-                }
-                Instr::Memcpy { dst, src, load_site, store_site } => Instr::Memcpy {
+                Instr::Load { out, ptr, site } => Instr::Load {
+                    out: *out,
+                    ptr: *ptr,
+                    site: fresh_site(*site, site_remap, next_site),
+                },
+                Instr::Store { ptr, val, site } => Instr::Store {
+                    ptr: *ptr,
+                    val: *val,
+                    site: fresh_site(*site, site_remap, next_site),
+                },
+                Instr::Memcpy {
+                    dst,
+                    src,
+                    load_site,
+                    store_site,
+                } => Instr::Memcpy {
                     dst: *dst,
                     src: *src,
                     load_site: fresh_site(*load_site, site_remap, next_site),
                     store_site: fresh_site(*store_site, site_remap, next_site),
                 },
-                Instr::Call { callee, args, out, .. } => {
+                Instr::Call {
+                    callee, args, out, ..
+                } => {
                     let id = CallSiteId(*next_call_site);
                     *next_call_site += 1;
-                    Instr::Call { callee: *callee, args: args.clone(), out: *out, id }
+                    Instr::Call {
+                        callee: *callee,
+                        args: args.clone(),
+                        out: *out,
+                        id,
+                    }
                 }
                 other => other.clone(),
             }),
@@ -204,7 +226,11 @@ mod tests {
         let (out, rep) = replicate(&module, &pt, &sh);
 
         assert_eq!(rep.replicated.len(), 1);
-        let clone_site = rep.site_map.get(&(safe_call, site)).copied().expect("mapped site");
+        let clone_site = rep
+            .site_map
+            .get(&(safe_call, site))
+            .copied()
+            .expect("mapped site");
         assert_ne!(clone_site, site);
         assert_eq!(out.funcs.len(), module.funcs.len() + 1);
         assert!(out.num_sites > module.num_sites);

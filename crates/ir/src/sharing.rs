@@ -123,10 +123,19 @@ pub fn sharing(module: &Module, pt: &PointsTo) -> Sharing {
             _ => {}
         });
     }
-    let read_only_shared: BTreeSet<ObjId> =
-        shared.iter().copied().filter(|o| !written_in_region.contains(o)).collect();
+    let read_only_shared: BTreeSet<ObjId> = shared
+        .iter()
+        .copied()
+        .filter(|o| !written_in_region.contains(o))
+        .collect();
 
-    Sharing { shared, thread_private, read_only_shared, reachable_thread, reachable_main }
+    Sharing {
+        shared,
+        thread_private,
+        read_only_shared,
+        reachable_thread,
+        reachable_main,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +190,10 @@ mod tests {
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
         assert!(sh.reachable_main.contains(&entry));
-        assert!(!sh.reachable_main.contains(&worker), "spawn edge not followed");
+        assert!(
+            !sh.reachable_main.contains(&worker),
+            "spawn edge not followed"
+        );
         assert!(sh.reachable_thread.contains(&worker));
     }
 
@@ -309,7 +321,10 @@ mod tests {
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
         let buf_obj = *pt.pts(helper, buf).iter().next().unwrap();
-        assert!(sh.shared.contains(&buf_obj), "returned-then-published object escapes");
+        assert!(
+            sh.shared.contains(&buf_obj),
+            "returned-then-published object escapes"
+        );
         assert!(sh.thread_private.is_empty());
     }
 
@@ -342,8 +357,14 @@ mod tests {
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
         let table_objs = pt.pts(worker, crate::module::ValueId(0)).clone();
-        assert!(sh.load_targets_safe(&table_objs), "read-only shared loads safe");
+        assert!(
+            sh.load_targets_safe(&table_objs),
+            "read-only shared loads safe"
+        );
         assert!(!sh.all_thread_private(&table_objs));
-        assert!(!sh.load_targets_safe(&BTreeSet::new()), "empty pts is unsafe");
+        assert!(
+            !sh.load_targets_safe(&BTreeSet::new()),
+            "empty pts is unsafe"
+        );
     }
 }

@@ -1,10 +1,11 @@
-//! Property tests of the static classification pipeline on randomly
+//! Randomized tests of the static classification pipeline on randomly
 //! generated modules: the pipeline must always terminate, be deterministic,
 //! and — the soundness property — never mark an access safe when its
-//! targets include memory another thread could race on.
+//! targets include memory another thread could race on. (Std-only: modules
+//! are drawn from the deterministic in-tree generator.)
 
 use hintm_ir::{classify, FuncId, Instr, Module, ModuleBuilder, Stmt, ValueId};
-use proptest::prelude::*;
+use hintm_types::rng::SmallRng;
 use std::collections::BTreeSet;
 
 /// A recipe for one instruction inside the worker body. Values refer to a
@@ -34,30 +35,40 @@ enum OpInTx {
     Memcpy(u8, u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Alloca),
-        2 => Just(Op::Halloc),
-        2 => (0u8..3).prop_map(Op::GlobalAddr),
-        1 => (0u8..8).prop_map(Op::Gep),
-        2 => (0u8..8).prop_map(Op::Load),
-        2 => (0u8..8).prop_map(Op::Store),
-        1 => (0u8..8, 0u8..8).prop_map(|(a, b)| Op::StorePtr(a, b)),
-        1 => (0u8..8, 0u8..8).prop_map(|(a, b)| Op::Memcpy(a, b)),
-        1 => (0u8..3, 0u8..8).prop_map(|(g, v)| Op::PublishToGlobal(g, v)),
-        1 => (0u8..8).prop_map(Op::LoopedLoadStore),
-        3 => prop::collection::vec(arb_op_in_tx(), 1..6).prop_map(Op::TxWindow),
-    ]
+fn rand_op_in_tx(rng: &mut SmallRng) -> OpInTx {
+    match rng.gen_range(0..5u32) {
+        0 => OpInTx::Alloca,
+        1 => OpInTx::Halloc,
+        2 => OpInTx::Load(rng.gen_range(0..8u8)),
+        3 => OpInTx::Store(rng.gen_range(0..8u8)),
+        _ => OpInTx::Memcpy(rng.gen_range(0..8u8), rng.gen_range(0..8u8)),
+    }
 }
 
-fn arb_op_in_tx() -> impl Strategy<Value = OpInTx> {
-    prop_oneof![
-        Just(OpInTx::Alloca),
-        Just(OpInTx::Halloc),
-        (0u8..8).prop_map(OpInTx::Load),
-        (0u8..8).prop_map(OpInTx::Store),
-        (0u8..8, 0u8..8).prop_map(|(a, b)| OpInTx::Memcpy(a, b)),
-    ]
+/// Weighted choice matching the original strategy's distribution:
+/// structural ops and TX windows are more frequent than pointer plumbing.
+fn rand_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..18u32) {
+        0 | 1 => Op::Alloca,
+        2 | 3 => Op::Halloc,
+        4 | 5 => Op::GlobalAddr(rng.gen_range(0..3u8)),
+        6 => Op::Gep(rng.gen_range(0..8u8)),
+        7 | 8 => Op::Load(rng.gen_range(0..8u8)),
+        9 | 10 => Op::Store(rng.gen_range(0..8u8)),
+        11 => Op::StorePtr(rng.gen_range(0..8u8), rng.gen_range(0..8u8)),
+        12 => Op::Memcpy(rng.gen_range(0..8u8), rng.gen_range(0..8u8)),
+        13 => Op::PublishToGlobal(rng.gen_range(0..3u8), rng.gen_range(0..8u8)),
+        14 => Op::LoopedLoadStore(rng.gen_range(0..8u8)),
+        _ => {
+            let n = rng.gen_range(1..6usize);
+            Op::TxWindow((0..n).map(|_| rand_op_in_tx(rng)).collect())
+        }
+    }
+}
+
+fn rand_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let n = rng.gen_range(0..25usize);
+    (0..n).map(|_| rand_op(rng)).collect()
 }
 
 /// Builds a module from a recipe: main stores to global 0 (initialization),
@@ -135,30 +146,32 @@ fn build(ops: &[Op]) -> (Module, FuncId, Vec<hintm_types::SiteId>) {
     (m.finish(entry, worker), worker, sites)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// classify() terminates and is deterministic on arbitrary modules.
-    #[test]
-    fn classify_is_total_and_deterministic(ops in prop::collection::vec(arb_op(), 0..25)) {
-        let (module, _, _) = build(&ops);
+/// classify() terminates and is deterministic on arbitrary modules.
+#[test]
+fn classify_is_total_and_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xC1A55);
+    for _ in 0..64 {
+        let (module, _, _) = build(&rand_ops(&mut rng));
         let a = classify(&module);
         let b = classify(&module);
         let sa: BTreeSet<_> = a.safe_sites().iter().copied().collect();
         let sb: BTreeSet<_> = b.safe_sites().iter().copied().collect();
-        prop_assert_eq!(sa, sb);
-        prop_assert_eq!(a.stats(), b.stats());
+        assert_eq!(sa, sb);
+        assert_eq!(a.stats(), b.stats());
     }
+}
 
-    /// Soundness proxy: a site marked safe never targets an object that is
-    /// (a) a global or spawn-reachable (shared) AND (b) written anywhere in
-    /// the parallel region. We re-derive the ground truth with the
-    /// analyses' own primitives but *without* the safe-classification
-    /// shortcuts, so a classification bug that over-approximates safety is
-    /// caught.
-    #[test]
-    fn safe_sites_never_touch_racy_memory(ops in prop::collection::vec(arb_op(), 0..25)) {
-        let (module, worker, _) = build(&ops);
+/// Soundness proxy: a site marked safe never targets an object that is
+/// (a) a global or spawn-reachable (shared) AND (b) written anywhere in
+/// the parallel region. We re-derive the ground truth with the
+/// analyses' own primitives but *without* the safe-classification
+/// shortcuts, so a classification bug that over-approximates safety is
+/// caught.
+#[test]
+fn safe_sites_never_touch_racy_memory() {
+    let mut rng = SmallRng::seed_from_u64(0x2AC9);
+    for _ in 0..64 {
+        let (module, worker, _) = build(&rand_ops(&mut rng));
         let c = classify(&module);
         let pt = hintm_ir::points_to::points_to(&module);
         let sh = hintm_ir::sharing::sharing(&module, &pt);
@@ -201,19 +214,24 @@ proptest! {
             }
         });
     }
+}
 
-    /// Stores marked safe always target exclusively thread-private (or
-    /// TX-fresh) memory — never anything shared.
-    #[test]
-    fn safe_stores_target_private_memory(ops in prop::collection::vec(arb_op(), 0..25)) {
-        let (module, worker, _) = build(&ops);
+/// Stores marked safe always target exclusively thread-private (or
+/// TX-fresh) memory — never anything shared.
+#[test]
+fn safe_stores_target_private_memory() {
+    let mut rng = SmallRng::seed_from_u64(0x5702);
+    for _ in 0..64 {
+        let (module, worker, _) = build(&rand_ops(&mut rng));
         let c = classify(&module);
         let pt = hintm_ir::points_to::points_to(&module);
         let sh = hintm_ir::sharing::sharing(&module, &pt);
         module.visit_instrs(worker, |i| {
             let ptr = match i {
                 Instr::Store { ptr, site, .. } if c.is_safe(*site) => Some(ptr),
-                Instr::Memcpy { dst, store_site, .. } if c.is_safe(*store_site) => Some(dst),
+                Instr::Memcpy {
+                    dst, store_site, ..
+                } if c.is_safe(*store_site) => Some(dst),
                 _ => None,
             };
             if let Some(ptr) = ptr {
@@ -229,17 +247,20 @@ proptest! {
             }
         });
     }
+}
 
-    /// Loop/branch structure never breaks the builder/visitor round trip.
-    #[test]
-    fn visit_instr_count_is_stable(ops in prop::collection::vec(arb_op(), 0..25)) {
-        let (module, worker, _) = build(&ops);
+/// Loop/branch structure never breaks the builder/visitor round trip.
+#[test]
+fn visit_instr_count_is_stable() {
+    let mut rng = SmallRng::seed_from_u64(0x1257);
+    for _ in 0..64 {
+        let (module, worker, _) = build(&rand_ops(&mut rng));
         let mut count1 = 0u32;
         module.visit_instrs(worker, |_| count1 += 1);
         let mut count2 = 0u32;
         module.visit_instrs(worker, |_| count2 += 1);
-        prop_assert_eq!(count1, count2);
-        prop_assert!(count1 > 0);
+        assert_eq!(count1, count2);
+        assert!(count1 > 0);
         // Statement tree matches: every instruction is reachable.
         fn tree_count(stmts: &[Stmt]) -> u32 {
             stmts
@@ -251,6 +272,6 @@ proptest! {
                 })
                 .sum()
         }
-        prop_assert_eq!(tree_count(&module.func(worker).body), count1);
+        assert_eq!(tree_count(&module.func(worker).body), count1);
     }
 }

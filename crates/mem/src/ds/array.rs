@@ -39,14 +39,22 @@ impl SimArray {
     pub fn new_global(space: &mut AddressSpace, len: usize, elem_size: u64) -> Self {
         assert!(elem_size > 0, "element size must be positive");
         let base = space.alloc_global(len as u64 * elem_size);
-        SimArray { base, elem_size, values: vec![0; len] }
+        SimArray {
+            base,
+            elem_size,
+            values: vec![0; len],
+        }
     }
 
     /// Allocates an array of `len` elements in `tid`'s heap arena.
     pub fn new_heap(space: &mut AddressSpace, tid: ThreadId, len: usize, elem_size: u64) -> Self {
         assert!(elem_size > 0, "element size must be positive");
         let base = space.halloc(tid, len as u64 * elem_size);
-        SimArray { base, elem_size, values: vec![0; len] }
+        SimArray {
+            base,
+            elem_size,
+            values: vec![0; len],
+        }
     }
 
     /// Allocates a page-aligned array in `tid`'s heap arena (large objects).
@@ -58,7 +66,11 @@ impl SimArray {
     ) -> Self {
         assert!(elem_size > 0, "element size must be positive");
         let base = space.halloc_pages(tid, len as u64 * elem_size);
-        SimArray { base, elem_size, values: vec![0; len] }
+        SimArray {
+            base,
+            elem_size,
+            values: vec![0; len],
+        }
     }
 
     /// Number of elements.
@@ -192,7 +204,10 @@ mod tests {
     fn heap_array_lands_in_owner_arena() {
         let mut s = AddressSpace::new(4);
         let a = SimArray::new_heap(&mut s, ThreadId(3), 4, 8);
-        assert_eq!(s.segment_of(a.base()), crate::SegmentKind::Heap(ThreadId(3)));
+        assert_eq!(
+            s.segment_of(a.base()),
+            crate::SegmentKind::Heap(ThreadId(3))
+        );
     }
 
     #[test]

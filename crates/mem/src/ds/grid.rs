@@ -46,7 +46,13 @@ impl SimGrid {
         assert!(x > 0 && y > 0 && z > 0, "grid dimensions must be positive");
         let n = x * y * z;
         let base = space.halloc_pages(tid, n as u64 * CELL_SIZE);
-        SimGrid { base, x, y, z, cells: vec![0; n] }
+        SimGrid {
+            base,
+            x,
+            y,
+            z,
+            cells: vec![0; n],
+        }
     }
 
     /// Allocates an `x × y × z` grid page-aligned in the global segment
@@ -59,7 +65,13 @@ impl SimGrid {
         assert!(x > 0 && y > 0 && z > 0, "grid dimensions must be positive");
         let n = x * y * z;
         let base = space.alloc_global_page_aligned(n as u64 * CELL_SIZE);
-        SimGrid { base, x, y, z, cells: vec![0; n] }
+        SimGrid {
+            base,
+            x,
+            y,
+            z,
+            cells: vec![0; n],
+        }
     }
 
     /// Grid dimensions `(x, y, z)`.
@@ -78,7 +90,10 @@ impl SimGrid {
     }
 
     fn index(&self, x: usize, y: usize, z: usize) -> usize {
-        assert!(x < self.x && y < self.y && z < self.z, "grid index out of bounds");
+        assert!(
+            x < self.x && y < self.y && z < self.z,
+            "grid index out of bounds"
+        );
         (z * self.y + y) * self.x + x
     }
 
@@ -140,7 +155,11 @@ impl SimGrid {
         load_site: SiteId,
         store_site: SiteId,
     ) {
-        assert_eq!(self.dims(), src.dims(), "grid copy requires equal dimensions");
+        assert_eq!(
+            self.dims(),
+            src.dims(),
+            "grid copy requires equal dimensions"
+        );
         self.cells.copy_from_slice(&src.cells);
         let bytes = self.cells.len() as u64 * CELL_SIZE;
         let mut off = 0u64;

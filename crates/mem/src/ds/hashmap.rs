@@ -24,7 +24,12 @@ pub struct HashMapSites {
 impl HashMapSites {
     /// All sites mapped to a single id (tests, simple workloads).
     pub fn uniform(site: SiteId) -> Self {
-        HashMapSites { bucket: site, traverse: site, node_init: site, link: site }
+        HashMapSites {
+            bucket: site,
+            traverse: site,
+            node_init: site,
+            link: site,
+        }
     }
 }
 
@@ -168,10 +173,20 @@ impl SimHashMap {
         }
         let addr = space.halloc(tid, self.node_size);
         let idx = if let Some(i) = self.free.pop() {
-            self.nodes[i] = Node { key, value, addr, next: self.heads[b] };
+            self.nodes[i] = Node {
+                key,
+                value,
+                addr,
+                next: self.heads[b],
+            };
             i
         } else {
-            self.nodes.push(Node { key, value, addr, next: self.heads[b] });
+            self.nodes.push(Node {
+                key,
+                value,
+                addr,
+                next: self.heads[b],
+            });
             self.nodes.len() - 1
         };
         sink.store(addr.offset(KEY_OFF), sites.node_init);
@@ -286,7 +301,14 @@ impl SimHashMap {
         tid: ThreadId,
         space: &mut AddressSpace,
     ) -> bool {
-        self.insert(key, value, tid, space, &mut crate::NullSink, HashMapSites::uniform(SiteId::UNKNOWN))
+        self.insert(
+            key,
+            value,
+            tid,
+            space,
+            &mut crate::NullSink,
+            HashMapSites::uniform(SiteId::UNKNOWN),
+        )
     }
 }
 
@@ -349,7 +371,10 @@ mod tests {
         let (mut sp, mut m, st) = setup();
         m.insert(1, 10, ThreadId(0), &mut sp, &mut NullSink, st);
         m.insert(2, 20, ThreadId(0), &mut sp, &mut NullSink, st);
-        assert_eq!(m.remove(1, ThreadId(0), &mut sp, &mut NullSink, st), Some(10));
+        assert_eq!(
+            m.remove(1, ThreadId(0), &mut sp, &mut NullSink, st),
+            Some(10)
+        );
         assert_eq!(m.len(), 1);
         assert_eq!(m.get(1, &mut NullSink, st), None);
         assert_eq!(m.remove(1, ThreadId(0), &mut sp, &mut NullSink, st), None);
@@ -388,7 +413,9 @@ mod tests {
             m.insert(k, k, ThreadId(0), &mut sp, &mut NullSink, st);
         }
         let mut visited = Vec::new();
-        m.insert_with(99, 0, ThreadId(0), &mut sp, &mut NullSink, st, |_, k| visited.push(k));
+        m.insert_with(99, 0, ThreadId(0), &mut sp, &mut NullSink, st, |_, k| {
+            visited.push(k)
+        });
         assert_eq!(visited.len(), 3, "every chain node compared");
         visited.sort_unstable();
         assert_eq!(visited, vec![10, 20, 30]);

@@ -23,7 +23,11 @@ pub struct ListSites {
 impl ListSites {
     /// All sites mapped to a single id (tests, simple workloads).
     pub fn uniform(site: SiteId) -> Self {
-        ListSites { traverse: site, node_init: site, link: site }
+        ListSites {
+            traverse: site,
+            node_init: site,
+            link: site,
+        }
     }
 }
 
@@ -74,7 +78,13 @@ impl SimList {
     /// Panics if `node_size < 24` (the three fields).
     pub fn new(node_size: u64) -> Self {
         assert!(node_size >= 24, "node must hold key/value/next");
-        SimList { nodes: Vec::new(), head: None, node_size, len: 0, free: Vec::new() }
+        SimList {
+            nodes: Vec::new(),
+            head: None,
+            node_size,
+            len: 0,
+            free: Vec::new(),
+        }
     }
 
     /// Number of elements.
@@ -97,11 +107,21 @@ impl SimList {
         if let Some(idx) = self.free.pop() {
             let size = self.node_size;
             let addr = space.halloc(tid, size);
-            self.nodes[idx] = Node { key, value, addr, next: None };
+            self.nodes[idx] = Node {
+                key,
+                value,
+                addr,
+                next: None,
+            };
             idx
         } else {
             let addr = space.halloc(tid, self.node_size);
-            self.nodes.push(Node { key, value, addr, next: None });
+            self.nodes.push(Node {
+                key,
+                value,
+                addr,
+                next: None,
+            });
             self.nodes.len() - 1
         }
     }
@@ -253,7 +273,11 @@ mod tests {
     use crate::{CountingSink, NullSink, VecSink};
 
     fn setup() -> (AddressSpace, SimList, ListSites) {
-        (AddressSpace::new(2), SimList::new(32), ListSites::uniform(SiteId(1)))
+        (
+            AddressSpace::new(2),
+            SimList::new(32),
+            ListSites::uniform(SiteId(1)),
+        )
     }
 
     #[test]
@@ -317,9 +341,18 @@ mod tests {
         for k in [3u64, 1, 2] {
             l.insert(k, k, ThreadId(0), &mut sp, &mut NullSink, st);
         }
-        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), Some((1, 1)));
-        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), Some((2, 2)));
-        assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), Some((3, 3)));
+        assert_eq!(
+            l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st),
+            Some((1, 1))
+        );
+        assert_eq!(
+            l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st),
+            Some((2, 2))
+        );
+        assert_eq!(
+            l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st),
+            Some((3, 3))
+        );
         assert_eq!(l.pop_front(ThreadId(0), &mut sp, &mut NullSink, st), None);
     }
 
@@ -333,8 +366,11 @@ mod tests {
         };
         let mut sink = VecSink::new();
         l.insert(1, 1, ThreadId(0), &mut sp, &mut sink, sites);
-        let init_stores =
-            sink.accesses.iter().filter(|a| a.site == SiteId(2) && a.kind.is_store()).count();
+        let init_stores = sink
+            .accesses
+            .iter()
+            .filter(|a| a.site == SiteId(2) && a.kind.is_store())
+            .count();
         assert_eq!(init_stores, 3);
     }
 

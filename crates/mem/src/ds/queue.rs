@@ -15,7 +15,10 @@ pub struct QueueSites {
 impl QueueSites {
     /// All sites mapped to a single id (tests, simple workloads).
     pub fn uniform(site: SiteId) -> Self {
-        QueueSites { control: site, slot: site }
+        QueueSites {
+            control: site,
+            slot: site,
+        }
     }
 }
 

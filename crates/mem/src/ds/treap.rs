@@ -28,7 +28,11 @@ pub struct TreapSites {
 impl TreapSites {
     /// All sites mapped to a single id (tests, simple workloads).
     pub fn uniform(site: SiteId) -> Self {
-        TreapSites { traverse: site, node_init: site, link: site }
+        TreapSites {
+            traverse: site,
+            node_init: site,
+            link: site,
+        }
     }
 }
 
@@ -78,7 +82,13 @@ impl SimTreap {
     /// Panics if `node_size < 32` (key/value/left/right).
     pub fn new(node_size: u64) -> Self {
         assert!(node_size >= 32, "node must hold key/value/left/right");
-        SimTreap { nodes: Vec::new(), root: None, free: Vec::new(), node_size, len: 0 }
+        SimTreap {
+            nodes: Vec::new(),
+            root: None,
+            free: Vec::new(),
+            node_size,
+            len: 0,
+        }
     }
 
     /// Number of entries.
@@ -137,7 +147,11 @@ impl SimTreap {
                 self.nodes[c].value = value;
                 return Some(old);
             }
-            cur = if key < self.nodes[c].key { self.nodes[c].left } else { self.nodes[c].right };
+            cur = if key < self.nodes[c].key {
+                self.nodes[c].left
+            } else {
+                self.nodes[c].right
+            };
         }
         None
     }
@@ -150,8 +164,14 @@ impl SimTreap {
         space: &mut AddressSpace,
     ) -> usize {
         let addr = space.halloc(tid, self.node_size);
-        let node =
-            Node { key, value, prio: splitmix64(key ^ PRIO_SEED), addr, left: None, right: None };
+        let node = Node {
+            key,
+            value,
+            prio: splitmix64(key ^ PRIO_SEED),
+            addr,
+            left: None,
+            right: None,
+        };
         if let Some(i) = self.free.pop() {
             self.nodes[i] = node;
             i
@@ -301,7 +321,11 @@ impl SimTreap {
             }
             let went_left = key < self.nodes[c].key;
             parent = Some((c, went_left));
-            cur = if went_left { self.nodes[c].left } else { self.nodes[c].right };
+            cur = if went_left {
+                self.nodes[c].left
+            } else {
+                self.nodes[c].right
+            };
         }
         None
     }
@@ -350,7 +374,11 @@ impl SimTreap {
             if key == self.nodes[c].key {
                 break;
             }
-            cur = if key < self.nodes[c].key { self.nodes[c].left } else { self.nodes[c].right };
+            cur = if key < self.nodes[c].key {
+                self.nodes[c].left
+            } else {
+                self.nodes[c].right
+            };
         }
         depth
     }
@@ -366,7 +394,11 @@ mod tests {
     use crate::{CountingSink, NullSink};
 
     fn setup() -> (AddressSpace, SimTreap, TreapSites) {
-        (AddressSpace::new(2), SimTreap::new(48), TreapSites::uniform(SiteId(1)))
+        (
+            AddressSpace::new(2),
+            SimTreap::new(48),
+            TreapSites::uniform(SiteId(1)),
+        )
     }
 
     #[test]
@@ -421,7 +453,10 @@ mod tests {
             t.insert(k, k, ThreadId(0), &mut sp, &mut NullSink, st);
         }
         for k in (0..50u64).step_by(2) {
-            assert_eq!(t.remove(k, ThreadId(0), &mut sp, &mut NullSink, st), Some(k));
+            assert_eq!(
+                t.remove(k, ThreadId(0), &mut sp, &mut NullSink, st),
+                Some(k)
+            );
         }
         assert_eq!(t.len(), 25);
         let keys = t.keys();
@@ -459,7 +494,11 @@ mod tests {
         }
         let mut sink = CountingSink::new();
         t.get(777, &mut sink, st);
-        assert_eq!(sink.loads as usize, t.path_len(777) + 1, "path loads + value load");
+        assert_eq!(
+            sink.loads as usize,
+            t.path_len(777) + 1,
+            "path loads + value load"
+        );
     }
 
     #[test]

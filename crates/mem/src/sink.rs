@@ -42,12 +42,18 @@ impl VecSink {
 
     /// Number of recorded loads.
     pub fn loads(&self) -> usize {
-        self.accesses.iter().filter(|a| a.kind == AccessKind::Load).count()
+        self.accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Load)
+            .count()
     }
 
     /// Number of recorded stores.
     pub fn stores(&self) -> usize {
-        self.accesses.iter().filter(|a| a.kind == AccessKind::Store).count()
+        self.accesses
+            .iter()
+            .filter(|a| a.kind == AccessKind::Store)
+            .count()
     }
 
     /// Number of distinct cache blocks touched.

@@ -118,7 +118,10 @@ impl AddressSpace {
     ///
     /// Panics if `num_threads` is 0 or exceeds 1024.
     pub fn new(num_threads: usize) -> Self {
-        assert!(num_threads > 0 && num_threads <= 1024, "unsupported thread count");
+        assert!(
+            num_threads > 0 && num_threads <= 1024,
+            "unsupported thread count"
+        );
         AddressSpace {
             num_threads,
             global_bump: 0,
@@ -170,7 +173,10 @@ impl AddressSpace {
         }
         let off = arena.bump;
         arena.bump += cls;
-        assert!(arena.bump <= HEAP_ARENA_SIZE, "heap arena exhausted for {tid}");
+        assert!(
+            arena.bump <= HEAP_ARENA_SIZE,
+            "heap arena exhausted for {tid}"
+        );
         Addr::new(HEAP_BASE + tid.index() as u64 * HEAP_ARENA_SIZE + off)
     }
 
@@ -184,7 +190,10 @@ impl AddressSpace {
         arena.bump = round_up(arena.bump, PAGE_SIZE as u64);
         let off = arena.bump;
         arena.bump += round_up(size.max(1), PAGE_SIZE as u64);
-        assert!(arena.bump <= HEAP_ARENA_SIZE, "heap arena exhausted for {tid}");
+        assert!(
+            arena.bump <= HEAP_ARENA_SIZE,
+            "heap arena exhausted for {tid}"
+        );
         self.stats.heap_allocs += 1;
         self.stats.heap_bytes += size;
         Addr::new(HEAP_BASE + tid.index() as u64 * HEAP_ARENA_SIZE + off)
@@ -205,7 +214,11 @@ impl AddressSpace {
         };
         let arena_base = HEAP_BASE + owner.index() as u64 * HEAP_ARENA_SIZE;
         let cls = size_class(size);
-        self.arenas[owner.index()].free.entry(cls).or_default().push(addr.raw() - arena_base);
+        self.arenas[owner.index()]
+            .free
+            .entry(cls)
+            .or_default()
+            .push(addr.raw() - arena_base);
         self.stats.heap_frees += 1;
     }
 
@@ -315,7 +328,10 @@ mod tests {
         let a = s.halloc_pages(ThreadId(0), 5000);
         assert_eq!(a.raw() % PAGE_SIZE as u64, 0);
         let b = s.halloc(ThreadId(0), 16);
-        assert!(b.raw() >= a.raw() + 8192, "page alloc must consume whole pages");
+        assert!(
+            b.raw() >= a.raw() + 8192,
+            "page alloc must consume whole pages"
+        );
     }
 
     #[test]

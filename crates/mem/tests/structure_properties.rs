@@ -1,12 +1,13 @@
-//! Property tests: the simulated data structures must behave exactly like
+//! Randomized tests: the simulated data structures must behave exactly like
 //! their std-library references, and the allocator must never hand out
-//! overlapping live chunks.
+//! overlapping live chunks (std-only: cases come from the deterministic
+//! in-tree generator).
 
 use hintm_mem::ds::{HashMapSites, ListSites, SimHashMap, SimList, SimTreap, TreapSites};
 use hintm_mem::{AddressSpace, NullSink};
+use hintm_types::rng::SmallRng;
 use hintm_types::{SiteId, ThreadId};
-use proptest::prelude::*;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 #[derive(Clone, Debug)]
 enum MapOp {
@@ -16,41 +17,44 @@ enum MapOp {
     Update(u64, u64),
 }
 
-fn arb_map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        (0u64..64, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
-        (0u64..64).prop_map(MapOp::Remove),
-        (0u64..64).prop_map(MapOp::Get),
-        (0u64..64, any::<u64>()).prop_map(|(k, v)| MapOp::Update(k, v)),
-    ]
+fn map_ops(rng: &mut SmallRng, len_range: std::ops::Range<usize>) -> Vec<MapOp> {
+    let n = rng.gen_range(len_range);
+    (0..n)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => MapOp::Insert(rng.gen_range(0..64u64), rng.next_u64()),
+            1 => MapOp::Remove(rng.gen_range(0..64u64)),
+            2 => MapOp::Get(rng.gen_range(0..64u64)),
+            _ => MapOp::Update(rng.gen_range(0..64u64), rng.next_u64()),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// SimTreap behaves exactly like BTreeMap under random op sequences.
-    #[test]
-    fn treap_matches_btreemap(ops in prop::collection::vec(arb_map_op(), 1..200)) {
+/// SimTreap behaves exactly like BTreeMap under random op sequences.
+#[test]
+fn treap_matches_btreemap() {
+    let mut rng = SmallRng::seed_from_u64(0x72EA9);
+    for _ in 0..128 {
         let mut space = AddressSpace::new(2);
         let mut treap = SimTreap::new(48);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
         let sites = TreapSites::uniform(SiteId(0));
-        for op in ops {
+        for op in map_ops(&mut rng, 1..200) {
             match op {
                 MapOp::Insert(k, v) => {
-                    let inserted = treap.insert(k, v, ThreadId(0), &mut space, &mut NullSink, sites);
+                    let inserted =
+                        treap.insert(k, v, ThreadId(0), &mut space, &mut NullSink, sites);
                     let model_inserted = !model.contains_key(&k);
                     if model_inserted {
                         model.insert(k, v);
                     }
-                    prop_assert_eq!(inserted, model_inserted);
+                    assert_eq!(inserted, model_inserted);
                 }
                 MapOp::Remove(k) => {
                     let got = treap.remove(k, ThreadId(0), &mut space, &mut NullSink, sites);
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k));
                 }
                 MapOp::Get(k) => {
-                    prop_assert_eq!(treap.get(k, &mut NullSink, sites), model.get(&k).copied());
+                    assert_eq!(treap.get(k, &mut NullSink, sites), model.get(&k).copied());
                 }
                 MapOp::Update(k, v) => {
                     let got = treap.update(k, v, &mut NullSink, sites);
@@ -58,19 +62,27 @@ proptest! {
                     if model_got.is_some() {
                         model.insert(k, v);
                     }
-                    prop_assert_eq!(got, model_got);
+                    assert_eq!(got, model_got);
                 }
             }
-            prop_assert_eq!(treap.len(), model.len());
+            assert_eq!(treap.len(), model.len());
         }
         // In-order iteration agrees.
         let keys: Vec<u64> = model.keys().copied().collect();
-        prop_assert_eq!(treap.keys(), keys);
+        assert_eq!(treap.keys(), keys);
     }
+}
 
-    /// SimTreap ceiling matches the BTreeMap range query.
-    #[test]
-    fn treap_ceiling_matches_model(keys in prop::collection::btree_set(0u64..500, 1..60), probe in 0u64..520) {
+/// SimTreap ceiling matches the BTreeMap range query.
+#[test]
+fn treap_ceiling_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0xCE111);
+    for _ in 0..128 {
+        let keys: BTreeSet<u64> = {
+            let n = rng.gen_range(1..60usize);
+            (0..n).map(|_| rng.gen_range(0..500u64)).collect()
+        };
+        let probe = rng.gen_range(0..520u64);
         let mut space = AddressSpace::new(1);
         let mut treap = SimTreap::new(48);
         let sites = TreapSites::uniform(SiteId(0));
@@ -78,17 +90,21 @@ proptest! {
             treap.insert(k, k + 1, ThreadId(0), &mut space, &mut NullSink, sites);
         }
         let expected = keys.range(probe..).next().map(|&k| (k, k + 1));
-        prop_assert_eq!(treap.ceiling(probe, &mut NullSink, sites), expected);
+        assert_eq!(treap.ceiling(probe, &mut NullSink, sites), expected);
     }
+}
 
-    /// SimHashMap behaves exactly like HashMap under random op sequences.
-    #[test]
-    fn hashmap_matches_std(ops in prop::collection::vec(arb_map_op(), 1..200), buckets in 1usize..32) {
+/// SimHashMap behaves exactly like HashMap under random op sequences.
+#[test]
+fn hashmap_matches_std() {
+    let mut rng = SmallRng::seed_from_u64(0x4A54);
+    for _ in 0..128 {
+        let buckets = rng.gen_range(1..32usize);
         let mut space = AddressSpace::new(2);
         let mut map = SimHashMap::new(&mut space, buckets, 32);
         let mut model: HashMap<u64, u64> = HashMap::new();
         let sites = HashMapSites::uniform(SiteId(0));
-        for op in ops {
+        for op in map_ops(&mut rng, 1..200) {
             match op {
                 MapOp::Insert(k, v) => {
                     let ok = map.insert(k, v, ThreadId(0), &mut space, &mut NullSink, sites);
@@ -96,15 +112,18 @@ proptest! {
                     if model_ok {
                         model.insert(k, v);
                     }
-                    prop_assert_eq!(ok, model_ok);
+                    assert_eq!(ok, model_ok);
                 }
                 MapOp::Remove(k) => {
                     let got = map.remove(k, ThreadId(0), &mut space, &mut NullSink, sites);
-                    prop_assert_eq!(got, model.remove(&k));
+                    assert_eq!(got, model.remove(&k));
                 }
                 MapOp::Get(k) => {
-                    prop_assert_eq!(map.get(k, &mut NullSink, sites), model.get(&k).copied());
-                    prop_assert_eq!(map.contains(k, &mut NullSink, sites), model.contains_key(&k));
+                    assert_eq!(map.get(k, &mut NullSink, sites), model.get(&k).copied());
+                    assert_eq!(
+                        map.contains(k, &mut NullSink, sites),
+                        model.contains_key(&k)
+                    );
                 }
                 MapOp::Update(k, v) => {
                     let got = map.update(k, v, &mut NullSink, sites);
@@ -112,21 +131,24 @@ proptest! {
                     if model_got.is_some() {
                         model.insert(k, v);
                     }
-                    prop_assert_eq!(got, model_got);
+                    assert_eq!(got, model_got);
                 }
             }
-            prop_assert_eq!(map.len(), model.len());
+            assert_eq!(map.len(), model.len());
         }
     }
+}
 
-    /// Sorted list behaves like a sorted Vec (first-match removal).
-    #[test]
-    fn list_matches_sorted_vec(ops in prop::collection::vec(arb_map_op(), 1..120)) {
+/// Sorted list behaves like a sorted Vec (first-match removal).
+#[test]
+fn list_matches_sorted_vec() {
+    let mut rng = SmallRng::seed_from_u64(0x1157);
+    for _ in 0..128 {
         let mut space = AddressSpace::new(1);
         let mut list = SimList::new(32);
         let mut model: Vec<(u64, u64)> = Vec::new();
         let sites = ListSites::uniform(SiteId(0));
-        for op in ops {
+        for op in map_ops(&mut rng, 1..120) {
             match op {
                 MapOp::Insert(k, v) | MapOp::Update(k, v) => {
                     list.insert(k, v, ThreadId(0), &mut space, &mut NullSink, sites);
@@ -137,27 +159,32 @@ proptest! {
                     let got = list.remove(k, ThreadId(0), &mut space, &mut NullSink, sites);
                     let idx = model.iter().position(|(mk, _)| *mk == k);
                     let expected = idx.map(|i| model.remove(i).1);
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                 }
                 MapOp::Get(k) => {
                     let expected = model.iter().find(|(mk, _)| *mk == k).map(|(_, v)| *v);
-                    prop_assert_eq!(list.find(k, &mut NullSink, sites), expected);
+                    assert_eq!(list.find(k, &mut NullSink, sites), expected);
                 }
             }
-            prop_assert_eq!(list.len(), model.len());
+            assert_eq!(list.len(), model.len());
         }
         let keys: Vec<u64> = model.iter().map(|(k, _)| *k).collect();
-        prop_assert_eq!(list.keys_traced(&mut NullSink, sites), keys);
+        assert_eq!(list.keys_traced(&mut NullSink, sites), keys);
     }
+}
 
-    /// Live heap chunks never overlap, across threads and frees.
-    #[test]
-    fn allocator_chunks_are_disjoint(
-        ops in prop::collection::vec((0u8..4, 1u64..300, any::<bool>()), 1..150)
-    ) {
+/// Live heap chunks never overlap, across threads and frees.
+#[test]
+fn allocator_chunks_are_disjoint() {
+    let mut rng = SmallRng::seed_from_u64(0xA110C);
+    for _ in 0..128 {
         let mut space = AddressSpace::new(4);
         let mut live: Vec<(u64, u64)> = Vec::new(); // (base, size)
-        for (tid, size, free_one) in ops {
+        let n = rng.gen_range(1..150usize);
+        for _ in 0..n {
+            let tid = rng.gen_range(0..4u8);
+            let size = rng.gen_range(1..300u64);
+            let free_one = rng.gen_bool(0.5);
             if free_one && !live.is_empty() {
                 let (base, size) = live.swap_remove(0);
                 space.hfree(ThreadId(tid as u32), hintm_types::Addr::new(base), size);
@@ -166,22 +193,34 @@ proptest! {
                 // No overlap with any live chunk.
                 for &(b, s) in &live {
                     let disjoint = a.raw() + size <= b || b + s <= a.raw();
-                    prop_assert!(disjoint, "chunk {:#x}+{} overlaps {:#x}+{}", a.raw(), size, b, s);
+                    assert!(
+                        disjoint,
+                        "chunk {:#x}+{} overlaps {:#x}+{}",
+                        a.raw(),
+                        size,
+                        b,
+                        s
+                    );
                 }
                 live.push((a.raw(), size));
             }
         }
     }
+}
 
-    /// Stack frames are LIFO-disjoint per thread.
-    #[test]
-    fn stack_frames_are_disjoint(sizes in prop::collection::vec(1u64..500, 1..40)) {
+/// Stack frames are LIFO-disjoint per thread.
+#[test]
+fn stack_frames_are_disjoint() {
+    let mut rng = SmallRng::seed_from_u64(0x57AC);
+    for _ in 0..128 {
         let mut space = AddressSpace::new(1);
         let mut frames: Vec<(u64, u64)> = Vec::new();
-        for size in sizes {
+        let n = rng.gen_range(1..40usize);
+        for _ in 0..n {
+            let size = rng.gen_range(1..500u64);
             let a = space.stack_push(ThreadId(0), size);
             for &(b, s) in &frames {
-                prop_assert!(a.raw() >= b + s || a.raw() + size <= b);
+                assert!(a.raw() >= b + s || a.raw() + size <= b);
             }
             frames.push((a.raw(), size));
         }

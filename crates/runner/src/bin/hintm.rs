@@ -1,0 +1,100 @@
+//! The `hintm` command-line tool: run reproduction experiments from the
+//! shell. Lives in the runner crate so `hintm sweep` / `hintm cache` can
+//! reach the orchestration layer; everything else is delegated to
+//! [`hintm::cli::execute`]. See `hintm help` or [`hintm::cli::USAGE`].
+
+use hintm::cli::{self, Command, SweepArgs};
+use hintm_runner::{Cache, Runner, SweepSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn build_runner(sa: &SweepArgs) -> Runner {
+    let jobs = sa
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut runner = Runner::new().jobs(jobs).progress(true);
+    if sa.no_cache {
+        runner = runner.no_cache();
+    } else if let Some(dir) = &sa.cache_dir {
+        runner = runner.cache(Cache::new(dir));
+    }
+    runner
+}
+
+fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
+    let mut spec = SweepSpec::new()
+        .workloads(sa.workloads.iter().map(String::as_str))
+        .htms(sa.htms.iter().copied())
+        .hints(sa.hints.iter().copied())
+        .seeds(sa.seeds.iter().copied())
+        .scale(sa.scale)
+        .smt2(sa.smt2)
+        .preserve(sa.preserve);
+    if let Some(t) = sa.threads {
+        spec = spec.threads(t);
+    }
+    let cells = spec.cells();
+    let result = build_runner(sa).run(&cells);
+
+    eprintln!(
+        "sweep: {} cells in {:.2}s with {} jobs — {} simulated, {} cached, {} crashed",
+        result.cells.len(),
+        result.wall.as_secs_f64(),
+        result.jobs,
+        result.executed,
+        result.cache_hits,
+        result.crashed,
+    );
+    if let Some(out) = &sa.out {
+        let paths = hintm_runner::write_artifacts(&PathBuf::from(out), "sweep", &result)
+            .map_err(|e| format!("writing artifacts to {out}: {e}"))?;
+        for p in paths {
+            eprintln!("wrote {}", p.display());
+        }
+    }
+    if sa.csv {
+        print!("{}", hintm_runner::results_csv(&result));
+    }
+    if result.crashed > 0 {
+        return Err(format!("{} cell(s) crashed", result.crashed));
+    }
+    Ok(())
+}
+
+fn clear_cache(dir: Option<&str>) -> Result<(), String> {
+    let cache = Cache::new(dir.map_or_else(Cache::default_dir, PathBuf::from));
+    let removed = cache.clear().map_err(|e| e.to_string())?;
+    eprintln!(
+        "cleared {} cached result(s) from {}",
+        removed,
+        cache.dir().display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &cmd {
+        Command::Sweep(sa) => run_sweep(sa),
+        Command::CacheClear { dir } => clear_cache(dir.as_deref()),
+        other => {
+            let mut out = std::io::stdout().lock();
+            cli::execute(other, &mut out).map_err(|e| e.to_string())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each cached entry is one JSON file under the cache directory, named by
+//! an FNV-1a hash of the schema version plus the cell's canonical
+//! [`key`](crate::Cell::key). The file stores the schema, the full key,
+//! and the serialized [`RunReport`]; on load both the schema and the key
+//! are re-checked, so a hash collision, a stale schema, or a corrupt file
+//! all degrade to a cache miss — never to a wrong result.
+
+use crate::Cell;
+use hintm::{Json, RunReport};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the cached-entry format AND of anything that feeds the
+/// simulated numbers. Bump it whenever reports change meaning (new stats
+/// fields, simulator behavior changes) to invalidate every prior entry.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a. Collisions are harmless (the stored key is re-checked),
+/// so a small fast non-cryptographic hash is enough.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A result cache rooted at one directory.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    schema: u32,
+}
+
+impl Cache {
+    /// A cache at `dir` with the current [`SCHEMA_VERSION`].
+    pub fn new(dir: impl Into<PathBuf>) -> Cache {
+        Cache::with_schema(dir, SCHEMA_VERSION)
+    }
+
+    /// A cache at `dir` pinned to an explicit schema version. Exposed so
+    /// tests can prove a schema bump invalidates old entries; production
+    /// code should use [`Cache::new`].
+    pub fn with_schema(dir: impl Into<PathBuf>, schema: u32) -> Cache {
+        Cache {
+            dir: dir.into(),
+            schema,
+        }
+    }
+
+    /// The default cache directory: `$HINTM_CACHE_DIR`, or `.hintm-cache`
+    /// in the current directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("HINTM_CACHE_DIR")
+            .map_or_else(|| PathBuf::from(".hintm-cache"), PathBuf::from)
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a cell's result lives at.
+    pub fn path_for(&self, cell: &Cell) -> PathBuf {
+        let addressed = format!("schema={}|{}", self.schema, cell.key());
+        self.dir
+            .join(format!("{:016x}.json", fnv1a(addressed.as_bytes())))
+    }
+
+    /// Loads a cell's cached report. Any mismatch — missing file, parse
+    /// failure, wrong schema, wrong key — is a miss.
+    pub fn load(&self, cell: &Cell) -> Option<RunReport> {
+        let text = fs::read_to_string(self.path_for(cell)).ok()?;
+        let j = Json::parse(&text).ok()?;
+        if j.field("schema").ok()?.as_u64().ok()? != self.schema as u64 {
+            return None;
+        }
+        if j.field("key").ok()?.as_str().ok()? != cell.key() {
+            return None;
+        }
+        RunReport::from_json_value(j.field("report").ok()?).ok()
+    }
+
+    /// Stores a cell's report, atomically (write-then-rename), creating
+    /// the cache directory on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory or file cannot
+    /// be written.
+    pub fn store(&self, cell: &Cell, report: &RunReport) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let entry = Json::Obj(vec![
+            ("schema".into(), Json::u64(self.schema as u64)),
+            ("key".into(), Json::Str(cell.key())),
+            ("report".into(), report.to_json_value()),
+        ]);
+        let path = self.path_for(cell);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, entry.to_string())?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Deletes every cached entry, returning how many were removed. A
+    /// missing cache directory counts as already clear.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if an entry cannot be removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut removed = 0;
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json" || e == "tmp") {
+                fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hintm-cache-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn report() -> RunReport {
+        Cell::new("ssca2").run().unwrap()
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn store_then_load_is_bit_identical() {
+        let dir = tmp("roundtrip");
+        let cache = Cache::new(&dir);
+        let cell = Cell::new("ssca2");
+        let r = report();
+        assert!(cache.load(&cell).is_none());
+        cache.store(&cell, &r).unwrap();
+        let back = cache.load(&cell).expect("hit");
+        assert_eq!(back.to_json(), r.to_json());
+        // A different cell misses even with the file present.
+        assert!(cache.load(&Cell::new("ssca2").seed(7)).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_bump_invalidates() {
+        let dir = tmp("schema");
+        let cell = Cell::new("ssca2");
+        let r = report();
+        Cache::with_schema(&dir, 1).store(&cell, &r).unwrap();
+        assert!(Cache::with_schema(&dir, 1).load(&cell).is_some());
+        assert!(Cache::with_schema(&dir, 2).load(&cell).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let dir = tmp("corrupt");
+        let cache = Cache::new(&dir);
+        let cell = Cell::new("ssca2");
+        cache.store(&cell, &report()).unwrap();
+        fs::write(cache.path_for(&cell), "{not json").unwrap();
+        assert!(cache.load(&cell).is_none());
+        // Valid JSON with the wrong key is also a miss (collision guard).
+        fs::write(
+            cache.path_for(&cell),
+            format!("{{\"schema\":{SCHEMA_VERSION},\"key\":\"other\",\"report\":{{}}}}"),
+        )
+        .unwrap();
+        assert!(cache.load(&cell).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_removes_entries_and_tolerates_missing_dir() {
+        let dir = tmp("clear");
+        let cache = Cache::new(&dir);
+        assert_eq!(cache.clear().unwrap(), 0);
+        cache.store(&Cell::new("ssca2"), &report()).unwrap();
+        cache.store(&Cell::new("ssca2").seed(7), &report()).unwrap();
+        assert_eq!(cache.clear().unwrap(), 2);
+        assert_eq!(cache.clear().unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

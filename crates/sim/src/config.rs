@@ -92,7 +92,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A config for the given HTM kind with everything else default.
     pub fn with_htm(kind: HtmKind) -> Self {
-        SimConfig { htm: HtmConfig::new(kind), ..Self::default() }
+        SimConfig {
+            htm: HtmConfig::new(kind),
+            ..Self::default()
+        }
     }
 
     /// Builder-style: sets the hint mode.
@@ -129,7 +132,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = SimConfig::with_htm(HtmKind::L1Tm).hint_mode(HintMode::Full).smt2();
+        let c = SimConfig::with_htm(HtmKind::L1Tm)
+            .hint_mode(HintMode::Full)
+            .smt2();
         assert_eq!(c.htm.kind, HtmKind::L1Tm);
         assert_eq!(c.hint_mode, HintMode::Full);
         assert_eq!(c.machine.hw_threads(), 16);

@@ -122,7 +122,7 @@ impl Simulator {
         let mut notary_pages: HashSet<hintm_types::PageId> = HashSet::new();
         for (base, len) in workload.notary_safe_ranges() {
             let mut page = base.page().index();
-            let last = base.offset(len.saturating_sub(1).max(0)).page().index();
+            let last = base.offset(len.saturating_sub(1)).page().index();
             while page <= last {
                 notary_pages.insert(hintm_types::PageId::from_index(page));
                 page += 1;
@@ -205,8 +205,9 @@ impl Simulator {
                 if all_parked {
                     // Either everyone is at the barrier (release it) or we
                     // are deadlocked.
-                    let any_barrier =
-                        threads.iter().any(|t| matches!(t.state, RunState::AtBarrier));
+                    let any_barrier = threads
+                        .iter()
+                        .any(|t| matches!(t.state, RunState::AtBarrier));
                     assert!(any_barrier, "engine deadlock: no runnable threads");
                     let release = threads
                         .iter()
@@ -295,7 +296,10 @@ impl Simulator {
                 None => threads[i].state = RunState::Done,
                 Some(Section::Barrier) => threads[i].state = RunState::AtBarrier,
                 Some(Section::NonTx(ops)) => {
-                    threads[i].state = RunState::NonTx { ops: Rc::new(ops), pos: 0 };
+                    threads[i].state = RunState::NonTx {
+                        ops: Rc::new(ops),
+                        pos: 0,
+                    };
                 }
                 Some(Section::Tx(body)) => {
                     self.try_begin_tx(i, Rc::new(body), threads, lock_holder, *lock_free_at, trace);
@@ -312,11 +316,21 @@ impl Simulator {
                     // (lock subscription).
                     *lock_holder = Some(i);
                     if let Some(tr) = trace.as_mut() {
-                        tr.record(Event::FallbackAcquire { thread: i, at: threads[i].clock });
+                        tr.record(Event::FallbackAcquire {
+                            thread: i,
+                            at: threads[i].clock,
+                        });
                     }
                     for j in 0..threads.len() {
                         if j != i && threads[j].htm.is_active() {
-                            self.abort_thread(j, AbortKind::FallbackLock, threads, mem, stats, trace);
+                            self.abort_thread(
+                                j,
+                                AbortKind::FallbackLock,
+                                threads,
+                                mem,
+                                stats,
+                                trace,
+                            );
                         }
                     }
                     threads[i].htm.enter_fallback();
@@ -333,8 +347,18 @@ impl Simulator {
                 let op = ops[pos].clone();
                 threads[i].state = RunState::NonTx { ops, pos: pos + 1 };
                 let _ = self.exec_op(
-                    i, &op, false, threads, mem, vm, profiler, stats, safe_sites,
-                    raw_static_sites, notary_pages, trace,
+                    i,
+                    &op,
+                    false,
+                    threads,
+                    mem,
+                    vm,
+                    profiler,
+                    stats,
+                    safe_sites,
+                    raw_static_sites,
+                    notary_pages,
+                    trace,
                 );
             }
             RunState::InFallback { body, pos } => {
@@ -348,8 +372,18 @@ impl Simulator {
                 let op = body.ops[pos].clone();
                 threads[i].state = RunState::InFallback { body, pos: pos + 1 };
                 let _ = self.exec_op(
-                    i, &op, false, threads, mem, vm, profiler, stats, safe_sites,
-                    raw_static_sites, notary_pages, trace,
+                    i,
+                    &op,
+                    false,
+                    threads,
+                    mem,
+                    vm,
+                    profiler,
+                    stats,
+                    safe_sites,
+                    raw_static_sites,
+                    notary_pages,
+                    trace,
                 );
             }
             RunState::InTx { body, pos } => {
@@ -370,8 +404,12 @@ impl Simulator {
                     }
                     if self.cfg.record_tx_sizes {
                         stats.tx_sizes_all.push(threads[i].fp_all.len() as u32);
-                        stats.tx_sizes_nonstatic.push(threads[i].fp_nonstatic.len() as u32);
-                        stats.tx_sizes_unsafe.push(threads[i].fp_unsafe.len() as u32);
+                        stats
+                            .tx_sizes_nonstatic
+                            .push(threads[i].fp_nonstatic.len() as u32);
+                        stats
+                            .tx_sizes_unsafe
+                            .push(threads[i].fp_unsafe.len() as u32);
                     }
                     threads[i].touched_safe_pages.clear();
                     threads[i].state = RunState::Idle;
@@ -380,8 +418,18 @@ impl Simulator {
                 let op = body.ops[pos].clone();
                 threads[i].state = RunState::InTx { body, pos: pos + 1 };
                 let _ = self.exec_op(
-                    i, &op, true, threads, mem, vm, profiler, stats, safe_sites,
-                    raw_static_sites, notary_pages, trace,
+                    i,
+                    &op,
+                    true,
+                    threads,
+                    mem,
+                    vm,
+                    profiler,
+                    stats,
+                    safe_sites,
+                    raw_static_sites,
+                    notary_pages,
+                    trace,
                 );
             }
         }
@@ -398,7 +446,10 @@ impl Simulator {
         trace: &mut Option<Trace>,
     ) {
         if lock_holder.is_some() {
-            threads[i].state = RunState::WaitLock { body, fallback: false };
+            threads[i].state = RunState::WaitLock {
+                body,
+                fallback: false,
+            };
             return;
         }
         threads[i].clock = threads[i].clock.max(lock_free_at) + self.cfg.tx_begin_cost;
@@ -428,11 +479,22 @@ impl Simulator {
         trace: &mut Option<Trace>,
     ) {
         debug_assert!(threads[j].htm.is_active());
-        let lost = threads[j].clock.saturating_sub(threads[j].htm.tx_start()).raw();
+        let lost = threads[j]
+            .clock
+            .saturating_sub(threads[j].htm.tx_start())
+            .raw();
         if let Some(tr) = trace.as_mut() {
-            tr.record(Event::TxAbort { thread: j, at: threads[j].clock, kind, lost });
+            tr.record(Event::TxAbort {
+                thread: j,
+                at: threads[j].clock,
+                kind,
+                lost,
+            });
         }
-        let ki = AbortKind::ALL.iter().position(|k| *k == kind).expect("kind");
+        let ki = AbortKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind");
         stats.wasted_cycles[ki] += lost;
         if kind == AbortKind::PageMode {
             stats.page_mode_cycles += lost;
@@ -457,14 +519,23 @@ impl Simulator {
         threads[j].state = if kind == AbortKind::FallbackLock {
             // Killed by a lock acquisition: just wait for the lock and
             // retry in HTM mode.
-            RunState::WaitLock { body, fallback: false }
+            RunState::WaitLock {
+                body,
+                fallback: false,
+            }
         } else if kind == AbortKind::Capacity || retries > self.cfg.machine.max_retries {
             // Capacity aborts never succeed on retry (§I): fall back.
-            RunState::WaitLock { body, fallback: true }
+            RunState::WaitLock {
+                body,
+                fallback: true,
+            }
         } else {
-            let backoff = (self.cfg.backoff_base.raw() << (retries.min(6).saturating_sub(1)))
-                + 37 * j as u64; // deterministic per-thread jitter
-            RunState::WaitRetry { body, resume_at: threads[j].clock + backoff }
+            let backoff =
+                (self.cfg.backoff_base.raw() << (retries.min(6).saturating_sub(1))) + 37 * j as u64; // deterministic per-thread jitter
+            RunState::WaitRetry {
+                body,
+                resume_at: threads[j].clock + backoff,
+            }
         };
     }
 
@@ -534,8 +605,7 @@ impl Simulator {
             }
             // Page-mode abort every TX that safely touched the page.
             for j in 0..threads.len() {
-                if threads[j].htm.is_active() && threads[j].touched_safe_pages.contains(&sd.page)
-                {
+                if threads[j].htm.is_active() && threads[j].touched_safe_pages.contains(&sd.page) {
                     if j == i {
                         self_aborted = true;
                     }
@@ -569,24 +639,22 @@ impl Simulator {
                 continue;
             }
             let (hits, writes) = match a.kind {
-                AccessKind::Store => {
-                    (t.htm.writes_block(block) || t.htm.reads_block(block),
-                     t.htm.writes_block(block))
-                }
+                AccessKind::Store => (
+                    t.htm.writes_block(block) || t.htm.reads_block(block),
+                    t.htm.writes_block(block),
+                ),
                 AccessKind::Load => {
                     let w = t.htm.writes_block(block);
                     (w, w)
                 }
             };
             if hits {
-                let kind = if !writes
-                    && t.htm.reads_block(block)
-                    && !t.htm.precise_reads_block(block)
-                {
-                    AbortKind::FalseConflict
-                } else {
-                    AbortKind::Conflict
-                };
+                let kind =
+                    if !writes && t.htm.reads_block(block) && !t.htm.precise_reads_block(block) {
+                        AbortKind::FalseConflict
+                    } else {
+                        AbortKind::Conflict
+                    };
                 victims.push((j, kind));
             }
         }

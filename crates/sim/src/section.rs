@@ -37,7 +37,10 @@ impl TxBody {
 
     /// Number of memory accesses in the body.
     pub fn num_accesses(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, TxOp::Access(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, TxOp::Access(_)))
+            .count()
     }
 
     /// `true` if every [`TxOp::Suspend`] is closed by a matching
@@ -192,7 +195,12 @@ impl Workload for EscapeEncoded {
 
 /// Convenience: total cycles of compute in a body (tests/diagnostics).
 pub fn compute_cycles(body: &TxBody) -> Cycles {
-    Cycles(body.ops.iter().map(|o| if let TxOp::Compute(c) = o { *c } else { 0 }).sum())
+    Cycles(
+        body.ops
+            .iter()
+            .map(|o| if let TxOp::Compute(c) = o { *c } else { 0 })
+            .sum(),
+    )
 }
 
 #[cfg(test)]

@@ -97,7 +97,10 @@ impl RunStats {
 }
 
 fn kind_index(kind: AbortKind) -> usize {
-    AbortKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+    AbortKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("kind in ALL")
 }
 
 #[cfg(test)]

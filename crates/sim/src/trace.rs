@@ -89,16 +89,30 @@ impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Event::TxBegin { thread, at } => write!(f, "[{at}] H{thread} txbegin"),
-            Event::TxCommit { thread, at, footprint } => {
+            Event::TxCommit {
+                thread,
+                at,
+                footprint,
+            } => {
                 write!(f, "[{at}] H{thread} commit ({footprint} blocks)")
             }
-            Event::TxAbort { thread, at, kind, lost } => {
+            Event::TxAbort {
+                thread,
+                at,
+                kind,
+                lost,
+            } => {
                 write!(f, "[{at}] H{thread} abort:{kind} (-{lost} cyc)")
             }
             Event::FallbackAcquire { thread, at } => {
                 write!(f, "[{at}] H{thread} fallback-lock")
             }
-            Event::Shootdown { thread, at, page, slaves } => {
+            Event::Shootdown {
+                thread,
+                at,
+                page,
+                slaves,
+            } => {
                 write!(f, "[{at}] H{thread} shootdown {page} ({slaves} slaves)")
             }
             Event::BarrierRelease { at } => write!(f, "[{at}] barrier release"),
@@ -118,7 +132,11 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace buffer holding up to `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, dropped: 0 }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Appends an event (drops it if the buffer is full).
@@ -142,7 +160,9 @@ impl Trace {
 
     /// Events belonging to one hardware thread.
     pub fn for_thread(&self, thread: usize) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.thread() == Some(thread))
+        self.events
+            .iter()
+            .filter(move |e| e.thread() == Some(thread))
     }
 
     /// Renders a compact per-thread timeline: time flows left to right in
@@ -150,7 +170,13 @@ impl Trace {
     /// bucket (`C` commit, `a` conflict abort, `A` capacity abort, `P`
     /// page-mode abort, `F` fallback, `s` shootdown, `.` begin only).
     pub fn render_timeline(&self, threads: usize, buckets: usize) -> String {
-        let end = self.events.iter().map(|e| e.at().raw()).max().unwrap_or(0).max(1);
+        let end = self
+            .events
+            .iter()
+            .map(|e| e.at().raw())
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let mut grid = vec![vec![' '; buckets]; threads];
         let sev = |c: char| match c {
             'F' => 6,
@@ -172,8 +198,14 @@ impl Trace {
                 Event::BarrierRelease { .. } => continue,
                 Event::TxBegin { .. } => '.',
                 Event::TxCommit { .. } => 'C',
-                Event::TxAbort { kind: AbortKind::Capacity, .. } => 'A',
-                Event::TxAbort { kind: AbortKind::PageMode, .. } => 'P',
+                Event::TxAbort {
+                    kind: AbortKind::Capacity,
+                    ..
+                } => 'A',
+                Event::TxAbort {
+                    kind: AbortKind::PageMode,
+                    ..
+                } => 'P',
                 Event::TxAbort { .. } => 'a',
                 Event::FallbackAcquire { .. } => 'F',
                 Event::Shootdown { .. } => 's',
@@ -202,8 +234,15 @@ mod tests {
     #[test]
     fn records_and_caps() {
         let mut t = Trace::new(2);
-        t.record(Event::TxBegin { thread: 0, at: Cycles(1) });
-        t.record(Event::TxCommit { thread: 0, at: Cycles(5), footprint: 3 });
+        t.record(Event::TxBegin {
+            thread: 0,
+            at: Cycles(1),
+        });
+        t.record(Event::TxCommit {
+            thread: 0,
+            at: Cycles(5),
+            footprint: 3,
+        });
         t.record(Event::BarrierRelease { at: Cycles(9) });
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 1);
@@ -211,7 +250,12 @@ mod tests {
 
     #[test]
     fn event_accessors() {
-        let e = Event::TxAbort { thread: 3, at: Cycles(7), kind: AbortKind::Conflict, lost: 42 };
+        let e = Event::TxAbort {
+            thread: 3,
+            at: Cycles(7),
+            kind: AbortKind::Conflict,
+            lost: 42,
+        };
         assert_eq!(e.at(), Cycles(7));
         assert_eq!(e.thread(), Some(3));
         assert_eq!(Event::BarrierRelease { at: Cycles(1) }.thread(), None);
@@ -221,8 +265,15 @@ mod tests {
     #[test]
     fn timeline_places_events() {
         let mut t = Trace::new(16);
-        t.record(Event::TxBegin { thread: 0, at: Cycles(0) });
-        t.record(Event::TxCommit { thread: 0, at: Cycles(99), footprint: 1 });
+        t.record(Event::TxBegin {
+            thread: 0,
+            at: Cycles(0),
+        });
+        t.record(Event::TxCommit {
+            thread: 0,
+            at: Cycles(99),
+            footprint: 1,
+        });
         t.record(Event::TxAbort {
             thread: 1,
             at: Cycles(50),
@@ -240,9 +291,19 @@ mod tests {
     #[test]
     fn per_thread_filter() {
         let mut t = Trace::new(16);
-        t.record(Event::TxBegin { thread: 0, at: Cycles(0) });
-        t.record(Event::TxBegin { thread: 1, at: Cycles(1) });
-        t.record(Event::TxCommit { thread: 1, at: Cycles(2), footprint: 0 });
+        t.record(Event::TxBegin {
+            thread: 0,
+            at: Cycles(0),
+        });
+        t.record(Event::TxBegin {
+            thread: 1,
+            at: Cycles(1),
+        });
+        t.record(Event::TxCommit {
+            thread: 1,
+            at: Cycles(2),
+            footprint: 0,
+        });
         assert_eq!(t.for_thread(1).count(), 2);
         assert_eq!(t.for_thread(0).count(), 1);
     }
@@ -251,8 +312,17 @@ mod tests {
     fn severity_ordering_in_buckets() {
         let mut t = Trace::new(16);
         // Commit and a capacity abort land in the same bucket; abort wins.
-        t.record(Event::TxCommit { thread: 0, at: Cycles(10), footprint: 0 });
-        t.record(Event::TxAbort { thread: 0, at: Cycles(11), kind: AbortKind::Capacity, lost: 0 });
+        t.record(Event::TxCommit {
+            thread: 0,
+            at: Cycles(10),
+            footprint: 0,
+        });
+        t.record(Event::TxAbort {
+            thread: 0,
+            at: Cycles(11),
+            kind: AbortKind::Capacity,
+            lost: 0,
+        });
         let s = t.render_timeline(1, 1);
         assert!(s.contains('A'));
         assert!(!s.contains('C'));

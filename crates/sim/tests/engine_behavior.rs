@@ -14,7 +14,11 @@ struct Scripted {
 impl Scripted {
     fn new(name: &'static str, script: Vec<Vec<Section>>) -> Self {
         let cursor = vec![0; script.len()];
-        Scripted { name, script, cursor }
+        Scripted {
+            name,
+            script,
+            cursor,
+        }
     }
 }
 
@@ -79,15 +83,30 @@ fn conflicting_writes_cause_conflict_aborts_but_finish() {
     // Both threads hammer the same block inside long transactions.
     let hot = 0x5000;
     let body = || {
-        let mut ops = vec![TxOp::Compute(500), store(hot), TxOp::Compute(500), store(hot + 8)];
+        let mut ops = vec![
+            TxOp::Compute(500),
+            store(hot),
+            TxOp::Compute(500),
+            store(hot + 8),
+        ];
         ops.push(TxOp::Compute(200));
         Section::Tx(TxBody::new(ops))
     };
-    let script = vec![(0..20).map(|_| body()).collect(), (0..20).map(|_| body()).collect()];
+    let script = vec![
+        (0..20).map(|_| body()).collect(),
+        (0..20).map(|_| body()).collect(),
+    ];
     let mut w = Scripted::new("conflict", script);
     let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
-    assert_eq!(r.commits + r.fallback_commits, 40, "every section eventually completes");
-    assert!(r.aborts_of(AbortKind::Conflict) > 0, "overlapping TXs must conflict");
+    assert_eq!(
+        r.commits + r.fallback_commits,
+        40,
+        "every section eventually completes"
+    );
+    assert!(
+        r.aborts_of(AbortKind::Conflict) > 0,
+        "overlapping TXs must conflict"
+    );
 }
 
 #[test]
@@ -98,7 +117,10 @@ fn p8_capacity_abort_falls_back_to_lock() {
     let mut w = Scripted::new("capacity", script);
     let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
     assert_eq!(r.aborts_of(AbortKind::Capacity), 1);
-    assert_eq!(r.fallback_commits, 1, "capacity aborts skip retries and take the lock");
+    assert_eq!(
+        r.fallback_commits, 1,
+        "capacity aborts skip retries and take the lock"
+    );
     assert_eq!(r.commits, 0);
 }
 
@@ -121,14 +143,20 @@ fn static_hints_expand_effective_capacity() {
 
     let mut w = Scripted::new("hints", script.clone());
     let base = Simulator::new(SimConfig::default()).run(&mut w, 1);
-    assert_eq!(base.aborts_of(AbortKind::Capacity), 1, "baseline ignores hints");
+    assert_eq!(
+        base.aborts_of(AbortKind::Capacity),
+        1,
+        "baseline ignores hints"
+    );
 
     let mut w = Scripted::new("hints", script);
-    let hinted =
-        Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
+    let hinted = Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
     assert_eq!(hinted.aborts_of(AbortKind::Capacity), 0);
     assert_eq!(hinted.commits, 1);
-    assert!(hinted.total_cycles < base.total_cycles, "no fallback serialization");
+    assert!(
+        hinted.total_cycles < base.total_cycles,
+        "no fallback serialization"
+    );
 }
 
 #[test]
@@ -144,8 +172,7 @@ fn dynamic_hints_classify_private_page_loads_safe() {
     assert_eq!(base.aborts_of(AbortKind::Capacity), 1);
 
     let mut w = Scripted::new("dyn", script);
-    let dyn_run =
-        Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
+    let dyn_run = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
     assert_eq!(dyn_run.aborts_of(AbortKind::Capacity), 0);
     assert_eq!(dyn_run.commits, 1);
     assert!(dyn_run.vm.safe_loads > 0);
@@ -167,13 +194,14 @@ fn page_mode_abort_on_safe_page_turning_unsafe() {
     // page mid-flight → page-mode abort of thread 0's TX.
     let shared_page = 0x77_0000u64;
     let t0 = vec![Section::Tx(TxBody::new(vec![
-        load(shared_page),      // dyn-safe: first toucher
-        TxOp::Compute(50_000),  // stay in the TX long enough
+        load(shared_page),     // dyn-safe: first toucher
+        TxOp::Compute(50_000), // stay in the TX long enough
         store(priv_addr(0, 1)),
     ]))];
-    let t1 = vec![
-        Section::NonTx(vec![TxOp::Compute(5_000), store(shared_page + 8)]),
-    ];
+    let t1 = vec![Section::NonTx(vec![
+        TxOp::Compute(5_000),
+        store(shared_page + 8),
+    ])];
     let mut w = Scripted::new("pagemode", vec![t0, t1]);
     let r = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
     assert_eq!(r.aborts_of(AbortKind::PageMode), 1);
@@ -211,7 +239,11 @@ fn l1tm_set_conflict_eviction_aborts() {
     let script = vec![vec![Section::Tx(TxBody::new(ops))]];
     let mut w = Scripted::new("l1tm", script.clone());
     let r = Simulator::new(SimConfig::with_htm(HtmKind::L1Tm)).run(&mut w, 1);
-    assert_eq!(r.aborts_of(AbortKind::Capacity), 1, "set-conflict spill aborts");
+    assert_eq!(
+        r.aborts_of(AbortKind::Capacity),
+        1,
+        "set-conflict spill aborts"
+    );
 
     // P8 holds 9 blocks comfortably.
     let mut w = Scripted::new("l1tm", script);
@@ -294,13 +326,21 @@ fn tx_size_recording_produces_three_views() {
     };
     let r = Simulator::new(cfg).run(&mut w, 1);
     assert_eq!(r.tx_sizes_all, vec![25]);
-    assert_eq!(r.tx_sizes_nonstatic, vec![15], "static-safe blocks excluded");
+    assert_eq!(
+        r.tx_sizes_nonstatic,
+        vec![15],
+        "static-safe blocks excluded"
+    );
     assert_eq!(r.tx_sizes_unsafe, vec![5], "dyn-safe loads excluded too");
 }
 
 #[test]
 fn access_breakdown_counts_committed_attempts_only() {
-    let ops = vec![safe_load(priv_addr(0, 0)), load(priv_addr(0, 1)), store(0x44_0000)];
+    let ops = vec![
+        safe_load(priv_addr(0, 0)),
+        load(priv_addr(0, 1)),
+        store(0x44_0000),
+    ];
     let script = vec![vec![Section::Tx(TxBody::new(ops))]];
     let mut w = Scripted::new("bd", script);
     let r = Simulator::new(SimConfig::default().hint_mode(HintMode::Full)).run(&mut w, 1);
@@ -355,18 +395,21 @@ fn smt_sibling_eviction_capacity_aborts_the_other_hw_thread() {
         "sibling eviction must spill tracked state"
     );
     // Same scenario on separate cores (no SMT): no interference.
-    let mut w = Scripted::new("smt", vec![
-        vec![Section::Tx(TxBody::new(vec![
-            load(same_set(0)),
-            TxOp::Compute(200_000),
-            store(priv_addr(0, 1)),
-        ]))],
-        vec![Section::NonTx(
-            std::iter::once(TxOp::Compute(10_000))
-                .chain((1..10).map(|k| load(same_set(k))))
-                .collect(),
-        )],
-    ]);
+    let mut w = Scripted::new(
+        "smt",
+        vec![
+            vec![Section::Tx(TxBody::new(vec![
+                load(same_set(0)),
+                TxOp::Compute(200_000),
+                store(priv_addr(0, 1)),
+            ]))],
+            vec![Section::NonTx(
+                std::iter::once(TxOp::Compute(10_000))
+                    .chain((1..10).map(|k| load(same_set(k))))
+                    .collect(),
+            )],
+        ],
+    );
     let r2 = Simulator::new(SimConfig::with_htm(HtmKind::L1Tm)).run(&mut w, 1);
     assert_eq!(r2.aborts_of(AbortKind::Capacity), 0);
 }
@@ -377,31 +420,55 @@ fn fallback_lock_serializes_other_fallbacks() {
     // complete and the second waits for the first.
     let big = |t: usize| {
         Section::Tx(TxBody::new(
-            (0..100).map(|k| store(priv_addr(t, k))).chain([TxOp::Compute(10_000)]).collect(),
+            (0..100)
+                .map(|k| store(priv_addr(t, k)))
+                .chain([TxOp::Compute(10_000)])
+                .collect(),
         ))
     };
     let mut w = Scripted::new("locks", vec![vec![big(0)], vec![big(1)]]);
     let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
     assert_eq!(r.fallback_commits, 2);
     // Serialized: total wall-clock at least two body lengths of compute.
-    assert!(r.total_cycles.raw() >= 20_000, "got {}", r.total_cycles.raw());
+    assert!(
+        r.total_cycles.raw() >= 20_000,
+        "got {}",
+        r.total_cycles.raw()
+    );
 }
 
 #[test]
 fn run_traced_records_lifecycle_events() {
     use hintm_sim::Event;
     let script = vec![
-        vec![Section::Tx(TxBody::new((0..100).map(|k| store(priv_addr(0, k))).collect()))],
+        vec![Section::Tx(TxBody::new(
+            (0..100).map(|k| store(priv_addr(0, k))).collect(),
+        ))],
         vec![Section::Tx(TxBody::new(vec![store(priv_addr(1, 0))]))],
     ];
     let mut w = Scripted::new("traced", script);
     let (stats, trace) = Simulator::new(SimConfig::default()).run_traced(&mut w, 1, 1024);
     assert_eq!(stats.commits + stats.fallback_commits, 2);
-    let begins = trace.events().iter().filter(|e| matches!(e, Event::TxBegin { .. })).count();
-    let commits = trace.events().iter().filter(|e| matches!(e, Event::TxCommit { .. })).count();
-    let aborts = trace.events().iter().filter(|e| matches!(e, Event::TxAbort { .. })).count();
-    let fallbacks =
-        trace.events().iter().filter(|e| matches!(e, Event::FallbackAcquire { .. })).count();
+    let begins = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::TxBegin { .. }))
+        .count();
+    let commits = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::TxCommit { .. }))
+        .count();
+    let aborts = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::TxAbort { .. }))
+        .count();
+    let fallbacks = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::FallbackAcquire { .. }))
+        .count();
     assert_eq!(commits as u64, stats.commits);
     assert_eq!(aborts as u64, stats.total_aborts());
     assert_eq!(fallbacks as u64, stats.fallback_commits);
@@ -413,10 +480,16 @@ fn run_traced_records_lifecycle_events() {
 
 #[test]
 fn sharing_profiler_reports_fractions() {
-    let t0 = vec![Section::Tx(TxBody::new(vec![load(priv_addr(0, 0)), store(0x9000)]))];
+    let t0 = vec![Section::Tx(TxBody::new(vec![
+        load(priv_addr(0, 0)),
+        store(0x9000),
+    ]))];
     let t1 = vec![Section::NonTx(vec![TxOp::Compute(10_000), store(0x9000)])];
     let mut w = Scripted::new("prof", vec![t0, t1]);
-    let cfg = SimConfig { profile_sharing: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        profile_sharing: true,
+        ..SimConfig::default()
+    };
     let r = Simulator::new(cfg).run(&mut w, 1);
     let (blk, pg, _txp, _txb) = r.sharing.expect("profiling enabled");
     assert!(blk > 0.0 && blk <= 1.0);

@@ -15,7 +15,11 @@ struct Scripted {
 impl Scripted {
     fn new(script: Vec<Vec<Section>>) -> Self {
         let cursor = vec![0; script.len()];
-        Scripted { script, cursor, notary: Vec::new() }
+        Scripted {
+            script,
+            cursor,
+            notary: Vec::new(),
+        }
     }
 
     fn with_notary(mut self, ranges: Vec<(Addr, u64)>) -> Self {
@@ -122,8 +126,7 @@ fn notary_ranges_act_as_static_hints() {
 
     // With the Notary annotation and static hints enabled, it fits.
     let mut w = Scripted::new(script.clone()).with_notary(vec![(region, 100 * 64)]);
-    let annotated =
-        Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
+    let annotated = Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
     assert_eq!(annotated.aborts_of(AbortKind::Capacity), 0);
     assert_eq!(annotated.commits, 1);
 
@@ -164,7 +167,11 @@ fn rot_does_not_detect_read_write_conflicts() {
     let t1 = vec![Section::NonTx(vec![TxOp::Compute(5_000), store(hot)])];
     let mut w = Scripted::new(vec![t0, t1]);
     let r = Simulator::new(SimConfig::with_htm(HtmKind::Rot)).run(&mut w, 1);
-    assert_eq!(r.aborts_of(AbortKind::Conflict), 0, "read untracked -> no conflict");
+    assert_eq!(
+        r.aborts_of(AbortKind::Conflict),
+        0,
+        "read untracked -> no conflict"
+    );
 }
 
 #[test]

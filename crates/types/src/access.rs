@@ -127,13 +127,23 @@ impl MemAccess {
     /// Creates a load access with an [`SafetyHint::Unsafe`] hint.
     #[inline]
     pub const fn load(addr: Addr, site: SiteId) -> Self {
-        MemAccess { addr, kind: AccessKind::Load, site, hint: SafetyHint::Unsafe }
+        MemAccess {
+            addr,
+            kind: AccessKind::Load,
+            site,
+            hint: SafetyHint::Unsafe,
+        }
     }
 
     /// Creates a store access with an [`SafetyHint::Unsafe`] hint.
     #[inline]
     pub const fn store(addr: Addr, site: SiteId) -> Self {
-        MemAccess { addr, kind: AccessKind::Store, site, hint: SafetyHint::Unsafe }
+        MemAccess {
+            addr,
+            kind: AccessKind::Store,
+            site,
+            hint: SafetyHint::Unsafe,
+        }
     }
 
     /// Returns the same access with the given static hint.
@@ -146,7 +156,11 @@ impl MemAccess {
 
 impl fmt::Display for MemAccess {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} ({}, {})", self.kind, self.addr, self.site, self.hint)
+        write!(
+            f,
+            "{} {} ({}, {})",
+            self.kind, self.addr, self.site, self.hint
+        )
     }
 }
 

@@ -247,7 +247,13 @@ mod tests {
         let names: Vec<String> = AbortKind::ALL.iter().map(|k| k.to_string()).collect();
         assert_eq!(
             names,
-            ["conflict", "capacity", "false-conflict", "page-mode", "fallback-lock"]
+            [
+                "conflict",
+                "capacity",
+                "false-conflict",
+                "page-mode",
+                "fallback-lock"
+            ]
         );
     }
 

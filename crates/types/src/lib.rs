@@ -23,6 +23,7 @@ pub mod access;
 pub mod addr;
 pub mod config;
 pub mod ids;
+pub mod rng;
 pub mod stats_util;
 
 pub use access::{AccessKind, MemAccess, SafetyClass, SafetyHint};

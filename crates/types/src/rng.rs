@@ -1,0 +1,173 @@
+//! A small, std-only deterministic PRNG for workload generation and tests.
+//!
+//! The crates-io `rand` crate is not available in every build environment
+//! this reproduction targets, so the workload suite draws from this
+//! hand-rolled xoshiro256++ generator instead. Determinism is the only hard
+//! requirement: the same seed must produce the same stream on every
+//! platform, because figure tables and the runner's on-disk result cache
+//! both rely on bit-identical reruns.
+//!
+//! # Examples
+//!
+//! ```
+//! use hintm_types::rng::SmallRng;
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let k = a.gen_range(0..10u64);
+//! assert!(k < 10);
+//! ```
+
+use std::ops::Range;
+
+/// xoshiro256++ generator, seeded via splitmix64 (the reference seeding
+/// scheme, which also matches how `rand`'s `seed_from_u64` expands seeds).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.as_u64();
+        let hi = range.end.as_u64();
+        assert!(lo < hi, "gen_range called with empty range");
+        T::from_u64(lo + self.next_u64() % (hi - lo))
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Widens to `u64` (all supported ranges are non-negative).
+    fn as_u64(self) -> u64;
+    /// Narrows back from `u64` (the value is always in range).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn as_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_answer_locks_the_stream() {
+        // Golden values: changing the generator silently would invalidate
+        // every recorded figure table and cached sweep result.
+        let mut r = SmallRng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0x5317_5d61_490b_23df);
+        assert_eq!(r.next_u64(), 0x61da_6f3d_c380_d507);
+        assert_eq!(r.next_u64(), 0x5c0f_df91_ec9a_7bfc);
+    }
+
+    #[test]
+    fn ranges_are_inclusive_exclusive() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(5..8u64);
+            assert!((5..8).contains(&v));
+            let w: usize = r.gen_range(0..1);
+            assert_eq!(w, 0);
+            let x: u32 = r.gen_range(0..100);
+            assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            acc += f;
+        }
+        // Mean of 1000 uniform draws is near 0.5.
+        assert!((acc / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(3..3u64);
+    }
+}

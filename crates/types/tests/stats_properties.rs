@@ -1,47 +1,70 @@
-//! Property tests for the statistics helpers.
+//! Randomized property tests for the statistics helpers (std-only: cases
+//! are drawn from the deterministic in-tree generator).
 
+use hintm_types::rng::SmallRng;
 use hintm_types::stats_util::{cdf, frac_above, geomean, mean, percentile};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn cdf_is_monotone_and_ends_at_one(samples in prop::collection::vec(0u64..1000, 1..200)) {
-        let c = cdf(&samples);
-        prop_assert!(!c.is_empty());
+fn samples(rng: &mut SmallRng, max: u64, len_range: std::ops::Range<usize>) -> Vec<u64> {
+    let n = rng.gen_range(len_range);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+#[test]
+fn cdf_is_monotone_and_ends_at_one() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..200 {
+        let s = samples(&mut rng, 1000, 1..200);
+        let c = cdf(&s);
+        assert!(!c.is_empty());
         for w in c.windows(2) {
-            prop_assert!(w[0].0 < w[1].0);
-            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1 + 1e-12);
         }
-        prop_assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
         // CDF at a value equals the fraction of samples <= value.
         for &(v, f) in &c {
-            let le = samples.iter().filter(|&&s| s <= v).count() as f64 / samples.len() as f64;
-            prop_assert!((f - le).abs() < 1e-12);
+            let le = s.iter().filter(|&&x| x <= v).count() as f64 / s.len() as f64;
+            assert!((f - le).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn percentile_brackets_the_data(samples in prop::collection::vec(0u64..1000, 1..200), pct in 0.0f64..100.0) {
-        let p = percentile(&samples, pct);
-        let min = *samples.iter().min().unwrap();
-        let max = *samples.iter().max().unwrap();
-        prop_assert!(p >= min && p <= max);
-        prop_assert_eq!(percentile(&samples, 100.0), max);
+#[test]
+fn percentile_brackets_the_data() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for _ in 0..200 {
+        let s = samples(&mut rng, 1000, 1..200);
+        let pct = rng.gen_f64() * 100.0;
+        let p = percentile(&s, pct);
+        let min = *s.iter().min().unwrap();
+        let max = *s.iter().max().unwrap();
+        assert!(p >= min && p <= max);
+        assert_eq!(percentile(&s, 100.0), max);
     }
+}
 
-    #[test]
-    fn frac_above_complements_cdf(samples in prop::collection::vec(0u64..100, 1..100), t in 0u64..100) {
-        let above = frac_above(&samples, t);
-        let le = samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64;
-        prop_assert!((above + le - 1.0).abs() < 1e-12);
+#[test]
+fn frac_above_complements_cdf() {
+    let mut rng = SmallRng::seed_from_u64(0xFEED);
+    for _ in 0..200 {
+        let s = samples(&mut rng, 100, 1..100);
+        let t = rng.gen_range(0..100u64);
+        let above = frac_above(&s, t);
+        let le = s.iter().filter(|&&x| x <= t).count() as f64 / s.len() as f64;
+        assert!((above + le - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn geomean_between_min_and_max(vals in prop::collection::vec(0.01f64..100.0, 1..50)) {
+#[test]
+fn geomean_between_min_and_max() {
+    let mut rng = SmallRng::seed_from_u64(0xDADA);
+    for _ in 0..200 {
+        let n = rng.gen_range(1..50usize);
+        let vals: Vec<f64> = (0..n).map(|_| 0.01 + rng.gen_f64() * 99.99).collect();
         let g = geomean(&vals);
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
-        prop_assert!(g <= mean(&vals) * 1.001, "AM-GM inequality");
+        assert!(g >= min * 0.999 && g <= max * 1.001);
+        assert!(g <= mean(&vals) * 1.001, "AM-GM inequality");
     }
 }

@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn first_touch_sets_private() {
-        assert_eq!(step(None, X, AccessKind::Load, false), (PrivateRo(X), Transition::None));
-        assert_eq!(step(None, X, AccessKind::Store, false), (PrivateRw(X), Transition::None));
+        assert_eq!(
+            step(None, X, AccessKind::Load, false),
+            (PrivateRo(X), Transition::None)
+        );
+        assert_eq!(
+            step(None, X, AccessKind::Store, false),
+            (PrivateRw(X), Transition::None)
+        );
     }
 
     #[test]
@@ -135,9 +141,18 @@ mod tests {
 
     #[test]
     fn owner_accesses_stay_private() {
-        assert_eq!(step(Some(PrivateRo(X)), X, AccessKind::Load, false), (PrivateRo(X), Transition::None));
-        assert_eq!(step(Some(PrivateRw(X)), X, AccessKind::Load, false), (PrivateRw(X), Transition::None));
-        assert_eq!(step(Some(PrivateRw(X)), X, AccessKind::Store, false), (PrivateRw(X), Transition::None));
+        assert_eq!(
+            step(Some(PrivateRo(X)), X, AccessKind::Load, false),
+            (PrivateRo(X), Transition::None)
+        );
+        assert_eq!(
+            step(Some(PrivateRw(X)), X, AccessKind::Load, false),
+            (PrivateRw(X), Transition::None)
+        );
+        assert_eq!(
+            step(Some(PrivateRw(X)), X, AccessKind::Store, false),
+            (PrivateRw(X), Transition::None)
+        );
     }
 
     #[test]
@@ -187,14 +202,20 @@ mod tests {
             step(Some(SharedRo), X, AccessKind::Store, false),
             (SharedRw, Transition::ToSharedRw)
         );
-        assert_eq!(step(Some(SharedRo), Y, AccessKind::Load, false), (SharedRo, Transition::None));
+        assert_eq!(
+            step(Some(SharedRo), Y, AccessKind::Load, false),
+            (SharedRo, Transition::None)
+        );
     }
 
     #[test]
     fn shared_rw_is_terminal() {
         for kind in [AccessKind::Load, AccessKind::Store] {
             for tid in [X, Y] {
-                assert_eq!(step(Some(SharedRw), tid, kind, true), (SharedRw, Transition::None));
+                assert_eq!(
+                    step(Some(SharedRw), tid, kind, true),
+                    (SharedRw, Transition::None)
+                );
             }
         }
     }

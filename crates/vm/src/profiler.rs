@@ -92,12 +92,18 @@ impl SharingProfiler {
 
     /// Fraction of touched 64 B blocks that are safe over the execution.
     pub fn safe_block_fraction(&self) -> f64 {
-        frac(self.blocks.values().filter(|r| r.is_safe()).count(), self.blocks.len())
+        frac(
+            self.blocks.values().filter(|r| r.is_safe()).count(),
+            self.blocks.len(),
+        )
     }
 
     /// Fraction of touched 4 KiB pages that are safe over the execution.
     pub fn safe_page_fraction(&self) -> f64 {
-        frac(self.pages.values().filter(|r| r.is_safe()).count(), self.pages.len())
+        frac(
+            self.pages.values().filter(|r| r.is_safe()).count(),
+            self.pages.len(),
+        )
     }
 
     /// Fraction of transactional reads that target safe pages.

@@ -67,7 +67,9 @@ impl VmSystem {
     pub fn new(cfg: &MachineConfig, preserve: bool) -> Self {
         VmSystem {
             table: HashMap::new(),
-            tlbs: (0..cfg.num_cores).map(|_| Tlb::new(cfg.tlb_entries)).collect(),
+            tlbs: (0..cfg.num_cores)
+                .map(|_| Tlb::new(cfg.tlb_entries))
+                .collect(),
             preserve,
             page_walk_latency: cfg.page_walk_latency,
             minor_fault_cost: cfg.minor_fault_cost,
@@ -156,7 +158,10 @@ impl VmSystem {
                         slaves.push(CoreId(i as u32));
                     }
                 }
-                shootdown = Some(Shootdown { page, slave_cores: slaves });
+                shootdown = Some(Shootdown {
+                    page,
+                    slave_cores: slaves,
+                });
             }
         }
 
@@ -169,13 +174,22 @@ impl VmSystem {
             }
         }
 
-        VmAccess { safe_load, cost, shootdown }
+        VmAccess {
+            safe_load,
+            cost,
+            shootdown,
+        }
     }
 
     /// Peeks at the dynamic verdict for a load without side effects
     /// (classification queries outside the timed path).
     pub fn peek_load_safe(&self, tid: ThreadId, page: PageId) -> bool {
-        let (after, _) = step(self.table.get(&page).copied(), tid, AccessKind::Load, self.preserve);
+        let (after, _) = step(
+            self.table.get(&page).copied(),
+            tid,
+            AccessKind::Load,
+            self.preserve,
+        );
         after.load_is_safe(tid)
     }
 }
@@ -212,7 +226,11 @@ mod tests {
         let mut vm = mk(false);
         vm.access(CX, X, pg(1), AccessKind::Load);
         let a = vm.access(CX, X, pg(1), AccessKind::Store);
-        assert_eq!(a.cost, Cycles(30 + 1450), "walk (stale entry) + minor fault");
+        assert_eq!(
+            a.cost,
+            Cycles(30 + 1450),
+            "walk (stale entry) + minor fault"
+        );
         assert_eq!(vm.stats().minor_faults, 1);
         let b = vm.access(CX, X, pg(1), AccessKind::Store);
         assert_eq!(b.cost, Cycles::ZERO);
@@ -283,7 +301,11 @@ mod tests {
         let mut vm = mk(false);
         vm.access(CX, X, pg(1), AccessKind::Store);
         assert!(!vm.peek_load_safe(Y, pg(1)));
-        assert_eq!(vm.page_state(pg(1)), Some(PageState::PrivateRw(X)), "peek left state alone");
+        assert_eq!(
+            vm.page_state(pg(1)),
+            Some(PageState::PrivateRw(X)),
+            "peek left state alone"
+        );
         assert!(vm.peek_load_safe(X, pg(1)));
     }
 

@@ -40,7 +40,13 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        Tlb { entries: HashMap::new(), capacity, tick: 0, hits: 0, misses: 0 }
+        Tlb {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up `page`, updating LRU order and hit/miss counters.

@@ -16,9 +16,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -114,7 +113,13 @@ impl Bayes {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Bayes { scale, threads, sites, safe_sites, st: None }
+        Bayes {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn txs_per_thread(&self) -> usize {
@@ -137,10 +142,18 @@ impl Workload for Bayes {
         let adtree = space.alloc_global_page_aligned(adtree_rows * 64);
         let mut graph = SimTreap::new(48);
         for k in 0..192u64 {
-            graph.insert(k, 0, ThreadId(0), &mut space, &mut NullSink, TreapSites::uniform(SiteId::UNKNOWN));
+            graph.insert(
+                k,
+                0,
+                ThreadId(0),
+                &mut space,
+                &mut NullSink,
+                TreapSites::uniform(SiteId::UNKNOWN),
+            );
         }
-        let score_bufs =
-            (0..self.threads).map(|t| space.stack_push(ThreadId(t as u32), 192)).collect();
+        let score_bufs = (0..self.threads)
+            .map(|t| space.stack_push(ThreadId(t as u32), 192))
+            .collect();
         let rngs = (0..self.threads).map(|t| thread_rng(seed, t, 8)).collect();
         self.st = Some(State {
             space,
@@ -213,7 +226,10 @@ mod tests {
             !safe.contains(&sites.adtree_load),
             "the cache-aliased AD-tree pointer defeats the static pass"
         );
-        assert!(safe.contains(&sites.score_store), "score buffer init is safe");
+        assert!(
+            safe.contains(&sites.score_store),
+            "score buffer init is safe"
+        );
         assert!(safe.contains(&sites.score_load));
         assert!(!safe.contains(&sites.graph_traverse));
     }
@@ -232,7 +248,10 @@ mod tests {
         let base = Simulator::new(SimConfig::default()).run(&mut w, 1);
         let dynr = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
         let red = dynr.abort_reduction_vs(&base, AbortKind::Capacity);
-        assert!(red > 0.5, "AD-tree pages settle shared-ro; got reduction {red:.2}");
+        assert!(
+            red > 0.5,
+            "AD-tree pages settle shared-ro; got reduction {red:.2}"
+        );
         // Static alone is nearly useless here (3 scratch blocks only).
         let str_ = Simulator::new(SimConfig::default().hint_mode(HintMode::Static)).run(&mut w, 1);
         let red_st = str_.abort_reduction_vs(&base, AbortKind::Capacity);

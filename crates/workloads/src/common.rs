@@ -2,9 +2,8 @@
 
 use hintm_mem::AccessSink;
 use hintm_sim::{TxBody, TxOp};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, MemAccess, SiteId};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Input scale preset.
 ///
@@ -95,7 +94,6 @@ pub fn thread_rng(seed: u64, tid: usize, salt: u64) -> SmallRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn recorder_merges_compute() {
@@ -125,11 +123,11 @@ mod tests {
         let mut a2 = thread_rng(1, 0, 0);
         let mut b = thread_rng(1, 1, 0);
         let mut c = thread_rng(1, 0, 1);
-        let x1: u64 = a1.gen();
-        let x2: u64 = a2.gen();
+        let x1: u64 = a1.next_u64();
+        let x2: u64 = a2.next_u64();
         assert_eq!(x1, x2);
-        assert_ne!(x1, b.gen::<u64>());
-        assert_ne!(x1, c.gen::<u64>());
+        assert_ne!(x1, b.next_u64());
+        assert_ne!(x1, c.next_u64());
     }
 
     #[test]

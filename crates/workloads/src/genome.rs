@@ -18,9 +18,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::{HashMapSites, SimHashMap};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -79,7 +78,15 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let module = m.finish(entry, worker);
     let c = classify(&module);
     (
-        Sites { segment_load, bucket, chain, node_store, link, seq_load, seq_store },
+        Sites {
+            segment_load,
+            bucket,
+            chain,
+            node_store,
+            link,
+            seq_load,
+            seq_store,
+        },
         c.safe_sites().clone(),
     )
 }
@@ -110,7 +117,13 @@ impl Genome {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Genome { scale, threads, sites, safe_sites, st: None }
+        Genome {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn batches_per_thread(&self) -> usize {
@@ -136,8 +149,9 @@ impl Workload for Genome {
         // One shared input buffer, partitioned by thread: pages are only
         // ever touched by their owning thread at runtime.
         let input = space.alloc_global_page_aligned(self.threads as u64 * PART_BYTES);
-        let partitions =
-            (0..self.threads).map(|t| input.offset(t as u64 * PART_BYTES)).collect();
+        let partitions = (0..self.threads)
+            .map(|t| input.offset(t as u64 * PART_BYTES))
+            .collect();
         let seq_chain = space.alloc_global(64 * 256);
         let rngs = (0..self.threads).map(|t| thread_rng(seed, t, 5)).collect();
         self.st = Some(State {
@@ -186,13 +200,14 @@ impl Workload for Genome {
                 let space = &mut st.space;
                 let partitions = &st.partitions;
                 let nthreads = partitions.len() as u64;
-                st.table.insert_with(key, key, tid, space, &mut rec, hm_sites, |sink, vk| {
-                    // Key comparison dereferences the stored segment string,
-                    // which lives in the *inserting* thread's partition.
-                    let owner = (vk % nthreads) as usize;
-                    let off = ((vk >> 3) * 64) % PART_BYTES;
-                    sink.load(partitions[owner].offset(off), s.segment_load);
-                });
+                st.table
+                    .insert_with(key, key, tid, space, &mut rec, hm_sites, |sink, vk| {
+                        // Key comparison dereferences the stored segment string,
+                        // which lives in the *inserting* thread's partition.
+                        let owner = (vk % nthreads) as usize;
+                        let off = ((vk >> 3) * 64) % PART_BYTES;
+                        sink.load(partitions[owner].offset(off), s.segment_load);
+                    });
             }
             rec.compute(25);
             return Some(Section::Tx(rec.into_body()));
@@ -258,7 +273,10 @@ mod tests {
             sites.seq_load,
             sites.seq_store,
         ] {
-            assert!(!safe.contains(&site), "genome static must be empty, {site} was safe");
+            assert!(
+                !safe.contains(&site),
+                "genome static must be empty, {site} was safe"
+            );
         }
     }
 
@@ -274,7 +292,10 @@ mod tests {
     fn baseline_has_capacity_aborts_dyn_reduces_them() {
         let mut w = Genome::new(Scale::Sim, 4);
         let base = Simulator::new(SimConfig::default()).run(&mut w, 1);
-        assert!(base.aborts_of(AbortKind::Capacity) > 0, "phase-1 batches exceed P8");
+        assert!(
+            base.aborts_of(AbortKind::Capacity) > 0,
+            "phase-1 batches exceed P8"
+        );
         let dynr = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 1);
         assert!(
             dynr.aborts_of(AbortKind::Capacity) < base.aborts_of(AbortKind::Capacity),

@@ -14,9 +14,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::{HashMapSites, SimHashMap};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -76,7 +75,16 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let module = m.finish(entry, worker);
     let c = classify(&module);
     (
-        Sites { queue_load, queue_store, frag_load, bucket, chain, node_store, link, flow_load },
+        Sites {
+            queue_load,
+            queue_store,
+            frag_load,
+            bucket,
+            chain,
+            node_store,
+            link,
+            flow_load,
+        },
         c.safe_sites().clone(),
     )
 }
@@ -120,7 +128,13 @@ impl Intruder {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Intruder { scale, threads, sites, safe_sites, st: None }
+        Intruder {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn packets_per_thread(&self) -> usize {
@@ -142,7 +156,9 @@ impl Workload for Intruder {
         let map = SimHashMap::with_bucket_stride(&mut space, 128, 32, 64);
         let queue_ctrl = space.alloc_global(64);
         let arena = space.alloc_global_page_aligned(self.threads as u64 * ARENA_BYTES);
-        let arenas = (0..self.threads).map(|t| arena.offset(t as u64 * ARENA_BYTES)).collect();
+        let arenas = (0..self.threads)
+            .map(|t| arena.offset(t as u64 * ARENA_BYTES))
+            .collect();
         let rngs = (0..self.threads).map(|t| thread_rng(seed, t, 6)).collect();
         let mut st = State {
             space,
@@ -160,7 +176,11 @@ impl Workload for Intruder {
         // A window of in-flight flows shared by all threads.
         for _ in 0..24 {
             let total = 8 + (st.next_flow as usize * 7) % 20;
-            st.flows.push(Flow { total, inserted: 0, frags: Vec::new() });
+            st.flows.push(Flow {
+                total,
+                inserted: 0,
+                frags: Vec::new(),
+            });
             st.next_flow += 1;
         }
         self.st = Some(st);
@@ -208,8 +228,7 @@ impl Workload for Intruder {
         // its payload (this thread's arena slice) and insert it into the
         // shared fragment map.
         let fi = st.rngs[t].gen_range(0..st.flows.len());
-        let payload =
-            st.arenas[t].offset(st.rngs[t].gen_range(0..(ARENA_BYTES / 64)) * 64);
+        let payload = st.arenas[t].offset(st.rngs[t].gen_range(0..(ARENA_BYTES / 64)) * 64);
         rec.load(payload, s.frag_load);
         st.next_key += 1;
         let key = st.next_key;
@@ -237,7 +256,11 @@ impl Workload for Intruder {
             st.pending_flow[t] = Some(payloads);
             // Replace with a fresh flow to keep the window full.
             let total = 8 + (st.next_flow as usize * 7) % 20;
-            st.flows[fi] = Flow { total, inserted: 0, frags: Vec::new() };
+            st.flows[fi] = Flow {
+                total,
+                inserted: 0,
+                frags: Vec::new(),
+            };
             st.next_flow += 1;
         }
         rec.compute(15);

@@ -11,9 +11,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::SimArray;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -47,7 +46,14 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let entry = main.finish();
     let module = m.finish(entry, worker);
     let c = classify(&module);
-    (Sites { point_load, centroid_load, centroid_store }, c.safe_sites().clone())
+    (
+        Sites {
+            point_load,
+            centroid_load,
+            centroid_store,
+        },
+        c.safe_sites().clone(),
+    )
 }
 
 struct State {
@@ -72,7 +78,13 @@ impl Kmeans {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Kmeans { scale, threads, sites, safe_sites, st: None }
+        Kmeans {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn points_per_thread(&self) -> usize {
@@ -100,7 +112,12 @@ impl Workload for Kmeans {
             .collect();
         let rngs = (0..self.threads).map(|t| thread_rng(seed, t, 2)).collect();
         let remaining = vec![self.points_per_thread(); self.threads];
-        self.st = Some(State { points, centroids, rngs, remaining });
+        self.st = Some(State {
+            points,
+            centroids,
+            rngs,
+            remaining,
+        });
     }
 
     fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
@@ -120,7 +137,8 @@ impl Workload for Kmeans {
         let mut rec = Recorder::new();
         st.points[t].read(i, &mut rec, s.point_load);
         rec.compute(40);
-        st.centroids.fetch_add(cluster, 1, &mut rec, s.centroid_load, s.centroid_store);
+        st.centroids
+            .fetch_add(cluster, 1, &mut rec, s.centroid_load, s.centroid_store);
         Some(Section::Tx(rec.into_body()))
     }
 
@@ -155,7 +173,10 @@ mod tests {
     fn centroid_contention_causes_some_conflicts() {
         let mut w = Kmeans::new(Scale::Sim, 8);
         let r = Simulator::new(SimConfig::default()).run(&mut w, 1);
-        assert!(r.aborts_of(AbortKind::Conflict) > 0, "shared accumulators must collide");
+        assert!(
+            r.aborts_of(AbortKind::Conflict) > 0,
+            "shared accumulators must collide"
+        );
     }
 
     #[test]

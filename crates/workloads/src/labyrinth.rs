@@ -21,9 +21,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::SimGrid;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 /// Access sites of the labyrinth kernel (indices into its IR module).
@@ -132,7 +131,13 @@ impl Labyrinth {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Labyrinth { scale, threads, sites, safe_sites, st: None }
+        Labyrinth {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn routes_per_thread(&self) -> usize {
@@ -159,7 +164,11 @@ impl Workload for Labyrinth {
         // Initialize obstacle cells (setup, untraced).
         let mut rng = thread_rng(seed, usize::MAX, 0);
         for _ in 0..(x * y * z / 8) {
-            let (cx, cy, cz) = (rng.gen_range(0..x), rng.gen_range(0..y), rng.gen_range(0..z));
+            let (cx, cy, cz) = (
+                rng.gen_range(0..x),
+                rng.gen_range(0..y),
+                rng.gen_range(0..z),
+            );
             base.poke(cx, cy, cz, 1);
         }
         let overlay_base = space.alloc_global_page_aligned((x * y * z) as u64 * 8);
@@ -294,7 +303,10 @@ mod tests {
     #[test]
     fn static_classification_matches_listing2() {
         let (sites, safe) = build_ir();
-        assert!(safe.contains(&sites.copy_load), "base grid is read-only in region");
+        assert!(
+            safe.contains(&sites.copy_load),
+            "base grid is read-only in region"
+        );
         assert!(safe.contains(&sites.copy_store), "initializing memcpy");
         assert!(safe.contains(&sites.exp_load), "private grid loads");
         assert!(safe.contains(&sites.exp_store), "stores after init copy");
@@ -329,7 +341,11 @@ mod tests {
             reduction > 0.5,
             "HinTM-st should remove most capacity aborts, got {reduction:.2}"
         );
-        assert!(st.speedup_vs(&base) > 1.5, "speedup {:.2}", st.speedup_vs(&base));
+        assert!(
+            st.speedup_vs(&base) > 1.5,
+            "speedup {:.2}",
+            st.speedup_vs(&base)
+        );
     }
 
     #[test]
@@ -359,6 +375,9 @@ mod tests {
         let base = Simulator::new(SimConfig::default()).run(&mut w, 3);
         let dynr = Simulator::new(SimConfig::default().hint_mode(HintMode::Dynamic)).run(&mut w, 3);
         let reduction = dynr.abort_reduction_vs(&base, AbortKind::Capacity);
-        assert!(reduction < 0.3, "dyn-only reduction should be small, got {reduction:.2}");
+        assert!(
+            reduction < 0.3,
+            "dyn-only reduction should be small, got {reduction:.2}"
+        );
     }
 }

@@ -97,7 +97,10 @@ pub fn by_name_with_threads(name: &str, scale: Scale, threads: usize) -> Option<
 
 /// Instantiates the whole suite at the given scale.
 pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
-    WORKLOAD_NAMES.iter().map(|n| by_name(n, scale).expect("known name")).collect()
+    WORKLOAD_NAMES
+        .iter()
+        .map(|n| by_name(n, scale).expect("known name"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,9 +11,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::SimArray;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -49,7 +48,15 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let entry = main.finish();
     let module = m.finish(entry, worker);
     let c = classify(&module);
-    (Sites { edge_load, count_load, count_store, slot_store }, c.safe_sites().clone())
+    (
+        Sites {
+            edge_load,
+            count_load,
+            count_store,
+            slot_store,
+        },
+        c.safe_sites().clone(),
+    )
 }
 
 struct State {
@@ -73,7 +80,13 @@ impl Ssca2 {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Ssca2 { scale, threads, sites, safe_sites, st: None }
+        Ssca2 {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn num_vertices(&self) -> usize {
@@ -100,11 +113,19 @@ impl Workload for Ssca2 {
         let counts = SimArray::new_global(&mut space, nv, 8);
         let slots = SimArray::new_global(&mut space, nv * 8, 8);
         let edges = (0..self.threads)
-            .map(|t| SimArray::new_heap(&mut space, ThreadId(t as u32), self.edges_per_thread(), 16))
+            .map(|t| {
+                SimArray::new_heap(&mut space, ThreadId(t as u32), self.edges_per_thread(), 16)
+            })
             .collect();
         let rngs = (0..self.threads).map(|t| thread_rng(seed, t, 3)).collect();
         let remaining = vec![self.edges_per_thread(); self.threads];
-        self.st = Some(State { edges, counts, slots, rngs, remaining });
+        self.st = Some(State {
+            edges,
+            counts,
+            slots,
+            rngs,
+            remaining,
+        });
     }
 
     fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
@@ -119,14 +140,15 @@ impl Workload for Ssca2 {
         let nv = st.counts.len();
 
         // Power-law-ish endpoint: squash a uniform draw to favor low ids.
-        let r: f64 = st.rngs[t].gen();
+        let r: f64 = st.rngs[t].gen_f64();
         let v = ((r * r) * nv as f64) as usize % nv;
 
         let mut rec = Recorder::new();
         st.edges[t].read(i, &mut rec, s.edge_load);
         rec.compute(15);
-        let count =
-            st.counts.fetch_add(v, 1, &mut rec, s.count_load, s.count_store) as usize;
+        let count = st
+            .counts
+            .fetch_add(v, 1, &mut rec, s.count_load, s.count_store) as usize;
         let slot = (v * 8 + count % 8).min(st.slots.len() - 1);
         st.slots.write(slot, i as u64, &mut rec, s.slot_store);
         Some(Section::Tx(rec.into_body()))

@@ -14,9 +14,8 @@ use crate::common::{thread_rng, Recorder, Scale};
 use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 /// Shared table geometry.
@@ -185,7 +184,9 @@ fn setup_tables(threads: usize, seed: u64, salt: u64, txs: usize) -> Tables {
     let customer = space.alloc_global_page_aligned(CUSTOMERS * 64);
     let orders = space.alloc_global_page_aligned(64 * 4096);
     let history = space.alloc_global_page_aligned(16 * 4096);
-    let scratch = (0..threads).map(|t| space.stack_push(ThreadId(t as u32), 256)).collect();
+    let scratch = (0..threads)
+        .map(|t| space.stack_push(ThreadId(t as u32), 256))
+        .collect();
     let rngs = (0..threads).map(|t| thread_rng(seed, t, salt)).collect();
     Tables {
         warehouse,
@@ -215,7 +216,13 @@ impl TpccNewOrder {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_no_ir();
-        TpccNewOrder { scale, threads, sites, safe_sites, st: None }
+        TpccNewOrder {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 }
 
@@ -254,7 +261,7 @@ impl Workload for TpccNewOrder {
         // Items: Zipf-ish over a small hot set → high block locality.
         let ol_cnt = 5 + rng.gen_range(0..11u64);
         for _ in 0..ol_cnt {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let item = ((r * r * r) * ITEMS as f64) as u64 % ITEMS;
             rec.load(st.item.offset(item * 64), s.item_load);
             // Matching stock row (128 B = 2 blocks): read quantity, update
@@ -267,8 +274,7 @@ impl Workload for TpccNewOrder {
         }
         rec.load(st.scratch[t], s.scratch_load);
         rec.load(st.scratch[t].offset(64), s.scratch_load);
-        {
-        }
+        {}
         // Customer credit check.
         let c = rng.gen_range(0..CUSTOMERS);
         rec.load(st.customer.offset(c * 64), s.cust_load);
@@ -302,7 +308,13 @@ impl TpccPayment {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_pay_ir();
-        TpccPayment { scale, threads, sites, safe_sites, st: None }
+        TpccPayment {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 }
 
@@ -376,7 +388,10 @@ mod tests {
     #[test]
     fn new_order_item_loads_are_statically_safe() {
         let (sites, safe) = build_no_ir();
-        assert!(safe.contains(&sites.item_load), "item table is read-only in region");
+        assert!(
+            safe.contains(&sites.item_load),
+            "item table is read-only in region"
+        );
         assert!(safe.contains(&sites.scratch_store));
         assert!(safe.contains(&sites.scratch_load));
         assert!(!safe.contains(&sites.stock_load));

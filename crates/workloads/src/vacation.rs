@@ -19,9 +19,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -62,7 +61,14 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let module = m.finish(entry, worker);
     let c = classify(&module);
     (
-        Sites { scratch_store, scratch_load, traverse, node_init, link, update },
+        Sites {
+            scratch_store,
+            scratch_load,
+            traverse,
+            node_init,
+            link,
+            update,
+        },
         c.safe_sites().clone(),
     )
 }
@@ -90,7 +96,13 @@ impl Vacation {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Vacation { scale, threads, sites, safe_sites, st: None }
+        Vacation {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn table_size(&self) -> usize {
@@ -157,10 +169,17 @@ impl Workload for Vacation {
         }
         st.remaining[t] -= 1;
         let n = st.tables[0].len() as u64;
-        let treap_sites =
-            TreapSites { traverse: s.traverse, node_init: s.node_init, link: s.link };
+        let treap_sites = TreapSites {
+            traverse: s.traverse,
+            node_init: s.node_init,
+            link: s.link,
+        };
         // Value updates store through a distinct site (reservation writes).
-        let upd_sites = TreapSites { traverse: s.traverse, node_init: s.node_init, link: s.update };
+        let upd_sites = TreapSites {
+            traverse: s.traverse,
+            node_init: s.node_init,
+            link: s.update,
+        };
 
         let mut rec = Recorder::new();
         let action: u32 = st.rngs[t].gen_range(0..100);
@@ -170,11 +189,10 @@ impl Workload for Vacation {
             // Large inputs (P8S/L1TM experiments) shop across many more
             // offers per transaction, inflating readsets well past the
             // buffer so the signature does real work.
-            let (heavy_pct, heavy_base, heavy_span, norm_base, norm_span) =
-                match self.scale {
-                    Scale::Sim => (7, 6, 4, 1, 3),
-                    Scale::Large => (30, 12, 8, 3, 5),
-                };
+            let (heavy_pct, heavy_base, heavy_span, norm_base, norm_span) = match self.scale {
+                Scale::Sim => (7, 6, 4, 1, 3),
+                Scale::Large => (30, 12, 8, 3, 5),
+            };
             let heavy = st.rngs[t].gen_range(0..100) < heavy_pct;
             let nq = if heavy {
                 heavy_base + st.rngs[t].gen_range(0..heavy_span) // long shopping TXs
@@ -239,7 +257,10 @@ mod tests {
         let (sites, safe) = build_ir();
         assert!(safe.contains(&sites.scratch_store), "stack itinerary init");
         assert!(safe.contains(&sites.scratch_load), "stack itinerary reads");
-        assert!(safe.contains(&sites.node_init), "TX-allocated reservation entry");
+        assert!(
+            safe.contains(&sites.node_init),
+            "TX-allocated reservation entry"
+        );
         assert!(!safe.contains(&sites.traverse), "shared treap traversal");
         assert!(!safe.contains(&sites.link));
         assert!(!safe.contains(&sites.update));
@@ -276,7 +297,10 @@ mod tests {
     fn dynamic_mode_pays_page_mode_costs() {
         let mut w = Vacation::new(Scale::Sim, 8);
         let full = Simulator::new(SimConfig::default().hint_mode(HintMode::Full)).run(&mut w, 1);
-        assert!(full.aborts_of(AbortKind::PageMode) > 0, "vacation is the page-mode outlier");
+        assert!(
+            full.aborts_of(AbortKind::PageMode) > 0,
+            "vacation is the page-mode outlier"
+        );
         assert!(full.page_mode_cycles > 0);
     }
 

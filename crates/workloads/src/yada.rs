@@ -15,9 +15,8 @@ use hintm_ir::{classify, ModuleBuilder};
 use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +59,14 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let module = m.finish(entry, worker);
     let c = classify(&module);
     (
-        Sites { mesh_traverse, elem_load, elem_store, link, work_load, work_store },
+        Sites {
+            mesh_traverse,
+            elem_load,
+            elem_store,
+            link,
+            work_load,
+            work_store,
+        },
         c.safe_sites().clone(),
     )
 }
@@ -90,7 +96,13 @@ impl Yada {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
         let (sites, safe_sites) = build_ir();
-        Yada { scale, threads, sites, safe_sites, st: None }
+        Yada {
+            scale,
+            threads,
+            sites,
+            safe_sites,
+            st: None,
+        }
     }
 
     fn initial_elems(&self) -> usize {
@@ -116,7 +128,14 @@ impl Workload for Yada {
         let mut mesh = SimTreap::new(48);
         let n = self.initial_elems();
         for k in 0..n as u64 {
-            mesh.insert(k, k, ThreadId(0), &mut space, &mut NullSink, TreapSites::uniform(SiteId::UNKNOWN));
+            mesh.insert(
+                k,
+                k,
+                ThreadId(0),
+                &mut space,
+                &mut NullSink,
+                TreapSites::uniform(SiteId::UNKNOWN),
+            );
         }
         let pool_len = (n * 4) as u64;
         let elem_pool = space.alloc_global_page_aligned(pool_len * 64);
@@ -154,8 +173,11 @@ impl Workload for Yada {
         }
         st.refine_pending[t] = false;
         st.remaining[t] -= 1;
-        let treap_sites =
-            TreapSites { traverse: s.mesh_traverse, node_init: s.elem_store, link: s.link };
+        let treap_sites = TreapSites {
+            traverse: s.mesh_traverse,
+            node_init: s.elem_store,
+            link: s.link,
+        };
 
         let mut rec = Recorder::new();
         // Locate it in the mesh index.

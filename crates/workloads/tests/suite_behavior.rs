@@ -11,8 +11,15 @@ fn large_scale_runs_complete_for_every_workload() {
     for name in WORKLOAD_NAMES {
         let mut w = by_name(name, Scale::Large).expect("registered");
         let r = Simulator::new(SimConfig::with_htm(HtmKind::InfCap)).run(w.as_mut(), 2);
-        assert!(r.commits + r.fallback_commits > 0, "{name} did no work at Large scale");
-        assert_eq!(r.aborts_of(AbortKind::Capacity), 0, "{name}: InfCap at Large");
+        assert!(
+            r.commits + r.fallback_commits > 0,
+            "{name} did no work at Large scale"
+        );
+        assert_eq!(
+            r.aborts_of(AbortKind::Capacity),
+            0,
+            "{name}: InfCap at Large"
+        );
     }
 }
 
@@ -43,7 +50,11 @@ fn section_streams_are_well_formed() {
                     Section::Barrier => barriers[t] += 1,
                 }
             }
-            assert!(w.next_section(tid).is_none(), "{}: stream must stay done", w.name());
+            assert!(
+                w.next_section(tid).is_none(),
+                "{}: stream must stay done",
+                w.name()
+            );
         }
         // Barriers must match across threads or the engine deadlocks.
         assert!(
@@ -61,11 +72,13 @@ fn capacity_pressure_ranking_matches_the_paper() {
     let frac = |name: &str| {
         let mut w = by_name(name, Scale::Sim).unwrap();
         let r = Simulator::new(SimConfig::default()).run(w.as_mut(), 42);
-        r.aborts_of(AbortKind::Capacity) as f64
-            / (r.commits + r.fallback_commits).max(1) as f64
+        r.aborts_of(AbortKind::Capacity) as f64 / (r.commits + r.fallback_commits).max(1) as f64
     };
     let labyrinth = frac("labyrinth");
-    assert!(labyrinth > 0.2, "labyrinth must be capacity-bound, got {labyrinth:.2}");
+    assert!(
+        labyrinth > 0.2,
+        "labyrinth must be capacity-bound, got {labyrinth:.2}"
+    );
     for tiny in ["kmeans", "ssca2"] {
         assert_eq!(frac(tiny), 0.0, "{tiny} must never capacity-abort");
     }
@@ -85,8 +98,8 @@ fn hints_help_where_the_paper_says_they_help() {
         for seed in [7, 42] {
             let mut w = by_name(name, Scale::Sim).unwrap();
             let base = Simulator::new(SimConfig::default()).run(w.as_mut(), seed);
-            let full =
-                Simulator::new(SimConfig::default().hint_mode(HintMode::Full)).run(w.as_mut(), seed);
+            let full = Simulator::new(SimConfig::default().hint_mode(HintMode::Full))
+                .run(w.as_mut(), seed);
             assert!(
                 full.speedup_vs(&base) > 1.1,
                 "{name} seed {seed}: expected >1.1x, got {:.2}x",

@@ -17,7 +17,10 @@ fn run(buffer_entries: usize, hint_mode: HintMode) -> (u64, u64) {
     cfg.htm.buffer_entries = buffer_entries;
     let mut w = by_name("vacation", Scale::Sim).expect("vacation is registered");
     let stats = Simulator::new(cfg).run(w.as_mut(), 42);
-    (stats.aborts_of(AbortKind::Capacity), stats.total_cycles.raw())
+    (
+        stats.aborts_of(AbortKind::Capacity),
+        stats.total_cycles.raw(),
+    )
 }
 
 fn main() {

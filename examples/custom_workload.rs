@@ -6,12 +6,9 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use hintm::{
-    HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload,
-};
+use hintm::{HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, MemAccess, SiteId, ThreadId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Each transaction audits a random run of accounts (reads) and then moves
 /// money between two of them (writes) — an adjustable read/write mix.
@@ -49,7 +46,9 @@ impl Workload for BankTransfer {
     }
 
     fn reset(&mut self, seed: u64) {
-        self.rngs = (0..8).map(|t| SmallRng::seed_from_u64(seed ^ (t as u64) << 32)).collect();
+        self.rngs = (0..8)
+            .map(|t| SmallRng::seed_from_u64(seed ^ (t as u64) << 32))
+            .collect();
         self.remaining = vec![self.transfers_per_thread; 8];
     }
 
@@ -70,11 +69,20 @@ impl Workload for BankTransfer {
         // Audit: read a contiguous run of accounts.
         for k in 0..span {
             let a = (start + k) % accounts;
-            ops.push(TxOp::Access(MemAccess::load(self.account_addr(a), SiteId(0))));
+            ops.push(TxOp::Access(MemAccess::load(
+                self.account_addr(a),
+                SiteId(0),
+            )));
         }
         ops.push(TxOp::Compute(50));
-        ops.push(TxOp::Access(MemAccess::store(self.account_addr(from), SiteId(1))));
-        ops.push(TxOp::Access(MemAccess::store(self.account_addr(to), SiteId(1))));
+        ops.push(TxOp::Access(MemAccess::store(
+            self.account_addr(from),
+            SiteId(1),
+        )));
+        ops.push(TxOp::Access(MemAccess::store(
+            self.account_addr(to),
+            SiteId(1),
+        )));
         Some(Section::Tx(TxBody::new(ops)))
     }
 }
@@ -104,8 +112,8 @@ fn main() {
          the audit reads of cold accounts would not even need tracking:"
     );
     let mut w = BankTransfer::new(4096, 90, 100);
-    let hinted =
-        Simulator::new(SimConfig::with_htm(HtmKind::P8).hint_mode(HintMode::Dynamic)).run(&mut w, 7);
+    let hinted = Simulator::new(SimConfig::with_htm(HtmKind::P8).hint_mode(HintMode::Dynamic))
+        .run(&mut w, 7);
     println!(
         "\nP8+dyn    {:>12} cycles, {} commits, {} capacity aborts",
         hinted.total_cycles.raw(),

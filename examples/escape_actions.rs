@@ -9,9 +9,7 @@
 //! cargo run --release --example escape_actions
 //! ```
 
-use hintm::{
-    AbortKind, HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload,
-};
+use hintm::{AbortKind, HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload};
 use hintm_sim::wrap_safe_in_escapes;
 use hintm_types::{Addr, MemAccess, SafetyHint, SiteId, ThreadId};
 use std::collections::HashSet;
@@ -91,15 +89,29 @@ impl Workload for Scratchpad {
 
 fn main() {
     println!("90-block private scratchpad + 4 hot shared counters, 8 threads x 40 TXs\n");
-    println!("{:<34} {:>10} {:>10} {:>12}", "encoding", "capacity", "fallback", "cycles");
+    println!(
+        "{:<34} {:>10} {:>10} {:>12}",
+        "encoding", "capacity", "fallback", "cycles"
+    );
     let cases = [
         ("conventional HTM (tracks all)", Mode::Plain, HintMode::Off),
-        ("safe-store opcodes (HinTM-st)", Mode::Hinted, HintMode::Static),
-        ("suspend/resume escape windows", Mode::Escaped, HintMode::Off),
+        (
+            "safe-store opcodes (HinTM-st)",
+            Mode::Hinted,
+            HintMode::Static,
+        ),
+        (
+            "suspend/resume escape windows",
+            Mode::Escaped,
+            HintMode::Off,
+        ),
         ("Notary range annotation", Mode::Notary, HintMode::Static),
     ];
     for (label, mode, hints) in cases {
-        let mut w = Scratchpad { mode, remaining: vec![] };
+        let mut w = Scratchpad {
+            mode,
+            remaining: vec![],
+        };
         let r = Simulator::new(SimConfig::with_htm(HtmKind::P8).hint_mode(hints)).run(&mut w, 5);
         println!(
             "{:<34} {:>10} {:>10} {:>12}",

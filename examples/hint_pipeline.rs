@@ -49,18 +49,46 @@ fn main() {
     println!("{}", hintm_ir::print_module(&module, Some(&result)));
     println!("static classification of the Listing-2-style kernel:\n");
     let verdicts = [
-        (copy_load, "copy load   (shared base grid)", "read-only in the parallel region"),
-        (copy_store, "copy store  (private grid)", "initializing whole-object memcpy"),
-        (exp_load, "expand load (private grid)", "thread-private, never escapes"),
-        (exp_store, "expand store(private grid)", "object fully defined by the copy"),
-        (node_init, "node init   (fresh record)", "allocated inside this transaction"),
-        (publish, "publish     (shared list)", "escapes to a shared structure"),
+        (
+            copy_load,
+            "copy load   (shared base grid)",
+            "read-only in the parallel region",
+        ),
+        (
+            copy_store,
+            "copy store  (private grid)",
+            "initializing whole-object memcpy",
+        ),
+        (
+            exp_load,
+            "expand load (private grid)",
+            "thread-private, never escapes",
+        ),
+        (
+            exp_store,
+            "expand store(private grid)",
+            "object fully defined by the copy",
+        ),
+        (
+            node_init,
+            "node init   (fresh record)",
+            "allocated inside this transaction",
+        ),
+        (
+            publish,
+            "publish     (shared list)",
+            "escapes to a shared structure",
+        ),
     ];
     for (site, what, why) in verdicts {
         println!(
             "  {:<28} -> {:<6}  ({why})",
             what,
-            if result.is_safe(site) { "SAFE" } else { "unsafe" },
+            if result.is_safe(site) {
+                "SAFE"
+            } else {
+                "unsafe"
+            },
         );
     }
     let stats = result.stats();

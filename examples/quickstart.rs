@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: conventional P8 HTM (64-entry transactional buffer).
     let base = Experiment::new("vacation").htm(HtmKind::P8).run()?;
     // HinTM: static compiler hints + dynamic page-level classification.
-    let hinted = Experiment::new("vacation").htm(HtmKind::P8).hint_mode(HintMode::Full).run()?;
+    let hinted = Experiment::new("vacation")
+        .htm(HtmKind::P8)
+        .hint_mode(HintMode::Full)
+        .run()?;
     // The capacity-abort-free upper bound.
     let infcap = Experiment::new("vacation").htm(HtmKind::InfCap).run()?;
 

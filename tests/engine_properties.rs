@@ -1,16 +1,22 @@
-//! Property-based tests: random scripted workloads through the full engine.
+//! Randomized tests: random scripted workloads through the full engine
+//! (std-only: scripts come from the deterministic in-tree generator).
 
-use hintm::{
-    AbortKind, HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload,
-};
+use hintm::{AbortKind, HintMode, HtmKind, Section, SimConfig, Simulator, TxBody, TxOp, Workload};
+use hintm_types::rng::SmallRng;
 use hintm_types::{Addr, MemAccess, SafetyHint, SiteId, ThreadId};
-use proptest::prelude::*;
 
 /// A workload replaying an arbitrary per-thread section script.
 #[derive(Clone, Debug)]
 struct Scripted {
     script: Vec<Vec<Section>>,
     cursor: Vec<usize>,
+}
+
+impl Scripted {
+    fn new(script: Vec<Vec<Section>>) -> Self {
+        let cursor = vec![0; script.len()];
+        Scripted { script, cursor }
+    }
 }
 
 impl Workload for Scripted {
@@ -30,54 +36,65 @@ impl Workload for Scripted {
     }
 }
 
-/// Strategy: one memory op. Addresses draw from a small pool so cross-thread
+/// One memory op. Addresses draw from a small pool so cross-thread
 /// conflicts actually happen; a slice of ops carries a safe hint.
-fn arb_op() -> impl Strategy<Value = TxOp> {
-    prop_oneof![
-        (0u64..512, any::<bool>(), any::<bool>()).prop_map(|(slot, is_store, hinted)| {
-            let addr = Addr::new(0x10_0000 + slot * 64);
-            let a = if is_store {
-                MemAccess::store(addr, SiteId(0))
-            } else {
-                MemAccess::load(addr, SiteId(1))
-            };
-            // Hints on stores are legal input (compilers emit them); the
-            // engine must stay correct either way.
-            let a = if hinted { a.with_hint(SafetyHint::Safe) } else { a };
-            TxOp::Access(a)
-        }),
-        (1u64..200).prop_map(TxOp::Compute),
-    ]
+fn rand_op(rng: &mut SmallRng) -> TxOp {
+    if rng.gen_bool(0.8) {
+        let slot = rng.gen_range(0..512u64);
+        let is_store = rng.gen_bool(0.5);
+        let hinted = rng.gen_bool(0.5);
+        let addr = Addr::new(0x10_0000 + slot * 64);
+        let a = if is_store {
+            MemAccess::store(addr, SiteId(0))
+        } else {
+            MemAccess::load(addr, SiteId(1))
+        };
+        // Hints on stores are legal input (compilers emit them); the
+        // engine must stay correct either way.
+        let a = if hinted {
+            a.with_hint(SafetyHint::Safe)
+        } else {
+            a
+        };
+        TxOp::Access(a)
+    } else {
+        TxOp::Compute(rng.gen_range(1..200u64))
+    }
 }
 
-fn arb_section() -> impl Strategy<Value = Section> {
-    prop_oneof![
-        6 => prop::collection::vec(arb_op(), 1..80).prop_map(|ops| Section::Tx(TxBody::new(ops))),
-        2 => prop::collection::vec(arb_op(), 1..20).prop_map(Section::NonTx),
-        1 => Just(Section::Barrier),
-    ]
+fn rand_section(rng: &mut SmallRng) -> Section {
+    match rng.gen_range(0..9u32) {
+        0..=5 => {
+            let n = rng.gen_range(1..80usize);
+            Section::Tx(TxBody::new((0..n).map(|_| rand_op(rng)).collect()))
+        }
+        6 | 7 => {
+            let n = rng.gen_range(1..20usize);
+            Section::NonTx((0..n).map(|_| rand_op(rng)).collect())
+        }
+        _ => Section::Barrier,
+    }
 }
 
-fn arb_script() -> impl Strategy<Value = Vec<Vec<Section>>> {
-    // 2-4 threads, each with the SAME number of barriers to avoid deadlock:
-    // generate per-thread sections without barriers, then append a barrier
-    // at matching positions.
-    (2usize..5, prop::collection::vec(prop::collection::vec(arb_section(), 1..8), 2..5)).prop_map(
-        |(_, mut scripts)| {
-            // Equalize barrier counts: strip barriers, then reinsert one at
-            // the halfway point of every thread.
-            for s in &mut scripts {
-                s.retain(|sec| !matches!(sec, Section::Barrier));
-            }
-            let n = scripts.len();
-            for s in &mut scripts {
-                let mid = s.len() / 2;
-                s.insert(mid, Section::Barrier);
-            }
-            let _ = n;
-            scripts
-        },
-    )
+/// 2-4 threads, each with the SAME number of barriers to avoid deadlock:
+/// generate per-thread sections without barriers, then insert one at the
+/// halfway point of every thread.
+fn rand_script(rng: &mut SmallRng) -> Vec<Vec<Section>> {
+    let threads = rng.gen_range(2..5usize);
+    let mut scripts: Vec<Vec<Section>> = (0..threads)
+        .map(|_| {
+            let n = rng.gen_range(1..8usize);
+            (0..n)
+                .map(|_| rand_section(rng))
+                .filter(|sec| !matches!(sec, Section::Barrier))
+                .collect()
+        })
+        .collect();
+    for s in &mut scripts {
+        let mid = s.len() / 2;
+        s.insert(mid, Section::Barrier);
+    }
+    scripts
 }
 
 fn count_sections(script: &[Vec<Section>]) -> (u64, u64) {
@@ -95,74 +112,85 @@ fn count_sections(script: &[Vec<Section>]) -> (u64, u64) {
     (txs, nontx)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every TX section eventually commits (HTM or fallback), under every
-    /// HTM kind, for arbitrary scripts.
-    #[test]
-    fn all_transactions_complete(script in arb_script(), kind in prop_oneof![
-        Just(HtmKind::P8), Just(HtmKind::P8S), Just(HtmKind::L1Tm), Just(HtmKind::InfCap)
-    ]) {
+/// Every TX section eventually commits (HTM or fallback), under every
+/// HTM kind, for arbitrary scripts.
+#[test]
+fn all_transactions_complete() {
+    let mut rng = SmallRng::seed_from_u64(0xA11);
+    for round in 0..48 {
+        let script = rand_script(&mut rng);
+        let kind = [HtmKind::P8, HtmKind::P8S, HtmKind::L1Tm, HtmKind::InfCap][round % 4];
         let (txs, _) = count_sections(&script);
-        let cursor = vec![0; script.len()];
-        let mut w = Scripted { script, cursor };
+        let mut w = Scripted::new(script);
         let stats = Simulator::new(SimConfig::with_htm(kind)).run(&mut w, 1);
-        prop_assert_eq!(stats.commits + stats.fallback_commits, txs);
+        assert_eq!(stats.commits + stats.fallback_commits, txs);
     }
+}
 
-    /// InfCap never capacity-aborts, whatever the script.
-    #[test]
-    fn infcap_is_capacity_free(script in arb_script()) {
-        let cursor = vec![0; script.len()];
-        let mut w = Scripted { script, cursor };
+/// InfCap never capacity-aborts, whatever the script.
+#[test]
+fn infcap_is_capacity_free() {
+    let mut rng = SmallRng::seed_from_u64(0x1FC);
+    for _ in 0..48 {
+        let mut w = Scripted::new(rand_script(&mut rng));
         let stats = Simulator::new(SimConfig::with_htm(HtmKind::InfCap)).run(&mut w, 1);
-        prop_assert_eq!(stats.aborts_of(AbortKind::Capacity), 0);
+        assert_eq!(stats.aborts_of(AbortKind::Capacity), 0);
     }
+}
 
-    /// The engine is deterministic for arbitrary scripts and hint modes.
-    #[test]
-    fn engine_is_deterministic(script in arb_script(), mode in prop_oneof![
-        Just(HintMode::Off), Just(HintMode::Static), Just(HintMode::Dynamic), Just(HintMode::Full)
-    ]) {
-        let cursor = vec![0; script.len()];
-        let mut w1 = Scripted { script: script.clone(), cursor: cursor.clone() };
-        let mut w2 = Scripted { script, cursor };
+/// The engine is deterministic for arbitrary scripts and hint modes.
+#[test]
+fn engine_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xDE7);
+    for round in 0..48 {
+        let script = rand_script(&mut rng);
+        let mode = [
+            HintMode::Off,
+            HintMode::Static,
+            HintMode::Dynamic,
+            HintMode::Full,
+        ][round % 4];
+        let mut w1 = Scripted::new(script.clone());
+        let mut w2 = Scripted::new(script);
         let a = Simulator::new(SimConfig::default().hint_mode(mode)).run(&mut w1, 9);
         let b = Simulator::new(SimConfig::default().hint_mode(mode)).run(&mut w2, 9);
-        prop_assert_eq!(a.total_cycles, b.total_cycles);
-        prop_assert_eq!(a.aborts, b.aborts);
-        prop_assert_eq!(a.steps, b.steps);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.steps, b.steps);
     }
+}
 
-    /// Hints never change how much work completes, and static hints never
-    /// increase capacity aborts.
-    #[test]
-    fn hints_preserve_completion(script in arb_script()) {
+/// Hints never change how much work completes, and static hints never
+/// increase capacity aborts.
+#[test]
+fn hints_preserve_completion() {
+    let mut rng = SmallRng::seed_from_u64(0x417);
+    for _ in 0..48 {
+        let script = rand_script(&mut rng);
         let (txs, _) = count_sections(&script);
-        let cursor = vec![0; script.len()];
-        let mut w1 = Scripted { script: script.clone(), cursor: cursor.clone() };
-        let mut w2 = Scripted { script, cursor };
+        let mut w1 = Scripted::new(script.clone());
+        let mut w2 = Scripted::new(script);
         let base = Simulator::new(SimConfig::default()).run(&mut w1, 3);
         let full = Simulator::new(SimConfig::default().hint_mode(HintMode::Full)).run(&mut w2, 3);
-        prop_assert_eq!(base.commits + base.fallback_commits, txs);
-        prop_assert_eq!(full.commits + full.fallback_commits, txs);
-        prop_assert!(
-            full.aborts_of(AbortKind::Capacity) <= base.aborts_of(AbortKind::Capacity)
-        );
+        assert_eq!(base.commits + base.fallback_commits, txs);
+        assert_eq!(full.commits + full.fallback_commits, txs);
+        assert!(full.aborts_of(AbortKind::Capacity) <= base.aborts_of(AbortKind::Capacity));
     }
+}
 
-    /// Cycle accounting is internally consistent: wall-clock ≤ aggregate,
-    /// and nonzero whenever work happened.
-    #[test]
-    fn cycle_accounting_is_consistent(script in arb_script()) {
+/// Cycle accounting is internally consistent: wall-clock ≤ aggregate,
+/// and nonzero whenever work happened.
+#[test]
+fn cycle_accounting_is_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xACC);
+    for _ in 0..48 {
+        let script = rand_script(&mut rng);
         let (txs, nontx) = count_sections(&script);
-        let cursor = vec![0; script.len()];
-        let mut w = Scripted { script, cursor };
+        let mut w = Scripted::new(script);
         let stats = Simulator::new(SimConfig::default()).run(&mut w, 5);
-        prop_assert!(stats.total_cycles <= stats.sum_cycles);
+        assert!(stats.total_cycles <= stats.sum_cycles);
         if txs + nontx > 0 {
-            prop_assert!(stats.total_cycles.raw() > 0);
+            assert!(stats.total_cycles.raw() > 0);
         }
     }
 }

@@ -9,7 +9,11 @@ use hintm::{AbortKind, Experiment, HintMode, HtmKind, Scale, WORKLOAD_NAMES};
 #[test]
 fn every_config_completes_the_same_work() {
     for name in WORKLOAD_NAMES {
-        let base = Experiment::new(name).htm(HtmKind::P8).seed(3).run().unwrap();
+        let base = Experiment::new(name)
+            .htm(HtmKind::P8)
+            .seed(3)
+            .run()
+            .unwrap();
         let expected = base.stats.commits + base.stats.fallback_commits;
         assert!(expected > 0, "{name} did no work");
         for (htm, hint) in [
@@ -20,7 +24,12 @@ fn every_config_completes_the_same_work() {
             (HtmKind::L1Tm, HintMode::Off),
             (HtmKind::InfCap, HintMode::Off),
         ] {
-            let r = Experiment::new(name).htm(htm).hint_mode(hint).seed(3).run().unwrap();
+            let r = Experiment::new(name)
+                .htm(htm)
+                .hint_mode(hint)
+                .seed(3)
+                .run()
+                .unwrap();
             assert_eq!(
                 r.stats.commits + r.stats.fallback_commits,
                 expected,
@@ -34,13 +43,21 @@ fn every_config_completes_the_same_work() {
 #[test]
 fn infcap_never_capacity_aborts_on_any_workload() {
     for name in WORKLOAD_NAMES {
-        let r = Experiment::new(name).htm(HtmKind::InfCap).seed(5).run().unwrap();
+        let r = Experiment::new(name)
+            .htm(HtmKind::InfCap)
+            .seed(5)
+            .run()
+            .unwrap();
         assert_eq!(
             r.stats.aborts_of(AbortKind::Capacity),
             0,
             "{name}: InfCap must never capacity-abort"
         );
-        assert_eq!(r.stats.aborts_of(AbortKind::FalseConflict), 0, "{name}: no signature");
+        assert_eq!(
+            r.stats.aborts_of(AbortKind::FalseConflict),
+            0,
+            "{name}: no signature"
+        );
     }
 }
 
@@ -49,12 +66,19 @@ fn infcap_never_capacity_aborts_on_any_workload() {
 #[test]
 fn hints_never_increase_capacity_aborts() {
     for name in WORKLOAD_NAMES {
-        let base = Experiment::new(name).htm(HtmKind::P8).seed(7).run().unwrap();
-        let full =
-            Experiment::new(name).htm(HtmKind::P8).hint_mode(HintMode::Full).seed(7).run().unwrap();
+        let base = Experiment::new(name)
+            .htm(HtmKind::P8)
+            .seed(7)
+            .run()
+            .unwrap();
+        let full = Experiment::new(name)
+            .htm(HtmKind::P8)
+            .hint_mode(HintMode::Full)
+            .seed(7)
+            .run()
+            .unwrap();
         assert!(
-            full.stats.aborts_of(AbortKind::Capacity)
-                <= base.stats.aborts_of(AbortKind::Capacity),
+            full.stats.aborts_of(AbortKind::Capacity) <= base.stats.aborts_of(AbortKind::Capacity),
             "{name}: hints increased capacity aborts ({} > {})",
             full.stats.aborts_of(AbortKind::Capacity),
             base.stats.aborts_of(AbortKind::Capacity),
@@ -68,7 +92,12 @@ fn hints_never_increase_capacity_aborts() {
 fn page_mode_aborts_only_with_dynamic_hints() {
     for name in WORKLOAD_NAMES {
         for hint in [HintMode::Off, HintMode::Static] {
-            let r = Experiment::new(name).htm(HtmKind::P8).hint_mode(hint).seed(2).run().unwrap();
+            let r = Experiment::new(name)
+                .htm(HtmKind::P8)
+                .hint_mode(hint)
+                .seed(2)
+                .run()
+                .unwrap();
             assert_eq!(
                 r.stats.aborts_of(AbortKind::PageMode),
                 0,
@@ -82,10 +111,24 @@ fn page_mode_aborts_only_with_dynamic_hints() {
 #[test]
 fn suite_is_deterministic() {
     for name in WORKLOAD_NAMES {
-        let a = Experiment::new(name).hint_mode(HintMode::Full).seed(11).run().unwrap();
-        let b = Experiment::new(name).hint_mode(HintMode::Full).seed(11).run().unwrap();
-        assert_eq!(a.stats.total_cycles, b.stats.total_cycles, "{name} diverged");
-        assert_eq!(a.stats.aborts, b.stats.aborts, "{name} abort counts diverged");
+        let a = Experiment::new(name)
+            .hint_mode(HintMode::Full)
+            .seed(11)
+            .run()
+            .unwrap();
+        let b = Experiment::new(name)
+            .hint_mode(HintMode::Full)
+            .seed(11)
+            .run()
+            .unwrap();
+        assert_eq!(
+            a.stats.total_cycles, b.stats.total_cycles,
+            "{name} diverged"
+        );
+        assert_eq!(
+            a.stats.aborts, b.stats.aborts,
+            "{name} abort counts diverged"
+        );
         assert_eq!(a.stats.steps, b.stats.steps, "{name} step counts diverged");
     }
 }
@@ -117,9 +160,15 @@ fn static_classification_matches_paper_structure() {
         let w = hintm::by_name(name, Scale::Sim).unwrap();
         let sites = w.static_safe_sites();
         if empty.contains(&name) {
-            assert!(sites.is_empty(), "{name}: the paper's static pass finds nothing");
+            assert!(
+                sites.is_empty(),
+                "{name}: the paper's static pass finds nothing"
+            );
         } else {
-            assert!(!sites.is_empty(), "{name}: expected some statically-safe sites");
+            assert!(
+                !sites.is_empty(),
+                "{name}: expected some statically-safe sites"
+            );
         }
     }
 }
@@ -128,7 +177,11 @@ fn static_classification_matches_paper_structure() {
 #[test]
 fn page_census_is_consistent() {
     for name in WORKLOAD_NAMES {
-        let r = Experiment::new(name).hint_mode(HintMode::Full).seed(4).run().unwrap();
+        let r = Experiment::new(name)
+            .hint_mode(HintMode::Full)
+            .seed(4)
+            .run()
+            .unwrap();
         let (safe, total) = r.stats.safe_pages;
         assert!(safe <= total, "{name}: safe pages {safe} > total {total}");
         assert!(total > 0, "{name}: no pages touched");

@@ -1,0 +1,58 @@
+//! Cross-crate integration: the sweep orchestrator end-to-end — spec
+//! enumeration through the parallel executor, the on-disk cache, and the
+//! artifact tables — on a real (small) slice of the experiment grid.
+
+use hintm::{HintMode, HtmKind, Json};
+use hintm_runner::{write_artifacts, Cache, Cell, Runner, SweepSpec};
+use std::fs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn sweep_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("hintm-e2e-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let cells = SweepSpec::new()
+        .workloads(["ssca2", "kmeans"])
+        .hints([HintMode::Off, HintMode::Full])
+        .cells();
+    assert_eq!(cells.len(), 4);
+
+    // Cold parallel run, counting real simulations.
+    let simulated = AtomicUsize::new(0);
+    let exec = |cell: &Cell| {
+        simulated.fetch_add(1, Ordering::Relaxed);
+        cell.run().unwrap()
+    };
+    let runner = Runner::new().cache(Cache::new(dir.join("cache"))).jobs(4);
+    let cold = runner.run_with(&cells, exec);
+    assert_eq!((cold.executed, cold.cache_hits, cold.crashed), (4, 0, 0));
+    assert_eq!(simulated.load(Ordering::Relaxed), 4);
+
+    // Warm rerun: zero re-simulation, identical reports, and the serial
+    // runner agrees bit-for-bit with the parallel one.
+    let warm = Runner::new()
+        .cache(Cache::new(dir.join("cache")))
+        .jobs(1)
+        .run_with(&cells, exec);
+    assert_eq!((warm.executed, warm.cache_hits), (0, 4));
+    assert_eq!(simulated.load(Ordering::Relaxed), 4);
+    for (a, b) in cold.reports().zip(warm.reports()) {
+        assert_eq!(a.0.key(), b.0.key());
+        assert_eq!(a.1.to_json(), b.1.to_json());
+    }
+
+    // The hint-mode cells really differ from the baselines.
+    let base = cold.expect_report(&cells[0]);
+    assert!(base.stats.commits > 0);
+    assert_eq!(cells[1].hint, HintMode::Full);
+    assert_eq!(cells[0].htm, HtmKind::P8);
+
+    // Artifacts parse and cover every cell.
+    let paths = write_artifacts(&dir.join("out"), "e2e", &warm).unwrap();
+    let manifest = Json::parse(&fs::read_to_string(&paths[0]).unwrap()).unwrap();
+    assert_eq!(manifest.field("cells").unwrap().as_arr().unwrap().len(), 4);
+    assert_eq!(manifest.field("cache_hits").unwrap().as_u64().unwrap(), 4);
+    let csv = fs::read_to_string(&paths[1]).unwrap();
+    assert_eq!(csv.lines().count(), 5, "header + 4 rows");
+    fs::remove_dir_all(&dir).unwrap();
+}
