@@ -9,9 +9,11 @@
 //!             [--hints off|static|dynamic|full] [--seed N] [--scale sim|large]
 //!             [--threads N] [--smt2] [--preserve] [--csv]
 //! hintm suite [--htm ...] [--hints ...] [--seed N] [--scale ...] [--csv]
+//! hintm audit [--workloads a,b | --all] [--seed N] [--scale ...]
 //! ```
 
 use crate::{AbortKind, Experiment, HintMode, HtmKind, RunReport, Scale, WORKLOAD_NAMES};
+use hintm_audit::AuditReport;
 use std::fmt;
 
 /// A CLI parsing or execution error (rendered to stderr by the binary).
@@ -35,6 +37,8 @@ pub enum Command {
     Run(RunArgs),
     /// Run the whole suite under one configuration.
     Suite(RunArgs),
+    /// Audit safety-hint soundness (verifier + lints + dynamic oracle).
+    Audit(AuditArgs),
     /// Run a parallel sweep (dispatched by the `hintm-runner` binary).
     Sweep(SweepArgs),
     /// Clear the on-disk result cache (dispatched by `hintm-runner`).
@@ -44,6 +48,27 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Options for `hintm audit`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditArgs {
+    /// Workloads to audit (empty = every registered workload).
+    pub workloads: Vec<String>,
+    /// Seed for the dynamically observed run.
+    pub seed: u64,
+    /// Input scale for the observed run.
+    pub scale: Scale,
+}
+
+impl Default for AuditArgs {
+    fn default() -> Self {
+        AuditArgs {
+            workloads: Vec::new(),
+            seed: 42,
+            scale: Scale::Sim,
+        }
+    }
 }
 
 /// Options for `hintm sweep`. Parsing lives here with the other commands;
@@ -80,6 +105,8 @@ pub struct SweepArgs {
     pub out: Option<String>,
     /// Also print the results CSV to stdout.
     pub csv: bool,
+    /// Audit every swept workload after the sweep (fails on unsound hints).
+    pub audit: bool,
 }
 
 impl Default for SweepArgs {
@@ -99,6 +126,7 @@ impl Default for SweepArgs {
             cache_dir: None,
             out: None,
             csv: false,
+            audit: false,
         }
     }
 }
@@ -153,6 +181,7 @@ USAGE:
   hintm list
   hintm run --workload <name> [options]
   hintm suite [options]
+  hintm audit [audit options]
   hintm sweep [sweep options]
   hintm cache clear [--cache-dir <dir>]
 
@@ -168,6 +197,12 @@ OPTIONS:
   --csv                    machine-readable CSV output
   --trace                  print a per-thread lifecycle timeline (run only)
 
+AUDIT OPTIONS (verifier + lints + dynamic sharing oracle; exits nonzero
+on any unsound hint, lint error, verifier error, or hint-table mismatch):
+  --workloads <a,b,..>     workloads to audit                  [all registered]
+  --all                    audit every registered workload (the default)
+  --seed / --scale         as above, for the dynamically observed run
+
 SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --workloads <a,b,..>     workloads to sweep                  [all registered]
   --htm <k1,k2,..>         HTM configurations to sweep                    [p8]
@@ -180,6 +215,7 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --cache-dir <dir>        cache location      [$HINTM_CACHE_DIR or .hintm-cache]
   --out <dir>              write manifest.json + results.{csv,json} here
   --csv                    also print the results CSV to stdout
+  --audit                  audit every swept workload after the sweep
 ";
 
 fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
@@ -225,6 +261,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match sub.as_str() {
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "audit" => parse_audit(&args[1..]),
         "sweep" => parse_sweep(&args[1..]),
         "cache" => parse_cache(&args[1..]),
         "run" | "suite" => {
@@ -283,6 +320,39 @@ fn parse_list<T>(v: &str, f: impl Fn(&str) -> Result<T, CliError>) -> Result<Vec
     v.split(',').filter(|s| !s.is_empty()).map(f).collect()
 }
 
+fn parse_audit(args: &[String]) -> Result<Command, CliError> {
+    let mut aa = AuditArgs::default();
+    let mut all = false;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => {
+                aa.workloads = parse_list(&value(&mut i, "--workloads")?, |s| Ok(s.to_string()))?;
+            }
+            "--all" => all = true,
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                aa.seed = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --seed `{v}`")))?;
+            }
+            "--scale" => aa.scale = parse_scale(&value(&mut i, "--scale")?)?,
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    if all && !aa.workloads.is_empty() {
+        return Err(CliError("--all conflicts with --workloads".into()));
+    }
+    Ok(Command::Audit(aa))
+}
+
 fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
     let mut sa = SweepArgs::default();
     let mut i = 0;
@@ -326,6 +396,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
             "--cache-dir" => sa.cache_dir = Some(value(&mut i, "--cache-dir")?),
             "--out" => sa.out = Some(value(&mut i, "--out")?),
             "--csv" => sa.csv = true,
+            "--audit" => sa.audit = true,
             other => return Err(CliError(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -407,6 +478,56 @@ pub fn csv_row(r: &RunReport, seed: u64) -> String {
     )
 }
 
+/// Column header matching [`audit_row`].
+pub fn audit_header() -> String {
+    format!(
+        "{:<12} {:>5} {:>5} {:>5} {:>7} {:>6} {:>5} {:>5}  verdict",
+        "workload", "sites", "safe", "exec", "unsound", "missed", "lintE", "lintW",
+    )
+}
+
+/// Renders one audit report as a fixed-width table row.
+pub fn audit_row(r: &AuditReport) -> String {
+    format!(
+        "{:<12} {:>5} {:>5} {:>5} {:>7} {:>6} {:>5} {:>5}  {}",
+        r.workload,
+        r.stats.num_sites,
+        r.stats.safe_loads + r.stats.safe_stores,
+        r.sites_executed,
+        r.unsound.len(),
+        r.missed.len(),
+        r.lint_errors(),
+        r.lint_warnings(),
+        if r.passed() { "PASS" } else { "FAIL" },
+    )
+}
+
+/// Writes one report's detail lines (verifier errors, lint diagnostics,
+/// unsound hints, hint-table mismatch) beneath its table row.
+fn audit_details(r: &AuditReport, out: &mut impl std::io::Write) -> std::io::Result<()> {
+    for e in &r.verify_errors {
+        writeln!(out, "    verify: {e}")?;
+    }
+    for d in &r.diagnostics {
+        writeln!(out, "    {d}")?;
+    }
+    for u in &r.unsound {
+        writeln!(
+            out,
+            "    unsound: site {} {:?} at {:#x} by thread {} in epoch {}",
+            u.site.0,
+            u.kind,
+            u.addr.raw(),
+            u.thread.0,
+            u.epoch,
+        )?;
+    }
+    if r.hint_mismatch {
+        writeln!(out, "    hint table differs from the classifier's output")?;
+    }
+    Ok(())
+}
+
 /// Executes a parsed command, writing to `out`.
 ///
 /// # Errors
@@ -457,6 +578,28 @@ timeline (C commit, a/A/P aborts, F fallback, s shootdown):"
                 writeln!(out, "{}", csv_row(&r, ra.seed)).map_err(io)?;
             } else {
                 writeln!(out, "{r}").map_err(io)?;
+            }
+            Ok(())
+        }
+        Command::Audit(aa) => {
+            let names: Vec<String> = if aa.workloads.is_empty() {
+                WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect()
+            } else {
+                aa.workloads.clone()
+            };
+            writeln!(out, "{}", audit_header()).map_err(io)?;
+            let mut failed = 0usize;
+            for name in &names {
+                let r = hintm_audit::audit_workload(name, aa.scale, aa.seed)
+                    .ok_or_else(|| CliError(format!("unknown workload `{name}`")))?;
+                writeln!(out, "{}", audit_row(&r)).map_err(io)?;
+                audit_details(&r, out).map_err(io)?;
+                if !r.passed() {
+                    failed += 1;
+                }
+            }
+            if failed > 0 {
+                return Err(CliError(format!("{failed} workload(s) failed the audit")));
             }
             Ok(())
         }
@@ -554,11 +697,54 @@ mod tests {
     }
 
     #[test]
+    fn parses_audit_command() {
+        assert_eq!(
+            parse(&argv("audit")).unwrap(),
+            Command::Audit(AuditArgs::default())
+        );
+        assert_eq!(
+            parse(&argv("audit --all")).unwrap(),
+            Command::Audit(AuditArgs::default())
+        );
+        let Command::Audit(aa) = parse(&argv(
+            "audit --workloads kmeans,ssca2 --seed 7 --scale large",
+        ))
+        .unwrap() else {
+            panic!("expected audit")
+        };
+        assert_eq!(aa.workloads, vec!["kmeans", "ssca2"]);
+        assert_eq!(aa.seed, 7);
+        assert_eq!(aa.scale, Scale::Large);
+        assert!(parse(&argv("audit --all --workloads kmeans")).is_err());
+        assert!(parse(&argv("audit --seed nope")).is_err());
+        assert!(parse(&argv("audit --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn executes_audit_on_one_workload() {
+        let cmd = parse(&argv("audit --workloads kmeans")).unwrap();
+        let mut buf = Vec::new();
+        execute(&cmd, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with(&audit_header()));
+        assert!(s.contains("kmeans"));
+        assert!(s.contains("PASS"), "kmeans hints must audit clean:\n{s}");
+    }
+
+    #[test]
+    fn audit_reports_unknown_workload() {
+        let cmd = parse(&argv("audit --workloads nope")).unwrap();
+        let mut buf = Vec::new();
+        let err = execute(&cmd, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
     fn parses_full_sweep_command() {
         let cmd = parse(&argv(
             "sweep --workloads vacation,labyrinth --htm p8,infcap --hints off,full \
              --seeds 1,2,3 --scale large --threads 16 --smt2 --preserve --jobs 8 \
-             --cache-dir /tmp/c --out /tmp/o --csv",
+             --cache-dir /tmp/c --out /tmp/o --csv --audit",
         ))
         .unwrap();
         let Command::Sweep(sa) = cmd else {
@@ -571,7 +757,7 @@ mod tests {
         assert_eq!(sa.scale, Scale::Large);
         assert_eq!(sa.threads, Some(16));
         assert_eq!(sa.jobs, Some(8));
-        assert!(sa.smt2 && sa.preserve && sa.csv);
+        assert!(sa.smt2 && sa.preserve && sa.csv && sa.audit);
         assert_eq!(sa.cache_dir.as_deref(), Some("/tmp/c"));
         assert_eq!(sa.out.as_deref(), Some("/tmp/o"));
         assert!(!sa.no_cache && !sa.resume);

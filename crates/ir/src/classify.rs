@@ -6,7 +6,7 @@ use crate::points_to::points_to;
 use crate::replicate::replicate;
 use crate::sharing::sharing;
 use hintm_types::SiteId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Summary statistics of a classification run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -24,10 +24,13 @@ pub struct ClassifyStats {
 /// The output of [`classify`]: which access sites carry the compiler's
 /// safe-load/safe-store flag, plus the site remapping for replicated call
 /// paths.
+///
+/// Both collections are ordered so that iteration (printing, diffing,
+/// auditing) is byte-stable across runs.
 #[derive(Clone, Debug)]
 pub struct StaticClassification {
-    safe_sites: HashSet<SiteId>,
-    site_map: HashMap<(CallSiteId, SiteId), SiteId>,
+    safe_sites: BTreeSet<SiteId>,
+    site_map: BTreeMap<(CallSiteId, SiteId), SiteId>,
     stats: ClassifyStats,
 }
 
@@ -52,9 +55,15 @@ impl StaticClassification {
         self.is_safe(self.resolve(call_site, site))
     }
 
-    /// The full safe-site set.
-    pub fn safe_sites(&self) -> &HashSet<SiteId> {
+    /// The full safe-site set, in ascending site order.
+    pub fn safe_sites(&self) -> &BTreeSet<SiteId> {
         &self.safe_sites
+    }
+
+    /// The `(call site, original site) → clone site` remapping, in
+    /// ascending key order.
+    pub fn site_map(&self) -> &BTreeMap<(CallSiteId, SiteId), SiteId> {
+        &self.site_map
     }
 
     /// Summary statistics.
@@ -66,8 +75,8 @@ impl StaticClassification {
     /// configuration, or workloads without a static model).
     pub fn empty() -> Self {
         StaticClassification {
-            safe_sites: HashSet::new(),
-            site_map: HashMap::new(),
+            safe_sites: BTreeSet::new(),
+            site_map: BTreeMap::new(),
             stats: ClassifyStats::default(),
         }
     }
@@ -90,7 +99,7 @@ pub fn classify(module: &Module) -> StaticClassification {
     let pt = points_to(&module2);
     let sh = sharing(&module2, &pt);
 
-    let mut safe_sites: HashSet<SiteId> = HashSet::new();
+    let mut safe_sites: BTreeSet<SiteId> = BTreeSet::new();
     let mut safe_loads = 0u32;
 
     // Safe loads: every target thread-private or read-only shared. Only

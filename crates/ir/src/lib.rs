@@ -7,9 +7,9 @@
 //! transactional kernels as an IR [`Module`], and [`classify()`](classify::classify) runs the same
 //! analyses the paper uses:
 //!
-//! 1. **Points-to analysis** ([`points_to`]) — Andersen-style,
+//! 1. **Points-to analysis** ([`points_to()`]) — Andersen-style,
 //!    field-insensitive, context-insensitive inclusion constraints.
-//! 2. **Sharing / escape analysis** ([`sharing`]) — the paper's Algorithm 1:
+//! 2. **Sharing / escape analysis** ([`sharing()`]) — the paper's Algorithm 1:
 //!    seed the shared set with globals and thread-spawn arguments, propagate
 //!    reachability ("anything a shared object points to is shared"), and
 //!    classify the remaining thread-region allocations as thread-private.
@@ -20,7 +20,7 @@
 //!    thread-private locations that are *defined before used* within a
 //!    transaction (objects allocated inside the TX; full-object `memcpy`
 //!    with no prior access; straight-line stores preceding any load).
-//! 5. **Function replication** ([`replicate`]) — when a function is called
+//! 5. **Function replication** ([`replicate()`]) — when a function is called
 //!    with thread-private arguments at one site and shared arguments at
 //!    another, clone it for the private context and mark the clone's sites,
 //!    exactly like the paper's capture-tracking transformation.
@@ -68,4 +68,7 @@ pub use module::{
     CallSiteId, FuncBuilder, FuncId, Function, GlobalId, Instr, Module, ModuleBuilder, ObjId,
     ObjKind, Stmt, ValueId,
 };
+pub use points_to::{points_to, verify_fixpoint, ObjInfo, PointsTo};
 pub use printer::print_module;
+pub use replicate::{replicate, Replication};
+pub use sharing::{reachable_funcs, sharing, Sharing};

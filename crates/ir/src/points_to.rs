@@ -134,6 +134,22 @@ pub fn points_to(module: &Module) -> PointsTo {
     pt
 }
 
+/// Checks that `pt` really is a fixpoint of `module`'s constraints: one
+/// more propagation sweep over a copy must not grow any set. Used by the
+/// audit verifier and the idempotence property tests.
+pub fn verify_fixpoint(module: &Module, pt: &PointsTo) -> bool {
+    let mut probe = pt.clone();
+    let mut changed = false;
+    for (fid, _) in module.iter_funcs() {
+        let mut idx = 0u32;
+        module.visit_instrs(fid, |instr| {
+            changed |= apply(module, &mut probe, fid, idx, instr);
+            idx += 1;
+        });
+    }
+    !changed
+}
+
 /// Enumerates allocation objects, recording TX/loop nesting.
 fn walk_allocs(
     stmts: &[Stmt],

@@ -13,21 +13,24 @@ use crate::module::{CallSiteId, FuncId, Function, Instr, Module, Stmt};
 use crate::points_to::PointsTo;
 use crate::sharing::Sharing;
 use hintm_types::SiteId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The result of the replication transform.
 #[derive(Clone, Debug, Default)]
 pub struct Replication {
-    /// `(rewritten call site, original site) → clone site`.
-    pub site_map: HashMap<(CallSiteId, SiteId), SiteId>,
+    /// `(rewritten call site, original site) → clone site`. Ordered so
+    /// that downstream emission is deterministic.
+    pub site_map: BTreeMap<(CallSiteId, SiteId), SiteId>,
     /// Clones created: `(original, clone)`.
     pub replicated: Vec<(FuncId, FuncId)>,
 }
 
 /// Applies replication, returning the transformed module and the mapping.
 pub fn replicate(module: &Module, pt: &PointsTo, sh: &Sharing) -> (Module, Replication) {
-    // Count call sites per callee and find safe-context call sites.
-    let mut call_contexts: HashMap<FuncId, Vec<(FuncId, CallSiteId, bool)>> = HashMap::new();
+    // Count call sites per callee and find safe-context call sites. The
+    // map is ordered so that clone creation (and hence fresh site/call-site
+    // numbering) is deterministic across runs.
+    let mut call_contexts: BTreeMap<FuncId, Vec<(FuncId, CallSiteId, bool)>> = BTreeMap::new();
     for (fid, _) in module.iter_funcs() {
         module.visit_instrs(fid, |i| {
             if let Instr::Call {

@@ -1,0 +1,168 @@
+//! Seeded property tests for the Andersen points-to solver.
+//!
+//! Two algebraic properties on randomly generated modules (deterministic
+//! in-tree RNG, no external dependencies):
+//!
+//! * **idempotence** — the returned solution is a true fixpoint: one more
+//!   application of every constraint changes nothing, and re-solving the
+//!   same module reproduces the same solution;
+//! * **monotonicity** — appending *non-allocating* constraints (geps,
+//!   loads, stores, publishes) to a function can only add inclusion
+//!   edges, so no pre-existing points-to set may shrink. Allocations are
+//!   deliberately excluded from the appended suffix: they would mint new
+//!   abstract objects and change the object space being compared.
+
+use hintm_ir::{points_to, verify_fixpoint, Module, ModuleBuilder, ValueId};
+use hintm_types::rng::SmallRng;
+use std::collections::BTreeSet;
+
+/// One instruction recipe; pool indices resolve modulo the pool length,
+/// so any sequence builds a valid module.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloca,
+    Halloc,
+    GlobalAddr(u8),
+    Gep(u8),
+    LoadPtr(u8),
+    Store(u8),
+    StorePtr(u8, u8),
+    Publish(u8, u8),
+}
+
+/// Any op, used for the base program.
+fn rand_base_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..10u32) {
+        0 | 1 => Op::Alloca,
+        2 | 3 => Op::Halloc,
+        4 => Op::GlobalAddr(rng.gen_range(0..2u8)),
+        5 => Op::Gep(rng.gen_range(0..8u8)),
+        6 => Op::LoadPtr(rng.gen_range(0..8u8)),
+        7 => Op::Store(rng.gen_range(0..8u8)),
+        8 => Op::StorePtr(rng.gen_range(0..8u8), rng.gen_range(0..8u8)),
+        _ => Op::Publish(rng.gen_range(0..2u8), rng.gen_range(0..8u8)),
+    }
+}
+
+/// Constraint-only ops (no `Alloca`/`Halloc`), used for the appended
+/// suffix in the monotonicity test.
+fn rand_extra_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..6u32) {
+        0 => Op::GlobalAddr(rng.gen_range(0..2u8)),
+        1 => Op::Gep(rng.gen_range(0..8u8)),
+        2 => Op::LoadPtr(rng.gen_range(0..8u8)),
+        3 => Op::Store(rng.gen_range(0..8u8)),
+        4 => Op::StorePtr(rng.gen_range(0..8u8), rng.gen_range(0..8u8)),
+        _ => Op::Publish(rng.gen_range(0..2u8), rng.gen_range(0..8u8)),
+    }
+}
+
+fn rand_ops(rng: &mut SmallRng, max: usize, f: impl Fn(&mut SmallRng) -> Op) -> Vec<Op> {
+    let n = rng.gen_range(0..max);
+    (0..n).map(|_| f(rng)).collect()
+}
+
+/// Builds main-spawns-worker with the worker body `base ++ extra`.
+/// Construction is deterministic, so two builds sharing a `base` prefix
+/// assign identical ValueIds and ObjIds to the prefix.
+fn build(base: &[Op], extra: &[Op]) -> Module {
+    let mut m = ModuleBuilder::new();
+    let globals = [m.global("g0"), m.global("g1")];
+
+    let mut w = m.func("worker", 0);
+    let mut pool: Vec<ValueId> = vec![w.halloc()];
+    let pick = |pool: &[ValueId], i: u8| pool[i as usize % pool.len()];
+    for op in base.iter().chain(extra) {
+        match op {
+            Op::Alloca => pool.push(w.alloca()),
+            Op::Halloc => pool.push(w.halloc()),
+            Op::GlobalAddr(g) => pool.push(w.global_addr(globals[*g as usize % 2])),
+            Op::Gep(v) => {
+                let b = pick(&pool, *v);
+                pool.push(w.gep(b));
+            }
+            Op::LoadPtr(v) => {
+                let (out, _) = w.load_ptr(pick(&pool, *v));
+                pool.push(out);
+            }
+            Op::Store(v) => {
+                w.store(pick(&pool, *v));
+            }
+            Op::StorePtr(p, v) => {
+                w.store_ptr(pick(&pool, *p), pick(&pool, *v));
+            }
+            Op::Publish(g, v) => {
+                let ga = w.global_addr(globals[*g as usize % 2]);
+                pool.push(ga);
+                w.store_ptr(ga, pick(&pool, *v));
+            }
+        }
+    }
+    w.ret();
+    let worker = w.finish();
+
+    let mut main = m.func("main", 0);
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    m.finish(entry, worker)
+}
+
+/// Every per-value points-to set of `module`, in a comparable shape.
+fn all_pts(module: &Module) -> Vec<((u32, u32), BTreeSet<hintm_ir::ObjId>)> {
+    let pt = points_to(module);
+    let mut out = Vec::new();
+    for (fid, f) in module.iter_funcs() {
+        for v in 0..f.num_values as u32 {
+            out.push((
+                (fid.0, v),
+                pt.pts(fid, ValueId(v)).iter().copied().collect(),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn solution_is_a_fixpoint_and_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xF1C5);
+    for _ in 0..48 {
+        let base = rand_ops(&mut rng, 25, rand_base_op);
+        let module = build(&base, &[]);
+        let pt = points_to(&module);
+        assert!(
+            verify_fixpoint(&module, &pt),
+            "one more constraint sweep changed the solution: {base:?}"
+        );
+        assert_eq!(all_pts(&module), all_pts(&module), "re-solving differs");
+    }
+}
+
+#[test]
+fn adding_constraints_never_shrinks_points_to_sets() {
+    let mut rng = SmallRng::seed_from_u64(0x3070);
+    for _ in 0..48 {
+        let base = rand_ops(&mut rng, 20, rand_base_op);
+        let extra = rand_ops(&mut rng, 10, rand_extra_op);
+        let before = build(&base, &[]);
+        let after = build(&base, &extra);
+
+        let pt_before = points_to(&before);
+        let pt_after = points_to(&after);
+        // The suffix allocates nothing, so the abstract object space is
+        // unchanged and per-value sets are directly comparable.
+        assert_eq!(pt_before.num_objects(), pt_after.num_objects());
+        for (fid, f) in before.iter_funcs() {
+            for v in 0..f.num_values as u32 {
+                let old = pt_before.pts(fid, ValueId(v));
+                let new = pt_after.pts(fid, ValueId(v));
+                assert!(
+                    old.is_subset(new),
+                    "pts({}, v{v}) shrank from {old:?} to {new:?}\n\
+                     base: {base:?}\nextra: {extra:?}",
+                    before.func(fid).name,
+                );
+            }
+        }
+    }
+}

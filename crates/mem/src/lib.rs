@@ -34,8 +34,10 @@
 //! ```
 
 pub mod ds;
+pub mod recorder;
 pub mod sink;
 pub mod space;
 
+pub use recorder::{AccessRecorder, AddrHistory, EpochSharing};
 pub use sink::{AccessSink, CountingSink, NullSink, VecSink};
 pub use space::{AddressSpace, AllocStats, SegmentKind};

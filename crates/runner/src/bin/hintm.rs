@@ -58,6 +58,36 @@ fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
     if result.crashed > 0 {
         return Err(format!("{} cell(s) crashed", result.crashed));
     }
+    if sa.audit {
+        audit_sweep(sa, &cells)?;
+    }
+    Ok(())
+}
+
+/// Audits every distinct workload a sweep touched: runs the IR verifier,
+/// the lint set, and the dynamic sharing oracle once per workload at the
+/// sweep's scale and first seed.
+fn audit_sweep(sa: &SweepArgs, cells: &[hintm_runner::Cell]) -> Result<(), String> {
+    let mut names: Vec<&str> = cells.iter().map(|c| c.workload.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    let seed = sa.seeds.first().copied().unwrap_or(42);
+    eprintln!("{}", cli::audit_header());
+    let mut failed = 0usize;
+    for name in names {
+        match hintm_audit::audit_workload(name, sa.scale, seed) {
+            Some(r) => {
+                eprintln!("{}", cli::audit_row(&r));
+                if !r.passed() {
+                    failed += 1;
+                }
+            }
+            None => return Err(format!("audit: unknown workload `{name}`")),
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} workload(s) failed the audit"));
+    }
     Ok(())
 }
 

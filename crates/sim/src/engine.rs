@@ -3,6 +3,7 @@
 //! page-mode abort orchestration.
 
 use crate::config::SimConfig;
+use crate::observe::AccessObserver;
 use crate::section::{Section, TxBody, TxOp, Workload};
 use crate::stats::RunStats;
 use crate::trace::{Event, Trace};
@@ -87,7 +88,20 @@ impl Simulator {
     /// Panics if the engine exceeds `max_steps` (runaway workload) or the
     /// thread states deadlock (malformed workload).
     pub fn run(&self, workload: &mut dyn Workload, seed: u64) -> RunStats {
-        let (stats, _) = self.run_inner(workload, seed, None);
+        let (stats, _) = self.run_inner(workload, seed, None, None);
+        stats
+    }
+
+    /// Like [`Simulator::run`], delivering every executed access (and
+    /// every barrier release) to `observer`. The observer does not affect
+    /// the simulation: statistics are bit-identical to an unobserved run.
+    pub fn run_observed(
+        &self,
+        workload: &mut dyn Workload,
+        seed: u64,
+        observer: &mut dyn AccessObserver,
+    ) -> RunStats {
+        let (stats, _) = self.run_inner(workload, seed, None, Some(observer));
         stats
     }
 
@@ -100,7 +114,7 @@ impl Simulator {
         seed: u64,
         trace_cap: usize,
     ) -> (RunStats, Trace) {
-        let (stats, trace) = self.run_inner(workload, seed, Some(Trace::new(trace_cap)));
+        let (stats, trace) = self.run_inner(workload, seed, Some(Trace::new(trace_cap)), None);
         (stats, trace.expect("trace requested"))
     }
 
@@ -109,6 +123,7 @@ impl Simulator {
         workload: &mut dyn Workload,
         seed: u64,
         mut trace: Option<Trace>,
+        mut observer: Option<&mut dyn AccessObserver>,
     ) -> (RunStats, Option<Trace>) {
         workload.reset(seed);
         let safe_sites: HashSet<SiteId> = if self.cfg.hint_mode.uses_static() {
@@ -223,6 +238,9 @@ impl Simulator {
                     if let Some(tr) = trace.as_mut() {
                         tr.record(Event::BarrierRelease { at: release });
                     }
+                    if let Some(o) = observer.as_mut() {
+                        o.barrier();
+                    }
                     continue;
                 }
                 unreachable!("pick is None only when all threads are parked or done");
@@ -243,6 +261,7 @@ impl Simulator {
                 &raw_static_sites,
                 &notary_pages,
                 &mut trace,
+                &mut observer,
             );
         }
 
@@ -289,22 +308,35 @@ impl Simulator {
         raw_static_sites: &HashSet<SiteId>,
         notary_pages: &HashSet<PageId>,
         trace: &mut Option<Trace>,
+        observer: &mut Option<&mut dyn AccessObserver>,
     ) {
         match threads[i].state.clone() {
             RunState::Done | RunState::AtBarrier => unreachable!("parked threads never step"),
-            RunState::Idle => match workload.next_section(ThreadId(i as u32)) {
-                None => threads[i].state = RunState::Done,
-                Some(Section::Barrier) => threads[i].state = RunState::AtBarrier,
-                Some(Section::NonTx(ops)) => {
-                    threads[i].state = RunState::NonTx {
-                        ops: Rc::new(ops),
-                        pos: 0,
-                    };
+            RunState::Idle => {
+                if let Some(o) = observer.as_mut() {
+                    o.section_start(ThreadId(i as u32));
                 }
-                Some(Section::Tx(body)) => {
-                    self.try_begin_tx(i, Rc::new(body), threads, lock_holder, *lock_free_at, trace);
+                match workload.next_section(ThreadId(i as u32)) {
+                    None => threads[i].state = RunState::Done,
+                    Some(Section::Barrier) => threads[i].state = RunState::AtBarrier,
+                    Some(Section::NonTx(ops)) => {
+                        threads[i].state = RunState::NonTx {
+                            ops: Rc::new(ops),
+                            pos: 0,
+                        };
+                    }
+                    Some(Section::Tx(body)) => {
+                        self.try_begin_tx(
+                            i,
+                            Rc::new(body),
+                            threads,
+                            lock_holder,
+                            *lock_free_at,
+                            trace,
+                        );
+                    }
                 }
-            },
+            }
             RunState::WaitRetry { body, .. } => {
                 self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, trace);
             }
@@ -359,6 +391,7 @@ impl Simulator {
                     raw_static_sites,
                     notary_pages,
                     trace,
+                    observer,
                 );
             }
             RunState::InFallback { body, pos } => {
@@ -384,6 +417,7 @@ impl Simulator {
                     raw_static_sites,
                     notary_pages,
                     trace,
+                    observer,
                 );
             }
             RunState::InTx { body, pos } => {
@@ -430,6 +464,7 @@ impl Simulator {
                     raw_static_sites,
                     notary_pages,
                     trace,
+                    observer,
                 );
             }
         }
@@ -556,6 +591,7 @@ impl Simulator {
         raw_static_sites: &HashSet<SiteId>,
         notary_pages: &HashSet<PageId>,
         trace: &mut Option<Trace>,
+        observer: &mut Option<&mut dyn AccessObserver>,
     ) -> StepOutcome {
         let a: MemAccess = match op {
             TxOp::Compute(c) => {
@@ -577,6 +613,9 @@ impl Simulator {
         // Escape-action window: the access executes non-transactionally.
         let in_tx = in_tx && !threads[i].suspended;
         let tid = ThreadId(i as u32);
+        if let Some(o) = observer.as_mut() {
+            o.access(tid, a, in_tx);
+        }
         let core = threads[i].core;
         let page = a.addr.page();
         let block = a.addr.block();

@@ -1,0 +1,39 @@
+//! Observation hooks for external instrumentation of a simulation run.
+
+use hintm_types::{MemAccess, ThreadId};
+
+/// Receives every memory access the engine executes, in scheduling order.
+///
+/// Observers see the raw access stream independent of hint mode or HTM
+/// outcome: replayed transaction attempts re-deliver their accesses, and
+/// accesses inside a Suspend..Resume escape window arrive with
+/// `in_tx = false` (they execute non-transactionally). [`barrier`] fires
+/// once per global barrier release, delimiting the workload's phases —
+/// accesses separated by a barrier are ordered and cannot race.
+///
+/// The dynamic soundness oracle in `hintm-audit` is the primary consumer:
+/// it replays a workload under observation and checks every IR-declared
+/// safe site against the inter-thread sharing it actually exhibits.
+///
+/// [`barrier`]: AccessObserver::barrier
+pub trait AccessObserver {
+    /// Thread `tid` executed `access` (`in_tx` marks speculative
+    /// execution; fallback, non-TX, and escape-window accesses pass
+    /// `false`).
+    fn access(&mut self, tid: ThreadId, access: MemAccess, in_tx: bool);
+
+    /// Thread `tid` is about to fetch its next section from the workload.
+    ///
+    /// Workload state advances at *generation* time (a returned `Tx` body
+    /// is replayed verbatim), so the order of these calls is the logical
+    /// program order of the sections — the order in which data-structure
+    /// mutations actually happened — even when abort replay and backoff
+    /// make the executed access streams overlap arbitrarily in simulated
+    /// time. Observers that need happens-before reasoning (the soundness
+    /// oracle's initialize-then-publish exemption) key off this, not off
+    /// execution order.
+    fn section_start(&mut self, _tid: ThreadId) {}
+
+    /// Every thread reached and passed a global barrier.
+    fn barrier(&mut self) {}
+}

@@ -12,7 +12,7 @@
 //! `⟨shared,ro⟩` and the bulk of every transaction's reads become safe.
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
@@ -30,7 +30,7 @@ struct Sites {
     graph_link: SiteId,
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
+fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
     let g_adtree = m.global("adtree");
     let g_graph = m.global("network");
@@ -75,7 +75,6 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         Sites {
             adtree_load,
@@ -85,8 +84,19 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
             graph_node_init,
             graph_link,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The kernel's IR module, as fed to the classifier (for audit tooling).
+pub(crate) fn ir_module() -> Module {
+    build_module().1
+}
+
+fn build_ir() -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct State {

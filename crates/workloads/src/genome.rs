@@ -14,7 +14,7 @@
 //! reads safe, which is where genome's gains come from.
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::ds::{HashMapSites, SimHashMap};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
@@ -33,7 +33,7 @@ struct Sites {
     seq_store: SiteId,
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
+fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
     let g_table = m.global("segment_table");
     let g_pool = m.global("node_pool");
@@ -76,7 +76,6 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         Sites {
             segment_load,
@@ -87,8 +86,19 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
             seq_load,
             seq_store,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The kernel's IR module, as fed to the classifier (for audit tooling).
+pub(crate) fn ir_module() -> Module {
+    build_module().1
+}
+
+fn build_ir() -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct State {

@@ -7,7 +7,7 @@
 //! so it calibrates the zero-capacity-abort end of every figure.
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::ds::SimArray;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
@@ -22,7 +22,7 @@ struct Sites {
     centroid_store: SiteId,
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
+fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
     let g_centroids = m.global("centroids");
 
@@ -45,15 +45,25 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         Sites {
             point_load,
             centroid_load,
             centroid_store,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The kernel's IR module, as fed to the classifier (for audit tooling).
+pub(crate) fn ir_module() -> Module {
+    build_module().1
+}
+
+fn build_ir() -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct State {

@@ -17,7 +17,7 @@
 //!   conflicting shared accesses — unsafe (the residual footprint).
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::ds::SimGrid;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
@@ -40,7 +40,7 @@ struct Sites {
     head_store: SiteId,
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
+fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
     let g_queue = m.global("work_queue");
     let g_base = m.global("base_grid");
@@ -81,7 +81,6 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     let entry = main.finish();
     let module = m.finish(entry, worker);
 
-    let c = classify(&module);
     let sites = Sites {
         queue_load,
         queue_store,
@@ -94,7 +93,18 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
         node_init,
         head_store,
     };
-    (sites, c.safe_sites().clone())
+    (sites, module)
+}
+
+/// The kernel's IR module, as fed to the classifier (for audit tooling).
+pub(crate) fn ir_module() -> Module {
+    build_module().1
+}
+
+fn build_ir() -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct State {

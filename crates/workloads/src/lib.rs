@@ -103,6 +103,26 @@ pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
         .collect()
 }
 
+/// The IR module a workload feeds to the static classifier — the exact
+/// module whose safe-site set [`hintm_sim::Workload::static_safe_sites`]
+/// reports. Exposed so audit tooling can verify, lint, and re-classify it.
+pub fn ir_module(name: &str) -> Option<hintm_ir::Module> {
+    let m = match name {
+        "bayes" => bayes::ir_module(),
+        "genome" => genome::ir_module(),
+        "intruder" => intruder::ir_module(),
+        "kmeans" => kmeans::ir_module(),
+        "labyrinth" => labyrinth::ir_module(),
+        "ssca2" => ssca2::ir_module(),
+        "vacation" => vacation::ir_module(),
+        "yada" => yada::ir_module(),
+        "tpcc-no" => tpcc::no_ir_module(),
+        "tpcc-p" => tpcc::pay_ir_module(),
+        _ => return None,
+    };
+    Some(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

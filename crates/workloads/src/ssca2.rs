@@ -7,7 +7,7 @@
 //! end of the evaluation.
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::ds::SimArray;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
@@ -23,7 +23,7 @@ struct Sites {
     slot_store: SiteId,
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
+fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
     let g_adj = m.global("adjacency");
 
@@ -47,7 +47,6 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         Sites {
             edge_load,
@@ -55,8 +54,19 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
             count_store,
             slot_store,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The kernel's IR module, as fed to the classifier (for audit tooling).
+pub(crate) fn ir_module() -> Module {
+    build_module().1
+}
+
+fn build_ir() -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct State {

@@ -11,7 +11,7 @@
 //! with the occasional by-name scan providing the capacity tail.
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
@@ -38,7 +38,7 @@ struct NoSites {
     scratch_load: SiteId,
 }
 
-fn build_no_ir() -> (NoSites, HashSet<SiteId>) {
+fn build_no_module() -> (NoSites, Module) {
     let mut m = ModuleBuilder::new();
     let g_wh = m.global("warehouse");
     let g_dist = m.global("district");
@@ -79,7 +79,6 @@ fn build_no_ir() -> (NoSites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         NoSites {
             wh_load,
@@ -93,8 +92,19 @@ fn build_no_ir() -> (NoSites, HashSet<SiteId>) {
             scratch_store,
             scratch_load,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The new-order kernel's IR module, exposed for audit tooling.
+pub(crate) fn no_ir_module() -> Module {
+    build_no_module().1
+}
+
+fn build_no_ir() -> (NoSites, HashSet<SiteId>) {
+    let (sites, module) = build_no_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -110,7 +120,7 @@ struct PaySites {
     scratch_load: SiteId,
 }
 
-fn build_pay_ir() -> (PaySites, HashSet<SiteId>) {
+fn build_pay_module() -> (PaySites, Module) {
     let mut m = ModuleBuilder::new();
     let g_wh = m.global("warehouse");
     let g_dist = m.global("district");
@@ -144,7 +154,6 @@ fn build_pay_ir() -> (PaySites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         PaySites {
             wh_load,
@@ -157,8 +166,19 @@ fn build_pay_ir() -> (PaySites, HashSet<SiteId>) {
             scratch_store,
             scratch_load,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The payment kernel's IR module, exposed for audit tooling.
+pub(crate) fn pay_ir_module() -> Module {
+    build_pay_module().1
+}
+
+fn build_pay_ir() -> (PaySites, HashSet<SiteId>) {
+    let (sites, module) = build_pay_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct Tables {

@@ -15,7 +15,7 @@
 //! safe→unsafe boundary (§VI-B).
 
 use crate::common::{thread_rng, Recorder, Scale};
-use hintm_ir::{classify, ModuleBuilder};
+use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
@@ -33,7 +33,7 @@ struct Sites {
     update: SiteId,
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
+fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
     let g_tables = m.global("manager_tables");
 
@@ -59,7 +59,6 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
     main.ret();
     let entry = main.finish();
     let module = m.finish(entry, worker);
-    let c = classify(&module);
     (
         Sites {
             scratch_store,
@@ -69,8 +68,19 @@ fn build_ir() -> (Sites, HashSet<SiteId>) {
             link,
             update,
         },
-        c.safe_sites().clone(),
+        module,
     )
+}
+
+/// The kernel's IR module, as fed to the classifier (for audit tooling).
+pub(crate) fn ir_module() -> Module {
+    build_module().1
+}
+
+fn build_ir() -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module();
+    let c = classify(&module);
+    (sites, c.safe_sites().iter().copied().collect())
 }
 
 struct State {

@@ -1,0 +1,69 @@
+//! Golden classification statistics, one row per workload.
+//!
+//! Pins the static classifier's output on every shipped IR model so a
+//! change anywhere in the pipeline (points-to, sharing, replication,
+//! initializing-store analysis) that silently alters which sites are
+//! hinted shows up as a reviewable diff here, not as an unexplained
+//! simulator perf shift. If a pipeline change is *intentional*, update
+//! the row and say why in the commit.
+
+use hintm_ir::classify;
+use hintm_workloads::{ir_module, WORKLOAD_NAMES};
+
+/// `(workload, num_sites, safe_loads, safe_stores, replicated_funcs)`.
+const GOLDEN: &[(&str, u32, u32, u32, u32)] = &[
+    ("bayes", 10, 2, 4, 0),
+    ("genome", 11, 0, 0, 0),
+    ("intruder", 12, 0, 0, 0),
+    ("kmeans", 3, 1, 0, 0),
+    ("labyrinth", 11, 2, 3, 0),
+    ("ssca2", 4, 1, 0, 0),
+    ("vacation", 6, 1, 2, 0),
+    ("yada", 6, 0, 0, 0),
+    ("tpcc-no", 11, 4, 1, 0),
+    ("tpcc-p", 9, 1, 1, 0),
+];
+
+#[test]
+fn golden_covers_every_workload() {
+    let golden: Vec<&str> = GOLDEN.iter().map(|g| g.0).collect();
+    assert_eq!(golden, WORKLOAD_NAMES.to_vec());
+}
+
+#[test]
+fn classification_stats_match_golden() {
+    for &(name, num_sites, safe_loads, safe_stores, replicated_funcs) in GOLDEN {
+        let module = ir_module(name).expect("registered workload has a module");
+        let stats = classify(&module).stats();
+        assert_eq!(
+            (
+                stats.num_sites,
+                stats.safe_loads,
+                stats.safe_stores,
+                stats.replicated_funcs
+            ),
+            (num_sites, safe_loads, safe_stores, replicated_funcs),
+            "{name}: classification drifted from the golden row \
+             (sites, safeL, safeS, replicated)"
+        );
+    }
+}
+
+#[test]
+fn declared_safe_sites_match_the_classifier() {
+    // The hint table each workload hands the simulator must be exactly
+    // what the classifier derives from its IR model — the audit crate's
+    // `hint_mismatch` check, pinned here at the source.
+    use std::collections::BTreeSet;
+    for name in WORKLOAD_NAMES {
+        let module = ir_module(name).unwrap();
+        let classified = classify(&module);
+        let w = hintm_workloads::by_name(name, hintm_workloads::Scale::Sim).unwrap();
+        let declared: BTreeSet<_> = w.static_safe_sites().into_iter().collect();
+        assert_eq!(
+            &declared,
+            classified.safe_sites(),
+            "{name}: shipped hint table is stale"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Negative fixture for the audit stack: a verifier-clean module whose
+//! *declared* safe set lies. One site stores to a shared global counter
+//! from every thread, and the fixture marks it safe anyway. Both audit
+//! sides must catch the lie independently — the `safe-store-to-shared`
+//! lint statically, and the dynamic oracle by observing the write-write
+//! race in an actual run.
+
+use hintm_audit::{audit_module, verify, Severity};
+use hintm_ir::{Module, ModuleBuilder};
+use hintm_sim::{Section, TxBody, TxOp, Workload};
+use hintm_types::{Addr, MemAccess, SiteId, ThreadId};
+use std::collections::{BTreeSet, HashSet};
+
+/// Shared-counter module: `worker` transactionally stores to a global
+/// (site 0); `main` spawns two workers. Structurally well-formed — the
+/// only defect is the hint table that will be declared for it.
+fn shared_counter_module() -> Module {
+    let mut m = ModuleBuilder::new();
+    let counter = m.global("counter");
+
+    let mut w = m.func("worker", 0);
+    let p = w.global_addr(counter);
+    w.tx_begin();
+    let site = w.store(p);
+    assert_eq!(site, SiteId(0));
+    w.tx_end();
+    w.ret();
+    let worker = w.finish();
+
+    let mut main = m.func("main", 0);
+    main.spawn(worker, vec![]);
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    m.finish(entry, worker)
+}
+
+/// The matching dynamic behavior: two threads repeatedly store to the
+/// same address at site 0, which the workload (falsely) declares safe.
+struct LyingWorkload {
+    remaining: [u32; 2],
+}
+
+impl Workload for LyingWorkload {
+    fn name(&self) -> &'static str {
+        "lying-counter"
+    }
+
+    fn num_threads(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.remaining = [4; 2];
+    }
+
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+        let left = &mut self.remaining[tid.0 as usize];
+        if *left == 0 {
+            return None;
+        }
+        *left -= 1;
+        Some(Section::Tx(TxBody::new(vec![TxOp::Access(
+            MemAccess::store(Addr::new(0x1000), SiteId(0)),
+        )])))
+    }
+
+    fn static_safe_sites(&self) -> HashSet<SiteId> {
+        [SiteId(0)].into_iter().collect()
+    }
+}
+
+#[test]
+fn lying_safe_set_is_caught_by_lint_and_oracle() {
+    let module = shared_counter_module();
+    assert!(
+        verify(&module).is_empty(),
+        "the fixture must be structurally clean — only the hints lie"
+    );
+
+    let declared: BTreeSet<SiteId> = [SiteId(0)].into_iter().collect();
+    let mut workload = LyingWorkload { remaining: [0; 2] };
+    let report = audit_module("lying-counter", &module, &declared, &mut workload, 42);
+
+    // Static side: the lint sees a declared-safe store whose pointer
+    // reaches a shared, non-TX-fresh object.
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "safe-store-to-shared" && d.severity == Severity::Error),
+        "lint must flag the safe store to the shared counter: {:?}",
+        report.diagnostics
+    );
+
+    // Dynamic side: the oracle observes the write-write race on the
+    // declared-safe site. The logically-first writer is exempt; every
+    // other racing thread is not.
+    assert!(
+        !report.unsound.is_empty(),
+        "oracle must observe the race on site 0"
+    );
+    assert!(report.unsound.iter().all(|u| u.site == SiteId(0)));
+
+    // And the honest classifier would never have produced this table.
+    assert!(report.hint_mismatch);
+    assert!(!report.passed());
+}
+
+#[test]
+fn honest_hints_for_the_same_module_pass_both_sides() {
+    // Same module and behavior, but with no safe declarations: nothing to
+    // be unsound about, and the shared store is (correctly) unhinted.
+    let module = shared_counter_module();
+    let declared = BTreeSet::new();
+    let mut workload = LyingWorkload { remaining: [0; 2] };
+    let report = audit_module("honest-counter", &module, &declared, &mut workload, 42);
+
+    assert!(report.unsound.is_empty());
+    assert_eq!(report.lint_errors(), 0);
+    assert!(
+        !report.missed.contains(&SiteId(0)),
+        "a genuinely shared site must not be reported as a missed hint"
+    );
+}
