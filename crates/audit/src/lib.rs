@@ -141,7 +141,7 @@ pub fn audit_module(
 
     // Dynamic side: observe one run and judge every executed site.
     let mut obs = OracleRecorder::new();
-    Simulator::new(SimConfig::default()).run_observed(workload, seed, &mut obs);
+    Simulator::new(SimConfig::default()).run_with_sink(workload, seed, &mut obs);
     let oracle = obs.evaluate(declared_safe);
 
     AuditReport {

@@ -4,7 +4,8 @@
 //! A safe hint tells the HTM to skip conflict tracking for an access, so a
 //! hint is *unsound* exactly when the access could race: the paper's §IV-A
 //! contract is that a safe access touches memory no other thread touches
-//! concurrently. The oracle replays a workload under an [`AccessObserver`],
+//! concurrently. The oracle replays a workload under a [`TraceSink`]
+//! (consuming the engine's access, section-start and barrier events),
 //! records per-address sharing with [`AccessRecorder`], and then judges
 //! every executed site:
 //!
@@ -15,7 +16,7 @@
 //!   first writer. The exemption admits the initialize-then-publish
 //!   pattern: the thread that creates an object initializes it with safe
 //!   stores before any other thread can reach it. "Logical" order is
-//!   section *generation* order (via [`AccessObserver::section_start`]),
+//!   section *generation* order (via [`TraceEvent::SectionStart`]),
 //!   not execution order — workload state advances when a section is
 //!   generated, so a later thread's rotation write to a fresh node can
 //!   physically execute before the creator's own init store replays, and
@@ -29,7 +30,7 @@
 //! make a hint unsound.
 
 use hintm_mem::AccessRecorder;
-use hintm_sim::AccessObserver;
+use hintm_sim::{TraceEvent, TraceSink};
 use hintm_types::{AccessKind, Addr, MemAccess, SiteId, ThreadId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -122,8 +123,9 @@ impl OracleRecorder {
     }
 }
 
-impl AccessObserver for OracleRecorder {
-    fn access(&mut self, tid: ThreadId, access: MemAccess, _in_tx: bool) {
+impl OracleRecorder {
+    /// Records one executed memory access.
+    pub fn access(&mut self, tid: ThreadId, access: MemAccess, _in_tx: bool) {
         self.rec.record(tid, access.addr, access.kind);
         if access.kind == AccessKind::Store {
             let seq = self.cur_seq.get(&tid.0).copied().unwrap_or(0);
@@ -147,13 +149,33 @@ impl AccessObserver for OracleRecorder {
         }
     }
 
-    fn section_start(&mut self, tid: ThreadId) {
+    /// Notes that `tid` is about to generate its next section.
+    pub fn section_start(&mut self, tid: ThreadId) {
         self.next_seq += 1;
         self.cur_seq.insert(tid.0, self.next_seq);
     }
 
-    fn barrier(&mut self) {
+    /// Notes a barrier release (starts a new sharing epoch).
+    pub fn barrier(&mut self) {
         self.rec.advance_epoch();
+    }
+}
+
+impl TraceSink for OracleRecorder {
+    fn event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Access {
+                thread,
+                access,
+                in_tx,
+                ..
+            } => self.access(thread, access, in_tx),
+            TraceEvent::SectionStart { thread, .. } => self.section_start(thread),
+            TraceEvent::BarrierRelease { .. } => self.barrier(),
+            // Lifecycle, cache and coherence events carry no sharing
+            // information the oracle needs.
+            _ => {}
+        }
     }
 }
 

@@ -10,9 +10,13 @@
 //!             [--threads N] [--smt2] [--preserve] [--csv]
 //! hintm suite [--htm ...] [--hints ...] [--seed N] [--scale ...] [--csv]
 //! hintm audit [--workloads a,b | --all] [--seed N] [--scale ...]
+//! hintm trace <workload> [run options] [--events N] [--out <dir>]
 //! ```
 
-use crate::{AbortKind, Experiment, HintMode, HtmKind, RunReport, Scale, WORKLOAD_NAMES};
+use crate::{
+    chrome_trace, write_binlog, AbortKind, Experiment, HintMode, HtmKind, RunReport, Scale,
+    WORKLOAD_NAMES,
+};
 use hintm_audit::AuditReport;
 use std::fmt;
 
@@ -39,6 +43,9 @@ pub enum Command {
     Suite(RunArgs),
     /// Audit safety-hint soundness (verifier + lints + dynamic oracle).
     Audit(AuditArgs),
+    /// Run one experiment under a trace recorder and report/export the
+    /// captured event stream.
+    Trace(TraceArgs),
     /// Run a parallel sweep (dispatched by the `hintm-runner` binary).
     Sweep(SweepArgs),
     /// Clear the on-disk result cache (dispatched by `hintm-runner`).
@@ -67,6 +74,29 @@ impl Default for AuditArgs {
             workloads: Vec::new(),
             seed: 42,
             scale: Scale::Sim,
+        }
+    }
+}
+
+/// Options for `hintm trace`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArgs {
+    /// Run configuration; the workload is `trace`'s positional argument.
+    pub run: RunArgs,
+    /// Directory for `<workload>.trace.json` (Chrome trace_event) and
+    /// `<workload>.trace.bin` (compact binary log).
+    pub out: Option<String>,
+    /// Trace buffer capacity: how many events are retained verbatim
+    /// (metrics and the digest always cover the whole run).
+    pub events: usize,
+}
+
+impl Default for TraceArgs {
+    fn default() -> Self {
+        TraceArgs {
+            run: RunArgs::default(),
+            out: None,
+            events: 100_000,
         }
     }
 }
@@ -107,6 +137,9 @@ pub struct SweepArgs {
     pub csv: bool,
     /// Audit every swept workload after the sweep (fails on unsound hints).
     pub audit: bool,
+    /// Trace every cell, summarizing metrics per cell and exporting the
+    /// event streams under `<out>/traces/` (forces a cache bypass).
+    pub trace: bool,
 }
 
 impl Default for SweepArgs {
@@ -127,6 +160,7 @@ impl Default for SweepArgs {
             out: None,
             csv: false,
             audit: false,
+            trace: false,
         }
     }
 }
@@ -182,6 +216,7 @@ USAGE:
   hintm run --workload <name> [options]
   hintm suite [options]
   hintm audit [audit options]
+  hintm trace <workload> [options] [trace options]
   hintm sweep [sweep options]
   hintm cache clear [--cache-dir <dir>]
 
@@ -196,6 +231,11 @@ OPTIONS:
   --preserve               enable the preserve page-transition optimization
   --csv                    machine-readable CSV output
   --trace                  print a per-thread lifecycle timeline (run only)
+
+TRACE OPTIONS (records the run's event stream; run options above apply):
+  --events <n>             events retained in the trace buffer         [100000]
+  --out <dir>              write <workload>.trace.json (Chrome trace_event)
+                           and <workload>.trace.bin (binary log) into <dir>
 
 AUDIT OPTIONS (verifier + lints + dynamic sharing oracle; exits nonzero
 on any unsound hint, lint error, verifier error, or hint-table mismatch):
@@ -216,6 +256,8 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --out <dir>              write manifest.json + results.{csv,json} here
   --csv                    also print the results CSV to stdout
   --audit                  audit every swept workload after the sweep
+  --trace                  trace every cell (bypasses the cache); with --out,
+                           exports event streams under <out>/traces/
 ";
 
 fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
@@ -262,6 +304,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "audit" => parse_audit(&args[1..]),
+        "trace" => parse_trace(&args[1..]),
         "sweep" => parse_sweep(&args[1..]),
         "cache" => parse_cache(&args[1..]),
         "run" | "suite" => {
@@ -353,6 +396,56 @@ fn parse_audit(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Audit(aa))
 }
 
+fn parse_trace(args: &[String]) -> Result<Command, CliError> {
+    let mut ta = TraceArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => ta.run.workload = Some(value(&mut i, "--workload")?),
+            "--htm" => ta.run.htm = parse_htm(&value(&mut i, "--htm")?)?,
+            "--hints" => ta.run.hints = parse_hints(&value(&mut i, "--hints")?)?,
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                ta.run.seed = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --seed `{v}`")))?;
+            }
+            "--scale" => ta.run.scale = parse_scale(&value(&mut i, "--scale")?)?,
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                ta.run.threads = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad --threads `{v}`")))?,
+                );
+            }
+            "--smt2" => ta.run.smt2 = true,
+            "--preserve" => ta.run.preserve = true,
+            "--events" => {
+                let v = value(&mut i, "--events")?;
+                ta.events = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --events `{v}`")))?;
+            }
+            "--out" => ta.out = Some(value(&mut i, "--out")?),
+            name if !name.starts_with('-') && ta.run.workload.is_none() => {
+                ta.run.workload = Some(name.to_string());
+            }
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    if ta.run.workload.is_none() {
+        return Err(CliError("`trace` requires a workload name".into()));
+    }
+    Ok(Command::Trace(ta))
+}
+
 fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
     let mut sa = SweepArgs::default();
     let mut i = 0;
@@ -397,6 +490,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
             "--out" => sa.out = Some(value(&mut i, "--out")?),
             "--csv" => sa.csv = true,
             "--audit" => sa.audit = true,
+            "--trace" => sa.trace = true,
             other => return Err(CliError(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -437,7 +531,7 @@ fn parse_cache(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
-fn run_one(name: &str, ra: &RunArgs) -> Result<RunReport, CliError> {
+fn experiment(name: &str, ra: &RunArgs) -> Experiment {
     let mut e = Experiment::new(name)
         .htm(ra.htm)
         .hint_mode(ra.hints)
@@ -448,7 +542,13 @@ fn run_one(name: &str, ra: &RunArgs) -> Result<RunReport, CliError> {
     if let Some(t) = ra.threads {
         e = e.threads(t);
     }
-    e.run().map_err(|e| CliError(e.to_string()))
+    e
+}
+
+fn run_one(name: &str, ra: &RunArgs) -> Result<RunReport, CliError> {
+    experiment(name, ra)
+        .run()
+        .map_err(|e| CliError(e.to_string()))
 }
 
 /// CSV header matching [`csv_row`].
@@ -550,17 +650,9 @@ pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<(), CliEr
         Command::Run(ra) => {
             let name = ra.workload.as_deref().expect("validated by parse");
             if ra.trace {
-                let mut e = Experiment::new(name)
-                    .htm(ra.htm)
-                    .hint_mode(ra.hints)
-                    .seed(ra.seed)
-                    .scale(ra.scale)
-                    .smt2(ra.smt2)
-                    .preserve(ra.preserve);
-                if let Some(t) = ra.threads {
-                    e = e.threads(t);
-                }
-                let (r, trace) = e.run_traced(100_000).map_err(|e| CliError(e.to_string()))?;
+                let (r, trace) = experiment(name, ra)
+                    .run_traced(100_000)
+                    .map_err(|e| CliError(e.to_string()))?;
                 writeln!(out, "{r}").map_err(io)?;
                 let threads = if ra.smt2 { 16 } else { 8 };
                 writeln!(
@@ -578,6 +670,46 @@ timeline (C commit, a/A/P aborts, F fallback, s shootdown):"
                 writeln!(out, "{}", csv_row(&r, ra.seed)).map_err(io)?;
             } else {
                 writeln!(out, "{r}").map_err(io)?;
+            }
+            Ok(())
+        }
+        Command::Trace(ta) => {
+            let name = ta.run.workload.as_deref().expect("validated by parse");
+            let (r, rec) = experiment(name, &ta.run)
+                .run_traced(ta.events)
+                .map_err(|e| CliError(e.to_string()))?;
+            writeln!(out, "{r}").map_err(io)?;
+            let t = r.trace.expect("run_traced fills the summary");
+            writeln!(
+                out,
+                "trace: {} events ({} beyond the buffer), digest {:016x}",
+                t.events, t.dropped, t.digest
+            )
+            .map_err(io)?;
+            writeln!(
+                out,
+                "       occupancy hwm {} blocks; commit footprint mean {:.1}; \
+                 retries mean {:.2}",
+                t.occupancy_hwm,
+                t.commit_footprint.mean(),
+                t.retries.mean()
+            )
+            .map_err(io)?;
+            let threads = if ta.run.smt2 { 16 } else { 8 };
+            writeln!(
+                out,
+                "\ntimeline (C commit, a/A/P aborts, F fallback, s shootdown):"
+            )
+            .map_err(io)?;
+            writeln!(out, "{}", rec.render_timeline(threads, 100)).map_err(io)?;
+            if let Some(dir) = &ta.out {
+                std::fs::create_dir_all(dir).map_err(io)?;
+                let json_path = format!("{dir}/{name}.trace.json");
+                let bin_path = format!("{dir}/{name}.trace.bin");
+                let events = rec.events();
+                std::fs::write(&json_path, chrome_trace(&events)).map_err(io)?;
+                std::fs::write(&bin_path, write_binlog(&events)).map_err(io)?;
+                writeln!(out, "wrote {json_path} and {bin_path}").map_err(io)?;
             }
             Ok(())
         }
@@ -740,16 +872,65 @@ mod tests {
     }
 
     #[test]
+    fn parses_trace_command() {
+        let Command::Trace(ta) = parse(&argv(
+            "trace vacation --htm l1tm --seed 7 --events 512 --out /tmp/t",
+        ))
+        .unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(ta.run.workload.as_deref(), Some("vacation"));
+        assert_eq!(ta.run.htm, HtmKind::L1Tm);
+        assert_eq!(ta.run.seed, 7);
+        assert_eq!(ta.events, 512);
+        assert_eq!(ta.out.as_deref(), Some("/tmp/t"));
+
+        // --workload spelling works too; defaults hold.
+        let Command::Trace(ta) = parse(&argv("trace --workload kmeans")).unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(ta.run.workload.as_deref(), Some("kmeans"));
+        assert_eq!(ta.events, 100_000);
+        assert_eq!(ta.out, None);
+
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace kmeans --events nope")).is_err());
+        assert!(parse(&argv("trace kmeans extra")).is_err());
+    }
+
+    #[test]
+    fn executes_trace_and_exports_artifacts() {
+        let dir = std::env::temp_dir().join("hintm-cli-trace-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = parse(&argv(&format!(
+            "trace kmeans --seed 3 --events 64 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        execute(&cmd, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("trace:"), "{s}");
+        assert!(s.contains("digest"), "{s}");
+        let json = std::fs::read_to_string(dir.join("kmeans.trace.json")).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        let bin = std::fs::read(dir.join("kmeans.trace.bin")).unwrap();
+        assert_eq!(&bin[..4], b"HTRC");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn parses_full_sweep_command() {
         let cmd = parse(&argv(
             "sweep --workloads vacation,labyrinth --htm p8,infcap --hints off,full \
              --seeds 1,2,3 --scale large --threads 16 --smt2 --preserve --jobs 8 \
-             --cache-dir /tmp/c --out /tmp/o --csv --audit",
+             --cache-dir /tmp/c --out /tmp/o --csv --audit --trace",
         ))
         .unwrap();
         let Command::Sweep(sa) = cmd else {
             panic!("expected sweep")
         };
+        assert!(sa.trace);
         assert_eq!(sa.workloads, vec!["vacation", "labyrinth"]);
         assert_eq!(sa.htms, vec![HtmKind::P8, HtmKind::InfCap]);
         assert_eq!(sa.hints, vec![HintMode::Off, HintMode::Full]);

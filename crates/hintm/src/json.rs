@@ -22,6 +22,7 @@
 //! ```
 
 use crate::{HintMode, HtmKind, RunReport, RunStats};
+use hintm_trace::{HistSummary, TraceSummary};
 use std::fmt;
 
 /// A JSON serialization/deserialization error.
@@ -527,6 +528,86 @@ pub fn run_stats_from_json(j: &Json) -> Result<RunStats, JsonError> {
     }
 }
 
+fn hist_to_json(h: &HistSummary) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::u64(h.count)),
+        ("sum".into(), Json::u64(h.sum)),
+        ("min".into(), Json::u64(h.min)),
+        ("max".into(), Json::u64(h.max)),
+    ])
+}
+
+fn hist_from_json(j: &Json, key: &str) -> Result<HistSummary, JsonError> {
+    let h = j.field(key)?;
+    Ok(HistSummary {
+        count: h.field("count")?.as_u64()?,
+        sum: h.field("sum")?.as_u64()?,
+        min: h.field("min")?.as_u64()?,
+        max: h.field("max")?.as_u64()?,
+    })
+}
+
+/// Serializes a trace metric summary (the optional `trace` field of
+/// [`RunReport::to_json`]).
+pub fn trace_summary_to_json(t: &TraceSummary) -> Json {
+    Json::Obj(vec![
+        ("events".into(), Json::u64(t.events)),
+        ("dropped".into(), Json::u64(t.dropped)),
+        ("digest".into(), Json::u64(t.digest)),
+        ("sections".into(), Json::u64(t.sections)),
+        ("barriers".into(), Json::u64(t.barriers)),
+        ("begins".into(), Json::u64(t.begins)),
+        ("commits".into(), Json::u64(t.commits)),
+        ("fallback_acquires".into(), Json::u64(t.fallback_acquires)),
+        ("fallback_commits".into(), Json::u64(t.fallback_commits)),
+        ("aborts".into(), u64_arr(&t.aborts)),
+        ("lost_cycles".into(), u64_arr(&t.lost_cycles)),
+        ("shootdowns".into(), Json::u64(t.shootdowns)),
+        ("accesses".into(), Json::u64(t.accesses)),
+        ("tx_accesses".into(), Json::u64(t.tx_accesses)),
+        ("l1_evictions".into(), Json::u64(t.l1_evictions)),
+        ("invalidations".into(), Json::u64(t.invalidations)),
+        ("downgrades".into(), Json::u64(t.downgrades)),
+        ("occupancy_hwm".into(), Json::u64(t.occupancy_hwm)),
+        ("read_set".into(), hist_to_json(&t.read_set)),
+        ("write_set".into(), hist_to_json(&t.write_set)),
+        ("commit_footprint".into(), hist_to_json(&t.commit_footprint)),
+        ("retries".into(), hist_to_json(&t.retries)),
+    ])
+}
+
+/// Deserializes a trace metric summary written by [`trace_summary_to_json`].
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on missing fields or type mismatches.
+pub fn trace_summary_from_json(j: &Json) -> Result<TraceSummary, JsonError> {
+    Ok(TraceSummary {
+        events: j.field("events")?.as_u64()?,
+        dropped: j.field("dropped")?.as_u64()?,
+        digest: j.field("digest")?.as_u64()?,
+        sections: j.field("sections")?.as_u64()?,
+        barriers: j.field("barriers")?.as_u64()?,
+        begins: j.field("begins")?.as_u64()?,
+        commits: j.field("commits")?.as_u64()?,
+        fallback_acquires: j.field("fallback_acquires")?.as_u64()?,
+        fallback_commits: j.field("fallback_commits")?.as_u64()?,
+        aborts: parse_u64_arr::<5>(j, "aborts")?,
+        lost_cycles: parse_u64_arr::<5>(j, "lost_cycles")?,
+        shootdowns: j.field("shootdowns")?.as_u64()?,
+        accesses: j.field("accesses")?.as_u64()?,
+        tx_accesses: j.field("tx_accesses")?.as_u64()?,
+        l1_evictions: j.field("l1_evictions")?.as_u64()?,
+        invalidations: j.field("invalidations")?.as_u64()?,
+        downgrades: j.field("downgrades")?.as_u64()?,
+        occupancy_hwm: j.field("occupancy_hwm")?.as_u64()?,
+        read_set: hist_from_json(j, "read_set")?,
+        write_set: hist_from_json(j, "write_set")?,
+        commit_footprint: hist_from_json(j, "commit_footprint")?,
+        retries: hist_from_json(j, "retries")?,
+    })
+}
+
 impl RunReport {
     /// Serializes the full report to a compact JSON string.
     pub fn to_json(&self) -> String {
@@ -535,12 +616,16 @@ impl RunReport {
 
     /// Serializes to a JSON value.
     pub fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("workload".into(), Json::Str(self.workload.clone())),
             ("htm".into(), Json::Str(self.htm.to_string())),
             ("hint_mode".into(), Json::Str(self.hint_mode.to_string())),
             ("stats".into(), run_stats_to_json(&self.stats)),
-        ])
+        ];
+        if let Some(t) = &self.trace {
+            fields.push(("trace".into(), trace_summary_to_json(t)));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses a report serialized with [`RunReport::to_json`].
@@ -563,6 +648,10 @@ impl RunReport {
             htm: htm_from_str(j.field("htm")?.as_str()?)?,
             hint_mode: hint_from_str(j.field("hint_mode")?.as_str()?)?,
             stats: run_stats_from_json(j.field("stats")?)?,
+            trace: match j.get("trace") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(trace_summary_from_json(t)?),
+            },
         })
     }
 }
@@ -629,6 +718,23 @@ mod tests {
         let back = RunReport::from_json(&r.to_json()).expect("parses");
         assert_eq!(back.stats.sharing, None);
         assert_eq!(back.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn traced_report_round_trips() {
+        let (r, rec) = Experiment::new("kmeans").run_traced(256).expect("runs");
+        let t = r.trace.expect("traced run embeds a summary");
+        assert_eq!(t.digest, rec.digest());
+        let back = RunReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.trace, Some(t));
+        assert_eq!(back.to_json(), r.to_json());
+        // An untraced report omits the field entirely.
+        let plain = Experiment::new("kmeans").run().unwrap();
+        assert!(!plain.to_json().contains("\"trace\""));
+        assert!(RunReport::from_json(&plain.to_json())
+            .unwrap()
+            .trace
+            .is_none());
     }
 
     #[test]

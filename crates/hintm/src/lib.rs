@@ -42,8 +42,10 @@ pub mod json;
 
 pub use hintm_htm::{HtmConfig, HtmKind};
 pub use hintm_sim::{
-    Event, HintMode, RunStats, Section, SimConfig, Simulator, Trace, TxBody, TxOp, Workload,
+    HintMode, Recording, RunStats, Section, SimConfig, Simulator, TraceEvent, TraceSink, TxBody,
+    TxOp, Workload,
 };
+pub use hintm_trace::{chrome_trace, write_binlog, TraceSummary};
 pub use hintm_types::{AbortKind, Cycles, MachineConfig, SmtMode};
 pub use hintm_workloads::{all, by_name, by_name_with_threads, Scale, WORKLOAD_NAMES};
 pub use json::{Json, JsonError};
@@ -179,16 +181,35 @@ impl Experiment {
         Ok(self.report(stats))
     }
 
-    /// Runs the experiment recording up to `trace_cap` lifecycle events.
+    /// Runs the experiment with a [`Recording`] sink attached, retaining
+    /// the first `trace_cap` events verbatim and folding all of them into
+    /// metrics and the stream digest. The report embeds the recording's
+    /// [`TraceSummary`]; its [`RunStats`] are bit-identical to an untraced
+    /// run.
     ///
     /// # Errors
     ///
     /// Returns [`UnknownWorkload`] if the workload name is not registered.
-    pub fn run_traced(&self, trace_cap: usize) -> Result<(RunReport, Trace), UnknownWorkload> {
+    pub fn run_traced(&self, trace_cap: usize) -> Result<(RunReport, Recording), UnknownWorkload> {
         let mut w = self.workload()?;
         let sim = Simulator::new(self.sim_config());
-        let (stats, trace) = sim.run_traced(w.as_mut(), self.seed, trace_cap);
-        Ok((self.report(stats), trace))
+        let mut rec = Recording::new(trace_cap);
+        let stats = sim.run_with_sink(w.as_mut(), self.seed, &mut rec);
+        let mut report = self.report(stats);
+        report.trace = Some(rec.summary());
+        Ok((report, rec))
+    }
+
+    /// Runs the experiment delivering every engine event to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownWorkload`] if the workload name is not registered.
+    pub fn run_with_sink(&self, sink: &mut dyn TraceSink) -> Result<RunReport, UnknownWorkload> {
+        let mut w = self.workload()?;
+        let sim = Simulator::new(self.sim_config());
+        let stats = sim.run_with_sink(w.as_mut(), self.seed, sink);
+        Ok(self.report(stats))
     }
 
     /// Runs the experiment once per seed (run-to-run variance studies).
@@ -221,6 +242,7 @@ impl Experiment {
             htm: self.htm,
             hint_mode: self.hint_mode,
             stats,
+            trace: None,
         }
     }
 }
@@ -236,6 +258,8 @@ pub struct RunReport {
     pub hint_mode: HintMode,
     /// Raw measured statistics.
     pub stats: RunStats,
+    /// Trace metric summary, when the run was traced ([`Experiment::run_traced`]).
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {

@@ -13,7 +13,9 @@ fn build_runner(sa: &SweepArgs) -> Runner {
         .jobs
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let mut runner = Runner::new().jobs(jobs).progress(true);
-    if sa.no_cache {
+    if sa.no_cache || sa.trace {
+        // Tracing re-simulates every cell: cached results carry no event
+        // stream to export.
         runner = runner.no_cache();
     } else if let Some(dir) = &sa.cache_dir {
         runner = runner.cache(Cache::new(dir));
@@ -34,7 +36,21 @@ fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
         spec = spec.threads(t);
     }
     let cells = spec.cells();
-    let result = build_runner(sa).run(&cells);
+    let runner = build_runner(sa);
+    let result = if sa.trace {
+        let trace_dir = sa.out.as_ref().map(|o| PathBuf::from(o).join("traces"));
+        runner.run_with(&cells, |cell| {
+            let (report, rec) = cell.run_traced(100_000).unwrap_or_else(|e| panic!("{e}"));
+            if let Some(dir) = &trace_dir {
+                if let Err(e) = hintm_runner::write_trace(dir, cell, &rec.events()) {
+                    eprintln!("warning: trace export failed for {}: {e}", cell.label());
+                }
+            }
+            report
+        })
+    } else {
+        runner.run(&cells)
+    };
 
     eprintln!(
         "sweep: {} cells in {:.2}s with {} jobs — {} simulated, {} cached, {} crashed",

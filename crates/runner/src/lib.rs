@@ -43,7 +43,7 @@ mod cache;
 mod exec;
 mod spec;
 
-pub use artifacts::{cell_to_json, results_csv, write_artifacts};
+pub use artifacts::{cell_to_json, results_csv, write_artifacts, write_trace};
 pub use cache::{Cache, SCHEMA_VERSION};
 pub use exec::{CellOutcome, CellResult, Runner, SweepResult};
 pub use spec::{Cell, SweepSpec};

@@ -6,7 +6,9 @@
 //! product of the axes you give it, in a stable workload-major order, and
 //! deduplicates cells that different axes happen to produce twice.
 
-use hintm::{Experiment, HintMode, HtmKind, RunReport, Scale, UnknownWorkload, WORKLOAD_NAMES};
+use hintm::{
+    Experiment, HintMode, HtmKind, Recording, RunReport, Scale, UnknownWorkload, WORKLOAD_NAMES,
+};
 use std::collections::HashSet;
 
 /// One fully-specified simulator run.
@@ -165,6 +167,17 @@ impl Cell {
     /// Returns [`UnknownWorkload`] if the workload name is not registered.
     pub fn run(&self) -> Result<RunReport, UnknownWorkload> {
         self.experiment().run()
+    }
+
+    /// Runs the cell under a trace recorder retaining up to `events`
+    /// events (metrics and the digest always cover the whole run). The
+    /// report carries the metric summary in [`RunReport::trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownWorkload`] if the workload name is not registered.
+    pub fn run_traced(&self, events: usize) -> Result<(RunReport, Recording), UnknownWorkload> {
+        self.experiment().run_traced(events)
     }
 }
 

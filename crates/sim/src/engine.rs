@@ -3,12 +3,11 @@
 //! page-mode abort orchestration.
 
 use crate::config::SimConfig;
-use crate::observe::AccessObserver;
 use crate::section::{Section, TxBody, TxOp, Workload};
 use crate::stats::RunStats;
-use crate::trace::{Event, Trace};
 use hintm_cache::Hierarchy;
 use hintm_htm::HtmThread;
+use hintm_trace::{TraceEvent, TraceSink};
 use hintm_types::{
     AbortKind, AccessKind, BlockAddr, ConflictPolicy, CoreId, Cycles, MemAccess, PageId, SiteId,
     ThreadId,
@@ -88,44 +87,35 @@ impl Simulator {
     /// Panics if the engine exceeds `max_steps` (runaway workload) or the
     /// thread states deadlock (malformed workload).
     pub fn run(&self, workload: &mut dyn Workload, seed: u64) -> RunStats {
-        let (stats, _) = self.run_inner(workload, seed, None, None);
-        stats
+        self.run_inner(workload, seed, None)
     }
 
-    /// Like [`Simulator::run`], delivering every executed access (and
-    /// every barrier release) to `observer`. The observer does not affect
-    /// the simulation: statistics are bit-identical to an unobserved run.
-    pub fn run_observed(
+    /// Like [`Simulator::run`], delivering every engine event — transaction
+    /// lifecycle, memory accesses, cache evictions, coherence actions,
+    /// shootdowns, barrier epochs — to `sink` in deterministic scheduling
+    /// order.
+    ///
+    /// The sink never affects the simulation: the returned statistics are
+    /// bit-identical to an unsinked run with the same seed. Sinks that
+    /// return `false` from [`TraceSink::wants_accesses`] skip the per-access
+    /// events (the bulk of the stream) entirely.
+    pub fn run_with_sink(
         &self,
         workload: &mut dyn Workload,
         seed: u64,
-        observer: &mut dyn AccessObserver,
+        sink: &mut dyn TraceSink,
     ) -> RunStats {
-        let (stats, _) = self.run_inner(workload, seed, None, Some(observer));
-        stats
-    }
-
-    /// Like [`Simulator::run`], additionally recording up to `trace_cap`
-    /// lifecycle events (begins, commits, aborts, fallback acquisitions,
-    /// shootdowns, barrier releases) for debugging.
-    pub fn run_traced(
-        &self,
-        workload: &mut dyn Workload,
-        seed: u64,
-        trace_cap: usize,
-    ) -> (RunStats, Trace) {
-        let (stats, trace) = self.run_inner(workload, seed, Some(Trace::new(trace_cap)), None);
-        (stats, trace.expect("trace requested"))
+        self.run_inner(workload, seed, Some(sink))
     }
 
     fn run_inner(
         &self,
         workload: &mut dyn Workload,
         seed: u64,
-        mut trace: Option<Trace>,
-        mut observer: Option<&mut dyn AccessObserver>,
-    ) -> (RunStats, Option<Trace>) {
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> RunStats {
         workload.reset(seed);
+        let want_access = sink.as_deref().is_some_and(|s| s.wants_accesses());
         let safe_sites: HashSet<SiteId> = if self.cfg.hint_mode.uses_static() {
             workload.static_safe_sites()
         } else {
@@ -175,6 +165,7 @@ impl Simulator {
         let mut lock_holder: Option<usize> = None;
         let mut lock_free_at = Cycles::ZERO;
         let mut steps = 0u64;
+        let mut epoch = 0u32;
 
         loop {
             steps += 1;
@@ -235,12 +226,10 @@ impl Simulator {
                             t.state = RunState::Idle;
                         }
                     }
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(Event::BarrierRelease { at: release });
+                    if let Some(s) = sink.as_mut() {
+                        s.event(&TraceEvent::BarrierRelease { at: release, epoch });
                     }
-                    if let Some(o) = observer.as_mut() {
-                        o.barrier();
-                    }
+                    epoch += 1;
                     continue;
                 }
                 unreachable!("pick is None only when all threads are parked or done");
@@ -260,8 +249,8 @@ impl Simulator {
                 &safe_sites,
                 &raw_static_sites,
                 &notary_pages,
-                &mut trace,
-                &mut observer,
+                &mut sink,
+                want_access,
             );
         }
 
@@ -288,7 +277,7 @@ impl Simulator {
                 p.safe_tx_read_fraction_block(),
             ));
         }
-        (stats, trace)
+        stats
     }
 
     /// Executes one scheduling step for thread `i`.
@@ -307,14 +296,17 @@ impl Simulator {
         safe_sites: &HashSet<SiteId>,
         raw_static_sites: &HashSet<SiteId>,
         notary_pages: &HashSet<PageId>,
-        trace: &mut Option<Trace>,
-        observer: &mut Option<&mut dyn AccessObserver>,
+        sink: &mut Option<&mut dyn TraceSink>,
+        want_access: bool,
     ) {
         match threads[i].state.clone() {
             RunState::Done | RunState::AtBarrier => unreachable!("parked threads never step"),
             RunState::Idle => {
-                if let Some(o) = observer.as_mut() {
-                    o.section_start(ThreadId(i as u32));
+                if let Some(s) = sink.as_mut() {
+                    s.event(&TraceEvent::SectionStart {
+                        thread: ThreadId(i as u32),
+                        at: threads[i].clock,
+                    });
                 }
                 match workload.next_section(ThreadId(i as u32)) {
                     None => threads[i].state = RunState::Done,
@@ -332,13 +324,13 @@ impl Simulator {
                             threads,
                             lock_holder,
                             *lock_free_at,
-                            trace,
+                            sink,
                         );
                     }
                 }
             }
             RunState::WaitRetry { body, .. } => {
-                self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, trace);
+                self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, sink);
             }
             RunState::WaitLock { body, fallback } => {
                 debug_assert!(lock_holder.is_none());
@@ -347,9 +339,9 @@ impl Simulator {
                     // Acquire the lock and kill every running transaction
                     // (lock subscription).
                     *lock_holder = Some(i);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(Event::FallbackAcquire {
-                            thread: i,
+                    if let Some(s) = sink.as_mut() {
+                        s.event(&TraceEvent::FallbackAcquire {
+                            thread: ThreadId(i as u32),
                             at: threads[i].clock,
                         });
                     }
@@ -361,14 +353,14 @@ impl Simulator {
                                 threads,
                                 mem,
                                 stats,
-                                trace,
+                                sink,
                             );
                         }
                     }
                     threads[i].htm.enter_fallback();
                     threads[i].state = RunState::InFallback { body, pos: 0 };
                 } else {
-                    self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, trace);
+                    self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, sink);
                 }
             }
             RunState::NonTx { ops, pos } => {
@@ -390,13 +382,19 @@ impl Simulator {
                     safe_sites,
                     raw_static_sites,
                     notary_pages,
-                    trace,
-                    observer,
+                    sink,
+                    want_access,
                 );
             }
             RunState::InFallback { body, pos } => {
                 if pos >= body.ops.len() {
                     threads[i].htm.commit_fallback();
+                    if let Some(s) = sink.as_mut() {
+                        s.event(&TraceEvent::FallbackCommit {
+                            thread: ThreadId(i as u32),
+                            at: threads[i].clock,
+                        });
+                    }
                     *lock_holder = None;
                     *lock_free_at = threads[i].clock;
                     threads[i].state = RunState::Idle;
@@ -416,19 +414,23 @@ impl Simulator {
                     safe_sites,
                     raw_static_sites,
                     notary_pages,
-                    trace,
-                    observer,
+                    sink,
+                    want_access,
                 );
             }
             RunState::InTx { body, pos } => {
                 if pos >= body.ops.len() {
-                    // Commit.
+                    // Commit. Footprint/set sizes/retries must be captured
+                    // before `commit()` clears the tracker.
                     threads[i].clock += self.cfg.tx_commit_cost;
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(Event::TxCommit {
-                            thread: i,
+                    if let Some(s) = sink.as_mut() {
+                        s.event(&TraceEvent::TxCommit {
+                            thread: ThreadId(i as u32),
                             at: threads[i].clock,
-                            footprint: threads[i].htm.footprint(),
+                            read_set: threads[i].htm.read_set_size() as u32,
+                            write_set: threads[i].htm.write_set_size() as u32,
+                            footprint: threads[i].htm.footprint() as u32,
+                            retries: threads[i].htm.retries(),
                         });
                     }
                     threads[i].htm.commit();
@@ -463,8 +465,8 @@ impl Simulator {
                     safe_sites,
                     raw_static_sites,
                     notary_pages,
-                    trace,
-                    observer,
+                    sink,
+                    want_access,
                 );
             }
         }
@@ -478,7 +480,7 @@ impl Simulator {
         threads: &mut [ThreadCtx],
         lock_holder: &Option<usize>,
         lock_free_at: Cycles,
-        trace: &mut Option<Trace>,
+        sink: &mut Option<&mut dyn TraceSink>,
     ) {
         if lock_holder.is_some() {
             threads[i].state = RunState::WaitLock {
@@ -489,8 +491,11 @@ impl Simulator {
         }
         threads[i].clock = threads[i].clock.max(lock_free_at) + self.cfg.tx_begin_cost;
         let now = threads[i].clock;
-        if let Some(tr) = trace.as_mut() {
-            tr.record(Event::TxBegin { thread: i, at: now });
+        if let Some(s) = sink.as_mut() {
+            s.event(&TraceEvent::TxBegin {
+                thread: ThreadId(i as u32),
+                at: now,
+            });
         }
         threads[i].htm.begin_at(now);
         threads[i].suspended = false;
@@ -511,21 +516,14 @@ impl Simulator {
         threads: &mut [ThreadCtx],
         mem: &mut Hierarchy,
         stats: &mut RunStats,
-        trace: &mut Option<Trace>,
+        sink: &mut Option<&mut dyn TraceSink>,
     ) {
         debug_assert!(threads[j].htm.is_active());
-        let lost = threads[j]
-            .clock
-            .saturating_sub(threads[j].htm.tx_start())
-            .raw();
-        if let Some(tr) = trace.as_mut() {
-            tr.record(Event::TxAbort {
-                thread: j,
-                at: threads[j].clock,
-                kind,
-                lost,
-            });
-        }
+        let at = threads[j].clock;
+        let lost = at.saturating_sub(threads[j].htm.tx_start()).raw();
+        // The tracker is cleared by `abort()` below; capture its footprint
+        // for the event first.
+        let footprint = threads[j].htm.footprint() as u32;
         let ki = AbortKind::ALL
             .iter()
             .position(|k| *k == kind)
@@ -542,6 +540,16 @@ impl Simulator {
         // LogTM-style eager versioning pays a log unroll per spilled block.
         let unroll = threads[j].htm.overflowed_blocks() * self.cfg.log_unroll_cost.raw();
         threads[j].htm.abort(kind);
+        if let Some(s) = sink.as_mut() {
+            s.event(&TraceEvent::TxAbort {
+                thread: ThreadId(j as u32),
+                at,
+                kind,
+                lost,
+                footprint,
+                retries: threads[j].htm.retries(),
+            });
+        }
         threads[j].clock += self.cfg.abort_penalty + unroll;
         threads[j].suspended = false;
         threads[j].touched_safe_pages.clear();
@@ -590,8 +598,8 @@ impl Simulator {
         safe_sites: &HashSet<SiteId>,
         raw_static_sites: &HashSet<SiteId>,
         notary_pages: &HashSet<PageId>,
-        trace: &mut Option<Trace>,
-        observer: &mut Option<&mut dyn AccessObserver>,
+        sink: &mut Option<&mut dyn TraceSink>,
+        want_access: bool,
     ) -> StepOutcome {
         let a: MemAccess = match op {
             TxOp::Compute(c) => {
@@ -613,8 +621,15 @@ impl Simulator {
         // Escape-action window: the access executes non-transactionally.
         let in_tx = in_tx && !threads[i].suspended;
         let tid = ThreadId(i as u32);
-        if let Some(o) = observer.as_mut() {
-            o.access(tid, a, in_tx);
+        if want_access {
+            if let Some(s) = sink.as_mut() {
+                s.event(&TraceEvent::Access {
+                    thread: tid,
+                    at: threads[i].clock,
+                    access: a,
+                    in_tx,
+                });
+            }
         }
         let core = threads[i].core;
         let page = a.addr.page();
@@ -625,12 +640,12 @@ impl Simulator {
         threads[i].clock += vm_res.cost;
         let mut self_aborted = false;
         if let Some(sd) = vm_res.shootdown {
-            if let Some(tr) = trace.as_mut() {
-                tr.record(Event::Shootdown {
-                    thread: i,
+            if let Some(s) = sink.as_mut() {
+                s.event(&TraceEvent::Shootdown {
+                    thread: tid,
                     at: threads[i].clock,
                     page: sd.page,
-                    slaves: sd.slave_cores.len(),
+                    slaves: sd.slave_cores.len() as u32,
                 });
             }
             stats.page_mode_cycles += self.cfg.machine.shootdown_initiator_cost.raw();
@@ -648,7 +663,7 @@ impl Simulator {
                     if j == i {
                         self_aborted = true;
                     }
-                    self.abort_thread(j, AbortKind::PageMode, threads, mem, stats, trace);
+                    self.abort_thread(j, AbortKind::PageMode, threads, mem, stats, sink);
                 }
             }
         }
@@ -670,6 +685,17 @@ impl Simulator {
         // 3. Cache access.
         let out = mem.access(core, block, a.kind);
         threads[i].clock += out.latency;
+        if !out.invalidated.is_empty() || !out.downgraded.is_empty() {
+            if let Some(s) = sink.as_mut() {
+                s.event(&TraceEvent::Coherence {
+                    thread: tid,
+                    at: threads[i].clock,
+                    block,
+                    invalidated: out.invalidated.len() as u32,
+                    downgraded: out.downgraded.len() as u32,
+                });
+            }
+        }
 
         // 4. Eager conflict detection against all other active TXs.
         let mut victims: Vec<(usize, AbortKind)> = Vec::new();
@@ -700,14 +726,14 @@ impl Simulator {
         for (j, kind) in victims {
             match self.cfg.machine.conflict_policy {
                 ConflictPolicy::RequesterWins => {
-                    self.abort_thread(j, kind, threads, mem, stats, trace);
+                    self.abort_thread(j, kind, threads, mem, stats, sink);
                 }
                 ConflictPolicy::ResponderWins => {
                     if in_tx && threads[i].htm.is_active() {
-                        self.abort_thread(i, kind, threads, mem, stats, trace);
+                        self.abort_thread(i, kind, threads, mem, stats, sink);
                         return StepOutcome::SelfAborted;
                     }
-                    self.abort_thread(j, kind, threads, mem, stats, trace);
+                    self.abort_thread(j, kind, threads, mem, stats, sink);
                 }
             }
         }
@@ -715,6 +741,13 @@ impl Simulator {
         // 5. L1 eviction → in-L1 tracking capacity aborts (self or SMT
         // sibling sharing the L1).
         if let Some(victim) = out.l1_victim {
+            if let Some(s) = sink.as_mut() {
+                s.event(&TraceEvent::L1Eviction {
+                    thread: tid,
+                    at: threads[i].clock,
+                    block: victim,
+                });
+            }
             let mut evicted: Vec<usize> = Vec::new();
             for (j, t) in threads.iter().enumerate() {
                 if t.core == core && t.htm.on_l1_eviction(victim) {
@@ -725,7 +758,7 @@ impl Simulator {
                 if j == i {
                     self_aborted = true;
                 }
-                self.abort_thread(j, AbortKind::Capacity, threads, mem, stats, trace);
+                self.abort_thread(j, AbortKind::Capacity, threads, mem, stats, sink);
             }
             if self_aborted {
                 return StepOutcome::SelfAborted;
@@ -760,7 +793,7 @@ impl Simulator {
                 }
             }
             if threads[i].htm.on_access(block, a.kind, safe).is_err() {
-                self.abort_thread(i, AbortKind::Capacity, threads, mem, stats, trace);
+                self.abort_thread(i, AbortKind::Capacity, threads, mem, stats, sink);
                 return StepOutcome::SelfAborted;
             }
         }

@@ -44,14 +44,13 @@
 
 pub mod config;
 pub mod engine;
-pub mod observe;
 pub mod section;
 pub mod stats;
-pub mod trace;
 
 pub use config::{HintMode, SimConfig};
 pub use engine::Simulator;
-pub use observe::AccessObserver;
-pub use section::{wrap_safe_in_escapes, EscapeEncoded, Section, TxBody, TxOp, Workload};
+pub use hintm_trace::{Recording, TraceEvent, TraceSink};
+pub use section::{
+    wrap_safe_in_escapes, DigestingWorkload, EscapeEncoded, Section, TxBody, TxOp, Workload,
+};
 pub use stats::RunStats;
-pub use trace::{Event, Trace};

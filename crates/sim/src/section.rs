@@ -1,6 +1,7 @@
 //! Workload sections: the interface between workloads and the engine.
 
-use hintm_types::{Addr, Cycles, MemAccess, SiteId, ThreadId};
+use hintm_trace::Fnv64;
+use hintm_types::{AccessKind, Addr, Cycles, MemAccess, SiteId, ThreadId};
 use std::collections::HashSet;
 
 /// One operation inside a section.
@@ -193,6 +194,124 @@ impl Workload for EscapeEncoded {
     }
 }
 
+/// Wraps a workload and folds every section it generates into a per-thread
+/// FNV-1a digest of the section's full content (ops, addresses, sites,
+/// hints).
+///
+/// Workload state advances at *generation* time and sections are replayed
+/// verbatim on aborts, so the generated stream — and therefore this digest
+/// — is a complete fingerprint of the workload's final state. Two runs
+/// agree on [`DigestingWorkload::state_digest`] iff every thread generated
+/// the identical section sequence, which is the basis of the differential
+/// test: any finite HTM model must leave the workload in the same state as
+/// the infinite-capacity model.
+pub struct DigestingWorkload {
+    inner: Box<dyn Workload>,
+    digests: Vec<Fnv64>,
+    sections: Vec<u64>,
+}
+
+impl DigestingWorkload {
+    /// Wraps `inner`.
+    pub fn new(inner: Box<dyn Workload>) -> Self {
+        let n = inner.num_threads();
+        DigestingWorkload {
+            inner,
+            digests: vec![Fnv64::new(); n],
+            sections: vec![0; n],
+        }
+    }
+
+    /// The digest of everything `tid` generated since the last reset.
+    pub fn thread_digest(&self, tid: ThreadId) -> u64 {
+        self.digests[tid.index()].finish()
+    }
+
+    /// Sections `tid` generated since the last reset.
+    pub fn thread_sections(&self, tid: ThreadId) -> u64 {
+        self.sections[tid.index()]
+    }
+
+    /// All per-thread digests combined in thread order.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for d in &self.digests {
+            h.write_u64(d.finish());
+        }
+        h.finish()
+    }
+
+    fn fold_op(h: &mut Fnv64, op: &TxOp) {
+        match op {
+            TxOp::Access(a) => {
+                h.write(&[
+                    0,
+                    (a.kind == AccessKind::Store) as u8,
+                    a.hint.is_safe() as u8,
+                ]);
+                h.write_u64(a.addr.raw());
+                h.write_u64(a.site.0 as u64);
+            }
+            TxOp::Compute(c) => {
+                h.write(&[1]);
+                h.write_u64(*c);
+            }
+            TxOp::Suspend => h.write(&[2]),
+            TxOp::Resume => h.write(&[3]),
+        }
+    }
+
+    fn fold_section(h: &mut Fnv64, section: &Section) {
+        match section {
+            Section::Barrier => h.write(&[0]),
+            Section::NonTx(ops) => {
+                h.write(&[1]);
+                for op in ops {
+                    Self::fold_op(h, op);
+                }
+            }
+            Section::Tx(body) => {
+                h.write(&[2]);
+                for op in &body.ops {
+                    Self::fold_op(h, op);
+                }
+            }
+        }
+    }
+}
+
+impl Workload for DigestingWorkload {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(seed);
+        self.digests = vec![Fnv64::new(); self.inner.num_threads()];
+        self.sections = vec![0; self.inner.num_threads()];
+    }
+
+    fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
+        let section = self.inner.next_section(tid)?;
+        let h = &mut self.digests[tid.index()];
+        Self::fold_section(h, &section);
+        self.sections[tid.index()] += 1;
+        Some(section)
+    }
+
+    fn static_safe_sites(&self) -> HashSet<SiteId> {
+        self.inner.static_safe_sites()
+    }
+
+    fn notary_safe_ranges(&self) -> Vec<(Addr, u64)> {
+        self.inner.notary_safe_ranges()
+    }
+}
+
 /// Convenience: total cycles of compute in a body (tests/diagnostics).
 pub fn compute_cycles(body: &TxBody) -> Cycles {
     Cycles(
@@ -262,5 +381,65 @@ mod tests {
         let body = TxBody::default();
         assert_eq!(body.num_accesses(), 0);
         assert_eq!(body.footprint_blocks(), 0);
+    }
+
+    #[test]
+    fn digesting_workload_fingerprints_generation() {
+        /// One thread emitting `seed`-dependent sections.
+        struct Seeded {
+            left: u32,
+            seed: u64,
+        }
+        impl Workload for Seeded {
+            fn name(&self) -> &'static str {
+                "seeded"
+            }
+            fn num_threads(&self) -> usize {
+                1
+            }
+            fn reset(&mut self, seed: u64) {
+                self.left = 2;
+                self.seed = seed;
+            }
+            fn next_section(&mut self, _tid: ThreadId) -> Option<Section> {
+                if self.left == 0 {
+                    return None;
+                }
+                self.left -= 1;
+                Some(Section::Tx(TxBody::new(vec![TxOp::Access(
+                    MemAccess::load(Addr::new(self.seed * 64), SiteId(0)),
+                )])))
+            }
+        }
+
+        let digest_for = |seed: u64| {
+            let mut w = DigestingWorkload::new(Box::new(Seeded { left: 0, seed: 0 }));
+            w.reset(seed);
+            while w.next_section(ThreadId(0)).is_some() {}
+            (w.state_digest(), w.thread_sections(ThreadId(0)))
+        };
+        let (d1, s1) = digest_for(7);
+        let (d2, _) = digest_for(7);
+        let (d3, _) = digest_for(8);
+        assert_eq!(s1, 2);
+        assert_eq!(d1, d2, "same seed, same stream");
+        assert_ne!(d1, d3, "different seed, different stream");
+        assert_eq!(
+            d1,
+            {
+                let mut w = DigestingWorkload::new(Box::new(Seeded { left: 0, seed: 0 }));
+                w.reset(7);
+                while w.next_section(ThreadId(0)).is_some() {}
+                w.reset(7);
+                while w.next_section(ThreadId(0)).is_some() {}
+                w.state_digest()
+            },
+            "reset clears the digest"
+        );
+        assert_ne!(
+            digest_for(7).0,
+            Fnv64::new().finish(),
+            "digest covers content"
+        );
     }
 }

@@ -438,44 +438,43 @@ fn fallback_lock_serializes_other_fallbacks() {
 }
 
 #[test]
-fn run_traced_records_lifecycle_events() {
-    use hintm_sim::Event;
+fn sinked_run_records_lifecycle_events_and_changes_nothing() {
+    use hintm_sim::Recording;
     let script = vec![
         vec![Section::Tx(TxBody::new(
             (0..100).map(|k| store(priv_addr(0, k))).collect(),
         ))],
         vec![Section::Tx(TxBody::new(vec![store(priv_addr(1, 0))]))],
     ];
-    let mut w = Scripted::new("traced", script);
-    let (stats, trace) = Simulator::new(SimConfig::default()).run_traced(&mut w, 1, 1024);
+    let mut w = Scripted::new("traced", script.clone());
+    let mut rec = Recording::new(100_000);
+    let stats = Simulator::new(SimConfig::default()).run_with_sink(&mut w, 1, &mut rec);
     assert_eq!(stats.commits + stats.fallback_commits, 2);
-    let begins = trace
-        .events()
-        .iter()
-        .filter(|e| matches!(e, Event::TxBegin { .. }))
-        .count();
-    let commits = trace
-        .events()
-        .iter()
-        .filter(|e| matches!(e, Event::TxCommit { .. }))
-        .count();
-    let aborts = trace
-        .events()
-        .iter()
-        .filter(|e| matches!(e, Event::TxAbort { .. }))
-        .count();
-    let fallbacks = trace
-        .events()
-        .iter()
-        .filter(|e| matches!(e, Event::FallbackAcquire { .. }))
-        .count();
-    assert_eq!(commits as u64, stats.commits);
-    assert_eq!(aborts as u64, stats.total_aborts());
-    assert_eq!(fallbacks as u64, stats.fallback_commits);
-    assert_eq!(begins as u64, stats.commits + stats.total_aborts());
+
+    let m = rec.metrics();
+    assert_eq!(m.commits, stats.commits);
+    assert_eq!(m.total_aborts(), stats.total_aborts());
+    assert_eq!(m.fallback_acquires, stats.fallback_commits);
+    assert_eq!(m.fallback_commits, stats.fallback_commits);
+    assert_eq!(m.begins, stats.commits + stats.total_aborts());
+    assert!(m.accesses > 0, "access stream delivered");
+    assert!(m.occupancy_hwm >= 1);
+    assert_eq!(rec.dropped(), 0);
+    assert_eq!(m.events, rec.events().len() as u64);
+
     // The timeline renders without panicking and shows the fallback.
-    let tl = trace.render_timeline(2, 40);
+    let tl = rec.render_timeline(2, 40);
     assert!(tl.contains('F'));
+
+    // The sink never affects the simulation, and identical runs produce
+    // identical event digests.
+    let mut w2 = Scripted::new("traced", script.clone());
+    let unsinked = Simulator::new(SimConfig::default()).run(&mut w2, 1);
+    assert_eq!(format!("{unsinked:?}"), format!("{stats:?}"));
+    let mut w3 = Scripted::new("traced", script);
+    let mut rec2 = Recording::new(100_000);
+    Simulator::new(SimConfig::default()).run_with_sink(&mut w3, 1, &mut rec2);
+    assert_eq!(rec.digest(), rec2.digest());
 }
 
 #[test]

@@ -1,0 +1,287 @@
+//! A bounded event log with keep-first or ring retention, plus the text
+//! timeline renderer.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceSink;
+use hintm_types::AbortKind;
+
+/// How a full [`TraceBuffer`] treats new events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Retention {
+    /// Oldest events win; the tail is dropped (debugging run prefixes).
+    KeepFirst,
+    /// Newest events win; the head is overwritten (post-mortem tails).
+    Ring,
+}
+
+/// A bounded in-memory event log.
+///
+/// `keep_first` retention preserves a run's prefix (golden snapshots, "how
+/// did this start" debugging); `ring` retention preserves its suffix
+/// (post-mortem of a long run). Either way a counter records how many
+/// events did not fit.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    retention: Retention,
+    /// Ring write position (index of the logical first event once wrapped).
+    start: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer keeping the **first** `capacity` events.
+    pub fn keep_first(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            retention: Retention::KeepFirst,
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A buffer keeping the **last** `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            retention: Retention::Ring,
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, applying the retention policy when full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+            return;
+        }
+        match self.retention {
+            Retention::KeepFirst => self.dropped += 1,
+            Retention::Ring => {
+                self.events[self.start] = ev;
+                self.start = (self.start + 1) % self.capacity;
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.start..]);
+        out.extend_from_slice(&self.events[..self.start]);
+        out
+    }
+
+    /// Events that exceeded the capacity (dropped or overwritten).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Retained events belonging to one hardware thread, oldest first.
+    pub fn for_thread(&self, thread: u32) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.thread().map(|t| t.0) == Some(thread))
+            .collect()
+    }
+
+    /// Renders a compact per-thread timeline: time flows left to right in
+    /// `buckets` columns; each cell shows the most severe lifecycle event
+    /// in the bucket (`F` fallback, `A` capacity abort, `P` page-mode
+    /// abort, `a` other abort, `C` commit, `s` shootdown, `.` begin).
+    /// Access, section, eviction and coherence events are not drawn.
+    pub fn render_timeline(&self, threads: usize, buckets: usize) -> String {
+        let events = self.events();
+        let end = events
+            .iter()
+            .map(|e| e.at().raw())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut grid = vec![vec![' '; buckets]; threads];
+        let sev = |c: char| match c {
+            'F' => 6,
+            'A' => 5,
+            'P' => 4,
+            'a' => 3,
+            'C' => 2,
+            's' => 1,
+            '.' => 0,
+            _ => -1,
+        };
+        for ev in &events {
+            let Some(t) = ev.thread() else { continue };
+            let t = t.index();
+            if t >= threads {
+                continue;
+            }
+            let b = ((ev.at().raw() * buckets as u64) / (end + 1)) as usize;
+            let c = match ev {
+                TraceEvent::TxBegin { .. } => '.',
+                TraceEvent::TxCommit { .. } => 'C',
+                TraceEvent::TxAbort {
+                    kind: AbortKind::Capacity,
+                    ..
+                } => 'A',
+                TraceEvent::TxAbort {
+                    kind: AbortKind::PageMode,
+                    ..
+                } => 'P',
+                TraceEvent::TxAbort { .. } => 'a',
+                TraceEvent::FallbackAcquire { .. } | TraceEvent::FallbackCommit { .. } => 'F',
+                TraceEvent::Shootdown { .. } => 's',
+                _ => continue,
+            };
+            if sev(c) > sev(grid[t][b]) {
+                grid[t][b] = c;
+            }
+        }
+        let mut out = String::new();
+        for (t, row) in grid.iter().enumerate() {
+            out.push_str(&format!("H{t:<2} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.record(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hintm_types::{Cycles, ThreadId};
+
+    fn begin(thread: u32, at: u64) -> TraceEvent {
+        TraceEvent::TxBegin {
+            thread: ThreadId(thread),
+            at: Cycles(at),
+        }
+    }
+
+    #[test]
+    fn keep_first_retains_the_prefix() {
+        let mut b = TraceBuffer::keep_first(2);
+        for at in 0..5 {
+            b.record(begin(0, at));
+        }
+        let evs = b.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at(), Cycles(0));
+        assert_eq!(evs[1].at(), Cycles(1));
+        assert_eq!(b.dropped(), 3);
+    }
+
+    #[test]
+    fn ring_retains_the_suffix_in_order() {
+        let mut b = TraceBuffer::ring(3);
+        for at in 0..7 {
+            b.record(begin(0, at));
+        }
+        let ats: Vec<u64> = b.events().iter().map(|e| e.at().raw()).collect();
+        assert_eq!(ats, [4, 5, 6]);
+        assert_eq!(b.dropped(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut b = TraceBuffer::ring(0);
+        b.record(begin(0, 1));
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    fn per_thread_filter() {
+        let mut b = TraceBuffer::keep_first(16);
+        b.record(begin(0, 0));
+        b.record(begin(1, 1));
+        b.record(TraceEvent::TxCommit {
+            thread: ThreadId(1),
+            at: Cycles(2),
+            read_set: 0,
+            write_set: 0,
+            footprint: 0,
+            retries: 0,
+        });
+        assert_eq!(b.for_thread(1).len(), 2);
+        assert_eq!(b.for_thread(0).len(), 1);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn timeline_places_events_and_ranks_severity() {
+        let mut b = TraceBuffer::keep_first(16);
+        b.record(begin(0, 0));
+        b.record(TraceEvent::TxCommit {
+            thread: ThreadId(0),
+            at: Cycles(99),
+            read_set: 1,
+            write_set: 0,
+            footprint: 1,
+            retries: 0,
+        });
+        b.record(TraceEvent::TxAbort {
+            thread: ThreadId(1),
+            at: Cycles(50),
+            kind: AbortKind::Capacity,
+            lost: 10,
+            footprint: 64,
+            retries: 1,
+        });
+        let s = b.render_timeline(2, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("H0"));
+        assert!(lines[0].contains("|."), "begin in first bucket: {s}");
+        assert!(lines[0].contains('C'));
+        assert!(lines[1].contains('A'));
+
+        // Commit and a capacity abort in the same bucket: abort wins.
+        let mut b = TraceBuffer::keep_first(16);
+        b.record(TraceEvent::TxCommit {
+            thread: ThreadId(0),
+            at: Cycles(10),
+            read_set: 0,
+            write_set: 0,
+            footprint: 0,
+            retries: 0,
+        });
+        b.record(TraceEvent::TxAbort {
+            thread: ThreadId(0),
+            at: Cycles(11),
+            kind: AbortKind::Capacity,
+            lost: 0,
+            footprint: 0,
+            retries: 1,
+        });
+        let s = b.render_timeline(1, 1);
+        assert!(s.contains('A') && !s.contains('C'));
+    }
+}

@@ -1,0 +1,177 @@
+//! Chrome `trace_event` JSON export (load into `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+
+use crate::event::TraceEvent;
+use std::fmt::Write as _;
+
+/// Renders events as a Chrome trace_event JSON document.
+///
+/// Transactions become duration pairs (`"B"` at [`TraceEvent::TxBegin`],
+/// `"E"` at the matching commit or abort); everything else becomes an
+/// instant. Timestamps are simulated cycles reported in the format's
+/// microsecond field, process id is 0 and track id is the hardware thread.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for ev in events {
+        let (ph, name) = match ev {
+            TraceEvent::TxBegin { .. } => ("B", "tx"),
+            TraceEvent::TxCommit { .. } | TraceEvent::TxAbort { .. } => ("E", "tx"),
+            _ => ("i", ev.name()),
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let tid = ev.thread().map(|t| t.0).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{tid}",
+            ev.at().raw()
+        );
+        if ph == "i" {
+            // Barrier releases span every track; other instants are
+            // thread-scoped.
+            let scope = if matches!(ev, TraceEvent::BarrierRelease { .. }) {
+                "g"
+            } else {
+                "t"
+            };
+            let _ = write!(out, ",\"s\":\"{scope}\"");
+        }
+        write_args(&mut out, ev);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Appends the variant's payload fields as an `"args"` object.
+fn write_args(out: &mut String, ev: &TraceEvent) {
+    match *ev {
+        TraceEvent::SectionStart { .. }
+        | TraceEvent::TxBegin { .. }
+        | TraceEvent::FallbackAcquire { .. }
+        | TraceEvent::FallbackCommit { .. } => {}
+        TraceEvent::TxCommit {
+            read_set,
+            write_set,
+            footprint,
+            retries,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"outcome\":\"commit\",\"read_set\":{read_set},\
+                 \"write_set\":{write_set},\"footprint\":{footprint},\"retries\":{retries}}}"
+            );
+        }
+        TraceEvent::TxAbort {
+            kind,
+            lost,
+            footprint,
+            retries,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"outcome\":\"abort\",\"kind\":\"{kind}\",\"lost\":{lost},\
+                 \"footprint\":{footprint},\"retries\":{retries}}}"
+            );
+        }
+        TraceEvent::Shootdown { page, slaves, .. } => {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"page\":{},\"slaves\":{slaves}}}",
+                page.index()
+            );
+        }
+        TraceEvent::BarrierRelease { epoch, .. } => {
+            let _ = write!(out, ",\"args\":{{\"epoch\":{epoch}}}");
+        }
+        TraceEvent::Access { access, in_tx, .. } => {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"addr\":{},\"kind\":\"{}\",\"site\":{},\"safe\":{},\"in_tx\":{in_tx}}}",
+                access.addr.raw(),
+                access.kind,
+                access.site.0,
+                access.hint.is_safe()
+            );
+        }
+        TraceEvent::L1Eviction { block, .. } => {
+            let _ = write!(out, ",\"args\":{{\"block\":{}}}", block.index());
+        }
+        TraceEvent::Coherence {
+            block,
+            invalidated,
+            downgraded,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"args\":{{\"block\":{},\"invalidated\":{invalidated},\
+                 \"downgraded\":{downgraded}}}",
+                block.index()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hintm_types::{AbortKind, Cycles, ThreadId};
+
+    #[test]
+    fn transactions_become_duration_pairs() {
+        let evs = [
+            TraceEvent::TxBegin {
+                thread: ThreadId(1),
+                at: Cycles(10),
+            },
+            TraceEvent::TxCommit {
+                thread: ThreadId(1),
+                at: Cycles(20),
+                read_set: 3,
+                write_set: 1,
+                footprint: 4,
+                retries: 0,
+            },
+            TraceEvent::BarrierRelease {
+                at: Cycles(30),
+                epoch: 0,
+            },
+        ];
+        let json = chrome_trace(&evs);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"outcome\":\"commit\""));
+        assert!(json.contains("\"name\":\"barrier_release\""));
+        assert!(json.contains("\"s\":\"g\""), "barrier is a global instant");
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn abort_args_name_the_cause() {
+        let evs = [TraceEvent::TxAbort {
+            thread: ThreadId(0),
+            at: Cycles(5),
+            kind: AbortKind::Capacity,
+            lost: 4,
+            footprint: 80,
+            retries: 2,
+        }];
+        let json = chrome_trace(&evs);
+        assert!(json.contains("\"kind\":\"capacity\""), "{json}");
+        assert!(json.contains("\"lost\":4"));
+    }
+
+    #[test]
+    fn empty_input_is_valid_json() {
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[]}\n");
+    }
+}

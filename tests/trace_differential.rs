@@ -1,0 +1,112 @@
+//! Differential test: every finite HTM model computes the same answer.
+//!
+//! Aborts, retries, fallback serialization and page-mode transitions are
+//! *performance* phenomena — they must never change what a workload
+//! computes. An `InfCap` run (no capacity limits, no fallback pressure)
+//! serves as the reference; every finite model is checked against it.
+//!
+//! The witness is [`DigestingWorkload`]: workload state advances at
+//! section-*generation* time, so the digest over the generated section
+//! stream fingerprints the workload's final state. How much of that
+//! stream is model-invariant depends on what the generator reads:
+//!
+//! * **kmeans, labyrinth** generate from per-thread state only (private
+//!   RNG streams + private counters), so their streams must be
+//!   bit-identical across models: per-thread digests and the combined
+//!   state digest all agree with InfCap. A lost section, a reordered RNG
+//!   draw, or a replay reaching workload state would show up here.
+//! * The other workloads consult **shared** workload state while
+//!   generating (e.g. ssca2's per-vertex counts, vacation's reservation
+//!   tables), so the exact stream legitimately depends on the
+//!   cross-thread generation interleaving, which model timing perturbs.
+//!   For them the invariant is conservation: every thread generates the
+//!   same number of sections (intruder excepted — its shared work queue
+//!   adds timing-dependent empty polls) and total committed work
+//!   (HTM commits + fallback commits) is identical, whatever path each
+//!   transaction took to commit.
+
+use hintm::{by_name, HtmKind, RunStats, Scale, SimConfig, Simulator, Workload};
+use hintm_sim::DigestingWorkload;
+use hintm_types::ThreadId;
+
+/// The finite models under test, vs the `InfCap` reference.
+const FINITE: [HtmKind; 5] = [
+    HtmKind::P8,
+    HtmKind::P8S,
+    HtmKind::L1Tm,
+    HtmKind::Rot,
+    HtmKind::LogTm,
+];
+
+/// Workloads whose generators read only per-thread state, making the full
+/// section stream model-invariant.
+const DETERMINISTIC_GEN: [&str; 2] = ["kmeans", "labyrinth"];
+
+fn run(name: &str, htm: HtmKind, seed: u64) -> (DigestingWorkload, RunStats) {
+    let inner = by_name(name, Scale::Sim).expect("registered workload");
+    let mut w = DigestingWorkload::new(inner);
+    let stats = Simulator::new(SimConfig::with_htm(htm)).run(&mut w, seed);
+    (w, stats)
+}
+
+#[test]
+fn private_generation_workloads_replay_bit_identically_on_every_model() {
+    for name in DETERMINISTIC_GEN {
+        let (ref_w, _) = run(name, HtmKind::InfCap, 42);
+        let threads = ref_w.num_threads();
+        for htm in FINITE {
+            let (w, _) = run(name, htm, 42);
+            assert_eq!(
+                w.state_digest(),
+                ref_w.state_digest(),
+                "{name}/{htm:?}: final workload state diverged from InfCap"
+            );
+            for t in 0..threads {
+                let tid = ThreadId(t as u32);
+                assert_eq!(
+                    w.thread_digest(tid),
+                    ref_w.thread_digest(tid),
+                    "{name}/{htm:?}: thread {t}'s section stream diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_finite_model_commits_the_same_work_as_infcap() {
+    for name in hintm::WORKLOAD_NAMES {
+        let (ref_w, ref_stats) = run(name, HtmKind::InfCap, 42);
+        let threads = ref_w.num_threads();
+        let ref_work = ref_stats.commits + ref_stats.fallback_commits;
+        for htm in FINITE {
+            let (w, stats) = run(name, htm, 42);
+            assert_eq!(
+                stats.commits + stats.fallback_commits,
+                ref_work,
+                "{name}/{htm:?}: committed work diverged"
+            );
+            if name == "intruder" {
+                continue; // shared work queue: threads poll it a
+                          // timing-dependent number of times
+            }
+            for t in 0..threads {
+                let tid = ThreadId(t as u32);
+                assert_eq!(
+                    w.thread_sections(tid),
+                    ref_w.thread_sections(tid),
+                    "{name}/{htm:?}: thread {t} generated a different amount of work"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn digesting_wrapper_is_transparent() {
+    // Wrapping must not perturb the run: same stats as the bare workload.
+    let mut bare = by_name("ssca2", Scale::Sim).unwrap();
+    let direct = Simulator::new(SimConfig::with_htm(HtmKind::P8)).run(bare.as_mut(), 42);
+    let (_, wrapped) = run("ssca2", HtmKind::P8, 42);
+    assert_eq!(format!("{direct:?}"), format!("{wrapped:?}"));
+}
