@@ -21,6 +21,19 @@ pub struct AccessOutcome {
     pub l1_victim: Option<BlockAddr>,
 }
 
+impl AccessOutcome {
+    /// Resets to the post-`default()` state, keeping the vectors' storage
+    /// so a reused outcome allocates nothing in steady state.
+    pub fn reset(&mut self) {
+        self.latency = Cycles::ZERO;
+        self.l1_hit = false;
+        self.l2_hit = false;
+        self.invalidated.clear();
+        self.downgraded.clear();
+        self.l1_victim = None;
+    }
+}
+
 /// Aggregate hit/miss statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -88,10 +101,28 @@ impl Hierarchy {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: CoreId, block: BlockAddr, kind: AccessKind) -> AccessOutcome {
-        self.stats.accesses += 1;
         let mut out = AccessOutcome::default();
+        self.access_into(core, block, kind, &mut out);
+        out
+    }
+
+    /// [`Hierarchy::access`] writing into a caller-owned outcome. The
+    /// engine keeps one `AccessOutcome` for its whole run and passes it
+    /// here every access, so the hot path performs no allocation.
+    pub fn access_into(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        kind: AccessKind,
+        out: &mut AccessOutcome,
+    ) {
+        out.reset();
+        self.stats.accesses += 1;
         let ci = core.index();
-        let local_state = self.l1s[ci].touch(block);
+        // One tag scan serves the whole hit path: the line index from
+        // `touch_entry` lets the upgrade arms flip the state in place.
+        let line = self.l1s[ci].touch_entry(block);
+        let local_state = line.map_or(MesiState::Invalid, |i| self.l1s[ci].state_at(i));
 
         match (kind, local_state) {
             // L1 load hit in any valid state.
@@ -110,7 +141,7 @@ impl Hierarchy {
                 self.stats.l1_hits += 1;
                 out.l1_hit = true;
                 out.latency = self.l1_latency;
-                self.l1s[ci].set_state(block, MesiState::Modified);
+                self.l1s[ci].set_state_at(line.unwrap(), MesiState::Modified);
             }
             // Store hit without ownership: upgrade, invalidating sharers.
             (AccessKind::Store, MesiState::Shared) => {
@@ -118,18 +149,17 @@ impl Hierarchy {
                 self.stats.upgrades += 1;
                 out.l1_hit = true;
                 out.latency = self.l2_latency;
-                self.invalidate_remote(core, block, &mut out);
-                self.l1s[ci].set_state(block, MesiState::Modified);
+                self.invalidate_remote(core, block, out);
+                self.l1s[ci].set_state_at(line.unwrap(), MesiState::Modified);
             }
             // Miss paths.
             (AccessKind::Load, _) => {
-                out.latency = self.miss_fill(core, block, AccessKind::Load, &mut out);
+                out.latency = self.miss_fill(core, block, AccessKind::Load, out);
             }
             (AccessKind::Store, _) => {
-                out.latency = self.miss_fill(core, block, AccessKind::Store, &mut out);
+                out.latency = self.miss_fill(core, block, AccessKind::Store, out);
             }
         }
-        out
     }
 
     /// Handles an L1 miss: snoop peers, consult the L2, fetch from memory,
@@ -142,21 +172,24 @@ impl Hierarchy {
         out: &mut AccessOutcome,
     ) -> Cycles {
         let ci = core.index();
-        // Snoop peers for the block.
+        // Snoop peers for the block. Sharers are collected as a core
+        // bitmask rather than a `Vec` so the miss path does not allocate.
+        debug_assert!(self.l1s.len() <= 128, "sharer mask covers 128 cores");
         let mut dirty_peer: Option<usize> = None;
-        let mut sharers: Vec<usize> = Vec::new();
+        let mut sharers: u128 = 0;
         for (i, l1) in self.l1s.iter().enumerate() {
             if i == ci {
                 continue;
             }
             match l1.state_of(block) {
                 MesiState::Modified => dirty_peer = Some(i),
-                MesiState::Exclusive | MesiState::Shared => sharers.push(i),
+                MesiState::Exclusive | MesiState::Shared => sharers |= 1 << i,
                 MesiState::Invalid => {}
             }
         }
 
-        let l2_has = self.l2.contains(block);
+        let l2_entry = self.l2.find_entry(block);
+        let l2_has = l2_entry.is_some();
         out.l2_hit = l2_has;
 
         let latency;
@@ -172,18 +205,21 @@ impl Hierarchy {
                     self.ensure_l2(block);
                     latency = self.l2_latency;
                     install_state = MesiState::Shared;
-                } else if !sharers.is_empty() {
+                } else if sharers != 0 {
                     self.stats.peer_transfers += 1;
-                    for &s in &sharers {
+                    let mut rest = sharers;
+                    while rest != 0 {
+                        let s = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
                         if self.l1s[s].state_of(block) == MesiState::Exclusive {
                             self.l1s[s].set_state(block, MesiState::Shared);
                         }
                     }
                     latency = self.l2_latency;
                     install_state = MesiState::Shared;
-                } else if l2_has {
+                } else if let Some(e) = l2_entry {
                     self.stats.l2_hits += 1;
-                    self.l2.touch(block);
+                    self.l2.touch_at(e);
                     latency = self.l2_latency;
                     install_state = MesiState::Exclusive;
                 } else {
@@ -196,13 +232,13 @@ impl Hierarchy {
             AccessKind::Store => {
                 // Read-for-ownership: every peer copy dies.
                 self.invalidate_remote(core, block, out);
-                if dirty_peer.is_some() || !sharers.is_empty() {
+                if dirty_peer.is_some() || sharers != 0 {
                     self.stats.peer_transfers += 1;
                     self.ensure_l2(block);
                     latency = self.l2_latency;
-                } else if l2_has {
+                } else if let Some(e) = l2_entry {
                     self.stats.l2_hits += 1;
-                    self.l2.touch(block);
+                    self.l2.touch_at(e);
                     latency = self.l2_latency;
                 } else {
                     self.stats.mem_fetches += 1;
@@ -243,10 +279,11 @@ impl Hierarchy {
     /// is non-inclusive and clean victims need no action; dirty L2 victims
     /// write back to memory, whose latency we do not model separately).
     fn ensure_l2(&mut self, block: BlockAddr) {
-        if !self.l2.contains(block) {
-            let _ = self.l2.install(block, MesiState::Shared);
-        } else {
-            self.l2.touch(block);
+        match self.l2.find_entry(block) {
+            Some(i) => self.l2.touch_at(i),
+            None => {
+                let _ = self.l2.install(block, MesiState::Shared);
+            }
         }
     }
 

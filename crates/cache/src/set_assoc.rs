@@ -42,23 +42,22 @@ impl fmt::Display for MesiState {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    state: MesiState,
-    lru: u64,
-}
-
-const INVALID_LINE: Line = Line {
-    tag: 0,
-    state: MesiState::Invalid,
-    lru: 0,
-};
+/// Tag value marking an empty way. Real tags are block indices, which can
+/// never reach `u64::MAX` (it would place the block's base address beyond
+/// the end of the address space), so the sentinel cannot collide and
+/// `find` reduces to a plain equality scan over the set's tag row.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative cache with true-LRU replacement.
 ///
 /// Tracks block presence and MESI state only; the simulator keeps data
 /// values in its own logical structures.
+///
+/// Lines are stored structure-of-arrays: one contiguous row of tags per
+/// set (with `INVALID_TAG` in empty ways), and parallel state / LRU-tick
+/// arrays indexed identically. The lookup path only ever reads the tag
+/// row — an 8-way set's tags span exactly one 64-byte cache line of host
+/// memory — and touches the state/LRU arrays just for the way it hits.
 ///
 /// # Examples
 ///
@@ -74,7 +73,9 @@ const INVALID_LINE: Line = Line {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    sets: Vec<Line>,
+    tags: Vec<u64>,
+    states: Vec<MesiState>,
+    lrus: Vec<u64>,
     num_sets: usize,
     ways: usize,
     tick: u64,
@@ -102,7 +103,9 @@ impl SetAssocCache {
             "set count must be a power of two"
         );
         SetAssocCache {
-            sets: vec![INVALID_LINE; blocks],
+            tags: vec![INVALID_TAG; blocks],
+            states: vec![MesiState::Invalid; blocks],
+            lrus: vec![0; blocks],
             num_sets,
             ways,
             tick: 0,
@@ -135,15 +138,39 @@ impl SetAssocCache {
         s * self.ways..(s + 1) * self.ways
     }
 
+    /// Branch-free scan of one set's tag row at a compile-time width, so
+    /// the common associativities compile to vector compares instead of a
+    /// short data-dependent loop. Tags are unique within a set, so keeping
+    /// the last match is equivalent to keeping the first.
+    #[inline]
+    fn scan<const W: usize>(row: &[u64], tag: u64) -> Option<usize> {
+        let row: &[u64; W] = row.try_into().expect("row width");
+        let mut hit = None;
+        for (w, &t) in row.iter().enumerate() {
+            if t == tag {
+                hit = Some(w);
+            }
+        }
+        hit
+    }
+
     fn find(&self, block: BlockAddr) -> Option<usize> {
-        self.set_range(block)
-            .find(|&i| self.sets[i].state.is_valid() && self.sets[i].tag == block.index())
+        let range = self.set_range(block);
+        let tag = block.index();
+        let base = range.start;
+        let row = &self.tags[range];
+        let w = match self.ways {
+            8 => Self::scan::<8>(row, tag),
+            16 => Self::scan::<16>(row, tag),
+            _ => row.iter().position(|&t| t == tag),
+        };
+        w.map(|w| base + w)
     }
 
     /// Returns the MESI state of `block` ([`MesiState::Invalid`] if absent).
     pub fn state_of(&self, block: BlockAddr) -> MesiState {
         self.find(block)
-            .map_or(MesiState::Invalid, |i| self.sets[i].state)
+            .map_or(MesiState::Invalid, |i| self.states[i])
     }
 
     /// Returns `true` if the block is present in a valid state.
@@ -154,14 +181,29 @@ impl SetAssocCache {
     /// Marks `block` most-recently-used and returns its state, or
     /// `Invalid` on a miss (no state change).
     pub fn touch(&mut self, block: BlockAddr) -> MesiState {
+        self.touch_entry(block)
+            .map_or(MesiState::Invalid, |i| self.states[i])
+    }
+
+    /// [`SetAssocCache::touch`] exposing the hit's line index so the
+    /// hierarchy can follow up with [`SetAssocCache::set_state_at`]
+    /// without a second tag scan.
+    pub(crate) fn touch_entry(&mut self, block: BlockAddr) -> Option<usize> {
         self.tick += 1;
-        match self.find(block) {
-            Some(i) => {
-                self.sets[i].lru = self.tick;
-                self.sets[i].state
-            }
-            None => MesiState::Invalid,
-        }
+        let i = self.find(block)?;
+        self.lrus[i] = self.tick;
+        Some(i)
+    }
+
+    /// The MESI state of the line at `i` (from [`SetAssocCache::touch_entry`]).
+    pub(crate) fn state_at(&self, i: usize) -> MesiState {
+        self.states[i]
+    }
+
+    /// Sets the state of the line at `i` (from [`SetAssocCache::touch_entry`]).
+    pub(crate) fn set_state_at(&mut self, i: usize, state: MesiState) {
+        debug_assert!(state.is_valid(), "use invalidate() to drop a line");
+        self.states[i] = state;
     }
 
     /// Sets the state of a present block.
@@ -173,7 +215,7 @@ impl SetAssocCache {
     pub fn set_state(&mut self, block: BlockAddr, state: MesiState) {
         assert!(state.is_valid(), "use invalidate() to drop a line");
         let i = self.find(block).expect("set_state on absent block");
-        self.sets[i].state = state;
+        self.states[i] = state;
     }
 
     /// Installs `block` with `state`, evicting the LRU victim of its set if
@@ -188,47 +230,71 @@ impl SetAssocCache {
         state: MesiState,
     ) -> Option<(BlockAddr, MesiState)> {
         assert!(state.is_valid(), "cannot install an invalid line");
-        assert!(
-            self.find(block).is_none(),
-            "install of already-present block"
-        );
+        debug_assert_ne!(block.index(), INVALID_TAG, "tag collides with sentinel");
         self.tick += 1;
         let range = self.set_range(block);
-        // Prefer an invalid way.
-        let slot = match range.clone().find(|&i| !self.sets[i].state.is_valid()) {
-            Some(i) => i,
-            None => range
-                .clone()
-                .min_by_key(|&i| self.sets[i].lru)
-                .expect("nonempty set"),
-        };
-        let victim = if self.sets[slot].state.is_valid() {
+        // One pass over the set serves both the duplicate check and victim
+        // selection: the first invalid way wins outright; otherwise the
+        // smallest LRU tick, breaking ties toward the lowest way. Ticks are
+        // unique today, so ties cannot arise through the public API — but
+        // the strict `<` pins the victim choice to the lowest way rather
+        // than an iterator-order accident, so the rule stays deterministic
+        // if lines are ever stamped with a shared (per-cycle) clock.
+        let mut slot = range.start;
+        let mut first_empty = None;
+        for i in range.clone() {
+            assert!(
+                self.tags[i] != block.index(),
+                "install of already-present block"
+            );
+            if self.tags[i] == INVALID_TAG {
+                if first_empty.is_none() {
+                    first_empty = Some(i);
+                }
+            } else if first_empty.is_none() && self.lrus[i] < self.lrus[slot] {
+                slot = i;
+            }
+        }
+        if let Some(e) = first_empty {
+            slot = e;
+        }
+        let victim = if self.tags[slot] != INVALID_TAG {
             let set_base = (self.set_index(block) as u64) & (self.num_sets as u64 - 1);
             debug_assert_eq!(
-                self.sets[slot].tag as usize & (self.num_sets - 1),
+                self.tags[slot] as usize & (self.num_sets - 1),
                 set_base as usize
             );
-            Some((
-                BlockAddr::from_index(self.sets[slot].tag),
-                self.sets[slot].state,
-            ))
+            Some((BlockAddr::from_index(self.tags[slot]), self.states[slot]))
         } else {
             None
         };
-        self.sets[slot] = Line {
-            tag: block.index(),
-            state,
-            lru: self.tick,
-        };
+        self.tags[slot] = block.index();
+        self.states[slot] = state;
+        self.lrus[slot] = self.tick;
         victim
+    }
+
+    /// Looks up `block` without LRU or counter side effects, returning its
+    /// line index (the crate-internal sibling of [`SetAssocCache::contains`]).
+    pub(crate) fn find_entry(&self, block: BlockAddr) -> Option<usize> {
+        self.find(block)
+    }
+
+    /// Marks the line at `i` (from [`SetAssocCache::find_entry`])
+    /// most-recently-used.
+    pub(crate) fn touch_at(&mut self, i: usize) {
+        self.tick += 1;
+        self.lrus[i] = self.tick;
     }
 
     /// Drops `block` from the cache, returning its former state.
     pub fn invalidate(&mut self, block: BlockAddr) -> MesiState {
         match self.find(block) {
             Some(i) => {
-                let s = self.sets[i].state;
-                self.sets[i] = INVALID_LINE;
+                let s = self.states[i];
+                self.tags[i] = INVALID_TAG;
+                self.states[i] = MesiState::Invalid;
+                self.lrus[i] = 0;
                 s
             }
             None => MesiState::Invalid,
@@ -237,7 +303,7 @@ impl SetAssocCache {
 
     /// Number of valid lines currently held.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().filter(|l| l.state.is_valid()).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 
@@ -272,6 +338,28 @@ mod tests {
         assert!(c.contains(block(0)));
         assert!(c.contains(block(16)));
         assert!(!c.contains(block(8)));
+    }
+
+    #[test]
+    fn lru_tie_evicts_the_lowest_way() {
+        let mut c = SetAssocCache::new(1024, 2); // 8 sets
+        c.install(block(0), MesiState::Exclusive); // way 0 of set 0
+        c.install(block(8), MesiState::Exclusive); // way 1 of set 0
+                                                   // Force the tie the public API cannot produce: both lines touched
+                                                   // at the same cycle. The victim must be the lowest way, not
+                                                   // whichever the scan happened to visit last.
+        let set0 = c.set_range(block(0));
+        for i in set0 {
+            c.lrus[i] = 7;
+        }
+        let victim = c.install(block(16), MesiState::Exclusive);
+        assert_eq!(
+            victim,
+            Some((block(0), MesiState::Exclusive)),
+            "equal LRU ticks must evict way 0"
+        );
+        assert!(c.contains(block(8)));
+        assert!(c.contains(block(16)));
     }
 
     #[test]

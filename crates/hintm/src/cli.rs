@@ -48,6 +48,9 @@ pub enum Command {
     Trace(TraceArgs),
     /// Run a parallel sweep (dispatched by the `hintm-runner` binary).
     Sweep(SweepArgs),
+    /// Time the pinned workload×model grid and compare against the newest
+    /// committed baseline (dispatched by the `hintm-runner` binary).
+    Perf(PerfArgs),
     /// Clear the on-disk result cache (dispatched by `hintm-runner`).
     CacheClear {
         /// Cache directory override.
@@ -165,6 +168,41 @@ impl Default for SweepArgs {
     }
 }
 
+/// Options for `hintm perf`. Parsing lives here with the other commands;
+/// execution lives in the `hintm-runner` crate, so [`execute`] rejects it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfArgs {
+    /// Use the 3-cell smoke grid instead of the full pinned grid.
+    pub smoke: bool,
+    /// Timed repetitions per cell (the median is reported).
+    pub repeat: usize,
+    /// Untimed warmup runs per cell.
+    pub warmup: usize,
+    /// Directory holding `BENCH_*.json` files (read and written).
+    pub out: Option<String>,
+    /// Explicit baseline file (default: newest `BENCH_*.json` in `out`).
+    pub baseline: Option<String>,
+    /// Regression threshold as a fraction (overrides
+    /// `HINTM_PERF_THRESHOLD`; default 0.25 = fail when >25% slower).
+    pub threshold: Option<f64>,
+    /// Measure and write the snapshot without comparing to a baseline.
+    pub no_compare: bool,
+}
+
+impl Default for PerfArgs {
+    fn default() -> Self {
+        PerfArgs {
+            smoke: false,
+            repeat: 5,
+            warmup: 1,
+            out: None,
+            baseline: None,
+            threshold: None,
+            no_compare: false,
+        }
+    }
+}
+
 /// Options shared by `run` and `suite`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunArgs {
@@ -218,6 +256,7 @@ USAGE:
   hintm audit [audit options]
   hintm trace <workload> [options] [trace options]
   hintm sweep [sweep options]
+  hintm perf [perf options]
   hintm cache clear [--cache-dir <dir>]
 
 OPTIONS:
@@ -258,6 +297,17 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --audit                  audit every swept workload after the sweep
   --trace                  trace every cell (bypasses the cache); with --out,
                            exports event streams under <out>/traces/
+
+PERF OPTIONS (times the pinned grid, writes BENCH_<date>.json, and fails
+when the median events/sec regresses past the threshold):
+  --smoke                  3-cell smoke grid instead of the full 15-cell grid
+  --repeat <n>             timed repetitions per cell (median reported)    [5]
+  --warmup <n>             untimed warmup runs per cell                    [1]
+  --out <dir>              directory for BENCH_*.json snapshots            [.]
+  --baseline <file>        explicit baseline   [newest BENCH_*.json in --out]
+  --threshold <f>          failure threshold as a fraction
+                           [$HINTM_PERF_THRESHOLD or 0.25]
+  --no-compare             measure and write the snapshot only
 ";
 
 fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
@@ -306,6 +356,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "audit" => parse_audit(&args[1..]),
         "trace" => parse_trace(&args[1..]),
         "sweep" => parse_sweep(&args[1..]),
+        "perf" => parse_perf(&args[1..]),
         "cache" => parse_cache(&args[1..]),
         "run" | "suite" => {
             let mut ra = RunArgs::default();
@@ -501,6 +552,55 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Sweep(sa))
 }
 
+fn parse_perf(args: &[String]) -> Result<Command, CliError> {
+    let mut pa = PerfArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => pa.smoke = true,
+            "--repeat" => {
+                let v = value(&mut i, "--repeat")?;
+                pa.repeat = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --repeat `{v}`")))?;
+            }
+            "--warmup" => {
+                let v = value(&mut i, "--warmup")?;
+                pa.warmup = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --warmup `{v}`")))?;
+            }
+            "--out" => pa.out = Some(value(&mut i, "--out")?),
+            "--baseline" => pa.baseline = Some(value(&mut i, "--baseline")?),
+            "--threshold" => {
+                let v = value(&mut i, "--threshold")?;
+                let t: f64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --threshold `{v}`")))?;
+                if !(0.0..1.0).contains(&t) {
+                    return Err(CliError(format!(
+                        "--threshold must be a fraction in [0, 1), got `{v}`"
+                    )));
+                }
+                pa.threshold = Some(t);
+            }
+            "--no-compare" => pa.no_compare = true,
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    if pa.repeat == 0 {
+        return Err(CliError("--repeat must be at least 1".into()));
+    }
+    Ok(Command::Perf(pa))
+}
+
 fn parse_cache(args: &[String]) -> Result<Command, CliError> {
     match args.first().map(String::as_str) {
         Some("clear") => {
@@ -636,8 +736,9 @@ fn audit_details(r: &AuditReport, out: &mut impl std::io::Write) -> std::io::Res
 pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| CliError(e.to_string());
     match cmd {
-        Command::Sweep(_) | Command::CacheClear { .. } => Err(CliError(
-            "`sweep` and `cache` are handled by the hintm binary from the hintm-runner crate"
+        Command::Sweep(_) | Command::Perf(_) | Command::CacheClear { .. } => Err(CliError(
+            "`sweep`, `perf`, and `cache` are handled by the hintm binary from the \
+             hintm-runner crate"
                 .into(),
         )),
         Command::Help => writeln!(out, "{USAGE}").map_err(io),
@@ -959,6 +1060,38 @@ mod tests {
         assert!(parse(&argv("sweep --jobs nope")).is_err());
         assert!(parse(&argv("sweep --frobnicate")).is_err());
         assert!(parse(&argv("sweep --no-cache --resume")).is_err());
+    }
+
+    #[test]
+    fn parses_perf_command() {
+        assert_eq!(
+            parse(&argv("perf")).unwrap(),
+            Command::Perf(PerfArgs::default())
+        );
+        let Command::Perf(pa) = parse(&argv(
+            "perf --smoke --repeat 3 --warmup 0 --out bench --baseline BENCH_x.json \
+             --threshold 0.1 --no-compare",
+        ))
+        .unwrap() else {
+            panic!("expected perf")
+        };
+        assert!(pa.smoke && pa.no_compare);
+        assert_eq!(pa.repeat, 3);
+        assert_eq!(pa.warmup, 0);
+        assert_eq!(pa.out.as_deref(), Some("bench"));
+        assert_eq!(pa.baseline.as_deref(), Some("BENCH_x.json"));
+        assert_eq!(pa.threshold, Some(0.1));
+    }
+
+    #[test]
+    fn perf_rejects_bad_input() {
+        assert!(parse(&argv("perf --repeat 0")).is_err());
+        assert!(parse(&argv("perf --repeat nope")).is_err());
+        assert!(parse(&argv("perf --threshold 1.5")).is_err());
+        assert!(parse(&argv("perf --threshold -0.1")).is_err());
+        assert!(parse(&argv("perf --frobnicate")).is_err());
+        let mut buf = Vec::new();
+        assert!(execute(&Command::Perf(PerfArgs::default()), &mut buf).is_err());
     }
 
     #[test]

@@ -273,9 +273,24 @@ impl HtmThread {
         self.phase == TxPhase::Active && self.tracker.writes_block(block)
     }
 
+    /// Combined `(reads, writes)` conflict probe in a single pass (the
+    /// readset half may be a signature false positive).
+    pub fn conflict_probe(&self, block: BlockAddr) -> (bool, bool) {
+        if self.phase != TxPhase::Active {
+            return (false, false);
+        }
+        self.tracker.conflict_probe(block)
+    }
+
     /// Speculatively written blocks (for rollback in the cache model).
     pub fn write_blocks(&self) -> Vec<BlockAddr> {
         self.tracker.write_blocks()
+    }
+
+    /// Appends the speculatively written blocks to `out` without
+    /// allocating (hot abort path).
+    pub fn write_blocks_into(&self, out: &mut Vec<BlockAddr>) {
+        self.tracker.write_blocks_into(out);
     }
 
     /// Precise tracked footprint (readset ∪ writeset, in blocks).

@@ -41,10 +41,12 @@
 //! assert_eq!(t.stats().commits, 1);
 //! ```
 
+pub mod blockset;
 pub mod controller;
 pub mod signature;
 pub mod tracker;
 
+pub use blockset::BlockSet;
 pub use controller::{HtmConfig, HtmKind, HtmThread, HtmThreadStats, TxPhase};
 pub use signature::Signature;
 pub use tracker::{CapacityAbort, Tracker};

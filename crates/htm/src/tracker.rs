@@ -1,8 +1,15 @@
 //! Transactional state tracking backends (one per HTM configuration).
+//!
+//! All backends store their read/write sets in the flat, open-addressed
+//! [`BlockSet`] (see `blockset.rs`) rather than `HashMap<BlockAddr, Rw>`:
+//! tracker queries sit on the simulator's innermost loop (several
+//! membership probes per memory access for conflict detection), and the
+//! flat table turns each probe into a multiplicative hash plus a short
+//! linear scan.
 
+use crate::blockset::BlockSet;
 use crate::signature::Signature;
 use hintm_types::BlockAddr;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Error: the access could not be tracked within the HTM's capacity.
@@ -16,13 +23,6 @@ impl fmt::Display for CapacityAbort {
 }
 
 impl std::error::Error for CapacityAbort {}
-
-/// Read/write membership flags for one tracked block.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-struct Rw {
-    r: bool,
-    w: bool,
-}
 
 /// A transactional read/write-set tracking backend.
 ///
@@ -41,31 +41,25 @@ pub struct Tracker(Backend);
 #[derive(Clone, Debug)]
 enum Backend {
     /// Dedicated fully-associative transactional buffer (POWER8 TMCAM).
-    P8 {
-        entries: HashMap<BlockAddr, Rw>,
-        capacity: usize,
-    },
+    P8 { entries: BlockSet, capacity: usize },
     /// P8 buffer plus a read-set overflow signature. `overflow_reads` is a
     /// precise shadow of signature contents (false-conflict classification
     /// and statistics only — not hardware state).
     P8Sig {
-        entries: HashMap<BlockAddr, Rw>,
+        entries: BlockSet,
         capacity: usize,
         sig: Signature,
-        overflow_reads: HashSet<BlockAddr>,
+        overflow_reads: BlockSet,
     },
     /// Read/write bits in the L1 cache.
-    L1 { entries: HashMap<BlockAddr, Rw> },
+    L1 { entries: BlockSet },
     /// Unbounded tracking.
-    Inf { entries: HashMap<BlockAddr, Rw> },
+    Inf { entries: BlockSet },
     /// Rollback-only: writes tracked in a bounded buffer, loads dropped.
-    Rot {
-        entries: HashMap<BlockAddr, Rw>,
-        capacity: usize,
-    },
+    Rot { entries: BlockSet, capacity: usize },
     /// LogTM-style: bounded fast path + unbounded memory log.
     Log {
-        entries: HashMap<BlockAddr, Rw>,
+        entries: BlockSet,
         capacity: usize,
         overflowed: u64,
     },
@@ -78,9 +72,8 @@ impl Tracker {
     ///
     /// Panics if `capacity` is zero.
     pub fn p8(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
         Tracker(Backend::P8 {
-            entries: HashMap::new(),
+            entries: BlockSet::fixed(capacity),
             capacity,
         })
     }
@@ -88,26 +81,25 @@ impl Tracker {
     /// A P8 buffer with a readset-overflow signature of `sig_bits` bits and
     /// `sig_hashes` hash functions.
     pub fn p8_sig(capacity: usize, sig_bits: usize, sig_hashes: u32) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
         Tracker(Backend::P8Sig {
-            entries: HashMap::new(),
+            entries: BlockSet::fixed(capacity),
             capacity,
             sig: Signature::new(sig_bits, sig_hashes),
-            overflow_reads: HashSet::new(),
+            overflow_reads: BlockSet::growable(),
         })
     }
 
     /// In-L1 tracking (capacity enforced through cache evictions).
     pub fn l1() -> Self {
         Tracker(Backend::L1 {
-            entries: HashMap::new(),
+            entries: BlockSet::growable(),
         })
     }
 
     /// Unbounded tracking.
     pub fn inf() -> Self {
         Tracker(Backend::Inf {
-            entries: HashMap::new(),
+            entries: BlockSet::growable(),
         })
     }
 
@@ -118,9 +110,8 @@ impl Tracker {
     /// not simulated, so read-write races go undetected (exactly the
     /// relaxation the paper contrasts HinTM's strict-2PL approach against).
     pub fn rot(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
         Tracker(Backend::Rot {
-            entries: HashMap::new(),
+            entries: BlockSet::fixed(capacity),
             capacity,
         })
     }
@@ -133,7 +124,7 @@ impl Tracker {
     pub fn log_tm(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         Tracker(Backend::Log {
-            entries: HashMap::new(),
+            entries: BlockSet::growable(),
             capacity,
             overflowed: 0,
         })
@@ -158,21 +149,13 @@ impl Tracker {
     pub fn track(&mut self, block: BlockAddr, is_write: bool) -> Result<(), CapacityAbort> {
         match &mut self.0 {
             Backend::P8 { entries, capacity } => {
-                if let Some(e) = entries.get_mut(&block) {
-                    e.r |= !is_write;
-                    e.w |= is_write;
+                if entries.touch_existing(block, is_write) {
                     return Ok(());
                 }
                 if entries.len() >= *capacity {
                     return Err(CapacityAbort);
                 }
-                entries.insert(
-                    block,
-                    Rw {
-                        r: !is_write,
-                        w: is_write,
-                    },
-                );
+                entries.insert_new(block, is_write);
                 Ok(())
             }
             Backend::P8Sig {
@@ -181,61 +164,55 @@ impl Tracker {
                 sig,
                 overflow_reads,
             } => {
-                if let Some(e) = entries.get_mut(&block) {
-                    e.r |= !is_write;
-                    e.w |= is_write;
+                if entries.touch_existing(block, is_write) {
                     return Ok(());
                 }
                 if entries.len() < *capacity {
-                    entries.insert(
-                        block,
-                        Rw {
-                            r: !is_write,
-                            w: is_write,
-                        },
-                    );
+                    entries.insert_new(block, is_write);
                     return Ok(());
                 }
                 if !is_write {
                     // Read overflow: hash straight into the signature.
                     sig.insert(block);
-                    overflow_reads.insert(block);
+                    if !overflow_reads.touch_existing(block, false) {
+                        overflow_reads.insert_new(block, false);
+                    }
                     return Ok(());
                 }
-                // Write needs a buffer slot: spill a read-only entry.
-                let spill = entries
-                    .iter()
-                    .find(|(_, rw)| rw.r && !rw.w)
-                    .map(|(b, _)| *b);
-                match spill {
+                // Write needs a buffer slot: spill the lowest-addressed
+                // read-only entry. The minimum (not an arbitrary match) keeps
+                // the choice independent of container iteration order, so
+                // P8S runs are bit-reproducible across processes.
+                match entries.min_read_only() {
                     Some(victim) => {
-                        entries.remove(&victim);
+                        entries.remove(victim);
                         sig.insert(victim);
-                        overflow_reads.insert(victim);
-                        entries.insert(block, Rw { r: false, w: true });
+                        if !overflow_reads.touch_existing(victim, false) {
+                            overflow_reads.insert_new(victim, false);
+                        }
+                        entries.insert_new(block, true);
                         Ok(())
                     }
                     None => Err(CapacityAbort),
                 }
             }
             Backend::L1 { entries } | Backend::Inf { entries } => {
-                let e = entries.entry(block).or_default();
-                e.r |= !is_write;
-                e.w |= is_write;
+                if !entries.touch_existing(block, is_write) {
+                    entries.insert_new(block, is_write);
+                }
                 Ok(())
             }
             Backend::Rot { entries, capacity } => {
                 if !is_write {
                     return Ok(()); // rollback-only TXs do not track loads
                 }
-                if let Some(e) = entries.get_mut(&block) {
-                    e.w = true;
+                if entries.touch_existing(block, true) {
                     return Ok(());
                 }
                 if entries.len() >= *capacity {
                     return Err(CapacityAbort);
                 }
-                entries.insert(block, Rw { r: false, w: true });
+                entries.insert_new(block, true);
                 Ok(())
             }
             Backend::Log {
@@ -243,21 +220,13 @@ impl Tracker {
                 capacity,
                 overflowed,
             } => {
-                if let Some(e) = entries.get_mut(&block) {
-                    e.r |= !is_write;
-                    e.w |= is_write;
+                if entries.touch_existing(block, is_write) {
                     return Ok(());
                 }
                 if entries.len() >= *capacity {
                     *overflowed += 1;
                 }
-                entries.insert(
-                    block,
-                    Rw {
-                        r: !is_write,
-                        w: is_write,
-                    },
-                );
+                entries.insert_new(block, is_write);
                 Ok(())
             }
         }
@@ -270,7 +239,7 @@ impl Tracker {
     /// in dedicated structures and return `false`.
     pub fn on_l1_eviction(&self, block: BlockAddr) -> bool {
         match &self.0 {
-            Backend::L1 { entries } => entries.contains_key(&block),
+            Backend::L1 { entries } => entries.contains(block),
             _ => false,
         }
     }
@@ -279,14 +248,10 @@ impl Tracker {
     /// for the signature-backed backend (aliasing).
     pub fn reads_block(&self, block: BlockAddr) -> bool {
         match &self.0 {
-            Backend::P8 { entries, .. }
-            | Backend::L1 { entries }
-            | Backend::Inf { entries }
-            | Backend::Rot { entries, .. }
-            | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.r),
             Backend::P8Sig { entries, sig, .. } => {
-                entries.get(&block).is_some_and(|e| e.r) || sig.maybe_contains(block)
+                entries.reads_block(block) || sig.maybe_contains(block)
             }
+            _ => self.entries().reads_block(block),
         }
     }
 
@@ -294,44 +259,54 @@ impl Tracker {
     /// signature hit as genuine or false.
     pub fn precise_reads_block(&self, block: BlockAddr) -> bool {
         match &self.0 {
-            Backend::P8 { entries, .. }
-            | Backend::L1 { entries }
-            | Backend::Inf { entries }
-            | Backend::Rot { entries, .. }
-            | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.r),
             Backend::P8Sig {
                 entries,
                 overflow_reads,
                 ..
-            } => entries.get(&block).is_some_and(|e| e.r) || overflow_reads.contains(&block),
+            } => entries.reads_block(block) || overflow_reads.contains(block),
+            _ => self.entries().reads_block(block),
         }
     }
 
     /// Does the tracked writeset cover `block`? Always precise (writesets
     /// never spill into signatures).
     pub fn writes_block(&self, block: BlockAddr) -> bool {
+        self.entries().writes_block(block)
+    }
+
+    /// Combined conflict probe: `(reads, writes)` membership of `block` in
+    /// one pass over the entry table. Equivalent to
+    /// `(self.reads_block(block), self.writes_block(block))` — the readset
+    /// bit may be a signature false positive for the signature backend,
+    /// the writeset bit is always precise.
+    pub fn conflict_probe(&self, block: BlockAddr) -> (bool, bool) {
+        let (r, w) = self.entries().get(block).unwrap_or((false, false));
         match &self.0 {
-            Backend::P8 { entries, .. }
-            | Backend::P8Sig { entries, .. }
-            | Backend::L1 { entries }
-            | Backend::Inf { entries }
-            | Backend::Rot { entries, .. }
-            | Backend::Log { entries, .. } => entries.get(&block).is_some_and(|e| e.w),
+            Backend::P8Sig { sig, .. } => (r || sig.maybe_contains(block), w),
+            _ => (r, w),
         }
     }
 
     /// All speculatively written blocks (for rollback on abort).
     pub fn write_blocks(&self) -> Vec<BlockAddr> {
-        self.entries()
-            .iter()
-            .filter(|(_, rw)| rw.w)
-            .map(|(b, _)| *b)
-            .collect()
+        let mut out = Vec::with_capacity(self.entries().writes_len());
+        self.write_blocks_into(&mut out);
+        out
+    }
+
+    /// Appends all speculatively written blocks to `out` (allocation-free
+    /// variant for the engine's reusable scratch buffer).
+    pub fn write_blocks_into(&self, out: &mut Vec<BlockAddr>) {
+        self.entries().for_each(|b, _, w| {
+            if w {
+                out.push(b);
+            }
+        });
     }
 
     /// Precise readset size in blocks (including signature-spilled reads).
     pub fn read_set_size(&self) -> usize {
-        let base = self.entries().values().filter(|rw| rw.r).count();
+        let base = self.entries().reads_len();
         match &self.0 {
             Backend::P8Sig { overflow_reads, .. } => base + overflow_reads.len(),
             _ => base,
@@ -340,7 +315,7 @@ impl Tracker {
 
     /// Precise writeset size in blocks.
     pub fn write_set_size(&self) -> usize {
-        self.entries().values().filter(|rw| rw.w).count()
+        self.entries().writes_len()
     }
 
     /// Total distinct tracked blocks (readset ∪ writeset), precise.
@@ -351,11 +326,15 @@ impl Tracker {
                 overflow_reads,
                 ..
             } => {
-                entries.len()
-                    + overflow_reads
-                        .iter()
-                        .filter(|b| !entries.contains_key(b))
-                        .count()
+                // A spilled read later re-inserted by a write lives in both
+                // sets; count it once.
+                let mut rejoined = 0usize;
+                overflow_reads.for_each(|b, _, _| {
+                    if entries.contains(b) {
+                        rejoined += 1;
+                    }
+                });
+                entries.len() + overflow_reads.len() - rejoined
             }
             _ => self.entries().len(),
         }
@@ -389,7 +368,7 @@ impl Tracker {
         }
     }
 
-    fn entries(&self) -> &HashMap<BlockAddr, Rw> {
+    fn entries(&self) -> &BlockSet {
         match &self.0 {
             Backend::P8 { entries, .. }
             | Backend::P8Sig { entries, .. }
@@ -472,6 +451,23 @@ mod tests {
     }
 
     #[test]
+    fn p8sig_spills_the_lowest_addressed_read() {
+        let mut t = Tracker::p8_sig(2, 1024, 2);
+        t.track(blk(9), false).unwrap();
+        t.track(blk(4), false).unwrap();
+        t.track(blk(7), true).unwrap();
+        // Block 4 (the minimum read-only entry) went to the signature;
+        // block 9 kept its precise buffer slot.
+        assert!(t.precise_reads_block(blk(9)));
+        assert!(t.precise_reads_block(blk(4)), "spilled read stays precise");
+        assert_eq!(t.footprint(), 3);
+        assert_eq!(t.read_set_size(), 2);
+        // A second write must spill 9, then a third has nothing to spill.
+        t.track(blk(8), true).unwrap();
+        assert_eq!(t.track(blk(6), true), Err(CapacityAbort));
+    }
+
+    #[test]
     fn p8sig_write_overflow_aborts() {
         let mut t = Tracker::p8_sig(2, 1024, 2);
         t.track(blk(1), true).unwrap();
@@ -491,6 +487,18 @@ mod tests {
             .map(blk)
             .find(|b| t.reads_block(*b) && !t.precise_reads_block(*b));
         assert!(fp.is_some(), "saturated small signature must alias");
+    }
+
+    #[test]
+    fn p8sig_footprint_counts_rejoined_spill_once() {
+        let mut t = Tracker::p8_sig(2, 1024, 2);
+        t.track(blk(1), false).unwrap();
+        t.track(blk(2), false).unwrap();
+        t.track(blk(3), true).unwrap(); // spills 1
+        t.track(blk(1), true).unwrap(); // spills 2, re-inserts 1 as a write
+        assert_eq!(t.footprint(), 3, "block 1 counted once");
+        assert!(t.writes_block(blk(1)));
+        assert!(t.precise_reads_block(blk(2)));
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Randomized property tests for the flat [`BlockSet`] and every tracker
+//! variant built on it.
+//!
+//! The hot-path rewrite replaced `HashMap<BlockAddr, Rw>` with an
+//! open-addressed table; these tests drive long seeded operation streams
+//! through both the new structure and a straightforward hash-map reference
+//! model, asserting identical observable behaviour at every step. Small
+//! key universes force heavy slot collisions, so probe chains, backward
+//! shifts, generation-tagged clears, and growth are all exercised.
+
+use hintm_htm::{BlockSet, Tracker};
+use hintm_types::rng::SmallRng;
+use hintm_types::BlockAddr;
+use std::collections::{BTreeMap, HashMap};
+
+fn blk(i: u64) -> BlockAddr {
+    BlockAddr::from_index(i)
+}
+
+/// Cross-checks the full contents of `set` against `reference`.
+fn assert_same_contents(set: &BlockSet, reference: &HashMap<u64, (bool, bool)>, seed: u64) {
+    assert_eq!(set.len(), reference.len(), "len mismatch (seed {seed})");
+    let refs_reads = reference.values().filter(|(r, _)| *r).count();
+    let refs_writes = reference.values().filter(|(_, w)| *w).count();
+    assert_eq!(set.reads_len(), refs_reads, "reads_len (seed {seed})");
+    assert_eq!(set.writes_len(), refs_writes, "writes_len (seed {seed})");
+    for (&k, &(r, w)) in reference {
+        assert_eq!(set.get(blk(k)), Some((r, w)), "get({k}) (seed {seed})");
+        assert!(set.contains(blk(k)));
+        assert_eq!(set.reads_block(blk(k)), r);
+        assert_eq!(set.writes_block(blk(k)), w);
+    }
+    let mut visited = 0usize;
+    set.for_each(|b, r, w| {
+        visited += 1;
+        assert_eq!(
+            reference.get(&b.index()),
+            Some(&(r, w)),
+            "for_each yielded untracked or mismatched block {} (seed {seed})",
+            b.index()
+        );
+    });
+    assert_eq!(visited, reference.len(), "for_each count (seed {seed})");
+    let ref_min_ro = reference
+        .iter()
+        .filter(|(_, &(r, w))| r && !w)
+        .map(|(&k, _)| k)
+        .min();
+    assert_eq!(
+        set.min_read_only(),
+        ref_min_ro.map(blk),
+        "min_read_only (seed {seed})"
+    );
+}
+
+/// One random op stream against a reference map. `cap` bounds live
+/// occupancy for fixed tables (`None` = growable, unbounded).
+fn drive_blockset(seed: u64, cap: Option<usize>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut set = match cap {
+        Some(c) => BlockSet::fixed(c),
+        None => BlockSet::growable(),
+    };
+    let mut reference: HashMap<u64, (bool, bool)> = HashMap::new();
+    // A small universe forces collision chains in a 128-slot fixed table.
+    let universe = 512u64;
+    for step in 0..4000 {
+        let k = rng.gen_range(0..universe);
+        let is_write = rng.gen_bool(0.4);
+        match rng.gen_range(0..100u64) {
+            // Tracked-or-insert, the tracker's main sequence.
+            0..=59 => {
+                if set.touch_existing(blk(k), is_write) {
+                    let e = reference.get_mut(&k).expect("touch hit but ref missing");
+                    if is_write {
+                        e.1 = true;
+                    } else {
+                        e.0 = true;
+                    }
+                } else {
+                    assert!(!reference.contains_key(&k), "touch miss but ref has {k}");
+                    if cap.is_none_or(|c| reference.len() < c) {
+                        set.insert_new(blk(k), is_write);
+                        reference.insert(k, (!is_write, is_write));
+                    }
+                }
+            }
+            // Removal (the P8S spill path).
+            60..=79 => {
+                assert_eq!(
+                    set.remove(blk(k)),
+                    reference.remove(&k).is_some(),
+                    "remove({k}) presence (seed {seed}, step {step})"
+                );
+            }
+            // Spill the minimum read-only entry, as P8S does.
+            80..=89 => {
+                if let Some(v) = set.min_read_only() {
+                    assert!(set.remove(v));
+                    assert_eq!(reference.remove(&v.index()), Some((true, false)));
+                }
+            }
+            // Commit/abort boundary.
+            _ => {
+                set.clear();
+                reference.clear();
+            }
+        }
+        if step % 256 == 0 {
+            assert_same_contents(&set, &reference, seed);
+        }
+    }
+    assert_same_contents(&set, &reference, seed);
+}
+
+#[test]
+fn growable_set_matches_reference_across_seeds() {
+    for seed in 0..6 {
+        drive_blockset(seed, None);
+    }
+}
+
+#[test]
+fn fixed_set_matches_reference_across_seeds() {
+    for seed in 0..6 {
+        drive_blockset(seed, Some(64));
+    }
+}
+
+#[test]
+fn fixed_set_survives_dense_collisions_at_half_load() {
+    // Worst-case fixed occupancy: exactly `capacity` live keys chosen to
+    // collide (same multiplicative-hash home slots repeat every table
+    // size), with churn at full load.
+    let cap = 32;
+    let mut set = BlockSet::fixed(cap);
+    let mut reference: HashMap<u64, (bool, bool)> = HashMap::new();
+    let slots = (cap * 2).next_power_of_two() as u64;
+    for i in 0..cap as u64 {
+        let k = i * slots; // identical home slot for every key
+        set.insert_new(blk(k), i % 2 == 0);
+        reference.insert(k, (i % 2 != 0, i % 2 == 0));
+    }
+    assert_same_contents(&set, &reference, 0);
+    // Remove from the middle of the single long chain, then reinsert.
+    for i in (0..cap as u64).step_by(3) {
+        let k = i * slots;
+        assert!(set.remove(blk(k)));
+        reference.remove(&k);
+    }
+    assert_same_contents(&set, &reference, 0);
+    for i in (0..cap as u64).step_by(3) {
+        let k = i * slots + 1; // new keys, same chain neighbourhood
+        set.insert_new(blk(k), true);
+        reference.insert(k, (false, true));
+    }
+    assert_same_contents(&set, &reference, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracker-level properties: every variant against a map-based reference.
+// ---------------------------------------------------------------------------
+
+/// Which capacity model a reference tracker mimics.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Kind {
+    P8,
+    P8Sig,
+    L1,
+    Inf,
+    Rot,
+    Log,
+}
+
+/// A deliberately naive reference tracker: `BTreeMap` entries, linear
+/// logic, no attention to cost. Mirrors the documented semantics of each
+/// backend in `tracker.rs`.
+struct RefTracker {
+    kind: Kind,
+    cap: usize,
+    entries: BTreeMap<u64, (bool, bool)>,
+    overflow_reads: BTreeMap<u64, ()>,
+    overflowed: u64,
+}
+
+impl RefTracker {
+    fn new(kind: Kind, cap: usize) -> Self {
+        RefTracker {
+            kind,
+            cap,
+            entries: BTreeMap::new(),
+            overflow_reads: BTreeMap::new(),
+            overflowed: 0,
+        }
+    }
+
+    /// Returns `true` on success, `false` for a capacity abort.
+    fn track(&mut self, k: u64, is_write: bool) -> bool {
+        match self.kind {
+            Kind::P8 => {
+                if let Some(e) = self.entries.get_mut(&k) {
+                    if is_write {
+                        e.1 = true;
+                    } else {
+                        e.0 = true;
+                    }
+                    return true;
+                }
+                if self.entries.len() >= self.cap {
+                    return false;
+                }
+                self.entries.insert(k, (!is_write, is_write));
+                true
+            }
+            Kind::P8Sig => {
+                if let Some(e) = self.entries.get_mut(&k) {
+                    if is_write {
+                        e.1 = true;
+                    } else {
+                        e.0 = true;
+                    }
+                    return true;
+                }
+                if self.entries.len() < self.cap {
+                    self.entries.insert(k, (!is_write, is_write));
+                    return true;
+                }
+                if !is_write {
+                    self.overflow_reads.insert(k, ());
+                    return true;
+                }
+                // Spill the lowest-addressed read-only entry.
+                let victim = self
+                    .entries
+                    .iter()
+                    .find(|(_, &(r, w))| r && !w)
+                    .map(|(&k, _)| k);
+                match victim {
+                    Some(v) => {
+                        self.entries.remove(&v);
+                        self.overflow_reads.insert(v, ());
+                        self.entries.insert(k, (false, true));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Kind::L1 | Kind::Inf => {
+                let e = self.entries.entry(k).or_insert((false, false));
+                if is_write {
+                    e.1 = true;
+                } else {
+                    e.0 = true;
+                }
+                true
+            }
+            Kind::Rot => {
+                if !is_write {
+                    return true;
+                }
+                if self.entries.contains_key(&k) {
+                    return true;
+                }
+                if self.entries.len() >= self.cap {
+                    return false;
+                }
+                self.entries.insert(k, (false, true));
+                true
+            }
+            Kind::Log => {
+                if let Some(e) = self.entries.get_mut(&k) {
+                    if is_write {
+                        e.1 = true;
+                    } else {
+                        e.0 = true;
+                    }
+                    return true;
+                }
+                if self.entries.len() >= self.cap {
+                    self.overflowed += 1;
+                }
+                self.entries.insert(k, (!is_write, is_write));
+                true
+            }
+        }
+    }
+
+    fn read_set_size(&self) -> usize {
+        self.entries.values().filter(|(r, _)| *r).count() + self.overflow_reads.len()
+    }
+
+    fn write_set_size(&self) -> usize {
+        self.entries.values().filter(|(_, w)| *w).count()
+    }
+
+    fn footprint(&self) -> usize {
+        let rejoined = self
+            .overflow_reads
+            .keys()
+            .filter(|k| self.entries.contains_key(k))
+            .count();
+        self.entries.len() + self.overflow_reads.len() - rejoined
+    }
+
+    fn precise_reads(&self, k: u64) -> bool {
+        self.entries.get(&k).is_some_and(|&(r, _)| r) || self.overflow_reads.contains_key(&k)
+    }
+
+    fn writes(&self, k: u64) -> bool {
+        self.entries.get(&k).is_some_and(|&(_, w)| w)
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.overflow_reads.clear();
+        self.overflowed = 0;
+    }
+}
+
+fn mk_tracker(kind: Kind, cap: usize) -> Tracker {
+    match kind {
+        Kind::P8 => Tracker::p8(cap),
+        Kind::P8Sig => Tracker::p8_sig(cap, 1024, 2),
+        Kind::L1 => Tracker::l1(),
+        Kind::Inf => Tracker::inf(),
+        Kind::Rot => Tracker::rot(cap),
+        Kind::Log => Tracker::log_tm(cap),
+    }
+}
+
+/// Drives one tracker variant and its reference through a random access
+/// stream, comparing every abort decision and every precise query.
+fn drive_tracker(kind: Kind, seed: u64) {
+    let cap = 16;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = mk_tracker(kind, cap);
+    let mut r = RefTracker::new(kind, cap);
+    // Enough keys to overflow a 16-entry buffer constantly, few enough to
+    // revisit blocks and exercise promotions.
+    let universe = 64u64;
+    for step in 0..3000 {
+        let k = rng.gen_range(0..universe);
+        let is_write = rng.gen_bool(0.35);
+        if rng.gen_bool(0.02) {
+            t.clear();
+            r.clear();
+        }
+        let got = t.track(blk(k), is_write).is_ok();
+        let want = r.track(k, is_write);
+        assert_eq!(
+            got, want,
+            "{kind:?} abort decision diverged at step {step} (seed {seed}, block {k}, write {is_write})"
+        );
+        // Precise queries must agree exactly. (`reads_block` may false-
+        // positive through the P8S signature by design, so it is checked
+        // for soundness, not equality, below.)
+        assert_eq!(
+            t.read_set_size(),
+            r.read_set_size(),
+            "{kind:?} read_set_size"
+        );
+        assert_eq!(
+            t.write_set_size(),
+            r.write_set_size(),
+            "{kind:?} write_set_size"
+        );
+        assert_eq!(t.footprint(), r.footprint(), "{kind:?} footprint");
+        assert_eq!(t.overflowed_blocks(), r.overflowed, "{kind:?} overflow log");
+        let probe = rng.gen_range(0..universe);
+        assert_eq!(
+            t.precise_reads_block(blk(probe)),
+            r.precise_reads(probe),
+            "{kind:?} precise_reads_block({probe})"
+        );
+        assert_eq!(
+            t.writes_block(blk(probe)),
+            r.writes(probe),
+            "{kind:?} writes_block"
+        );
+        // The signature may alias but must never miss a genuine read.
+        if r.precise_reads(probe) {
+            assert!(t.reads_block(blk(probe)), "{kind:?} signature lost a read");
+        }
+        // Rollback sets must match as *sets* (order is unspecified).
+        let mut wb: Vec<u64> = t.write_blocks().iter().map(|b| b.index()).collect();
+        wb.sort_unstable();
+        let want_wb: Vec<u64> = r
+            .entries
+            .iter()
+            .filter(|(_, &(_, w))| w)
+            .map(|(&k, _)| k)
+            .collect();
+        assert_eq!(wb, want_wb, "{kind:?} write_blocks");
+    }
+}
+
+#[test]
+fn p8_tracker_matches_reference() {
+    for seed in 0..4 {
+        drive_tracker(Kind::P8, seed);
+    }
+}
+
+#[test]
+fn p8_sig_tracker_matches_reference() {
+    for seed in 0..4 {
+        drive_tracker(Kind::P8Sig, seed);
+    }
+}
+
+#[test]
+fn l1_tracker_matches_reference() {
+    for seed in 0..4 {
+        drive_tracker(Kind::L1, seed);
+    }
+}
+
+#[test]
+fn inf_tracker_matches_reference() {
+    for seed in 0..4 {
+        drive_tracker(Kind::Inf, seed);
+    }
+}
+
+#[test]
+fn rot_tracker_matches_reference() {
+    for seed in 0..4 {
+        drive_tracker(Kind::Rot, seed);
+    }
+}
+
+#[test]
+fn log_tracker_matches_reference() {
+    for seed in 0..4 {
+        drive_tracker(Kind::Log, seed);
+    }
+}

@@ -17,7 +17,6 @@
 //! workloads reuse addresses the way a real allocator does.
 
 use hintm_types::{Addr, ThreadId, PAGE_SIZE};
-use std::collections::HashMap;
 use std::fmt;
 
 const GLOBAL_BASE: u64 = 0x0000_1000_0000;
@@ -65,12 +64,51 @@ pub struct AllocStats {
     pub heap_recycled: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Arena {
     /// Bump offset within the arena.
     bump: u64,
-    /// Size-class free lists: rounded size → freed base offsets.
-    free: HashMap<u64, Vec<u64>>,
+    /// Size-class free lists as sorted runs: `(rounded size, freed base
+    /// offsets)` ordered by size. Workloads use a handful of size classes,
+    /// so a binary search over a flat sorted vector beats hashing; each
+    /// run's offsets stay LIFO (pop from the back) like the `HashMap`
+    /// free lists this replaces.
+    free: Vec<(u64, Vec<u64>)>,
+    /// Index of the most recently used run (`usize::MAX` = cold); loops of
+    /// same-sized alloc/free hit this without the binary search.
+    last: usize,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena {
+            bump: 0,
+            free: Vec::new(),
+            last: usize::MAX,
+        }
+    }
+}
+
+impl Arena {
+    /// The free-list run for `cls`, creating it if `insert` and absent.
+    fn run_of(&mut self, cls: u64, insert: bool) -> Option<&mut Vec<u64>> {
+        if self.last != usize::MAX && self.free[self.last].0 == cls {
+            let i = self.last;
+            return Some(&mut self.free[i].1);
+        }
+        match self.free.binary_search_by_key(&cls, |(c, _)| *c) {
+            Ok(i) => {
+                self.last = i;
+                Some(&mut self.free[i].1)
+            }
+            Err(i) if insert => {
+                self.free.insert(i, (cls, Vec::new()));
+                self.last = i;
+                Some(&mut self.free[i].1)
+            }
+            Err(_) => None,
+        }
+    }
 }
 
 /// The simulated virtual address space.
@@ -165,11 +203,9 @@ impl AddressSpace {
         let arena = &mut self.arenas[tid.index()];
         self.stats.heap_allocs += 1;
         self.stats.heap_bytes += size;
-        if let Some(list) = arena.free.get_mut(&cls) {
-            if let Some(off) = list.pop() {
-                self.stats.heap_recycled += 1;
-                return Addr::new(HEAP_BASE + tid.index() as u64 * HEAP_ARENA_SIZE + off);
-            }
+        if let Some(off) = arena.run_of(cls, false).and_then(|list| list.pop()) {
+            self.stats.heap_recycled += 1;
+            return Addr::new(HEAP_BASE + tid.index() as u64 * HEAP_ARENA_SIZE + off);
         }
         let off = arena.bump;
         arena.bump += cls;
@@ -215,9 +251,8 @@ impl AddressSpace {
         let arena_base = HEAP_BASE + owner.index() as u64 * HEAP_ARENA_SIZE;
         let cls = size_class(size);
         self.arenas[owner.index()]
-            .free
-            .entry(cls)
-            .or_default()
+            .run_of(cls, true)
+            .expect("run created on demand")
             .push(addr.raw() - arena_base);
         self.stats.heap_frees += 1;
     }

@@ -130,6 +130,7 @@ fn main() -> ExitCode {
     };
     let result = match &cmd {
         Command::Sweep(sa) => run_sweep(sa),
+        Command::Perf(pa) => hintm_runner::perf::run_perf(pa),
         Command::CacheClear { dir } => clear_cache(dir.as_deref()),
         other => {
             let mut out = std::io::stdout().lock();

@@ -41,6 +41,7 @@
 mod artifacts;
 mod cache;
 mod exec;
+pub mod perf;
 mod spec;
 
 pub use artifacts::{cell_to_json, results_csv, write_artifacts, write_trace};

@@ -5,7 +5,7 @@
 use crate::config::SimConfig;
 use crate::section::{Section, TxBody, TxOp, Workload};
 use crate::stats::RunStats;
-use hintm_cache::Hierarchy;
+use hintm_cache::{AccessOutcome, Hierarchy};
 use hintm_htm::HtmThread;
 use hintm_trace::{TraceEvent, TraceSink};
 use hintm_types::{
@@ -47,7 +47,9 @@ struct ThreadCtx {
     /// Inside a Suspend..Resume escape window of the current TX.
     suspended: bool,
     /// Pages this TX attempt accessed under a *dynamic* safe verdict.
-    touched_safe_pages: HashSet<PageId>,
+    /// A small unsorted vec: attempts touch few distinct safe pages, and
+    /// a linear scan beats hashing at that size.
+    touched_safe_pages: Vec<PageId>,
     /// Per-attempt access classification counts `[static, dynamic, unsafe]`.
     attempt_breakdown: [u64; 3],
     /// Per-attempt footprints for the Fig. 6 views.
@@ -60,6 +62,26 @@ struct ThreadCtx {
 enum StepOutcome {
     Continue,
     SelfAborted,
+}
+
+/// Reusable hot-path buffers, created once per run so the per-access path
+/// performs no heap allocation in steady state.
+#[derive(Default)]
+struct EngineScratch {
+    /// Cache access result ([`Hierarchy::access_into`] target).
+    outcome: AccessOutcome,
+    /// Conflict victims gathered in step 4 of `exec_op`.
+    victims: Vec<(usize, AbortKind)>,
+    /// Threads whose tracker lost a block to an L1 eviction (step 5).
+    evicted: Vec<usize>,
+    /// Write-set staging for rollback in `abort_thread`.
+    rollback: Vec<BlockAddr>,
+    /// Bitmask of threads with an active hardware transaction, kept in
+    /// lockstep with `HtmThread::is_active` (set in `try_begin_tx`,
+    /// cleared on commit and in `abort_thread`). Lets the per-access
+    /// conflict/eviction/shootdown scans visit only transactional threads
+    /// instead of probing every controller.
+    active: u64,
 }
 
 /// The simulator. Construct with a [`SimConfig`], then [`Simulator::run`]
@@ -116,23 +138,30 @@ impl Simulator {
     ) -> RunStats {
         workload.reset(seed);
         let want_access = sink.as_deref().is_some_and(|s| s.wants_accesses());
-        let safe_sites: HashSet<SiteId> = if self.cfg.hint_mode.uses_static() {
-            workload.static_safe_sites()
+        // Hint sets become sorted slices: they are immutable for the whole
+        // run, and a binary search over a flat vec beats hashing on the
+        // per-access verdict path.
+        let mut safe_sites: Vec<SiteId> = if self.cfg.hint_mode.uses_static() {
+            workload.static_safe_sites().into_iter().collect()
         } else {
-            HashSet::new()
+            Vec::new()
         };
+        safe_sites.sort_unstable();
         // Raw static sites (for the hint-independent Fig. 6 views).
-        let raw_static_sites = workload.static_safe_sites();
+        let mut raw_static_sites: Vec<SiteId> = workload.static_safe_sites().into_iter().collect();
+        raw_static_sites.sort_unstable();
         // Notary-style manual privatization ranges, expanded to pages.
-        let mut notary_pages: HashSet<hintm_types::PageId> = HashSet::new();
+        let mut notary_pages: HashSet<PageId> = HashSet::new();
         for (base, len) in workload.notary_safe_ranges() {
             let mut page = base.page().index();
             let last = base.offset(len.saturating_sub(1)).page().index();
             while page <= last {
-                notary_pages.insert(hintm_types::PageId::from_index(page));
+                notary_pages.insert(PageId::from_index(page));
                 page += 1;
             }
         }
+        let mut notary_pages: Vec<PageId> = notary_pages.into_iter().collect();
+        notary_pages.sort_unstable();
 
         let n = workload.num_threads();
         let smt = self.cfg.machine.smt.ways();
@@ -154,7 +183,7 @@ impl Simulator {
                 state: RunState::Idle,
                 core: CoreId((i / smt) as u32),
                 suspended: false,
-                touched_safe_pages: HashSet::new(),
+                touched_safe_pages: Vec::new(),
                 attempt_breakdown: [0; 3],
                 fp_all: HashSet::new(),
                 fp_nonstatic: HashSet::new(),
@@ -166,6 +195,8 @@ impl Simulator {
         let mut lock_free_at = Cycles::ZERO;
         let mut steps = 0u64;
         let mut epoch = 0u32;
+        assert!(n <= 64, "active-transaction bitmask covers 64 threads");
+        let mut scratch = EngineScratch::default();
 
         loop {
             steps += 1;
@@ -249,6 +280,7 @@ impl Simulator {
                 &safe_sites,
                 &raw_static_sites,
                 &notary_pages,
+                &mut scratch,
                 &mut sink,
                 want_access,
             );
@@ -293,9 +325,10 @@ impl Simulator {
         stats: &mut RunStats,
         lock_holder: &mut Option<usize>,
         lock_free_at: &mut Cycles,
-        safe_sites: &HashSet<SiteId>,
-        raw_static_sites: &HashSet<SiteId>,
-        notary_pages: &HashSet<PageId>,
+        safe_sites: &[SiteId],
+        raw_static_sites: &[SiteId],
+        notary_pages: &[PageId],
+        scratch: &mut EngineScratch,
         sink: &mut Option<&mut dyn TraceSink>,
         want_access: bool,
     ) {
@@ -324,13 +357,22 @@ impl Simulator {
                             threads,
                             lock_holder,
                             *lock_free_at,
+                            &mut scratch.active,
                             sink,
                         );
                     }
                 }
             }
             RunState::WaitRetry { body, .. } => {
-                self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, sink);
+                self.try_begin_tx(
+                    i,
+                    body,
+                    threads,
+                    lock_holder,
+                    *lock_free_at,
+                    &mut scratch.active,
+                    sink,
+                );
             }
             RunState::WaitLock { body, fallback } => {
                 debug_assert!(lock_holder.is_none());
@@ -345,22 +387,34 @@ impl Simulator {
                             at: threads[i].clock,
                         });
                     }
-                    for j in 0..threads.len() {
-                        if j != i && threads[j].htm.is_active() {
-                            self.abort_thread(
-                                j,
-                                AbortKind::FallbackLock,
-                                threads,
-                                mem,
-                                stats,
-                                sink,
-                            );
-                        }
+                    let mut running = scratch.active & !(1 << i);
+                    while running != 0 {
+                        let j = running.trailing_zeros() as usize;
+                        running &= running - 1;
+                        debug_assert!(threads[j].htm.is_active());
+                        self.abort_thread(
+                            j,
+                            AbortKind::FallbackLock,
+                            threads,
+                            mem,
+                            stats,
+                            &mut scratch.rollback,
+                            &mut scratch.active,
+                            sink,
+                        );
                     }
                     threads[i].htm.enter_fallback();
                     threads[i].state = RunState::InFallback { body, pos: 0 };
                 } else {
-                    self.try_begin_tx(i, body, threads, lock_holder, *lock_free_at, sink);
+                    self.try_begin_tx(
+                        i,
+                        body,
+                        threads,
+                        lock_holder,
+                        *lock_free_at,
+                        &mut scratch.active,
+                        sink,
+                    );
                 }
             }
             RunState::NonTx { ops, pos } => {
@@ -382,6 +436,7 @@ impl Simulator {
                     safe_sites,
                     raw_static_sites,
                     notary_pages,
+                    scratch,
                     sink,
                     want_access,
                 );
@@ -414,6 +469,7 @@ impl Simulator {
                     safe_sites,
                     raw_static_sites,
                     notary_pages,
+                    scratch,
                     sink,
                     want_access,
                 );
@@ -434,6 +490,7 @@ impl Simulator {
                         });
                     }
                     threads[i].htm.commit();
+                    scratch.active &= !(1 << i);
                     let bd = threads[i].attempt_breakdown;
                     for (k, v) in bd.iter().enumerate() {
                         stats.access_breakdown[k] += v;
@@ -465,6 +522,7 @@ impl Simulator {
                     safe_sites,
                     raw_static_sites,
                     notary_pages,
+                    scratch,
                     sink,
                     want_access,
                 );
@@ -473,6 +531,7 @@ impl Simulator {
     }
 
     /// Starts (or queues) a transaction attempt for thread `i`.
+    #[allow(clippy::too_many_arguments)]
     fn try_begin_tx(
         &self,
         i: usize,
@@ -480,6 +539,7 @@ impl Simulator {
         threads: &mut [ThreadCtx],
         lock_holder: &Option<usize>,
         lock_free_at: Cycles,
+        active: &mut u64,
         sink: &mut Option<&mut dyn TraceSink>,
     ) {
         if lock_holder.is_some() {
@@ -498,6 +558,7 @@ impl Simulator {
             });
         }
         threads[i].htm.begin_at(now);
+        *active |= 1 << i;
         threads[i].suspended = false;
         threads[i].touched_safe_pages.clear();
         threads[i].attempt_breakdown = [0; 3];
@@ -516,6 +577,8 @@ impl Simulator {
         threads: &mut [ThreadCtx],
         mem: &mut Hierarchy,
         stats: &mut RunStats,
+        rollback: &mut Vec<BlockAddr>,
+        active: &mut u64,
         sink: &mut Option<&mut dyn TraceSink>,
     ) {
         debug_assert!(threads[j].htm.is_active());
@@ -532,14 +595,18 @@ impl Simulator {
         if kind == AbortKind::PageMode {
             stats.page_mode_cycles += lost;
         }
-        // Roll back speculatively written lines.
+        // Roll back speculatively written lines (staged through the
+        // caller's scratch buffer — no allocation).
         let core = threads[j].core;
-        for b in threads[j].htm.write_blocks() {
+        rollback.clear();
+        threads[j].htm.write_blocks_into(rollback);
+        for &b in rollback.iter() {
             mem.discard_local(core, b);
         }
         // LogTM-style eager versioning pays a log unroll per spilled block.
         let unroll = threads[j].htm.overflowed_blocks() * self.cfg.log_unroll_cost.raw();
         threads[j].htm.abort(kind);
+        *active &= !(1 << j);
         if let Some(s) = sink.as_mut() {
             s.event(&TraceEvent::TxAbort {
                 thread: ThreadId(j as u32),
@@ -595,9 +662,10 @@ impl Simulator {
         vm: &mut VmSystem,
         profiler: &mut Option<SharingProfiler>,
         stats: &mut RunStats,
-        safe_sites: &HashSet<SiteId>,
-        raw_static_sites: &HashSet<SiteId>,
-        notary_pages: &HashSet<PageId>,
+        safe_sites: &[SiteId],
+        raw_static_sites: &[SiteId],
+        notary_pages: &[PageId],
+        scratch: &mut EngineScratch,
         sink: &mut Option<&mut dyn TraceSink>,
         want_access: bool,
     ) -> StepOutcome {
@@ -658,12 +726,24 @@ impl Simulator {
                 }
             }
             // Page-mode abort every TX that safely touched the page.
-            for j in 0..threads.len() {
-                if threads[j].htm.is_active() && threads[j].touched_safe_pages.contains(&sd.page) {
+            let mut running = scratch.active;
+            while running != 0 {
+                let j = running.trailing_zeros() as usize;
+                running &= running - 1;
+                if threads[j].touched_safe_pages.contains(&sd.page) {
                     if j == i {
                         self_aborted = true;
                     }
-                    self.abort_thread(j, AbortKind::PageMode, threads, mem, stats, sink);
+                    self.abort_thread(
+                        j,
+                        AbortKind::PageMode,
+                        threads,
+                        mem,
+                        stats,
+                        &mut scratch.rollback,
+                        &mut scratch.active,
+                        sink,
+                    );
                 }
             }
         }
@@ -673,8 +753,8 @@ impl Simulator {
 
         // 2. Safety verdicts.
         let hint_safe = a.hint.is_safe()
-            || safe_sites.contains(&a.site)
-            || (self.cfg.hint_mode.uses_static() && notary_pages.contains(&page));
+            || safe_sites.binary_search(&a.site).is_ok()
+            || (self.cfg.hint_mode.uses_static() && notary_pages.binary_search(&page).is_ok());
         let static_safe = self.cfg.hint_mode.uses_static() && hint_safe;
         let dyn_safe = self.cfg.hint_mode.uses_dynamic()
             && !static_safe
@@ -682,65 +762,102 @@ impl Simulator {
             && vm_res.safe_load;
         let safe = in_tx && (static_safe || dyn_safe);
 
-        // 3. Cache access.
-        let out = mem.access(core, block, a.kind);
-        threads[i].clock += out.latency;
-        if !out.invalidated.is_empty() || !out.downgraded.is_empty() {
+        // 3. Cache access (into the reused scratch outcome; the fields the
+        // rest of this function needs are all `Copy`).
+        mem.access_into(core, block, a.kind, &mut scratch.outcome);
+        let latency = scratch.outcome.latency;
+        let invalidated = scratch.outcome.invalidated.len() as u32;
+        let downgraded = scratch.outcome.downgraded.len() as u32;
+        let l1_victim = scratch.outcome.l1_victim;
+        threads[i].clock += latency;
+        if invalidated != 0 || downgraded != 0 {
             if let Some(s) = sink.as_mut() {
                 s.event(&TraceEvent::Coherence {
                     thread: tid,
                     at: threads[i].clock,
                     block,
-                    invalidated: out.invalidated.len() as u32,
-                    downgraded: out.downgraded.len() as u32,
+                    invalidated,
+                    downgraded,
                 });
             }
         }
 
         // 4. Eager conflict detection against all other active TXs.
-        let mut victims: Vec<(usize, AbortKind)> = Vec::new();
-        for (j, t) in threads.iter().enumerate() {
-            if j == i || !t.htm.is_active() {
-                continue;
-            }
-            let (hits, writes) = match a.kind {
-                AccessKind::Store => (
-                    t.htm.writes_block(block) || t.htm.reads_block(block),
-                    t.htm.writes_block(block),
-                ),
+        scratch.victims.clear();
+        let mut others = scratch.active & !(1 << i);
+        while others != 0 {
+            let j = others.trailing_zeros() as usize;
+            others &= others - 1;
+            let t = &threads[j];
+            debug_assert!(t.htm.is_active());
+            let (reads, writes) = match a.kind {
+                // Stores conflict with both sets: one combined probe.
+                AccessKind::Store => t.htm.conflict_probe(block),
+                // Loads only conflict with the (always precise) writeset.
                 AccessKind::Load => {
                     let w = t.htm.writes_block(block);
                     (w, w)
                 }
             };
+            let hits = writes || (a.kind == AccessKind::Store && reads);
             if hits {
-                let kind =
-                    if !writes && t.htm.reads_block(block) && !t.htm.precise_reads_block(block) {
-                        AbortKind::FalseConflict
-                    } else {
-                        AbortKind::Conflict
-                    };
-                victims.push((j, kind));
+                // `hits && !writes` can only arise for a store hitting a
+                // reader, so the read-set membership is already established;
+                // only the precision of that read still needs probing.
+                let kind = if !writes && !t.htm.precise_reads_block(block) {
+                    AbortKind::FalseConflict
+                } else {
+                    AbortKind::Conflict
+                };
+                scratch.victims.push((j, kind));
             }
         }
-        for (j, kind) in victims {
+        for k in 0..scratch.victims.len() {
+            let (j, kind) = scratch.victims[k];
             match self.cfg.machine.conflict_policy {
                 ConflictPolicy::RequesterWins => {
-                    self.abort_thread(j, kind, threads, mem, stats, sink);
+                    self.abort_thread(
+                        j,
+                        kind,
+                        threads,
+                        mem,
+                        stats,
+                        &mut scratch.rollback,
+                        &mut scratch.active,
+                        sink,
+                    );
                 }
                 ConflictPolicy::ResponderWins => {
                     if in_tx && threads[i].htm.is_active() {
-                        self.abort_thread(i, kind, threads, mem, stats, sink);
+                        self.abort_thread(
+                            i,
+                            kind,
+                            threads,
+                            mem,
+                            stats,
+                            &mut scratch.rollback,
+                            &mut scratch.active,
+                            sink,
+                        );
                         return StepOutcome::SelfAborted;
                     }
-                    self.abort_thread(j, kind, threads, mem, stats, sink);
+                    self.abort_thread(
+                        j,
+                        kind,
+                        threads,
+                        mem,
+                        stats,
+                        &mut scratch.rollback,
+                        &mut scratch.active,
+                        sink,
+                    );
                 }
             }
         }
 
         // 5. L1 eviction → in-L1 tracking capacity aborts (self or SMT
         // sibling sharing the L1).
-        if let Some(victim) = out.l1_victim {
+        if let Some(victim) = l1_victim {
             if let Some(s) = sink.as_mut() {
                 s.event(&TraceEvent::L1Eviction {
                     thread: tid,
@@ -748,17 +865,31 @@ impl Simulator {
                     block: victim,
                 });
             }
-            let mut evicted: Vec<usize> = Vec::new();
-            for (j, t) in threads.iter().enumerate() {
+            scratch.evicted.clear();
+            let mut running = scratch.active;
+            while running != 0 {
+                let j = running.trailing_zeros() as usize;
+                running &= running - 1;
+                let t = &threads[j];
                 if t.core == core && t.htm.on_l1_eviction(victim) {
-                    evicted.push(j);
+                    scratch.evicted.push(j);
                 }
             }
-            for j in evicted {
+            for k in 0..scratch.evicted.len() {
+                let j = scratch.evicted[k];
                 if j == i {
                     self_aborted = true;
                 }
-                self.abort_thread(j, AbortKind::Capacity, threads, mem, stats, sink);
+                self.abort_thread(
+                    j,
+                    AbortKind::Capacity,
+                    threads,
+                    mem,
+                    stats,
+                    &mut scratch.rollback,
+                    &mut scratch.active,
+                    sink,
+                );
             }
             if self_aborted {
                 return StepOutcome::SelfAborted;
@@ -770,8 +901,8 @@ impl Simulator {
             p.record(tid, a.addr, a.kind, in_tx);
         }
         if in_tx {
-            if dyn_safe {
-                threads[i].touched_safe_pages.insert(page);
+            if dyn_safe && !threads[i].touched_safe_pages.contains(&page) {
+                threads[i].touched_safe_pages.push(page);
             }
             let slot = if static_safe {
                 0
@@ -782,7 +913,8 @@ impl Simulator {
             };
             threads[i].attempt_breakdown[slot] += 1;
             if self.cfg.record_tx_sizes {
-                let raw_static = a.hint.is_safe() || raw_static_sites.contains(&a.site);
+                let raw_static =
+                    a.hint.is_safe() || raw_static_sites.binary_search(&a.site).is_ok();
                 let raw_dyn = a.kind == AccessKind::Load && vm_res.safe_load;
                 threads[i].fp_all.insert(block);
                 if !raw_static {
@@ -793,7 +925,16 @@ impl Simulator {
                 }
             }
             if threads[i].htm.on_access(block, a.kind, safe).is_err() {
-                self.abort_thread(i, AbortKind::Capacity, threads, mem, stats, sink);
+                self.abort_thread(
+                    i,
+                    AbortKind::Capacity,
+                    threads,
+                    mem,
+                    stats,
+                    &mut scratch.rollback,
+                    &mut scratch.active,
+                    sink,
+                );
                 return StepOutcome::SelfAborted;
             }
         }

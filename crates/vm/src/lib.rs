@@ -45,11 +45,13 @@
 //! ```
 
 pub mod page_state;
+pub mod page_table;
 pub mod profiler;
 pub mod system;
 pub mod tlb;
 
 pub use page_state::{PageSafety, PageState, Transition};
+pub use page_table::PageTable;
 pub use profiler::SharingProfiler;
 pub use system::{Shootdown, VmAccess, VmStats, VmSystem};
 pub use tlb::Tlb;

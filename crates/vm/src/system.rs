@@ -1,9 +1,9 @@
 //! The full VM system: page table + per-core TLBs + cost accounting.
 
 use crate::page_state::{step, PageState, Transition};
+use crate::page_table::PageTable;
 use crate::tlb::Tlb;
 use hintm_types::{AccessKind, CoreId, Cycles, MachineConfig, PageId, ThreadId};
-use std::collections::HashMap;
 
 /// A safe→unsafe page transition requiring a TLB shootdown.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,7 +51,7 @@ pub struct VmStats {
 /// See the crate docs for an example.
 #[derive(Clone, Debug)]
 pub struct VmSystem {
-    table: HashMap<PageId, PageState>,
+    table: PageTable,
     tlbs: Vec<Tlb>,
     preserve: bool,
     page_walk_latency: Cycles,
@@ -66,7 +66,7 @@ impl VmSystem {
     /// the §VI-B gentle-downgrade optimization.
     pub fn new(cfg: &MachineConfig, preserve: bool) -> Self {
         VmSystem {
-            table: HashMap::new(),
+            table: PageTable::new(),
             tlbs: (0..cfg.num_cores)
                 .map(|_| Tlb::new(cfg.tlb_entries))
                 .collect(),
@@ -97,13 +97,14 @@ impl VmSystem {
 
     /// Current state of `page` (`None` = untouched).
     pub fn page_state(&self, page: PageId) -> Option<PageState> {
-        self.table.get(&page).copied()
+        self.table.get(page)
     }
 
     /// Census over all touched pages: `(safe_pages, total_pages)` (Fig. 1).
     pub fn safe_page_census(&self) -> (u64, u64) {
         let total = self.table.len() as u64;
-        let safe = self.table.values().filter(|s| s.is_safe_page()).count() as u64;
+        let mut safe = 0u64;
+        self.table.for_each(|_, s| safe += s.is_safe_page() as u64);
         (safe, total)
     }
 
@@ -123,9 +124,12 @@ impl VmSystem {
         let mut cost = Cycles::ZERO;
         let tlb_hit = self.tlbs[core.index()].lookup(page);
 
-        let before = self.table.get(&page).copied();
-        let (after, transition) = step(before, tid, kind, self.preserve);
-        self.table.insert(page, after);
+        let mut transition = Transition::None;
+        let after = self.table.update(page, |before| {
+            let (after, t) = step(before, tid, kind, self.preserve);
+            transition = t;
+            after
+        });
 
         // A state transition invalidates any cached (now stale) entry; the
         // access then behaves like a TLB miss for cost purposes.
@@ -184,12 +188,7 @@ impl VmSystem {
     /// Peeks at the dynamic verdict for a load without side effects
     /// (classification queries outside the timed path).
     pub fn peek_load_safe(&self, tid: ThreadId, page: PageId) -> bool {
-        let (after, _) = step(
-            self.table.get(&page).copied(),
-            tid,
-            AccessKind::Load,
-            self.preserve,
-        );
+        let (after, _) = step(self.table.get(page), tid, AccessKind::Load, self.preserve);
         after.load_is_safe(tid)
     }
 }

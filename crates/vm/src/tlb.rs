@@ -1,13 +1,23 @@
 //! A per-core TLB caching translations plus HinTM's page safety bits.
 
 use hintm_types::PageId;
-use std::collections::HashMap;
+
+/// Empty-slot sentinel; page indices never reach it.
+const EMPTY: u64 = u64::MAX;
+
+/// Multiplier for the Fibonacci-style multiplicative hash (2⁶⁴/φ).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A fully-associative LRU TLB.
 ///
 /// Only presence matters to the model: a hit avoids the page-walk latency
 /// and, on a safe→unsafe page transition, the set of cores whose TLB holds
 /// the page determines the shootdown's slave set.
+///
+/// Internally an open-addressed table sized to twice the entry capacity
+/// (the TLB is probed on every memory access, so lookups avoid `HashMap`'s
+/// SipHash). LRU ticks are unique per TLB, so victim selection by minimum
+/// tick is deterministic.
 ///
 /// # Examples
 ///
@@ -25,7 +35,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    entries: HashMap<PageId, u64>,
+    keys: Vec<u64>,
+    lrus: Vec<u64>,
+    mask: usize,
+    shift: u32,
+    len: usize,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -40,8 +54,13 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
+        let slots = (capacity * 2).next_power_of_two();
         Tlb {
-            entries: HashMap::new(),
+            keys: vec![EMPTY; slots],
+            lrus: vec![0; slots],
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
             capacity,
             tick: 0,
             hits: 0,
@@ -49,43 +68,104 @@ impl Tlb {
         }
     }
 
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> (usize, bool) {
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return (i, true);
+            }
+            if k == EMPTY {
+                return (i, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
     /// Looks up `page`, updating LRU order and hit/miss counters.
     pub fn lookup(&mut self, page: PageId) -> bool {
         self.tick += 1;
-        if let Some(lru) = self.entries.get_mut(&page) {
-            *lru = self.tick;
+        let (i, hit) = self.slot_of(page.index());
+        if hit {
+            self.lrus[i] = self.tick;
             self.hits += 1;
-            true
         } else {
             self.misses += 1;
-            false
         }
+        hit
     }
 
     /// Returns `true` if `page` is cached (no LRU/counter side effects).
     pub fn contains(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+        self.slot_of(page.index()).1
     }
 
     /// Installs `page`, evicting the LRU entry if full.
     pub fn install(&mut self, page: PageId) {
         self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&page) {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &lru)| lru) {
-                self.entries.remove(&victim);
-            }
+        let (i, hit) = self.slot_of(page.index());
+        if hit {
+            self.lrus[i] = self.tick;
+            return;
         }
-        self.entries.insert(page, self.tick);
+        if self.len >= self.capacity {
+            // Ticks are unique, so the minimum is a single deterministic
+            // victim regardless of slot order.
+            let victim = (0..=self.mask)
+                .filter(|&j| self.keys[j] != EMPTY)
+                .min_by_key(|&j| self.lrus[j])
+                .expect("full TLB has entries");
+            self.remove_slot(victim);
+            // The removal may have shifted entries through `page`'s chain;
+            // re-probe for the insertion slot.
+            let (i, hit) = self.slot_of(page.index());
+            debug_assert!(!hit);
+            self.keys[i] = page.index();
+            self.lrus[i] = self.tick;
+            self.len += 1;
+            return;
+        }
+        self.keys[i] = page.index();
+        self.lrus[i] = self.tick;
+        self.len += 1;
     }
 
     /// Drops `page` (shootdown). Returns `true` if it was present.
     pub fn invalidate(&mut self, page: PageId) -> bool {
-        self.entries.remove(&page).is_some()
+        let (i, hit) = self.slot_of(page.index());
+        if hit {
+            self.remove_slot(i);
+        }
+        hit
+    }
+
+    /// Backward-shift removal keeping every probe chain gap-free.
+    fn remove_slot(&mut self, mut hole: usize) {
+        self.keys[hole] = EMPTY;
+        self.len -= 1;
+        let mut j = (hole + 1) & self.mask;
+        while self.keys[j] != EMPTY {
+            let home = self.home(self.keys[j]);
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(hole) & self.mask) {
+                self.keys[hole] = self.keys[j];
+                self.lrus[hole] = self.lrus[j];
+                self.keys[j] = EMPTY;
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
     }
 
     /// Drops everything (full TLB flush).
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.keys.fill(EMPTY);
+        self.len = 0;
     }
 
     /// `(hits, misses)` since creation.
@@ -95,7 +175,7 @@ impl Tlb {
 
     /// Number of cached translations.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 }
 
@@ -147,5 +227,22 @@ mod tests {
         assert!(!t.invalidate(pg(1)));
         t.flush();
         assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn colliding_pages_survive_eviction_chains() {
+        // Many installs over a tiny TLB force evictions through shared
+        // probe chains; the survivor set must match LRU order exactly.
+        let mut t = Tlb::new(4);
+        for i in 0..64u64 {
+            t.install(pg(i));
+        }
+        assert_eq!(t.occupancy(), 4);
+        for i in 0..60u64 {
+            assert!(!t.contains(pg(i)), "page {i} should have been evicted");
+        }
+        for i in 60..64u64 {
+            assert!(t.contains(pg(i)), "page {i} is among the 4 most recent");
+        }
     }
 }

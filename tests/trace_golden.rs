@@ -1,11 +1,12 @@
-//! Golden trace snapshots: the first events and final counters of two
-//! representative runs, pinned byte-for-byte.
+//! Golden trace snapshots: the first events and final counters of every
+//! workload's run, pinned byte-for-byte.
 //!
 //! The replay suite proves a run agrees with *itself*; these snapshots pin
 //! the stream against *history*, catching silent changes to event
 //! emission order, field semantics, or the `Display` format that
-//! self-consistency cannot see. One STAMP-like workload (kmeans) and
-//! TPC-C (tpcc-no) cover both section-generation styles.
+//! self-consistency cannot see. All ten workloads are pinned, so any
+//! engine data-structure change (e.g. the flat hot-path rewrite) is locked
+//! by digests on the whole suite, not a sample.
 //!
 //! To regenerate after an intentional change:
 //!
@@ -77,12 +78,38 @@ fn check(name: &str) {
     );
 }
 
-#[test]
-fn kmeans_trace_matches_golden_snapshot() {
-    check("kmeans");
+macro_rules! golden_tests {
+    ($($fn_name:ident => $name:literal),* $(,)?) => {$(
+        #[test]
+        fn $fn_name() {
+            check($name);
+        }
+    )*};
 }
 
+golden_tests! {
+    bayes_trace_matches_golden_snapshot => "bayes",
+    genome_trace_matches_golden_snapshot => "genome",
+    intruder_trace_matches_golden_snapshot => "intruder",
+    kmeans_trace_matches_golden_snapshot => "kmeans",
+    labyrinth_trace_matches_golden_snapshot => "labyrinth",
+    ssca2_trace_matches_golden_snapshot => "ssca2",
+    vacation_trace_matches_golden_snapshot => "vacation",
+    yada_trace_matches_golden_snapshot => "yada",
+    tpcc_trace_matches_golden_snapshot => "tpcc-no",
+    tpcc_p_trace_matches_golden_snapshot => "tpcc-p",
+}
+
+/// Every registered workload has a pinned snapshot (catches a workload
+/// added without blessing a golden file for it).
 #[test]
-fn tpcc_trace_matches_golden_snapshot() {
-    check("tpcc-no");
+fn golden_suite_covers_every_workload() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for name in hintm::WORKLOAD_NAMES {
+        let path = dir.join(format!("{name}.trace.txt"));
+        assert!(
+            path.exists() || std::env::var_os("HINTM_BLESS").is_some_and(|v| v == "1"),
+            "no golden snapshot for `{name}`; bless it with HINTM_BLESS=1"
+        );
+    }
 }
