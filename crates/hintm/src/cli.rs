@@ -51,13 +51,49 @@ pub enum Command {
     /// Time the pinned workload×model grid and compare against the newest
     /// committed baseline (dispatched by the `hintm-runner` binary).
     Perf(PerfArgs),
-    /// Clear the on-disk result cache (dispatched by `hintm-runner`).
+    /// Clear the on-disk result cache (dispatched by `hintm-serve`).
     CacheClear {
         /// Cache directory override.
         dir: Option<String>,
     },
+    /// Summarize the on-disk result cache: entry count, bytes, schema,
+    /// per-workload breakdown (dispatched by `hintm-serve`).
+    CacheStats {
+        /// Cache directory override.
+        dir: Option<String>,
+    },
+    /// Run the sweep-as-a-service daemon (dispatched by `hintm-serve`).
+    Serve(ServeArgs),
     /// Print usage.
     Help,
+}
+
+/// Options for `hintm serve`. Parsing lives here with the other commands;
+/// execution lives in the `hintm-serve` crate, so [`execute`] rejects it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address (`HOST:PORT`).
+    pub addr: String,
+    /// Executor worker threads (`None` = the machine's available
+    /// parallelism; `0` = serve the API only and rely on joined workers).
+    pub workers: Option<usize>,
+    /// Cache directory override.
+    pub cache_dir: Option<String>,
+    /// Instead of serving, join the daemon at this `HOST:PORT` as a
+    /// worker: claim cells over HTTP, execute them locally, post the
+    /// reports back.
+    pub join: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:8191".into(),
+            workers: None,
+            cache_dir: None,
+            join: None,
+        }
+    }
 }
 
 /// Options for `hintm audit`.
@@ -257,7 +293,9 @@ USAGE:
   hintm trace <workload> [options] [trace options]
   hintm sweep [sweep options]
   hintm perf [perf options]
+  hintm serve [serve options]
   hintm cache clear [--cache-dir <dir>]
+  hintm cache stats [--cache-dir <dir>]
 
 OPTIONS:
   --workload <name>        one of the registered workloads (see `hintm list`)
@@ -298,6 +336,15 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --trace                  trace every cell (bypasses the cache); with --out,
                            exports event streams under <out>/traces/
 
+SERVE OPTIONS (long-running daemon: HTTP API over a job queue that shares
+the result cache across workers and repeat submissions):
+  --addr <host:port>       listen address                     [127.0.0.1:8191]
+  --workers <n>            executor threads [machine's parallelism; 0 = API
+                           only, cells wait for joined workers]
+  --cache-dir <dir>        cache location      [$HINTM_CACHE_DIR or .hintm-cache]
+  --join <host:port>       join the daemon at host:port as a worker process:
+                           claim cells over HTTP, run them, post reports back
+
 PERF OPTIONS (times the pinned grid, writes BENCH_<date>.json, and fails
 when the median events/sec regresses past the threshold):
   --smoke                  3-cell smoke grid instead of the full 15-cell grid
@@ -310,7 +357,13 @@ when the median events/sec regresses past the threshold):
   --no-compare             measure and write the snapshot only
 ";
 
-fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
+/// Parses an HTM configuration name (`p8`, `infcap`, ...) as the CLI and
+/// the server's sweep-spec JSON spell it.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on an unknown name.
+pub fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
     match v.to_ascii_lowercase().as_str() {
         "p8" => Ok(HtmKind::P8),
         "p8s" => Ok(HtmKind::P8S),
@@ -322,7 +375,14 @@ fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
     }
 }
 
-fn parse_hints(v: &str) -> Result<HintMode, CliError> {
+/// Parses a hint-mode name (`off`, `static`, `dynamic`, `full`, plus the
+/// `st`/`dyn` aliases) as the CLI and the server's sweep-spec JSON spell
+/// it.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on an unknown name.
+pub fn parse_hints(v: &str) -> Result<HintMode, CliError> {
     match v.to_ascii_lowercase().as_str() {
         "off" => Ok(HintMode::Off),
         "static" | "st" => Ok(HintMode::Static),
@@ -332,11 +392,25 @@ fn parse_hints(v: &str) -> Result<HintMode, CliError> {
     }
 }
 
-fn parse_scale(v: &str) -> Result<Scale, CliError> {
+/// Parses a scale name (`sim` | `large`) as the CLI and the server's
+/// sweep-spec JSON spell it.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on an unknown name.
+pub fn parse_scale(v: &str) -> Result<Scale, CliError> {
     match v.to_ascii_lowercase().as_str() {
         "sim" => Ok(Scale::Sim),
         "large" => Ok(Scale::Large),
         other => Err(CliError(format!("unknown --scale `{other}`"))),
+    }
+}
+
+/// The inverse of [`parse_scale`]: a scale's canonical name.
+pub fn scale_str(s: Scale) -> &'static str {
+    match s {
+        Scale::Sim => "sim",
+        Scale::Large => "large",
     }
 }
 
@@ -358,6 +432,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "sweep" => parse_sweep(&args[1..]),
         "perf" => parse_perf(&args[1..]),
         "cache" => parse_cache(&args[1..]),
+        "serve" => parse_serve(&args[1..]),
         "run" | "suite" => {
             let mut ra = RunArgs::default();
             let mut i = 1;
@@ -603,7 +678,7 @@ fn parse_perf(args: &[String]) -> Result<Command, CliError> {
 
 fn parse_cache(args: &[String]) -> Result<Command, CliError> {
     match args.first().map(String::as_str) {
-        Some("clear") => {
+        Some(action @ ("clear" | "stats")) => {
             let mut dir = None;
             let mut i = 1;
             while i < args.len() {
@@ -620,15 +695,52 @@ fn parse_cache(args: &[String]) -> Result<Command, CliError> {
                 }
                 i += 1;
             }
-            Ok(Command::CacheClear { dir })
+            Ok(if action == "clear" {
+                Command::CacheClear { dir }
+            } else {
+                Command::CacheStats { dir }
+            })
         }
         Some(other) => Err(CliError(format!(
-            "unknown cache action `{other}` (try `clear`)"
+            "unknown cache action `{other}` (try `clear` or `stats`)"
         ))),
         None => Err(CliError(
-            "`cache` requires an action (try `hintm cache clear`)".into(),
+            "`cache` requires an action (try `hintm cache clear` or `hintm cache stats`)".into(),
         )),
     }
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, CliError> {
+    let mut sa = ServeArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => sa.addr = value(&mut i, "--addr")?,
+            "--workers" => {
+                let v = value(&mut i, "--workers")?;
+                sa.workers = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad --workers `{v}`")))?,
+                );
+            }
+            "--cache-dir" => sa.cache_dir = Some(value(&mut i, "--cache-dir")?),
+            "--join" => sa.join = Some(value(&mut i, "--join")?),
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    if sa.join.is_some() && sa.workers == Some(0) {
+        return Err(CliError(
+            "--join needs at least one worker; drop --workers 0".into(),
+        ));
+    }
+    Ok(Command::Serve(sa))
 }
 
 fn experiment(name: &str, ra: &RunArgs) -> Experiment {
@@ -736,9 +848,13 @@ fn audit_details(r: &AuditReport, out: &mut impl std::io::Write) -> std::io::Res
 pub fn execute(cmd: &Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| CliError(e.to_string());
     match cmd {
-        Command::Sweep(_) | Command::Perf(_) | Command::CacheClear { .. } => Err(CliError(
-            "`sweep`, `perf`, and `cache` are handled by the hintm binary from the \
-             hintm-runner crate"
+        Command::Sweep(_)
+        | Command::Perf(_)
+        | Command::Serve(_)
+        | Command::CacheClear { .. }
+        | Command::CacheStats { .. } => Err(CliError(
+            "`sweep`, `perf`, `serve`, and `cache` are handled by the hintm binary from \
+             the hintm-serve crate"
                 .into(),
         )),
         Command::Help => writeln!(out, "{USAGE}").map_err(io),
@@ -1111,11 +1227,64 @@ mod tests {
     }
 
     #[test]
+    fn parses_cache_stats() {
+        assert_eq!(
+            parse(&argv("cache stats")).unwrap(),
+            Command::CacheStats { dir: None }
+        );
+        assert_eq!(
+            parse(&argv("cache stats --cache-dir /tmp/c")).unwrap(),
+            Command::CacheStats {
+                dir: Some("/tmp/c".into())
+            }
+        );
+        assert!(parse(&argv("cache stats --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve(ServeArgs::default())
+        );
+        let Command::Serve(sa) = parse(&argv(
+            "serve --addr 0.0.0.0:9000 --workers 4 --cache-dir /tmp/c",
+        ))
+        .unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(sa.addr, "0.0.0.0:9000");
+        assert_eq!(sa.workers, Some(4));
+        assert_eq!(sa.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(sa.join, None);
+
+        let Command::Serve(sa) = parse(&argv("serve --join 10.0.0.1:8191 --workers 2")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(sa.join.as_deref(), Some("10.0.0.1:8191"));
+        assert_eq!(sa.workers, Some(2));
+
+        assert!(parse(&argv("serve --workers nope")).is_err());
+        assert!(parse(&argv("serve --join 10.0.0.1:8191 --workers 0")).is_err());
+        assert!(parse(&argv("serve --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn scale_round_trips_through_names() {
+        for s in [Scale::Sim, Scale::Large] {
+            assert_eq!(parse_scale(scale_str(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
     fn execute_defers_runner_commands() {
         let mut buf = Vec::new();
         let err = execute(&Command::Sweep(SweepArgs::default()), &mut buf).unwrap_err();
-        assert!(err.to_string().contains("hintm-runner"));
+        assert!(err.to_string().contains("hintm-serve"));
         assert!(execute(&Command::CacheClear { dir: None }, &mut buf).is_err());
+        assert!(execute(&Command::CacheStats { dir: None }, &mut buf).is_err());
+        assert!(execute(&Command::Serve(ServeArgs::default()), &mut buf).is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use hintm_sim::{
     HintMode, Recording, RunStats, Section, SimConfig, Simulator, TraceEvent, TraceSink, TxBody,
     TxOp, Workload,
 };
-pub use hintm_trace::{chrome_trace, write_binlog, TraceSummary};
+pub use hintm_trace::{chrome_trace, chrome_trace_to, write_binlog, write_binlog_to, TraceSummary};
 pub use hintm_types::{AbortKind, Cycles, MachineConfig, SmtMode};
 pub use hintm_workloads::{all, by_name, by_name_with_threads, Scale, WORKLOAD_NAMES};
 pub use json::{Json, JsonError};

@@ -97,7 +97,10 @@ pub fn results_csv(result: &SweepResult) -> String {
     out
 }
 
-fn results_json(result: &SweepResult) -> Json {
+/// Renders the results table as a JSON array (one `{cell, report}` object
+/// per completed cell, in spec order). This is `results.json`'s content
+/// and the body of the server's `GET /sweeps/{id}/report`.
+pub fn results_json(result: &SweepResult) -> Json {
     Json::Arr(
         result
             .reports()

@@ -6,12 +6,22 @@
 //! and the serialized [`RunReport`]; on load both the schema and the key
 //! are re-checked, so a hash collision, a stale schema, or a corrupt file
 //! all degrade to a cache miss — never to a wrong result.
+//!
+//! The cache is safe for concurrent writers in one or many processes:
+//! every store writes to a uniquely-named temp file (pid + sequence
+//! number) and atomically renames it into place, so readers only ever see
+//! complete entries; two writers racing on the same cell both publish a
+//! whole file and the later rename wins with an identical result. A
+//! reader racing a [`Cache::clear`] sees a missing entry, which is just a
+//! miss — the cell re-runs.
 
 use crate::Cell;
 use hintm::{Json, RunReport};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version of the cached-entry format AND of anything that feeds the
 /// simulated numbers. Bump it whenever reports change meaning (new stats
@@ -86,13 +96,18 @@ impl Cache {
     }
 
     /// Stores a cell's report, atomically (write-then-rename), creating
-    /// the cache directory on first use.
+    /// the cache directory on first use. The temp file carries the
+    /// writing process's id plus a process-wide sequence number, so
+    /// concurrent writers — threads or whole processes — never clobber
+    /// each other's half-written files; the rename publishes a complete
+    /// entry or nothing.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the directory or file cannot
     /// be written.
     pub fn store(&self, cell: &Cell, report: &RunReport) -> io::Result<()> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
         fs::create_dir_all(&self.dir)?;
         let entry = Json::Obj(vec![
             ("schema".into(), Json::u64(self.schema as u64)),
@@ -100,13 +115,22 @@ impl Cache {
             ("report".into(), report.to_json_value()),
         ]);
         let path = self.path_for(cell);
-        let tmp = path.with_extension("tmp");
+        let tmp = self.dir.join(format!(
+            "{}.{}.{}.tmp",
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("entry"),
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
         fs::write(&tmp, entry.to_string())?;
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, &path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
     }
 
     /// Deletes every cached entry, returning how many were removed. A
-    /// missing cache directory counts as already clear.
+    /// missing cache directory counts as already clear, and an entry that
+    /// vanishes mid-clear (a concurrent clear, or a writer's temp file
+    /// renamed away) is skipped rather than an error.
     ///
     /// # Errors
     ///
@@ -121,11 +145,123 @@ impl Cache {
         for entry in entries {
             let path = entry?.path();
             if path.extension().is_some_and(|e| e == "json" || e == "tmp") {
-                fs::remove_file(&path)?;
-                removed += 1;
+                match fs::remove_file(&path) {
+                    Ok(()) => removed += 1,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
         Ok(removed)
+    }
+
+    /// Scans the cache directory and summarizes its contents. This is the
+    /// single code path behind both `hintm cache stats` and the server's
+    /// `GET /stats` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be read;
+    /// a missing directory is an empty cache, and individual unreadable
+    /// or corrupt entries are counted rather than fatal.
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let mut stats = CacheStats {
+            dir: self.dir.clone(),
+            schema: self.schema,
+            ..CacheStats::default()
+        };
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let parsed = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .and_then(|j| {
+                    let schema = j.field("schema").ok()?.as_u64().ok()?;
+                    let key = j.field("key").ok()?.as_str().ok()?.to_string();
+                    Some((schema, key))
+                });
+            match parsed {
+                Some((schema, _)) if schema != self.schema as u64 => stats.stale += 1,
+                Some((_, key)) => {
+                    stats.entries += 1;
+                    stats.bytes += bytes;
+                    // The workload is the key's first `|`-separated field.
+                    let workload = key.split('|').next().unwrap_or("?").to_string();
+                    let w = stats.by_workload.entry(workload).or_default();
+                    w.entries += 1;
+                    w.bytes += bytes;
+                }
+                None => stats.unreadable += 1,
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Per-workload slice of a [`CacheStats`] breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadCacheStats {
+    /// Cached entries for this workload at the current schema.
+    pub entries: usize,
+    /// Total bytes those entries occupy on disk.
+    pub bytes: u64,
+}
+
+/// A summary of a cache directory's contents (see [`Cache::stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// The cache root that was scanned.
+    pub dir: PathBuf,
+    /// The schema version the scan counted as current.
+    pub schema: u32,
+    /// Entries at the current schema version.
+    pub entries: usize,
+    /// Total bytes of the current-schema entries.
+    pub bytes: u64,
+    /// Well-formed entries at a different (stale) schema version.
+    pub stale: usize,
+    /// Files that could not be read or parsed.
+    pub unreadable: usize,
+    /// Current-schema entries grouped by workload (sorted by name).
+    pub by_workload: BTreeMap<String, WorkloadCacheStats>,
+}
+
+impl CacheStats {
+    /// Renders the stats as a JSON object (the `cache` section of the
+    /// server's `GET /stats` response).
+    pub fn to_json(&self) -> Json {
+        let workloads = self
+            .by_workload
+            .iter()
+            .map(|(name, w)| {
+                (
+                    name.clone(),
+                    Json::Obj(vec![
+                        ("entries".into(), Json::u64(w.entries as u64)),
+                        ("bytes".into(), Json::u64(w.bytes)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("dir".into(), Json::Str(self.dir.display().to_string())),
+            ("schema".into(), Json::u64(self.schema as u64)),
+            ("entries".into(), Json::u64(self.entries as u64)),
+            ("bytes".into(), Json::u64(self.bytes)),
+            ("stale".into(), Json::u64(self.stale as u64)),
+            ("unreadable".into(), Json::u64(self.unreadable as u64)),
+            ("by_workload".into(), Json::Obj(workloads)),
+        ])
     }
 }
 
@@ -191,6 +327,77 @@ mod tests {
         )
         .unwrap();
         assert!(cache.load(&cell).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_corrupt_an_entry() {
+        let dir = tmp("concurrent");
+        let cache = Cache::new(&dir);
+        let cell = Cell::new("ssca2");
+        let r = report();
+        let expected = r.to_json();
+        // Two writer threads hammer the same cell while two readers poll
+        // it. Every load must be either a miss (before the first publish)
+        // or the complete, correct report — never a torn file.
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        cache.store(&cell, &r).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        if let Some(back) = cache.load(&cell) {
+                            assert_eq!(back.to_json(), expected);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.load(&cell).unwrap().to_json(), expected);
+        // No temp files left behind.
+        let leftovers = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_count_entries_stale_and_unreadable() {
+        let dir = tmp("stats");
+        let cache = Cache::new(&dir);
+        assert_eq!(cache.stats().unwrap().entries, 0, "missing dir is empty");
+        let r = report();
+        cache.store(&Cell::new("ssca2"), &r).unwrap();
+        cache.store(&Cell::new("ssca2").seed(7), &r).unwrap();
+        cache.store(&Cell::new("kmeans"), &r).unwrap();
+        Cache::with_schema(&dir, 99)
+            .store(&Cell::new("kmeans").seed(9), &r)
+            .unwrap();
+        fs::write(dir.join("garbage.json"), "{not json").unwrap();
+
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.unreadable, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.by_workload["ssca2"].entries, 2);
+        assert_eq!(stats.by_workload["kmeans"].entries, 1);
+        let json = stats.to_json();
+        assert_eq!(json.field("entries").unwrap().as_u64().unwrap(), 3);
+        assert!(json.field("by_workload").unwrap().get("ssca2").is_some());
         fs::remove_dir_all(&dir).unwrap();
     }
 

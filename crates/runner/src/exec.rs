@@ -171,6 +171,16 @@ impl Runner {
         self.run_with(cells, |cell| cell.run().unwrap_or_else(|e| panic!("{e}")))
     }
 
+    /// Runs one cell exactly as a sweep worker slot would: cache consult
+    /// first, then the simulator under `catch_unwind` panic isolation,
+    /// with a fresh result stored back. This is the single-cell entry
+    /// point for callers that drive their own queue — the `hintm-serve`
+    /// daemon's executor workers claim cells one at a time and push each
+    /// through here.
+    pub fn execute_cell(&self, cell: &Cell) -> CellResult {
+        self.run_one(cell, &|c: &Cell| c.run().unwrap_or_else(|e| panic!("{e}")))
+    }
+
     /// Runs every cell through `exec`, sharded over [`Runner::jobs`]
     /// threads, consulting the cache first and storing fresh results
     /// back. `exec` is the simulation function — tests inject counters or

@@ -17,10 +17,12 @@
 //! * [`write_artifacts`] — sweep manifest + CSV/JSON result tables,
 //!   bit-identical whatever the job count.
 //!
-//! The `hintm` binary (this crate) fronts it with `hintm sweep` and
-//! `hintm cache clear`; the figure harnesses in `hintm-bench` feed their
-//! cell grids through [`Runner::from_env`], so `HINTM_JOBS=8` parallelizes
-//! figure regeneration and a warm cache makes reruns instant.
+//! The `hintm` binary (in the `hintm-serve` crate, which layers a
+//! sweep-as-a-service daemon over this executor) fronts it with
+//! `hintm sweep`, `hintm serve` and `hintm cache clear|stats`; the figure
+//! harnesses in `hintm-bench` feed their cell grids through
+//! [`Runner::from_env`], so `HINTM_JOBS=8` parallelizes figure
+//! regeneration and a warm cache makes reruns instant.
 //!
 //! ```no_run
 //! use hintm::{HintMode, HtmKind};
@@ -44,7 +46,7 @@ mod exec;
 pub mod perf;
 mod spec;
 
-pub use artifacts::{cell_to_json, results_csv, write_artifacts, write_trace};
-pub use cache::{Cache, SCHEMA_VERSION};
+pub use artifacts::{cell_to_json, results_csv, results_json, write_artifacts, write_trace};
+pub use cache::{Cache, CacheStats, WorkloadCacheStats, SCHEMA_VERSION};
 pub use exec::{CellOutcome, CellResult, Runner, SweepResult};
 pub use spec::{Cell, SweepSpec};

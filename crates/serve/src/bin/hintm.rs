@@ -1,10 +1,12 @@
 //! The `hintm` command-line tool: run reproduction experiments from the
-//! shell. Lives in the runner crate so `hintm sweep` / `hintm cache` can
-//! reach the orchestration layer; everything else is delegated to
+//! shell. Lives in the serve crate — the top of the runner stack — so
+//! `hintm sweep` / `hintm cache` can reach the orchestration layer and
+//! `hintm serve` the daemon; everything else is delegated to
 //! [`hintm::cli::execute`]. See `hintm help` or [`hintm::cli::USAGE`].
 
-use hintm::cli::{self, Command, SweepArgs};
+use hintm::cli::{self, Command, ServeArgs, SweepArgs};
 use hintm_runner::{Cache, Runner, SweepSpec};
+use hintm_serve::{join_loop, ServeConfig, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -107,14 +109,87 @@ fn audit_sweep(sa: &SweepArgs, cells: &[hintm_runner::Cell]) -> Result<(), Strin
     Ok(())
 }
 
+fn cache_at(dir: Option<&str>) -> Cache {
+    Cache::new(dir.map_or_else(Cache::default_dir, PathBuf::from))
+}
+
 fn clear_cache(dir: Option<&str>) -> Result<(), String> {
-    let cache = Cache::new(dir.map_or_else(Cache::default_dir, PathBuf::from));
+    let cache = cache_at(dir);
     let removed = cache.clear().map_err(|e| e.to_string())?;
     eprintln!(
         "cleared {} cached result(s) from {}",
         removed,
         cache.dir().display()
     );
+    Ok(())
+}
+
+/// `hintm cache stats`: the same summary `GET /stats` serves, as a table.
+fn cache_stats(dir: Option<&str>) -> Result<(), String> {
+    let stats = cache_at(dir).stats().map_err(|e| e.to_string())?;
+    println!("cache {}", stats.dir.display());
+    println!("  schema     {}", stats.schema);
+    println!("  entries    {}", stats.entries);
+    println!("  bytes      {}", stats.bytes);
+    println!("  stale      {}", stats.stale);
+    println!("  unreadable {}", stats.unreadable);
+    if !stats.by_workload.is_empty() {
+        println!("  by workload:");
+        for (name, w) in &stats.by_workload {
+            println!(
+                "    {name:<12} {:>5} entries {:>9} bytes",
+                w.entries, w.bytes
+            );
+        }
+    }
+    Ok(())
+}
+
+fn serve(sa: &ServeArgs) -> Result<(), String> {
+    let cache = Cache::new(
+        sa.cache_dir
+            .as_ref()
+            .map_or_else(Cache::default_dir, PathBuf::from),
+    );
+
+    if let Some(daemon) = &sa.join {
+        let workers = sa.workers.unwrap_or(1).max(1);
+        let runner = Runner::new().cache(cache);
+        eprintln!("joining {daemon} with {workers} worker(s)");
+        let summaries: Vec<_> = std::thread::scope(|scope| {
+            let runner = &runner;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(move || join_loop(daemon, runner)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut completed = 0;
+        let mut crashed = 0;
+        for s in summaries {
+            let s = s.map_err(|e| format!("join worker failed: {e}"))?;
+            completed += s.completed;
+            crashed += s.crashed;
+        }
+        eprintln!("daemon shut down; this worker completed {completed} cell(s), {crashed} crashed");
+        return Ok(());
+    }
+
+    let workers = sa
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let server = Server::start(ServeConfig {
+        addr: sa.addr.clone(),
+        workers,
+        cache: Some(cache),
+    })
+    .map_err(|e| format!("binding {}: {e}", sa.addr))?;
+    eprintln!(
+        "hintm serve listening on {} with {} local worker(s) — POST /shutdown to stop",
+        server.addr(),
+        workers
+    );
+    server.join();
+    eprintln!("hintm serve: shut down");
     Ok(())
 }
 
@@ -132,6 +207,8 @@ fn main() -> ExitCode {
         Command::Sweep(sa) => run_sweep(sa),
         Command::Perf(pa) => hintm_runner::perf::run_perf(pa),
         Command::CacheClear { dir } => clear_cache(dir.as_deref()),
+        Command::CacheStats { dir } => cache_stats(dir.as_deref()),
+        Command::Serve(sa) => serve(sa),
         other => {
             let mut out = std::io::stdout().lock();
             cli::execute(other, &mut out).map_err(|e| e.to_string())

@@ -9,6 +9,7 @@
 use crate::digest::Fnv64;
 use crate::event::{unvarint, varint, TraceEvent};
 use std::fmt;
+use std::io;
 
 /// Log file magic.
 pub const MAGIC: [u8; 4] = *b"HTRC";
@@ -48,13 +49,30 @@ impl std::error::Error for BinlogError {}
 /// event's canonical encoding.
 pub fn write_binlog(events: &[TraceEvent]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + events.len() * 8);
-    out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
-    varint(&mut out, events.len() as u64);
-    for ev in events {
-        ev.encode(&mut out);
-    }
+    write_binlog_to(events, &mut out).expect("writing to a Vec cannot fail");
     out
+}
+
+/// Streams the binary log for `events` into `w` — header first, then each
+/// event's canonical encoding as it is produced, so a large stream never
+/// has to fit in memory at once. The bytes written are identical to
+/// [`write_binlog`].
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if `w` rejects a write.
+pub fn write_binlog_to<W: io::Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    varint(&mut buf, events.len() as u64);
+    w.write_all(&buf)?;
+    for ev in events {
+        buf.clear();
+        ev.encode(&mut buf);
+        w.write_all(&buf)?;
+    }
+    Ok(())
 }
 
 /// Parses a log written by [`write_binlog`], validating header, count and
@@ -128,6 +146,14 @@ mod tests {
                 epoch: 0,
             },
         ]
+    }
+
+    #[test]
+    fn streamed_output_matches_buffered() {
+        let evs = sample();
+        let mut streamed = Vec::new();
+        write_binlog_to(&evs, &mut streamed).unwrap();
+        assert_eq!(streamed, write_binlog(&evs));
     }
 
     #[test]

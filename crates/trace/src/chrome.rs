@@ -3,6 +3,7 @@
 
 use crate::event::TraceEvent;
 use std::fmt::Write as _;
+use std::io;
 
 /// Renders events as a Chrome trace_event JSON document.
 ///
@@ -11,40 +12,58 @@ use std::fmt::Write as _;
 /// instant. Timestamps are simulated cycles reported in the format's
 /// microsecond field, process id is 0 and track id is the hardware thread.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
-    let mut out = String::with_capacity(events.len() * 96 + 32);
-    out.push_str("{\"traceEvents\":[");
-    let mut first = true;
-    for ev in events {
-        let (ph, name) = match ev {
-            TraceEvent::TxBegin { .. } => ("B", "tx"),
-            TraceEvent::TxCommit { .. } | TraceEvent::TxAbort { .. } => ("E", "tx"),
-            _ => ("i", ev.name()),
-        };
-        if !first {
-            out.push(',');
+    let mut out = Vec::with_capacity(events.len() * 96 + 32);
+    chrome_trace_to(events, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("chrome trace output is ASCII")
+}
+
+/// Streams the Chrome trace_event document for `events` into `w`, one
+/// event at a time — the whole document is never materialized, so a
+/// multi-million-event stream can be served over a socket or piped to a
+/// file in constant memory.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if `w` rejects a write.
+pub fn chrome_trace_to<W: io::Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
+    w.write_all(b"{\"traceEvents\":[")?;
+    let mut buf = String::with_capacity(160);
+    for (i, ev) in events.iter().enumerate() {
+        buf.clear();
+        if i > 0 {
+            buf.push(',');
         }
-        first = false;
-        let tid = ev.thread().map(|t| t.0).unwrap_or(0);
-        let _ = write!(
-            out,
-            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{tid}",
-            ev.at().raw()
-        );
-        if ph == "i" {
-            // Barrier releases span every track; other instants are
-            // thread-scoped.
-            let scope = if matches!(ev, TraceEvent::BarrierRelease { .. }) {
-                "g"
-            } else {
-                "t"
-            };
-            let _ = write!(out, ",\"s\":\"{scope}\"");
-        }
-        write_args(&mut out, ev);
-        out.push('}');
+        render_event(&mut buf, ev);
+        w.write_all(buf.as_bytes())?;
     }
-    out.push_str("]}\n");
-    out
+    w.write_all(b"]}\n")
+}
+
+/// Appends one event's trace_event object to `out`.
+fn render_event(out: &mut String, ev: &TraceEvent) {
+    let (ph, name) = match ev {
+        TraceEvent::TxBegin { .. } => ("B", "tx"),
+        TraceEvent::TxCommit { .. } | TraceEvent::TxAbort { .. } => ("E", "tx"),
+        _ => ("i", ev.name()),
+    };
+    let tid = ev.thread().map(|t| t.0).unwrap_or(0);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{tid}",
+        ev.at().raw()
+    );
+    if ph == "i" {
+        // Barrier releases span every track; other instants are
+        // thread-scoped.
+        let scope = if matches!(ev, TraceEvent::BarrierRelease { .. }) {
+            "g"
+        } else {
+            "t"
+        };
+        let _ = write!(out, ",\"s\":\"{scope}\"");
+    }
+    write_args(out, ev);
+    out.push('}');
 }
 
 /// Appends the variant's payload fields as an `"args"` object.
@@ -173,5 +192,26 @@ mod tests {
     #[test]
     fn empty_input_is_valid_json() {
         assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[]}\n");
+    }
+
+    #[test]
+    fn streamed_output_matches_buffered() {
+        let evs = [
+            TraceEvent::TxBegin {
+                thread: ThreadId(2),
+                at: Cycles(1),
+            },
+            TraceEvent::TxAbort {
+                thread: ThreadId(2),
+                at: Cycles(8),
+                kind: AbortKind::Conflict,
+                lost: 1,
+                footprint: 2,
+                retries: 0,
+            },
+        ];
+        let mut streamed = Vec::new();
+        chrome_trace_to(&evs, &mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), chrome_trace(&evs));
     }
 }

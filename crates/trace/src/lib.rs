@@ -54,9 +54,9 @@ pub mod metrics;
 pub mod recording;
 pub mod sink;
 
-pub use binlog::{read_binlog, write_binlog, BinlogError};
+pub use binlog::{read_binlog, write_binlog, write_binlog_to, BinlogError};
 pub use buffer::TraceBuffer;
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_to};
 pub use digest::{DigestSink, Fnv64};
 pub use event::TraceEvent;
 pub use metrics::{HistSummary, Histogram, TraceMetrics};
