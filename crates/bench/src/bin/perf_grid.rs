@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p hintm-bench --bin perf_grid [-- --smoke]
 //! HINTM_PERF_REPEAT=9 cargo run --release -p hintm-bench --bin perf_grid
+//! HINTM_PERF_THREADS=4 cargo run --release -p hintm-bench --bin perf_grid
 //! ```
 //!
 //! Prints the per-cell and overall median events/sec without writing or
@@ -25,9 +26,10 @@ fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let repeat = env_usize("HINTM_PERF_REPEAT", 5);
     let warmup = env_usize("HINTM_PERF_WARMUP", 1);
+    let threads = env_usize("HINTM_PERF_THREADS", 1).max(1);
     let grid = if smoke { smoke_grid() } else { full_grid() };
     println!(
-        "perf grid: {} cells, warmup {warmup} + repeat {repeat}",
+        "perf grid: {} cells, warmup {warmup} + repeat {repeat}, sim-threads {threads}",
         grid.len()
     );
     println!(
@@ -36,7 +38,7 @@ fn main() -> ExitCode {
     );
     let mut cells = Vec::with_capacity(grid.len());
     for c in &grid {
-        match measure_cell(c, warmup, repeat) {
+        match measure_cell(c, warmup, repeat, threads) {
             Ok(m) => {
                 println!(
                     "{:<10} {:<7} {:>10} {:>12.1} {:>12.0}",

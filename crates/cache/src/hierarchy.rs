@@ -51,6 +51,157 @@ pub struct CacheStats {
     pub upgrades: u64,
 }
 
+/// Memo of a core's most recent access: the block is resident in that L1
+/// as the most-recently-touched line of its set, in Modified state when
+/// `modified` holds. Cleared whenever any remote action mutates that
+/// core's L1; overwritten by the core's next access.
+#[derive(Clone, Copy, Debug)]
+struct BlockMemo {
+    block: BlockAddr,
+    modified: bool,
+}
+
+/// Which cores hold a block, and how. MESI invariants keep the masks
+/// consistent: at most one `dirty` bit, `dirty ⊆ excl ⊆ valid`, and an
+/// exclusive holder is the sole valid one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Sharers {
+    /// Cores holding the block in any valid state.
+    valid: u64,
+    /// Cores holding it Exclusive or Modified.
+    excl: u64,
+    /// The core holding it Modified, if any.
+    dirty: u64,
+}
+
+/// An exact sharer directory: open-addressed map from block index to
+/// [`Sharers`], mirroring the per-L1 MESI states. Replaces the miss path's
+/// all-core snoop (`cores × ways` tag compares per miss) and lets
+/// invalidations visit only actual holders. Same table design as the HTM
+/// crate's `BlockSet`: power-of-two slots, Fibonacci multiplicative hash,
+/// linear probing, backward-shift deletion.
+#[derive(Clone, Debug)]
+struct BlockDir {
+    keys: Vec<u64>,
+    vals: Vec<Sharers>,
+    live: Vec<bool>,
+    mask: usize,
+    shift: u32,
+    len: usize,
+}
+
+/// Multiplier for the Fibonacci-style multiplicative hash (2⁶⁴/φ).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl BlockDir {
+    fn new() -> Self {
+        Self::with_slots(1024)
+    }
+
+    fn with_slots(slots: usize) -> Self {
+        debug_assert!(slots.is_power_of_two());
+        BlockDir {
+            keys: vec![0; slots],
+            vals: vec![Sharers::default(); slots],
+            live: vec![false; slots],
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn probe(&self, key: u64) -> (usize, bool) {
+        let mut i = self.home(key);
+        loop {
+            if !self.live[i] {
+                return (i, false);
+            }
+            if self.keys[i] == key {
+                return (i, true);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The sharer set of `block` (empty if untracked).
+    #[inline]
+    fn get(&self, block: BlockAddr) -> Sharers {
+        let (i, hit) = self.probe(block.index());
+        if hit {
+            self.vals[i]
+        } else {
+            Sharers::default()
+        }
+    }
+
+    /// Applies `f` to `block`'s sharer set, inserting or removing the
+    /// entry as the result becomes non-empty or empty.
+    fn update(&mut self, block: BlockAddr, f: impl FnOnce(&mut Sharers)) {
+        let key = block.index();
+        let (i, hit) = self.probe(key);
+        if hit {
+            f(&mut self.vals[i]);
+            debug_assert_eq!(self.vals[i].excl & !self.vals[i].valid, 0);
+            debug_assert_eq!(self.vals[i].dirty & !self.vals[i].excl, 0);
+            if self.vals[i].valid == 0 {
+                self.remove_at(i);
+            }
+            return;
+        }
+        let mut s = Sharers::default();
+        f(&mut s);
+        if s.valid == 0 {
+            return;
+        }
+        if (self.len + 1) * 4 > (self.mask + 1) * 3 {
+            self.grow();
+        }
+        let (i, _) = self.probe(key);
+        self.keys[i] = key;
+        self.vals[i] = s;
+        self.live[i] = true;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = Self::with_slots((self.mask + 1) * 2);
+        for i in 0..=self.mask {
+            if self.live[i] {
+                let (j, _) = bigger.probe(self.keys[i]);
+                bigger.keys[j] = self.keys[i];
+                bigger.vals[j] = self.vals[i];
+                bigger.live[j] = true;
+                bigger.len += 1;
+            }
+        }
+        *self = bigger;
+    }
+
+    /// Backward-shift deletion at slot `hole`, keeping probe chains gapless.
+    fn remove_at(&mut self, mut hole: usize) {
+        self.live[hole] = false;
+        self.len -= 1;
+        let mut j = (hole + 1) & self.mask;
+        while self.live[j] {
+            let home = self.home(self.keys[j]);
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(hole) & self.mask) {
+                self.keys[hole] = self.keys[j];
+                self.vals[hole] = self.vals[j];
+                self.live[hole] = true;
+                self.live[j] = false;
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+    }
+}
+
 /// A coherent two-level cache hierarchy (Table II).
 ///
 /// See the crate docs for an example.
@@ -62,11 +213,20 @@ pub struct Hierarchy {
     l2_latency: Cycles,
     mem_latency: Cycles,
     stats: CacheStats,
+    /// Per-core repeated-access fast path (see [`BlockMemo`]).
+    memos: Vec<Option<BlockMemo>>,
+    /// Exact sharer directory over all L1s (see [`BlockDir`]).
+    dir: BlockDir,
 }
 
 impl Hierarchy {
     /// Builds the hierarchy for the given machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_cores` exceeds 64 (the directory's mask width).
     pub fn new(cfg: &MachineConfig) -> Self {
+        assert!(cfg.num_cores <= 64, "sharer masks cover 64 cores");
         Hierarchy {
             l1s: (0..cfg.num_cores)
                 .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways))
@@ -76,6 +236,8 @@ impl Hierarchy {
             l2_latency: cfg.l2_latency,
             mem_latency: cfg.mem_latency,
             stats: CacheStats::default(),
+            memos: vec![None; cfg.num_cores],
+            dir: BlockDir::new(),
         }
     }
 
@@ -119,6 +281,22 @@ impl Hierarchy {
         out.reset();
         self.stats.accesses += 1;
         let ci = core.index();
+        // Fast path: the core's immediately preceding access touched this
+        // very block and no remote action has mutated this L1 since (any
+        // such action clears the memo). The line is therefore resident —
+        // a load hits in any valid state, a store hits silently only in
+        // Modified — charging `l1_latency` and mutating nothing. Skipping
+        // `touch_entry`'s LRU re-touch is unobservable: the line is
+        // already its set's most-recently-touched, so relative order
+        // (which alone picks victims) is unchanged.
+        if let Some(m) = self.memos[ci] {
+            if m.block == block && (kind == AccessKind::Load || m.modified) {
+                self.stats.l1_hits += 1;
+                out.l1_hit = true;
+                out.latency = self.l1_latency;
+                return;
+            }
+        }
         // One tag scan serves the whole hit path: the line index from
         // `touch_entry` lets the upgrade arms flip the state in place.
         let line = self.l1s[ci].touch_entry(block);
@@ -142,6 +320,7 @@ impl Hierarchy {
                 out.l1_hit = true;
                 out.latency = self.l1_latency;
                 self.l1s[ci].set_state_at(line.unwrap(), MesiState::Modified);
+                self.dir.update(block, |s| s.dirty |= 1 << ci);
             }
             // Store hit without ownership: upgrade, invalidating sharers.
             (AccessKind::Store, MesiState::Shared) => {
@@ -151,6 +330,10 @@ impl Hierarchy {
                 out.latency = self.l2_latency;
                 self.invalidate_remote(core, block, out);
                 self.l1s[ci].set_state_at(line.unwrap(), MesiState::Modified);
+                self.dir.update(block, |s| {
+                    s.excl |= 1 << ci;
+                    s.dirty |= 1 << ci;
+                });
             }
             // Miss paths.
             (AccessKind::Load, _) => {
@@ -160,6 +343,12 @@ impl Hierarchy {
                 out.latency = self.miss_fill(core, block, AccessKind::Store, out);
             }
         }
+        // Every store path ends with the line Modified; a load leaves a
+        // hit line's state alone and installs misses as Shared/Exclusive.
+        self.memos[ci] = Some(BlockMemo {
+            block,
+            modified: kind == AccessKind::Store || local_state == MesiState::Modified,
+        });
     }
 
     /// Handles an L1 miss: snoop peers, consult the L2, fetch from memory,
@@ -172,21 +361,16 @@ impl Hierarchy {
         out: &mut AccessOutcome,
     ) -> Cycles {
         let ci = core.index();
-        // Snoop peers for the block. Sharers are collected as a core
-        // bitmask rather than a `Vec` so the miss path does not allocate.
-        debug_assert!(self.l1s.len() <= 128, "sharer mask covers 128 cores");
-        let mut dirty_peer: Option<usize> = None;
-        let mut sharers: u128 = 0;
-        for (i, l1) in self.l1s.iter().enumerate() {
-            if i == ci {
-                continue;
-            }
-            match l1.state_of(block) {
-                MesiState::Modified => dirty_peer = Some(i),
-                MesiState::Exclusive | MesiState::Shared => sharers |= 1 << i,
-                MesiState::Invalid => {}
-            }
-        }
+        // The directory mirrors peer L1 states exactly, so one probe
+        // replaces the per-core snoop scan.
+        let sh = self.dir.get(block);
+        debug_assert_eq!(sh.valid & (1 << ci), 0, "miss with a valid local line");
+        let dirty_peer: Option<usize> = if sh.dirty != 0 {
+            Some(sh.dirty.trailing_zeros() as usize)
+        } else {
+            None
+        };
+        let sharers: u64 = sh.valid & !sh.dirty;
 
         let l2_entry = self.l2.find_entry(block);
         let l2_has = l2_entry.is_some();
@@ -200,6 +384,11 @@ impl Hierarchy {
                     // Cache-to-cache transfer; writer downgrades to Shared.
                     self.stats.peer_transfers += 1;
                     self.l1s[p].set_state(block, MesiState::Shared);
+                    self.clear_memo(p, block);
+                    self.dir.update(block, |s| {
+                        s.dirty &= !(1 << p);
+                        s.excl &= !(1 << p);
+                    });
                     out.downgraded.push(CoreId(p as u32));
                     // The writeback also populates the L2.
                     self.ensure_l2(block);
@@ -207,13 +396,17 @@ impl Hierarchy {
                     install_state = MesiState::Shared;
                 } else if sharers != 0 {
                     self.stats.peer_transfers += 1;
-                    let mut rest = sharers;
+                    // An Exclusive holder (necessarily the sole sharer)
+                    // demotes to Shared.
+                    let mut rest = sh.excl;
                     while rest != 0 {
                         let s = rest.trailing_zeros() as usize;
                         rest &= rest - 1;
-                        if self.l1s[s].state_of(block) == MesiState::Exclusive {
-                            self.l1s[s].set_state(block, MesiState::Shared);
-                        }
+                        self.l1s[s].set_state(block, MesiState::Shared);
+                        self.clear_memo(s, block);
+                    }
+                    if sh.excl != 0 {
+                        self.dir.update(block, |s| s.excl = 0);
                     }
                     latency = self.l2_latency;
                     install_state = MesiState::Shared;
@@ -251,28 +444,56 @@ impl Hierarchy {
 
         if let Some((victim, vstate)) = self.l1s[ci].install(block, install_state) {
             out.l1_victim = Some(victim);
+            self.dir.update(victim, |s| {
+                s.valid &= !(1 << ci);
+                s.excl &= !(1 << ci);
+                s.dirty &= !(1 << ci);
+            });
             if vstate == MesiState::Modified {
                 // Dirty writeback lands in the L2 (latency hidden).
                 self.ensure_l2(victim);
             }
         }
+        self.dir.update(block, |s| {
+            s.valid |= 1 << ci;
+            match install_state {
+                MesiState::Modified => {
+                    s.excl |= 1 << ci;
+                    s.dirty |= 1 << ci;
+                }
+                MesiState::Exclusive => s.excl |= 1 << ci,
+                MesiState::Shared | MesiState::Invalid => {}
+            }
+        });
         latency
     }
 
     /// Invalidates every remote L1 copy of `block`, recording the victims.
+    /// Directory-guided: only actual holders are visited, in ascending
+    /// core order (matching the order a full scan would report).
     fn invalidate_remote(&mut self, core: CoreId, block: BlockAddr, out: &mut AccessOutcome) {
-        for i in 0..self.l1s.len() {
-            if i == core.index() {
-                continue;
-            }
+        let me = 1u64 << core.index();
+        let holders = self.dir.get(block);
+        let mut rest = holders.valid & !me;
+        if rest == 0 {
+            return;
+        }
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
             let prev = self.l1s[i].invalidate(block);
-            if prev.is_valid() {
-                out.invalidated.push(CoreId(i as u32));
-                if prev == MesiState::Modified {
-                    self.ensure_l2(block);
-                }
+            debug_assert!(prev.is_valid(), "directory listed a non-holder");
+            self.clear_memo(i, block);
+            out.invalidated.push(CoreId(i as u32));
+            if prev == MesiState::Modified {
+                self.ensure_l2(block);
             }
         }
+        self.dir.update(block, |s| {
+            s.valid &= me;
+            s.excl &= me;
+            s.dirty &= me;
+        });
     }
 
     /// Installs `block` in the L2 if absent (victim simply dropped: the L2
@@ -291,7 +512,24 @@ impl Hierarchy {
     /// (used by the HTM layer when rolling back speculatively written
     /// lines on abort).
     pub fn discard_local(&mut self, core: CoreId, block: BlockAddr) {
-        self.l1s[core.index()].invalidate(block);
+        let prev = self.l1s[core.index()].invalidate(block);
+        if prev.is_valid() {
+            let me = 1u64 << core.index();
+            self.dir.update(block, |s| {
+                s.valid &= !me;
+                s.excl &= !me;
+                s.dirty &= !me;
+            });
+        }
+        self.clear_memo(core.index(), block);
+    }
+
+    /// Drops core `i`'s memo if it references `block` (the line is being
+    /// mutated behind the memo's back).
+    fn clear_memo(&mut self, i: usize, block: BlockAddr) {
+        if self.memos[i].is_some_and(|m| m.block == block) {
+            self.memos[i] = None;
+        }
     }
 }
 

@@ -157,6 +157,9 @@ pub struct SweepArgs {
     pub scale: Scale,
     /// Thread-count override.
     pub threads: Option<usize>,
+    /// Host generation threads per cell (per-core lanes; results are
+    /// bit-identical for every value, so the cache is shared across it).
+    pub sim_threads: usize,
     /// 2-way SMT.
     pub smt2: bool,
     /// §VI-B preserve optimization.
@@ -190,6 +193,7 @@ impl Default for SweepArgs {
             seeds: Vec::new(),
             scale: Scale::Sim,
             threads: None,
+            sim_threads: 1,
             smt2: false,
             preserve: false,
             jobs: None,
@@ -210,6 +214,10 @@ impl Default for SweepArgs {
 pub struct PerfArgs {
     /// Use the 3-cell smoke grid instead of the full pinned grid.
     pub smoke: bool,
+    /// Host generation threads used for every timed run. Recorded in the
+    /// snapshot; baselines taken at a different thread count refuse to
+    /// compare.
+    pub threads: usize,
     /// Timed repetitions per cell (the median is reported).
     pub repeat: usize,
     /// Untimed warmup runs per cell.
@@ -229,6 +237,7 @@ impl Default for PerfArgs {
     fn default() -> Self {
         PerfArgs {
             smoke: false,
+            threads: 1,
             repeat: 5,
             warmup: 1,
             out: None,
@@ -254,6 +263,9 @@ pub struct RunArgs {
     pub scale: Scale,
     /// Thread-count override.
     pub threads: Option<usize>,
+    /// Host threads for section generation (per-core lanes; results are
+    /// bit-identical for every value).
+    pub sim_threads: usize,
     /// 2-way SMT.
     pub smt2: bool,
     /// §VI-B preserve optimization.
@@ -273,6 +285,7 @@ impl Default for RunArgs {
             seed: 42,
             scale: Scale::Sim,
             threads: None,
+            sim_threads: 1,
             smt2: false,
             preserve: false,
             csv: false,
@@ -304,6 +317,8 @@ OPTIONS:
   --seed <n>               run seed                                  [42]
   --scale <s>              sim | large                              [sim]
   --threads <n>            override the workload's thread count
+  --sim-threads <n>        host threads for section generation (per-core
+                           lanes; results are bit-identical for any value) [1]
   --smt2                   2-way SMT (16 hardware threads)
   --preserve               enable the preserve page-transition optimization
   --csv                    machine-readable CSV output
@@ -325,7 +340,8 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --htm <k1,k2,..>         HTM configurations to sweep                    [p8]
   --hints <m1,m2,..>       hint modes to sweep                           [off]
   --seeds <n1,n2,..>       seeds to sweep                                 [42]
-  --scale / --threads / --smt2 / --preserve   as above, applied to every cell
+  --scale / --threads / --sim-threads / --smt2 / --preserve
+                           as above, applied to every cell
   --jobs <n>               worker threads            [machine's parallelism]
   --no-cache               bypass the on-disk result cache
   --resume                 resume an interrupted sweep from the cache
@@ -348,6 +364,9 @@ the result cache across workers and repeat submissions):
 PERF OPTIONS (times the pinned grid, writes BENCH_<date>.json, and fails
 when the median events/sec regresses past the threshold):
   --smoke                  3-cell smoke grid instead of the full 15-cell grid
+  --threads <n>            host generation threads for every timed run;
+                           recorded in the snapshot, and baselines taken at a
+                           different count refuse to compare               [1]
   --repeat <n>             timed repetitions per cell (median reported)    [5]
   --warmup <n>             untimed warmup runs per cell                    [1]
   --out <dir>              directory for BENCH_*.json snapshots            [.]
@@ -461,6 +480,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .map_err(|_| CliError(format!("bad --threads `{v}`")))?,
                         );
                     }
+                    "--sim-threads" => {
+                        let v = value(&mut i, "--sim-threads")?;
+                        ra.sim_threads = parse_sim_threads(&v)?;
+                    }
                     "--smt2" => ra.smt2 = true,
                     "--preserve" => ra.preserve = true,
                     "--csv" => ra.csv = true,
@@ -480,6 +503,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         other => Err(CliError(format!(
             "unknown command `{other}` (try `hintm help`)"
+        ))),
+    }
+}
+
+/// Parses a host-thread count (at least 1) for the parallel engine.
+fn parse_sim_threads(v: &str) -> Result<usize, CliError> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(CliError(format!(
+            "bad thread count `{v}` (expected an integer >= 1)"
         ))),
     }
 }
@@ -550,6 +583,10 @@ fn parse_trace(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError(format!("bad --threads `{v}`")))?,
                 );
             }
+            "--sim-threads" => {
+                let v = value(&mut i, "--sim-threads")?;
+                ta.run.sim_threads = parse_sim_threads(&v)?;
+            }
             "--smt2" => ta.run.smt2 = true,
             "--preserve" => ta.run.preserve = true,
             "--events" => {
@@ -601,6 +638,10 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError(format!("bad --threads `{v}`")))?,
                 );
             }
+            "--sim-threads" => {
+                let v = value(&mut i, "--sim-threads")?;
+                sa.sim_threads = parse_sim_threads(&v)?;
+            }
             "--smt2" => sa.smt2 = true,
             "--preserve" => sa.preserve = true,
             "--jobs" => {
@@ -639,6 +680,10 @@ fn parse_perf(args: &[String]) -> Result<Command, CliError> {
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => pa.smoke = true,
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                pa.threads = parse_sim_threads(&v)?;
+            }
             "--repeat" => {
                 let v = value(&mut i, "--repeat")?;
                 pa.repeat = v
@@ -750,7 +795,8 @@ fn experiment(name: &str, ra: &RunArgs) -> Experiment {
         .seed(ra.seed)
         .scale(ra.scale)
         .smt2(ra.smt2)
-        .preserve(ra.preserve);
+        .preserve(ra.preserve)
+        .sim_threads(ra.sim_threads);
     if let Some(t) = ra.threads {
         e = e.threads(t);
     }
@@ -1006,6 +1052,33 @@ mod tests {
     #[test]
     fn run_requires_workload() {
         assert!(parse(&argv("run --htm p8")).is_err());
+    }
+
+    #[test]
+    fn parses_sim_threads_everywhere() {
+        let Command::Run(ra) = parse(&argv("run --workload kmeans --sim-threads 4")).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(ra.sim_threads, 4);
+        let Command::Trace(ta) = parse(&argv("trace kmeans --sim-threads 2")).unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(ta.run.sim_threads, 2);
+        let Command::Sweep(sa) = parse(&argv("sweep --sim-threads 8")).unwrap() else {
+            panic!("expected sweep")
+        };
+        assert_eq!(sa.sim_threads, 8);
+        let Command::Perf(pa) = parse(&argv("perf --threads 2")).unwrap() else {
+            panic!("expected perf")
+        };
+        assert_eq!(pa.threads, 2);
+        // Defaults are serial; zero and garbage are rejected.
+        assert_eq!(RunArgs::default().sim_threads, 1);
+        assert_eq!(PerfArgs::default().threads, 1);
+        assert!(parse(&argv("run --workload kmeans --sim-threads 0")).is_err());
+        assert!(parse(&argv("sweep --sim-threads nope")).is_err());
+        assert!(parse(&argv("perf --threads 0")).is_err());
     }
 
     #[test]

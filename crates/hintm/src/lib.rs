@@ -79,6 +79,7 @@ pub struct Experiment {
     preserve: bool,
     scale: Scale,
     threads: Option<usize>,
+    sim_threads: usize,
     smt2: bool,
     seed: u64,
     record_tx_sizes: bool,
@@ -96,6 +97,7 @@ impl Experiment {
             preserve: false,
             scale: Scale::Sim,
             threads: None,
+            sim_threads: 1,
             smt2: false,
             seed: 42,
             record_tx_sizes: false,
@@ -133,6 +135,15 @@ impl Experiment {
         self
     }
 
+    /// Shards section generation across `n` host threads (per-core lanes
+    /// with epoch-merged execution). Results are bit-identical for every
+    /// value; this only trades host parallelism for throughput. Clamped
+    /// to at least 1.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n.max(1);
+        self
+    }
+
     /// Enables 2-way SMT (16 hardware threads on 8 cores, §VI-D2).
     pub fn smt2(mut self, on: bool) -> Self {
         self.smt2 = on;
@@ -166,6 +177,7 @@ impl Experiment {
         cfg.preserve = self.preserve;
         cfg.record_tx_sizes = self.record_tx_sizes;
         cfg.profile_sharing = self.profile_sharing;
+        cfg.sim_threads = self.sim_threads;
         cfg
     }
 

@@ -12,14 +12,16 @@
 //! guards *correctness* of hot-path rewrites; this harness guards their
 //! *speed*. Together they pin both sides of an optimization.
 //!
-//! Snapshot schema (`schema_version` 1):
+//! Snapshot schema (`schema_version` 2; version 1 files lack `threads`
+//! and are read as `threads: 1`):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "created": "2026-08-06",
 //!   "git_rev": "dc3908a",
 //!   "grid": "full",
+//!   "threads": 1,
 //!   "repeat": 5,
 //!   "warmup": 1,
 //!   "median_events_per_sec": 2026240.0,
@@ -30,6 +32,12 @@
 //!   ]
 //! }
 //! ```
+//!
+//! `threads` is the engine's `sim_threads` lane count. Throughput at
+//! different lane counts measures different host behavior, so a snapshot
+//! is only ever compared against a baseline taken at the *same* count: a
+//! mismatched auto-discovered baseline skips the comparison with a
+//! notice, and a mismatched explicit `--baseline` is an error.
 
 use hintm::cli::PerfArgs;
 use hintm::{Experiment, HtmKind, Json, Scale};
@@ -38,8 +46,10 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// Snapshot format version (bump on breaking schema changes).
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Snapshot format version (bump on breaking schema changes). Version 2
+/// added the top-level `threads` field; version 1 files are still read,
+/// with `threads` defaulting to 1.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Default failure threshold: >25% slower than the baseline fails.
 pub const DEFAULT_THRESHOLD: f64 = 0.25;
@@ -128,9 +138,19 @@ fn median_f64(xs: &mut [f64]) -> f64 {
 }
 
 /// Measures one cell: `warmup` untimed runs, `repeat` timed runs, median
-/// wall time. The run configuration is pinned (seed 42, sim scale, hints
-/// off) so snapshots are comparable across machines only in ratio, but
-/// across commits on one machine in absolute terms.
+/// wall time, with the engine at `threads` generation lanes. The run
+/// configuration is pinned (seed 42, sim scale, hints off) so snapshots
+/// are comparable across machines only in ratio, but across commits on
+/// one machine in absolute terms.
+///
+/// Noise rejection: when `repeat >= 3`, the single slowest run is dropped
+/// before taking the median. Wall-clock noise on a timed simulation is
+/// one-sided — a run can be descheduled, page-fault, or absorb another
+/// process's burst and come out slower, but nothing makes it spuriously
+/// *faster* — so the max is the only repeat a noise spike can inhabit.
+/// With an even count left after the drop, the median averages the two
+/// middle runs, which still never includes the dropped outlier. All raw
+/// repeats (including the dropped one) stay in `runs_ns` for forensics.
 ///
 /// # Errors
 ///
@@ -139,12 +159,14 @@ pub fn measure_cell(
     cell: &PerfCell,
     warmup: usize,
     repeat: usize,
+    threads: usize,
 ) -> Result<CellMeasurement, String> {
     let exp = || {
         Experiment::new(cell.workload)
             .htm(cell.htm)
             .seed(42)
             .scale(Scale::Sim)
+            .sim_threads(threads)
     };
     let mut events = 0u64;
     for _ in 0..warmup {
@@ -159,6 +181,10 @@ pub fn measure_cell(
         events = r.stats.cache.accesses;
     }
     let mut sorted = runs_ns.clone();
+    sorted.sort_unstable();
+    if sorted.len() >= 3 {
+        sorted.pop();
+    }
     let wall_ns = median_u64(&mut sorted).max(1);
     Ok(CellMeasurement {
         workload: cell.workload.to_string(),
@@ -211,12 +237,19 @@ fn git_rev() -> String {
 }
 
 /// Serializes a snapshot to the BENCH JSON schema.
-pub fn snapshot_json(cells: &[CellMeasurement], grid: &str, repeat: usize, warmup: usize) -> Json {
+pub fn snapshot_json(
+    cells: &[CellMeasurement],
+    grid: &str,
+    threads: usize,
+    repeat: usize,
+    warmup: usize,
+) -> Json {
     Json::Obj(vec![
         ("schema_version".into(), Json::u64(BENCH_SCHEMA_VERSION)),
         ("created".into(), Json::Str(today_utc())),
         ("git_rev".into(), Json::Str(git_rev())),
         ("grid".into(), Json::Str(grid.into())),
+        ("threads".into(), Json::u64(threads as u64)),
         ("repeat".into(), Json::u64(repeat as u64)),
         ("warmup".into(), Json::u64(warmup as u64)),
         (
@@ -254,6 +287,9 @@ pub struct Baseline {
     pub path: PathBuf,
     /// Commit recorded in the snapshot.
     pub git_rev: String,
+    /// Generation-lane count the snapshot was taken at (1 for schema
+    /// version 1 files, which predate the field).
+    pub threads: usize,
     /// Overall median events/sec.
     pub median_events_per_sec: f64,
     /// `(workload, htm) -> events_per_sec`.
@@ -273,12 +309,17 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
         .field("schema_version")
         .and_then(|v| v.as_u64())
         .map_err(|e| e.to_string())?;
-    if version != BENCH_SCHEMA_VERSION {
+    if !(1..=BENCH_SCHEMA_VERSION).contains(&version) {
         return Err(format!(
-            "{}: schema_version {version} (this binary reads {BENCH_SCHEMA_VERSION})",
+            "{}: schema_version {version} (this binary reads 1..={BENCH_SCHEMA_VERSION})",
             path.display()
         ));
     }
+    // v1 predates the field; those snapshots were all taken serially.
+    let threads = match j.get("threads") {
+        Some(v) => v.as_u64().map_err(|e| e.to_string())? as usize,
+        None => 1,
+    };
     let median = j
         .field("median_events_per_sec")
         .and_then(|v| v.as_f64())
@@ -310,6 +351,7 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
             .and_then(|v| v.as_str().ok())
             .unwrap_or("unknown")
             .to_string(),
+        threads,
         median_events_per_sec: median,
         cells,
     })
@@ -379,15 +421,16 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
     ));
 
     eprintln!(
-        "perf: {} grid, {} cells, warmup {} + repeat {}",
+        "perf: {} grid, {} cells, warmup {} + repeat {}, threads {}",
         grid_name,
         grid.len(),
         pa.warmup,
-        pa.repeat
+        pa.repeat,
+        pa.threads
     );
     let mut cells = Vec::with_capacity(grid.len());
     for c in &grid {
-        let m = measure_cell(c, pa.warmup, pa.repeat)?;
+        let m = measure_cell(c, pa.warmup, pa.repeat, pa.threads)?;
         eprintln!(
             "  {:<10} {:<7} {:>9} events  {:>9.0} ev/s  ({:.1} ms median)",
             m.workload,
@@ -402,7 +445,7 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
     eprintln!("perf: overall median {median:.0} events/sec");
 
     fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
-    let json = snapshot_json(&cells, grid_name, pa.repeat, pa.warmup);
+    let json = snapshot_json(&cells, grid_name, pa.threads, pa.repeat, pa.warmup);
     let mut file =
         fs::File::create(&stamp_path).map_err(|e| format!("{}: {e}", stamp_path.display()))?;
     writeln!(file, "{json}").map_err(|e| e.to_string())?;
@@ -420,6 +463,22 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
         return Ok(());
     };
     let base = load_baseline(&bp)?;
+    if base.threads != pa.threads {
+        // Lane counts measure different host behavior; the ratio would be
+        // meaningless. An explicit ask that can't be honored is an error;
+        // an auto-discovered mismatch just skips the comparison.
+        let msg = format!(
+            "baseline {} was taken at threads {}, this run at threads {}",
+            base.path.display(),
+            base.threads,
+            pa.threads
+        );
+        if pa.baseline.is_some() {
+            return Err(format!("perf: refusing comparison: {msg}"));
+        }
+        eprintln!("perf: comparison skipped: {msg}");
+        return Ok(());
+    }
     let threshold = resolve_threshold(pa);
     let ratio = median / base.median_events_per_sec;
     eprintln!(
@@ -481,6 +540,24 @@ mod tests {
     }
 
     #[test]
+    fn drop_max_median_matches_measure_cell_policy() {
+        // Mirror of measure_cell's noise rejection: repeat >= 3 drops the
+        // slowest run before the median; fewer repeats keep them all.
+        let median_after_drop = |mut runs: Vec<u64>| {
+            runs.sort_unstable();
+            if runs.len() >= 3 {
+                runs.pop();
+            }
+            median_u64(&mut runs)
+        };
+        // A single noise spike (1000) no longer drags the median up.
+        assert_eq!(median_after_drop(vec![10, 11, 1000, 12, 13]), 11);
+        assert_eq!(median_u64(&mut [10, 11, 1000, 12, 13]), 12);
+        assert_eq!(median_after_drop(vec![10, 1000]), 505);
+        assert_eq!(median_after_drop(vec![7]), 7);
+    }
+
+    #[test]
     fn snapshot_round_trips_through_the_baseline_loader() {
         let cells = vec![
             CellMeasurement {
@@ -504,12 +581,30 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_20260101.json");
-        fs::write(&path, snapshot_json(&cells, "smoke", 2, 1).to_string()).unwrap();
+        fs::write(&path, snapshot_json(&cells, "smoke", 4, 2, 1).to_string()).unwrap();
         let b = load_baseline(&path).unwrap();
         assert_eq!(b.median_events_per_sec, 1.5e9);
+        assert_eq!(b.threads, 4);
         assert_eq!(b.cells.len(), 2);
         assert_eq!(b.cells[0].0, "kmeans");
         assert_eq!(b.cells[1].2, 1e9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_snapshots_read_as_serial() {
+        let dir = std::env::temp_dir().join("hintm-perf-v1compat");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_20260101.json");
+        fs::write(
+            &path,
+            r#"{"schema_version": 1, "median_events_per_sec": 2.0, "cells": []}"#,
+        )
+        .unwrap();
+        let b = load_baseline(&path).unwrap();
+        assert_eq!(b.threads, 1, "v1 files predate lanes: always serial");
+        assert_eq!(b.median_events_per_sec, 2.0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -563,11 +658,25 @@ mod tests {
             },
             0,
             1,
+            1,
         )
         .unwrap();
         assert!(m.events > 0);
         assert!(m.wall_ns > 0);
         assert!(m.events_per_sec > 0.0);
         assert_eq!(m.runs_ns.len(), 1);
+    }
+
+    #[test]
+    fn lane_counts_agree_on_events() {
+        // The engine is bit-identical across sim_threads, so the event
+        // count a measurement reports must not depend on the lane count.
+        let cell = PerfCell {
+            workload: "kmeans",
+            htm: HtmKind::P8,
+        };
+        let serial = measure_cell(&cell, 0, 1, 1).unwrap();
+        let laned = measure_cell(&cell, 0, 1, 4).unwrap();
+        assert_eq!(serial.events, laned.events);
     }
 }

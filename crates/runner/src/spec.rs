@@ -26,6 +26,10 @@ pub struct Cell {
     pub seed: u64,
     /// Thread-count override (`None` = the workload's paper default).
     pub threads: Option<usize>,
+    /// Host threads for section generation (per-core lanes). Results are
+    /// bit-identical for every value, so this knob is deliberately NOT
+    /// part of [`Cell::key`] — the cache is shared across thread counts.
+    pub sim_threads: usize,
     /// 2-way SMT (16 hardware threads on 8 cores).
     pub smt2: bool,
     /// §VI-B preserve optimization.
@@ -54,6 +58,7 @@ impl Cell {
             scale: Scale::Sim,
             seed: 42,
             threads: None,
+            sim_threads: 1,
             smt2: false,
             preserve: false,
             record_tx_sizes: false,
@@ -91,6 +96,13 @@ impl Cell {
         self
     }
 
+    /// Shards section generation across `n` host threads (clamped to 1).
+    /// Does not change results and does not enter [`Cell::key`].
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n.max(1);
+        self
+    }
+
     /// Enables 2-way SMT.
     pub fn smt2(mut self, on: bool) -> Self {
         self.smt2 = on;
@@ -115,9 +127,12 @@ impl Cell {
         self
     }
 
-    /// The canonical identity of this cell: every configuration knob in a
-    /// fixed order. Two cells are the same run iff their keys are equal —
-    /// the cache addresses results by a hash of this string.
+    /// The canonical identity of this cell: every *result-affecting*
+    /// configuration knob in a fixed order. Two cells are the same run iff
+    /// their keys are equal — the cache addresses results by a hash of
+    /// this string. `sim_threads` is intentionally absent: the engine is
+    /// bit-identical across thread counts, so resubmitting a spec at a
+    /// different `sim_threads` must hit the cache.
     pub fn key(&self) -> String {
         format!(
             "{}|{}|{}|{}|seed={}|threads={}|smt2={}|preserve={}|txsizes={}|sharing={}",
@@ -153,7 +168,8 @@ impl Cell {
             .smt2(self.smt2)
             .preserve(self.preserve)
             .record_tx_sizes(self.record_tx_sizes)
-            .profile_sharing(self.profile_sharing);
+            .profile_sharing(self.profile_sharing)
+            .sim_threads(self.sim_threads);
         if let Some(t) = self.threads {
             e = e.threads(t);
         }
@@ -197,6 +213,7 @@ pub struct SweepSpec {
     scales: Vec<Scale>,
     seeds: Vec<u64>,
     threads: Option<usize>,
+    sim_threads: usize,
     smt2: bool,
     preserve: bool,
     record_tx_sizes: bool,
@@ -267,6 +284,14 @@ impl SweepSpec {
     /// Thread-count override applied to every enumerated cell.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Host generation threads applied to every enumerated cell
+    /// (including extras). Purely a throughput knob — see
+    /// [`Cell::sim_threads`].
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n.max(1);
         self
     }
 
@@ -345,6 +370,7 @@ impl SweepSpec {
                                 .record_tx_sizes(self.record_tx_sizes)
                                 .profile_sharing(self.profile_sharing);
                             c.threads = self.threads;
+                            c.sim_threads = self.sim_threads.max(1);
                             product.push(c);
                         }
                     }
@@ -353,7 +379,15 @@ impl SweepSpec {
         }
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        for cell in product.into_iter().chain(self.extra.iter().cloned()) {
+        let extra = self.extra.iter().cloned().map(|mut c| {
+            // A spec-level sim_threads override also covers extras; an
+            // unset spec leaves each extra's own value alone.
+            if self.sim_threads > 0 {
+                c.sim_threads = self.sim_threads;
+            }
+            c
+        });
+        for cell in product.into_iter().chain(extra) {
             if seen.insert(cell.key()) {
                 out.push(cell);
             }
@@ -386,6 +420,32 @@ mod tests {
             assert_ne!(a.key(), v.key(), "key misses a knob: {v:?}");
         }
         assert_eq!(a.key(), a.clone().key());
+    }
+
+    #[test]
+    fn sim_threads_is_not_part_of_the_key() {
+        // The engine is bit-identical across sim_threads, so the cache
+        // must hit across values: the key deliberately excludes it.
+        let a = Cell::new("kmeans");
+        assert_eq!(a.key(), a.clone().sim_threads(4).key());
+        assert_eq!(Cell::new("kmeans").sim_threads(0).sim_threads, 1);
+    }
+
+    #[test]
+    fn spec_sim_threads_covers_product_and_extras() {
+        let spec = SweepSpec::new()
+            .workload("kmeans")
+            .cell(Cell::new("ssca2"))
+            .sim_threads(4);
+        let cells = spec.cells();
+        assert!(cells.iter().all(|c| c.sim_threads == 4));
+        // Unset spec leaves an extra's own value alone.
+        let cells = SweepSpec::new()
+            .workload("kmeans")
+            .cell(Cell::new("ssca2").sim_threads(2))
+            .cells();
+        assert_eq!(cells[0].sim_threads, 1);
+        assert_eq!(cells[1].sim_threads, 2);
     }
 
     #[test]

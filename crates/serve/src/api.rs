@@ -10,10 +10,16 @@
 //!   "seeds": [1, 2],
 //!   "scale": "sim",
 //!   "threads": 8,
+//!   "sim_threads": 1,
 //!   "smt2": false,
 //!   "preserve": false
 //! }
 //! ```
+//!
+//! `sim_threads` is the engine's host-lane count (`--sim-threads` on the
+//! CLI): results are bit-identical for every value, so it is not part of
+//! the cell key and resubmitting a spec at a different lane count is a
+//! pure cache replay.
 //!
 //! Every field is optional with the same defaults as the CLI; unknown
 //! fields are rejected so typos fail loudly instead of silently sweeping
@@ -102,6 +108,14 @@ pub fn cells_from_spec_json(j: &Json) -> Result<Vec<Cell>, String> {
                     spec = spec.threads(t as usize);
                 }
             }
+            "sim_threads" => {
+                let t = value
+                    .as_u64()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or("`sim_threads` must be an integer >= 1")?;
+                spec = spec.sim_threads(t as usize);
+            }
             "smt2" => spec = spec.smt2(as_bool(value, "smt2")?),
             "preserve" => spec = spec.preserve(as_bool(value, "preserve")?),
             other => return Err(format!("unknown sweep spec field `{other}`")),
@@ -156,6 +170,10 @@ pub fn cell_from_json(j: &Json) -> Result<Cell, String> {
         Json::Null => {}
         v => cell = cell.threads(v.as_u64().map_err(|e| e.to_string())? as usize),
     }
+    // Absent on pre-lane manifests: those cells ran serially.
+    if let Some(v) = j.get("sim_threads") {
+        cell = cell.sim_threads(v.as_u64().map_err(|e| e.to_string())? as usize);
+    }
     Ok(cell)
 }
 
@@ -203,9 +221,13 @@ pub fn job_to_json(snap: &JobSnapshot) -> Json {
             Json::Obj(fields)
         })
         .collect();
+    // The spec applies one lane count to every cell, so the first cell
+    // speaks for the job (1 for the empty edge case).
+    let sim_threads = snap.cells.first().map_or(1, |c| c.sim_threads);
     Json::Obj(vec![
         ("id".into(), Json::u64(snap.id as u64)),
         ("total".into(), Json::u64(snap.cells.len() as u64)),
+        ("sim_threads".into(), Json::u64(sim_threads as u64)),
         ("finished".into(), Json::u64(snap.finished as u64)),
         ("cached".into(), Json::u64(snap.cached as u64)),
         ("crashed".into(), Json::u64(snap.crashed as u64)),
@@ -295,14 +317,18 @@ mod tests {
         let j = Json::parse(
             r#"{"workloads":["kmeans","ssca2"],"htm":["p8","infcap"],
                 "hints":["off","full"],"seeds":[1,2],"scale":"large",
-                "threads":4,"smt2":true,"preserve":true}"#,
+                "threads":4,"sim_threads":2,"smt2":true,"preserve":true}"#,
         )
         .unwrap();
         let cells = cells_from_spec_json(&j).unwrap();
         assert_eq!(cells.len(), 2 * 2 * 2 * 2);
-        assert!(cells
-            .iter()
-            .all(|c| c.scale == Scale::Large && c.threads == Some(4) && c.smt2 && c.preserve));
+        assert!(cells.iter().all(|c| {
+            c.scale == Scale::Large
+                && c.threads == Some(4)
+                && c.sim_threads == 2
+                && c.smt2
+                && c.preserve
+        }));
         // Same grid the CLI would enumerate.
         let cli = SweepSpec::new()
             .workloads(["kmeans", "ssca2"])
@@ -311,6 +337,7 @@ mod tests {
             .seeds([1, 2])
             .scale(Scale::Large)
             .threads(4)
+            .sim_threads(2)
             .smt2(true)
             .preserve(true)
             .cells();
@@ -331,6 +358,8 @@ mod tests {
             r#"{"hints":"off"}"#,
             r#"{"seeds":["x"]}"#,
             r#"{"scale":"huge"}"#,
+            r#"{"sim_threads":0}"#,
+            r#"{"sim_threads":"two"}"#,
             r#"{"smt2":"yes"}"#,
             r#"{"frobnicate":1}"#,
             r#"[1,2]"#,
@@ -350,6 +379,7 @@ mod tests {
                 .scale(Scale::Large)
                 .seed(7)
                 .threads(16)
+                .sim_threads(4)
                 .smt2(true)
                 .preserve(true),
         ];
@@ -358,6 +388,21 @@ mod tests {
             assert_eq!(&back, cell);
             assert_eq!(back.key(), cell.key());
         }
+    }
+
+    #[test]
+    fn pre_lane_cell_json_defaults_to_one_lane() {
+        // Manifests written before the lane engine carry no
+        // `sim_threads`; those cells ran serially.
+        let cell = Cell::new("kmeans").sim_threads(8);
+        let mut j = cell_to_json(&cell);
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "sim_threads");
+        }
+        let back = cell_from_json(&j).unwrap();
+        assert_eq!(back.sim_threads, 1);
+        // Lane count is not part of the key, so the claim still dedups.
+        assert_eq!(back.key(), cell.key());
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
         .hints(sa.hints.iter().copied())
         .seeds(sa.seeds.iter().copied())
         .scale(sa.scale)
+        .sim_threads(sa.sim_threads)
         .smt2(sa.smt2)
         .preserve(sa.preserve);
     if let Some(t) = sa.threads {

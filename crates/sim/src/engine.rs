@@ -1,38 +1,274 @@
 //! The simulation engine: clock-ordered interleaving of hardware threads,
 //! transaction lifecycle, eager conflict detection, fallback locking, and
 //! page-mode abort orchestration.
+//!
+//! # Lane/epoch-merge architecture
+//!
+//! The engine is split into two roles:
+//!
+//! * **Lane workers** (host threads) own fixed subsets of the simulated
+//!   hardware threads (thread `i` belongs to lane `i % lanes`). A lane
+//!   pulls sections from the workload (serialized behind a lock) and
+//!   *resolves* them into flat `Program`s — per-op block/page split and
+//!   static-safety verdicts — entirely off the merge loop's critical path.
+//!   Resolved programs flow to the merge loop through bounded per-thread
+//!   channels (the *epoch window*), so a lane can run at most
+//!   `EPOCH_WINDOW` sections ahead of execution.
+//! * **The merge loop** (the calling thread) is the authoritative serial
+//!   scheduler: it alone touches the shared simulated state — the cache
+//!   hierarchy, the VM/page table, the HTM trackers, the fallback lock —
+//!   and executes every operation in canonical min-(clock, core-index)
+//!   order. Cross-core interactions (conflict probes, coherence,
+//!   commit/abort ordering) therefore resolve identically at any lane
+//!   count, and [`TraceSink`] emission happens only here, in merge order.
+//!
+//! Because all shared-state mutation is confined to the merge loop, runs
+//! are bit-identical for every `sim_threads` value by construction; the
+//! lanes only parallelize generation + resolution, which the opt-in
+//! [`Workload::generation_is_thread_local`] contract guarantees is
+//! order-independent across threads.
+//!
+//! # Hot-path structure
+//!
+//! The merge loop is monomorphized over the sink (`NoSink` for untraced
+//! runs compiles every event construction away), executes pre-resolved
+//! `POp`s (no per-access hint-set searches; programs are reused verbatim
+//! across retries), and keeps a *same-thread fast path*: after a step that
+//! touched no other thread's clock/state and no lock state, the scheduler
+//! re-picks the same thread without rescanning as long as its new ready
+//! time still beats the second-best candidate from the last full scan
+//! (ties broken toward the lower index, exactly like the scan itself).
 
 use crate::config::SimConfig;
-use crate::section::{Section, TxBody, TxOp, Workload};
+use crate::section::{Section, TxOp, Workload};
 use crate::stats::RunStats;
 use hintm_cache::{AccessOutcome, Hierarchy};
 use hintm_htm::HtmThread;
 use hintm_trace::{TraceEvent, TraceSink};
 use hintm_types::{
-    AbortKind, AccessKind, BlockAddr, ConflictPolicy, CoreId, Cycles, MemAccess, PageId, SiteId,
-    ThreadId,
+    AbortKind, AccessKind, Addr, BlockAddr, ConflictPolicy, CoreId, Cycles, MemAccess, PageId,
+    SiteId, ThreadId,
 };
 use hintm_vm::{SharingProfiler, VmSystem};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
 
-/// What a hardware thread is doing.
-#[derive(Clone, Debug)]
-enum RunState {
-    /// Needs a new section from the workload.
+/// Bounded per-thread lane depth: how many resolved sections a lane may
+/// buffer ahead of the merge loop.
+const EPOCH_WINDOW: usize = 64;
+
+/// The op carries a static-safe verdict (hint, static site set, or notary
+/// range, with static hints enabled).
+const F_STATIC_SAFE: u8 = 1 << 0;
+/// Hint-independent static classification (Fig. 6 footprint views).
+const F_RAW_STATIC: u8 = 1 << 1;
+
+/// What a pre-resolved operation does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OpKind {
+    /// A memory access ([`POp::access`] is meaningful).
+    Access,
+    /// Pure computation of [`POp::cost`] cycles.
+    Compute,
+    /// Begin an escape window.
+    Suspend,
+    /// End an escape window.
+    Resume,
+}
+
+/// One flat, fully-resolved operation: the block/page split and every
+/// run-constant safety verdict are computed once per section (in the lane,
+/// when lanes are active) instead of once per executed access.
+#[derive(Clone, Copy, Debug)]
+struct POp {
+    op: OpKind,
+    flags: u8,
+    /// Compute cycles ([`OpKind::Compute`] only).
+    cost: u64,
+    access: MemAccess,
+    block: BlockAddr,
+    page: PageId,
+}
+
+/// A resolved section body. Replayed verbatim across retries. Retired
+/// programs return to an engine-level pool so steady-state resolution
+/// reuses their op storage instead of allocating per section.
+#[derive(Debug, Default)]
+struct Program {
+    /// Transactional (`Section::Tx`) or plain ops (`Section::NonTx`).
+    tx: bool,
+    ops: Vec<POp>,
+}
+
+/// One unit delivered from generation to the merge loop.
+#[derive(Debug)]
+enum Resolved {
+    Program(Program),
+    Barrier,
+    Done,
+}
+
+/// Turns sections into `Program`s. Immutable after construction, so lane
+/// workers can share it by reference.
+struct Resolver {
+    uses_static: bool,
+    safe_sites: Vec<SiteId>,
+    raw_static_sites: Vec<SiteId>,
+    notary_pages: Vec<PageId>,
+}
+
+impl Resolver {
+    fn new(workload: &dyn Workload, cfg: &SimConfig) -> Self {
+        // Hint sets become sorted slices: they are immutable for the whole
+        // run, and resolution binary-searches them once per section op
+        // instead of once per executed access.
+        let mut safe_sites: Vec<SiteId> = if cfg.hint_mode.uses_static() {
+            workload.static_safe_sites().into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        safe_sites.sort_unstable();
+        // Raw static sites (for the hint-independent Fig. 6 views).
+        let mut raw_static_sites: Vec<SiteId> = workload.static_safe_sites().into_iter().collect();
+        raw_static_sites.sort_unstable();
+        // Notary-style manual privatization ranges, expanded to pages.
+        let mut notary_pages: HashSet<PageId> = HashSet::new();
+        for (base, len) in workload.notary_safe_ranges() {
+            let mut page = base.page().index();
+            let last = base.offset(len.saturating_sub(1)).page().index();
+            while page <= last {
+                notary_pages.insert(PageId::from_index(page));
+                page += 1;
+            }
+        }
+        let mut notary_pages: Vec<PageId> = notary_pages.into_iter().collect();
+        notary_pages.sort_unstable();
+        Resolver {
+            uses_static: cfg.hint_mode.uses_static(),
+            safe_sites,
+            raw_static_sites,
+            notary_pages,
+        }
+    }
+
+    fn resolve(&self, section: Section) -> Resolved {
+        self.resolve_into(section, Program::default())
+    }
+
+    /// [`Resolver::resolve`] reusing `buf`'s op storage.
+    fn resolve_into(&self, section: Section, buf: Program) -> Resolved {
+        match section {
+            Section::Barrier => Resolved::Barrier,
+            Section::NonTx(ops) => Resolved::Program(self.program(false, &ops, buf)),
+            Section::Tx(body) => Resolved::Program(self.program(true, &body.ops, buf)),
+        }
+    }
+
+    fn program(&self, tx: bool, ops: &[TxOp], mut out: Program) -> Program {
+        let filler = MemAccess::load(Addr::new(0), SiteId(0));
+        out.tx = tx;
+        out.ops.clear();
+        out.ops.extend(ops.iter().map(|op| match op {
+            TxOp::Compute(c) => POp {
+                op: OpKind::Compute,
+                flags: 0,
+                cost: *c,
+                access: filler,
+                block: BlockAddr::from_index(0),
+                page: PageId::from_index(0),
+            },
+            TxOp::Suspend => POp {
+                op: OpKind::Suspend,
+                flags: 0,
+                cost: 0,
+                access: filler,
+                block: BlockAddr::from_index(0),
+                page: PageId::from_index(0),
+            },
+            TxOp::Resume => POp {
+                op: OpKind::Resume,
+                flags: 0,
+                cost: 0,
+                access: filler,
+                block: BlockAddr::from_index(0),
+                page: PageId::from_index(0),
+            },
+            TxOp::Access(a) => {
+                let page = a.addr.page();
+                let hint_safe = a.hint.is_safe()
+                    || self.safe_sites.binary_search(&a.site).is_ok()
+                    || (self.uses_static && self.notary_pages.binary_search(&page).is_ok());
+                let mut flags = 0;
+                if self.uses_static && hint_safe {
+                    flags |= F_STATIC_SAFE;
+                }
+                if a.hint.is_safe() || self.raw_static_sites.binary_search(&a.site).is_ok() {
+                    flags |= F_RAW_STATIC;
+                }
+                POp {
+                    op: OpKind::Access,
+                    flags,
+                    cost: 0,
+                    access: *a,
+                    block: a.addr.block(),
+                    page,
+                }
+            }
+        }));
+        out
+    }
+}
+
+/// Where the merge loop gets resolved sections from.
+enum Feed<'w, 'r> {
+    /// Serial path: generate + resolve inline at the `Idle` step.
+    Direct {
+        workload: &'w mut dyn Workload,
+        resolver: &'r Resolver,
+    },
+    /// Lane path: per-thread receivers fed by lane workers.
+    Lanes(Vec<Receiver<Resolved>>),
+}
+
+impl Feed<'_, '_> {
+    /// Fetch the next resolved section for `tid`. `recycle` donates a
+    /// retired program's storage to the serial path (lane programs are
+    /// built on the worker side, so it is dropped there).
+    fn next(&mut self, tid: usize, recycle: Option<Program>) -> Resolved {
+        match self {
+            Feed::Direct { workload, resolver } => {
+                match workload.next_section(ThreadId(tid as u32)) {
+                    None => Resolved::Done,
+                    Some(s) => resolver.resolve_into(s, recycle.unwrap_or_default()),
+                }
+            }
+            Feed::Lanes(rxs) => rxs[tid]
+                .recv()
+                .expect("generation lane disconnected (worker panicked)"),
+        }
+    }
+}
+
+/// What a hardware thread is doing. The section payload lives in
+/// [`ThreadCtx::prog`]; keeping the discriminant `Copy` makes the
+/// scheduler scan touch no refcounts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// Needs a new section from the feed.
     Idle,
     /// Executing a hardware transaction.
-    InTx { body: Rc<TxBody>, pos: usize },
-    /// Backing off before retrying an aborted transaction.
-    WaitRetry { body: Rc<TxBody>, resume_at: Cycles },
-    /// Waiting for the fallback lock; `fallback` says whether the thread
-    /// will run the body under the lock or just retry in HTM mode once the
-    /// lock is free.
-    WaitLock { body: Rc<TxBody>, fallback: bool },
-    /// Executing a body under the global fallback lock.
-    InFallback { body: Rc<TxBody>, pos: usize },
+    InTx,
+    /// Executing the body under the global fallback lock.
+    InFallback,
     /// Executing non-transactional operations.
-    NonTx { ops: Rc<Vec<TxOp>>, pos: usize },
+    NonTx,
+    /// Backing off before retrying an aborted transaction.
+    WaitRetry,
+    /// Waiting for the fallback lock to retry in HTM mode.
+    WaitLockHtm,
+    /// Waiting to run the body under the fallback lock.
+    WaitLockFallback,
     /// Parked at a barrier.
     AtBarrier,
     /// Finished.
@@ -42,7 +278,15 @@ enum RunState {
 struct ThreadCtx {
     clock: Cycles,
     htm: HtmThread,
-    state: RunState,
+    mode: Mode,
+    /// Next op index in `prog` (`InTx`/`InFallback`/`NonTx`).
+    pos: usize,
+    /// Earliest retry time (`WaitRetry`).
+    resume_at: Cycles,
+    /// The current section body; retained across retries. Stored inline
+    /// (no box): it is never shared, and retiring it hands the op buffer
+    /// back to [`Engine::pool`].
+    prog: Option<Program>,
     core: CoreId,
     /// Inside a Suspend..Resume escape window of the current TX.
     suspended: bool,
@@ -76,12 +320,42 @@ struct EngineScratch {
     evicted: Vec<usize>,
     /// Write-set staging for rollback in `abort_thread`.
     rollback: Vec<BlockAddr>,
-    /// Bitmask of threads with an active hardware transaction, kept in
-    /// lockstep with `HtmThread::is_active` (set in `try_begin_tx`,
-    /// cleared on commit and in `abort_thread`). Lets the per-access
-    /// conflict/eviction/shootdown scans visit only transactional threads
-    /// instead of probing every controller.
-    active: u64,
+}
+
+/// Sink dispatch resolved at compile time: `NoSink` erases every event
+/// construction from the untraced hot path.
+trait SinkPort {
+    const ENABLED: bool;
+    fn emit(&mut self, ev: TraceEvent);
+    fn wants_accesses(&self) -> bool {
+        false
+    }
+}
+
+/// The untraced port: all event code compiles away.
+struct NoSink;
+
+impl SinkPort for NoSink {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn emit(&mut self, _ev: TraceEvent) {}
+}
+
+/// The traced port, forwarding to a caller-supplied dynamic sink.
+struct DynSink<'a> {
+    sink: &'a mut dyn TraceSink,
+    want_access: bool,
+}
+
+impl SinkPort for DynSink<'_> {
+    const ENABLED: bool = true;
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        self.sink.event(&ev);
+    }
+    fn wants_accesses(&self) -> bool {
+        self.want_access
+    }
 }
 
 /// The simulator. Construct with a [`SimConfig`], then [`Simulator::run`]
@@ -118,8 +392,10 @@ impl Simulator {
     /// order.
     ///
     /// The sink never affects the simulation: the returned statistics are
-    /// bit-identical to an unsinked run with the same seed. Sinks that
-    /// return `false` from [`TraceSink::wants_accesses`] skip the per-access
+    /// bit-identical to an unsinked run with the same seed, and the event
+    /// stream is bit-identical at every `sim_threads` value (emission
+    /// happens only in the merge loop, in merge order). Sinks that return
+    /// `false` from [`TraceSink::wants_accesses`] skip the per-access
     /// events (the bulk of the stream) entirely.
     pub fn run_with_sink(
         &self,
@@ -134,35 +410,10 @@ impl Simulator {
         &self,
         workload: &mut dyn Workload,
         seed: u64,
-        mut sink: Option<&mut dyn TraceSink>,
+        sink: Option<&mut dyn TraceSink>,
     ) -> RunStats {
         workload.reset(seed);
-        let want_access = sink.as_deref().is_some_and(|s| s.wants_accesses());
-        // Hint sets become sorted slices: they are immutable for the whole
-        // run, and a binary search over a flat vec beats hashing on the
-        // per-access verdict path.
-        let mut safe_sites: Vec<SiteId> = if self.cfg.hint_mode.uses_static() {
-            workload.static_safe_sites().into_iter().collect()
-        } else {
-            Vec::new()
-        };
-        safe_sites.sort_unstable();
-        // Raw static sites (for the hint-independent Fig. 6 views).
-        let mut raw_static_sites: Vec<SiteId> = workload.static_safe_sites().into_iter().collect();
-        raw_static_sites.sort_unstable();
-        // Notary-style manual privatization ranges, expanded to pages.
-        let mut notary_pages: HashSet<PageId> = HashSet::new();
-        for (base, len) in workload.notary_safe_ranges() {
-            let mut page = base.page().index();
-            let last = base.offset(len.saturating_sub(1)).page().index();
-            while page <= last {
-                notary_pages.insert(PageId::from_index(page));
-                page += 1;
-            }
-        }
-        let mut notary_pages: Vec<PageId> = notary_pages.into_iter().collect();
-        notary_pages.sort_unstable();
-
+        let resolver = Resolver::new(workload, &self.cfg);
         let n = workload.num_threads();
         let smt = self.cfg.machine.smt.ways();
         assert!(
@@ -170,59 +421,242 @@ impl Simulator {
             "workload wants {n} threads but the machine has {} hardware threads",
             self.cfg.machine.num_cores * smt
         );
-
-        let mut mem = Hierarchy::new(&self.cfg.machine);
-        let mut vm = VmSystem::new(&self.cfg.machine, self.cfg.preserve);
-        let mut profiler = self.cfg.profile_sharing.then(SharingProfiler::new);
-        let mut stats = RunStats::default();
-
-        let mut threads: Vec<ThreadCtx> = (0..n)
-            .map(|i| ThreadCtx {
-                clock: Cycles::ZERO,
-                htm: HtmThread::new(&self.cfg.htm),
-                state: RunState::Idle,
-                core: CoreId((i / smt) as u32),
-                suspended: false,
-                touched_safe_pages: Vec::new(),
-                attempt_breakdown: [0; 3],
-                fp_all: HashSet::new(),
-                fp_nonstatic: HashSet::new(),
-                fp_unsafe: HashSet::new(),
-            })
-            .collect();
-
-        let mut lock_holder: Option<usize> = None;
-        let mut lock_free_at = Cycles::ZERO;
-        let mut steps = 0u64;
-        let mut epoch = 0u32;
         assert!(n <= 64, "active-transaction bitmask covers 64 threads");
-        let mut scratch = EngineScratch::default();
+        let lanes = if self.cfg.sim_threads > 1 && workload.generation_is_thread_local() {
+            self.cfg.sim_threads.min(n)
+        } else {
+            1
+        };
+        match sink {
+            Some(s) => {
+                let want_access = s.wants_accesses();
+                self.drive(
+                    workload,
+                    &resolver,
+                    n,
+                    smt,
+                    lanes,
+                    DynSink {
+                        sink: s,
+                        want_access,
+                    },
+                )
+            }
+            None => self.drive(workload, &resolver, n, smt, lanes, NoSink),
+        }
+    }
 
-        loop {
-            steps += 1;
-            assert!(steps <= self.cfg.max_steps, "engine exceeded max_steps");
+    fn drive<S: SinkPort>(
+        &self,
+        workload: &mut dyn Workload,
+        resolver: &Resolver,
+        n: usize,
+        smt: usize,
+        lanes: usize,
+        sink: S,
+    ) -> RunStats {
+        let mut engine = Engine::new(&self.cfg, n, smt, sink);
+        if lanes <= 1 {
+            let mut feed = Feed::Direct { workload, resolver };
+            engine.run(&mut feed);
+            return engine.into_stats();
+        }
+        // Lane path: one bounded channel per simulated thread, lane worker
+        // `k` generating for threads `i ≡ k (mod lanes)`.
+        let mut txs: Vec<Option<SyncSender<Resolved>>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Receiver<Resolved>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = sync_channel(EPOCH_WINDOW);
+            txs.push(Some(tx));
+            rxs.push(rx);
+        }
+        let gen = Mutex::new(workload);
+        std::thread::scope(|scope| {
+            for k in 0..lanes {
+                let mine: Vec<(usize, SyncSender<Resolved>)> = (k..n)
+                    .step_by(lanes)
+                    .map(|i| (i, txs[i].take().expect("sender claimed once")))
+                    .collect();
+                let gen = &gen;
+                scope.spawn(move || lane_worker(gen, resolver, mine));
+            }
+            // If the merge loop panics (max_steps, deadlock assert), the
+            // receivers drop during unwinding, the workers' try_send fails
+            // with Disconnected and they exit — the scope join cannot hang.
+            let mut feed = Feed::Lanes(rxs);
+            engine.run(&mut feed);
+            engine.into_stats()
+        })
+    }
+}
 
-            // Pick the runnable thread with the smallest ready time.
+/// One generation lane: round-robins its threads, pulling sections behind
+/// the lock, resolving them outside it, and delivering through bounded
+/// channels without ever blocking on a single full channel (a parked
+/// thread's full window must not starve the lane's other threads).
+fn lane_worker(
+    gen: &Mutex<&mut dyn Workload>,
+    resolver: &Resolver,
+    mine: Vec<(usize, SyncSender<Resolved>)>,
+) {
+    struct Slot {
+        tid: usize,
+        tx: SyncSender<Resolved>,
+        pending: Option<Resolved>,
+        finished: bool,
+    }
+    let mut slots: Vec<Slot> = mine
+        .into_iter()
+        .map(|(tid, tx)| Slot {
+            tid,
+            tx,
+            pending: None,
+            finished: false,
+        })
+        .collect();
+    loop {
+        let mut progress = false;
+        let mut open = 0usize;
+        for slot in slots.iter_mut() {
+            if slot.finished {
+                continue;
+            }
+            open += 1;
+            if slot.pending.is_none() {
+                let section = {
+                    let mut w = gen.lock().expect("generation lock poisoned");
+                    w.next_section(ThreadId(slot.tid as u32))
+                };
+                slot.pending = Some(match section {
+                    None => Resolved::Done,
+                    Some(s) => resolver.resolve(s),
+                });
+            }
+            let item = slot.pending.take().expect("pending set above");
+            let is_done = matches!(item, Resolved::Done);
+            match slot.tx.try_send(item) {
+                Ok(()) => {
+                    progress = true;
+                    if is_done {
+                        slot.finished = true;
+                    }
+                }
+                Err(TrySendError::Full(item)) => slot.pending = Some(item),
+                Err(TrySendError::Disconnected(_)) => slot.finished = true,
+            }
+        }
+        if open == 0 {
+            break;
+        }
+        if !progress {
+            // Every window is full (the merge loop is behind) — yield
+            // rather than spin so single-core hosts are not starved.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The merge loop and all shared simulated state.
+struct Engine<'e, S: SinkPort> {
+    cfg: &'e SimConfig,
+    threads: Vec<ThreadCtx>,
+    mem: Hierarchy,
+    vm: VmSystem,
+    profiler: Option<SharingProfiler>,
+    stats: RunStats,
+    lock_holder: Option<usize>,
+    lock_free_at: Cycles,
+    scratch: EngineScratch,
+    /// Bitmask of threads with an active hardware transaction, kept in
+    /// lockstep with `HtmThread::is_active` (set in `try_begin_tx`,
+    /// cleared on commit and in `abort_thread`). Lets the per-access
+    /// conflict/eviction/shootdown scans visit only transactional threads
+    /// instead of probing every controller.
+    active: u64,
+    sink: S,
+    /// Retired `Program`s whose op buffers the serial feed reuses, so
+    /// steady-state section resolution allocates nothing. Capped at the
+    /// thread count (the most programs ever live at once).
+    pool: Vec<Program>,
+    uses_dynamic: bool,
+    steps: u64,
+    epoch: u32,
+    /// `true` while the current step has not (a) touched another thread's
+    /// clock/mode/resume time or (b) mutated the fallback-lock state. The
+    /// scheduler's same-thread fast path is valid only while this holds.
+    local_only: bool,
+}
+
+impl<'e, S: SinkPort> Engine<'e, S> {
+    fn new(cfg: &'e SimConfig, n: usize, smt: usize, sink: S) -> Self {
+        Engine {
+            threads: (0..n)
+                .map(|i| ThreadCtx {
+                    clock: Cycles::ZERO,
+                    htm: HtmThread::new(&cfg.htm),
+                    mode: Mode::Idle,
+                    pos: 0,
+                    resume_at: Cycles::ZERO,
+                    prog: None,
+                    core: CoreId((i / smt) as u32),
+                    suspended: false,
+                    touched_safe_pages: Vec::new(),
+                    attempt_breakdown: [0; 3],
+                    fp_all: HashSet::new(),
+                    fp_nonstatic: HashSet::new(),
+                    fp_unsafe: HashSet::new(),
+                })
+                .collect(),
+            mem: Hierarchy::new(&cfg.machine),
+            vm: VmSystem::new(&cfg.machine, cfg.preserve),
+            profiler: cfg.profile_sharing.then(SharingProfiler::new),
+            stats: RunStats::default(),
+            lock_holder: None,
+            lock_free_at: Cycles::ZERO,
+            scratch: EngineScratch::default(),
+            active: 0,
+            sink,
+            pool: Vec::new(),
+            uses_dynamic: cfg.hint_mode.uses_dynamic(),
+            steps: 0,
+            epoch: 0,
+            local_only: true,
+            cfg,
+        }
+    }
+
+    fn run(&mut self, feed: &mut Feed<'_, '_>) {
+        'scan: loop {
+            self.steps += 1;
+            assert!(
+                self.steps <= self.cfg.max_steps,
+                "engine exceeded max_steps"
+            );
+
+            // Full scan: the runnable thread with the smallest ready time
+            // (first-seen wins ties, i.e. lowest index), plus the runner-up
+            // for the same-thread fast path below.
             let mut pick: Option<(usize, Cycles)> = None;
+            let mut second: Option<(usize, Cycles)> = None;
             let mut all_done = true;
             let mut all_parked = true;
-            for (i, t) in threads.iter().enumerate() {
-                let ready = match &t.state {
-                    RunState::Done => continue,
-                    RunState::AtBarrier => {
+            for (i, t) in self.threads.iter().enumerate() {
+                let ready = match t.mode {
+                    Mode::Done => continue,
+                    Mode::AtBarrier => {
                         all_done = false;
                         continue;
                     }
-                    RunState::WaitLock { .. } => {
+                    Mode::WaitLockHtm | Mode::WaitLockFallback => {
                         all_done = false;
-                        if lock_holder.is_some() {
+                        if self.lock_holder.is_some() {
                             continue;
                         }
-                        t.clock.max(lock_free_at)
+                        t.clock.max(self.lock_free_at)
                     }
-                    RunState::WaitRetry { resume_at, .. } => {
+                    Mode::WaitRetry => {
                         all_done = false;
-                        t.clock.max(*resume_at)
+                        t.clock.max(t.resume_at)
                     }
                     _ => {
                         all_done = false;
@@ -230,8 +664,16 @@ impl Simulator {
                     }
                 };
                 all_parked = false;
-                if pick.is_none_or(|(_, best)| ready < best) {
-                    pick = Some((i, ready));
+                match pick {
+                    None => pick = Some((i, ready)),
+                    Some((_, best)) if ready < best => {
+                        second = pick;
+                        pick = Some((i, ready));
+                    }
+                    _ => match second {
+                        Some((_, s2)) if ready >= s2 => {}
+                        _ => second = Some((i, ready)),
+                    },
                 }
             }
 
@@ -242,508 +684,415 @@ impl Simulator {
                 if all_parked {
                     // Either everyone is at the barrier (release it) or we
                     // are deadlocked.
-                    let any_barrier = threads
-                        .iter()
-                        .any(|t| matches!(t.state, RunState::AtBarrier));
+                    let any_barrier = self.threads.iter().any(|t| t.mode == Mode::AtBarrier);
                     assert!(any_barrier, "engine deadlock: no runnable threads");
-                    let release = threads
+                    let release = self
+                        .threads
                         .iter()
-                        .filter(|t| matches!(t.state, RunState::AtBarrier))
+                        .filter(|t| t.mode == Mode::AtBarrier)
                         .map(|t| t.clock)
                         .fold(Cycles::ZERO, Cycles::max);
-                    for t in &mut threads {
-                        if matches!(t.state, RunState::AtBarrier) {
+                    for t in &mut self.threads {
+                        if t.mode == Mode::AtBarrier {
                             t.clock = release;
-                            t.state = RunState::Idle;
+                            t.mode = Mode::Idle;
                         }
                     }
-                    if let Some(s) = sink.as_mut() {
-                        s.event(&TraceEvent::BarrierRelease { at: release, epoch });
+                    if S::ENABLED {
+                        self.sink.emit(TraceEvent::BarrierRelease {
+                            at: release,
+                            epoch: self.epoch,
+                        });
                     }
-                    epoch += 1;
+                    self.epoch += 1;
                     continue;
                 }
                 unreachable!("pick is None only when all threads are parked or done");
             };
-            threads[i].clock = ready;
 
-            self.step(
-                i,
-                workload,
-                &mut threads,
-                &mut mem,
-                &mut vm,
-                &mut profiler,
-                &mut stats,
-                &mut lock_holder,
-                &mut lock_free_at,
-                &safe_sites,
-                &raw_static_sites,
-                &notary_pages,
-                &mut scratch,
-                &mut sink,
-                want_access,
-            );
-        }
+            self.threads[i].clock = ready;
+            self.local_only = true;
+            self.step(i, feed);
 
-        // Fold per-thread HTM stats.
-        for t in &threads {
-            let s = t.htm.stats();
-            stats.commits += s.commits;
-            stats.fallback_commits += s.fallback_commits;
-            for (k, v) in s.aborts.iter().enumerate() {
-                stats.aborts[k] += v;
+            // Same-thread fast path: keep stepping `i` without a rescan as
+            // long as (a) the step changed nothing outside thread `i` and
+            // the lock state, and (b) `i`'s new ready time still wins
+            // against the scan's runner-up under the scan's tie rule.
+            // Interactions that could *unblock* other threads all clear
+            // `local_only`, and lock acquisition by `i` can only shrink
+            // the runnable set, so the cached runner-up stays a lower
+            // bound on every other thread's ready time.
+            loop {
+                if !self.local_only {
+                    continue 'scan;
+                }
+                let t = &self.threads[i];
+                let ready = match t.mode {
+                    Mode::Idle | Mode::InTx | Mode::InFallback | Mode::NonTx => t.clock,
+                    Mode::WaitRetry => t.clock.max(t.resume_at),
+                    _ => continue 'scan,
+                };
+                if let Some((j2, r2)) = second {
+                    if !(ready < r2 || (ready == r2 && i < j2)) {
+                        continue 'scan;
+                    }
+                }
+                self.threads[i].clock = ready;
+                self.steps += 1;
+                assert!(
+                    self.steps <= self.cfg.max_steps,
+                    "engine exceeded max_steps"
+                );
+                self.local_only = true;
+                self.step(i, feed);
             }
-            stats.total_cycles = stats.total_cycles.max(t.clock);
-            stats.sum_cycles += t.clock;
         }
-        stats.vm = vm.stats();
-        stats.cache = mem.stats();
-        stats.safe_pages = vm.safe_page_census();
-        stats.steps = steps;
-        if let Some(mut p) = profiler {
-            stats.sharing = Some((
+    }
+
+    fn into_stats(mut self) -> RunStats {
+        // Fold per-thread HTM stats.
+        for t in &self.threads {
+            let s = t.htm.stats();
+            self.stats.commits += s.commits;
+            self.stats.fallback_commits += s.fallback_commits;
+            for (k, v) in s.aborts.iter().enumerate() {
+                self.stats.aborts[k] += v;
+            }
+            self.stats.total_cycles = self.stats.total_cycles.max(t.clock);
+            self.stats.sum_cycles += t.clock;
+        }
+        self.stats.vm = self.vm.stats();
+        self.stats.cache = self.mem.stats();
+        self.stats.safe_pages = self.vm.safe_page_census();
+        self.stats.steps = self.steps;
+        if let Some(mut p) = self.profiler {
+            self.stats.sharing = Some((
                 p.safe_block_fraction(),
                 p.safe_page_fraction(),
                 p.safe_tx_read_fraction_page(),
                 p.safe_tx_read_fraction_block(),
             ));
         }
-        stats
+        self.stats
+    }
+
+    /// Returns thread `i`'s finished program to the buffer pool.
+    fn retire(&mut self, i: usize) {
+        if let Some(p) = self.threads[i].prog.take() {
+            if self.pool.len() < self.threads.len() {
+                self.pool.push(p);
+            }
+        }
     }
 
     /// Executes one scheduling step for thread `i`.
-    #[allow(clippy::too_many_arguments)]
-    fn step(
-        &self,
-        i: usize,
-        workload: &mut dyn Workload,
-        threads: &mut [ThreadCtx],
-        mem: &mut Hierarchy,
-        vm: &mut VmSystem,
-        profiler: &mut Option<SharingProfiler>,
-        stats: &mut RunStats,
-        lock_holder: &mut Option<usize>,
-        lock_free_at: &mut Cycles,
-        safe_sites: &[SiteId],
-        raw_static_sites: &[SiteId],
-        notary_pages: &[PageId],
-        scratch: &mut EngineScratch,
-        sink: &mut Option<&mut dyn TraceSink>,
-        want_access: bool,
-    ) {
-        match threads[i].state.clone() {
-            RunState::Done | RunState::AtBarrier => unreachable!("parked threads never step"),
-            RunState::Idle => {
-                if let Some(s) = sink.as_mut() {
-                    s.event(&TraceEvent::SectionStart {
+    fn step(&mut self, i: usize, feed: &mut Feed<'_, '_>) {
+        match self.threads[i].mode {
+            Mode::Done | Mode::AtBarrier => unreachable!("parked threads never step"),
+            Mode::Idle => {
+                if S::ENABLED {
+                    self.sink.emit(TraceEvent::SectionStart {
                         thread: ThreadId(i as u32),
-                        at: threads[i].clock,
+                        at: self.threads[i].clock,
                     });
                 }
-                match workload.next_section(ThreadId(i as u32)) {
-                    None => threads[i].state = RunState::Done,
-                    Some(Section::Barrier) => threads[i].state = RunState::AtBarrier,
-                    Some(Section::NonTx(ops)) => {
-                        threads[i].state = RunState::NonTx {
-                            ops: Rc::new(ops),
-                            pos: 0,
-                        };
-                    }
-                    Some(Section::Tx(body)) => {
-                        self.try_begin_tx(
-                            i,
-                            Rc::new(body),
-                            threads,
-                            lock_holder,
-                            *lock_free_at,
-                            &mut scratch.active,
-                            sink,
-                        );
+                match feed.next(i, self.pool.pop()) {
+                    Resolved::Done => self.threads[i].mode = Mode::Done,
+                    Resolved::Barrier => self.threads[i].mode = Mode::AtBarrier,
+                    Resolved::Program(p) => {
+                        let tx = p.tx;
+                        self.threads[i].prog = Some(p);
+                        if tx {
+                            self.try_begin_tx(i);
+                        } else {
+                            self.threads[i].mode = Mode::NonTx;
+                            self.threads[i].pos = 0;
+                        }
                     }
                 }
             }
-            RunState::WaitRetry { body, .. } => {
-                self.try_begin_tx(
-                    i,
-                    body,
-                    threads,
-                    lock_holder,
-                    *lock_free_at,
-                    &mut scratch.active,
-                    sink,
-                );
+            Mode::WaitRetry => self.try_begin_tx(i),
+            Mode::WaitLockHtm => {
+                debug_assert!(self.lock_holder.is_none());
+                self.threads[i].clock = self.threads[i].clock.max(self.lock_free_at);
+                self.try_begin_tx(i);
             }
-            RunState::WaitLock { body, fallback } => {
-                debug_assert!(lock_holder.is_none());
-                threads[i].clock = threads[i].clock.max(*lock_free_at);
-                if fallback {
-                    // Acquire the lock and kill every running transaction
-                    // (lock subscription).
-                    *lock_holder = Some(i);
-                    if let Some(s) = sink.as_mut() {
-                        s.event(&TraceEvent::FallbackAcquire {
-                            thread: ThreadId(i as u32),
-                            at: threads[i].clock,
-                        });
-                    }
-                    let mut running = scratch.active & !(1 << i);
-                    while running != 0 {
-                        let j = running.trailing_zeros() as usize;
-                        running &= running - 1;
-                        debug_assert!(threads[j].htm.is_active());
-                        self.abort_thread(
-                            j,
-                            AbortKind::FallbackLock,
-                            threads,
-                            mem,
-                            stats,
-                            &mut scratch.rollback,
-                            &mut scratch.active,
-                            sink,
-                        );
-                    }
-                    threads[i].htm.enter_fallback();
-                    threads[i].state = RunState::InFallback { body, pos: 0 };
-                } else {
-                    self.try_begin_tx(
-                        i,
-                        body,
-                        threads,
-                        lock_holder,
-                        *lock_free_at,
-                        &mut scratch.active,
-                        sink,
-                    );
+            Mode::WaitLockFallback => {
+                debug_assert!(self.lock_holder.is_none());
+                self.threads[i].clock = self.threads[i].clock.max(self.lock_free_at);
+                // Acquire the lock and kill every running transaction
+                // (lock subscription).
+                self.local_only = false;
+                self.lock_holder = Some(i);
+                if S::ENABLED {
+                    self.sink.emit(TraceEvent::FallbackAcquire {
+                        thread: ThreadId(i as u32),
+                        at: self.threads[i].clock,
+                    });
                 }
+                let mut running = self.active & !(1 << i);
+                while running != 0 {
+                    let j = running.trailing_zeros() as usize;
+                    running &= running - 1;
+                    debug_assert!(self.threads[j].htm.is_active());
+                    self.abort_thread(j, AbortKind::FallbackLock);
+                }
+                self.threads[i].htm.enter_fallback();
+                self.threads[i].mode = Mode::InFallback;
+                self.threads[i].pos = 0;
             }
-            RunState::NonTx { ops, pos } => {
-                if pos >= ops.len() {
-                    threads[i].state = RunState::Idle;
+            Mode::NonTx => {
+                let pos = self.threads[i].pos;
+                let prog = self.threads[i].prog.as_ref().expect("NonTx has a program");
+                if pos >= prog.ops.len() {
+                    self.threads[i].mode = Mode::Idle;
+                    self.retire(i);
                     return;
                 }
-                let op = ops[pos].clone();
-                threads[i].state = RunState::NonTx { ops, pos: pos + 1 };
-                let _ = self.exec_op(
-                    i,
-                    &op,
-                    false,
-                    threads,
-                    mem,
-                    vm,
-                    profiler,
-                    stats,
-                    safe_sites,
-                    raw_static_sites,
-                    notary_pages,
-                    scratch,
-                    sink,
-                    want_access,
-                );
+                let op = prog.ops[pos];
+                self.threads[i].pos = pos + 1;
+                let _ = self.exec_op(i, op, false);
             }
-            RunState::InFallback { body, pos } => {
-                if pos >= body.ops.len() {
-                    threads[i].htm.commit_fallback();
-                    if let Some(s) = sink.as_mut() {
-                        s.event(&TraceEvent::FallbackCommit {
+            Mode::InFallback => {
+                let pos = self.threads[i].pos;
+                let prog = self.threads[i]
+                    .prog
+                    .as_ref()
+                    .expect("InFallback has a program");
+                if pos >= prog.ops.len() {
+                    self.threads[i].htm.commit_fallback();
+                    if S::ENABLED {
+                        self.sink.emit(TraceEvent::FallbackCommit {
                             thread: ThreadId(i as u32),
-                            at: threads[i].clock,
+                            at: self.threads[i].clock,
                         });
                     }
-                    *lock_holder = None;
-                    *lock_free_at = threads[i].clock;
-                    threads[i].state = RunState::Idle;
+                    // Releasing the lock can wake waiters: full rescan.
+                    self.local_only = false;
+                    self.lock_holder = None;
+                    self.lock_free_at = self.threads[i].clock;
+                    self.threads[i].mode = Mode::Idle;
+                    self.retire(i);
                     return;
                 }
-                let op = body.ops[pos].clone();
-                threads[i].state = RunState::InFallback { body, pos: pos + 1 };
-                let _ = self.exec_op(
-                    i,
-                    &op,
-                    false,
-                    threads,
-                    mem,
-                    vm,
-                    profiler,
-                    stats,
-                    safe_sites,
-                    raw_static_sites,
-                    notary_pages,
-                    scratch,
-                    sink,
-                    want_access,
-                );
+                let op = prog.ops[pos];
+                self.threads[i].pos = pos + 1;
+                let _ = self.exec_op(i, op, false);
             }
-            RunState::InTx { body, pos } => {
-                if pos >= body.ops.len() {
+            Mode::InTx => {
+                let pos = self.threads[i].pos;
+                let prog = self.threads[i].prog.as_ref().expect("InTx has a program");
+                if pos >= prog.ops.len() {
                     // Commit. Footprint/set sizes/retries must be captured
                     // before `commit()` clears the tracker.
-                    threads[i].clock += self.cfg.tx_commit_cost;
-                    if let Some(s) = sink.as_mut() {
-                        s.event(&TraceEvent::TxCommit {
+                    self.threads[i].clock += self.cfg.tx_commit_cost;
+                    if S::ENABLED {
+                        self.sink.emit(TraceEvent::TxCommit {
                             thread: ThreadId(i as u32),
-                            at: threads[i].clock,
-                            read_set: threads[i].htm.read_set_size() as u32,
-                            write_set: threads[i].htm.write_set_size() as u32,
-                            footprint: threads[i].htm.footprint() as u32,
-                            retries: threads[i].htm.retries(),
+                            at: self.threads[i].clock,
+                            read_set: self.threads[i].htm.read_set_size() as u32,
+                            write_set: self.threads[i].htm.write_set_size() as u32,
+                            footprint: self.threads[i].htm.footprint() as u32,
+                            retries: self.threads[i].htm.retries(),
                         });
                     }
-                    threads[i].htm.commit();
-                    scratch.active &= !(1 << i);
-                    let bd = threads[i].attempt_breakdown;
+                    self.threads[i].htm.commit();
+                    self.active &= !(1 << i);
+                    let bd = self.threads[i].attempt_breakdown;
                     for (k, v) in bd.iter().enumerate() {
-                        stats.access_breakdown[k] += v;
+                        self.stats.access_breakdown[k] += v;
                     }
                     if self.cfg.record_tx_sizes {
-                        stats.tx_sizes_all.push(threads[i].fp_all.len() as u32);
-                        stats
+                        self.stats
+                            .tx_sizes_all
+                            .push(self.threads[i].fp_all.len() as u32);
+                        self.stats
                             .tx_sizes_nonstatic
-                            .push(threads[i].fp_nonstatic.len() as u32);
-                        stats
+                            .push(self.threads[i].fp_nonstatic.len() as u32);
+                        self.stats
                             .tx_sizes_unsafe
-                            .push(threads[i].fp_unsafe.len() as u32);
+                            .push(self.threads[i].fp_unsafe.len() as u32);
                     }
-                    threads[i].touched_safe_pages.clear();
-                    threads[i].state = RunState::Idle;
+                    self.threads[i].touched_safe_pages.clear();
+                    self.threads[i].mode = Mode::Idle;
+                    self.retire(i);
                     return;
                 }
-                let op = body.ops[pos].clone();
-                threads[i].state = RunState::InTx { body, pos: pos + 1 };
-                let _ = self.exec_op(
-                    i,
-                    &op,
-                    true,
-                    threads,
-                    mem,
-                    vm,
-                    profiler,
-                    stats,
-                    safe_sites,
-                    raw_static_sites,
-                    notary_pages,
-                    scratch,
-                    sink,
-                    want_access,
-                );
+                let op = prog.ops[pos];
+                self.threads[i].pos = pos + 1;
+                let _ = self.exec_op(i, op, true);
             }
         }
     }
 
-    /// Starts (or queues) a transaction attempt for thread `i`.
-    #[allow(clippy::too_many_arguments)]
-    fn try_begin_tx(
-        &self,
-        i: usize,
-        body: Rc<TxBody>,
-        threads: &mut [ThreadCtx],
-        lock_holder: &Option<usize>,
-        lock_free_at: Cycles,
-        active: &mut u64,
-        sink: &mut Option<&mut dyn TraceSink>,
-    ) {
-        if lock_holder.is_some() {
-            threads[i].state = RunState::WaitLock {
-                body,
-                fallback: false,
-            };
+    /// Starts (or queues) a transaction attempt for thread `i`. The body is
+    /// already in `prog` and is reused verbatim across attempts.
+    fn try_begin_tx(&mut self, i: usize) {
+        if self.lock_holder.is_some() {
+            self.threads[i].mode = Mode::WaitLockHtm;
             return;
         }
-        threads[i].clock = threads[i].clock.max(lock_free_at) + self.cfg.tx_begin_cost;
-        let now = threads[i].clock;
-        if let Some(s) = sink.as_mut() {
-            s.event(&TraceEvent::TxBegin {
+        self.threads[i].clock =
+            self.threads[i].clock.max(self.lock_free_at) + self.cfg.tx_begin_cost;
+        let now = self.threads[i].clock;
+        if S::ENABLED {
+            self.sink.emit(TraceEvent::TxBegin {
                 thread: ThreadId(i as u32),
                 at: now,
             });
         }
-        threads[i].htm.begin_at(now);
-        *active |= 1 << i;
-        threads[i].suspended = false;
-        threads[i].touched_safe_pages.clear();
-        threads[i].attempt_breakdown = [0; 3];
-        threads[i].fp_all.clear();
-        threads[i].fp_nonstatic.clear();
-        threads[i].fp_unsafe.clear();
-        threads[i].state = RunState::InTx { body, pos: 0 };
+        let t = &mut self.threads[i];
+        t.htm.begin_at(now);
+        self.active |= 1 << i;
+        t.suspended = false;
+        t.touched_safe_pages.clear();
+        t.attempt_breakdown = [0; 3];
+        t.fp_all.clear();
+        t.fp_nonstatic.clear();
+        t.fp_unsafe.clear();
+        t.mode = Mode::InTx;
+        t.pos = 0;
     }
 
     /// Aborts thread `j`'s active transaction and schedules its next move.
-    #[allow(clippy::too_many_arguments)]
-    fn abort_thread(
-        &self,
-        j: usize,
-        kind: AbortKind,
-        threads: &mut [ThreadCtx],
-        mem: &mut Hierarchy,
-        stats: &mut RunStats,
-        rollback: &mut Vec<BlockAddr>,
-        active: &mut u64,
-        sink: &mut Option<&mut dyn TraceSink>,
-    ) {
-        debug_assert!(threads[j].htm.is_active());
-        let at = threads[j].clock;
-        let lost = at.saturating_sub(threads[j].htm.tx_start()).raw();
+    fn abort_thread(&mut self, j: usize, kind: AbortKind) {
+        debug_assert!(self.threads[j].htm.is_active());
+        // Aborts may hit other threads than the one being stepped, and
+        // always change clocks/modes: drop the same-thread fast path.
+        self.local_only = false;
+        let at = self.threads[j].clock;
+        let lost = at.saturating_sub(self.threads[j].htm.tx_start()).raw();
         // The tracker is cleared by `abort()` below; capture its footprint
         // for the event first.
-        let footprint = threads[j].htm.footprint() as u32;
+        let footprint = self.threads[j].htm.footprint() as u32;
         let ki = AbortKind::ALL
             .iter()
             .position(|k| *k == kind)
             .expect("kind");
-        stats.wasted_cycles[ki] += lost;
+        self.stats.wasted_cycles[ki] += lost;
         if kind == AbortKind::PageMode {
-            stats.page_mode_cycles += lost;
+            self.stats.page_mode_cycles += lost;
         }
         // Roll back speculatively written lines (staged through the
-        // caller's scratch buffer — no allocation).
-        let core = threads[j].core;
-        rollback.clear();
-        threads[j].htm.write_blocks_into(rollback);
-        for &b in rollback.iter() {
-            mem.discard_local(core, b);
+        // engine's scratch buffer — no allocation).
+        let core = self.threads[j].core;
+        self.scratch.rollback.clear();
+        self.threads[j]
+            .htm
+            .write_blocks_into(&mut self.scratch.rollback);
+        for &b in self.scratch.rollback.iter() {
+            self.mem.discard_local(core, b);
         }
         // LogTM-style eager versioning pays a log unroll per spilled block.
-        let unroll = threads[j].htm.overflowed_blocks() * self.cfg.log_unroll_cost.raw();
-        threads[j].htm.abort(kind);
-        *active &= !(1 << j);
-        if let Some(s) = sink.as_mut() {
-            s.event(&TraceEvent::TxAbort {
+        let unroll = self.threads[j].htm.overflowed_blocks() * self.cfg.log_unroll_cost.raw();
+        self.threads[j].htm.abort(kind);
+        self.active &= !(1 << j);
+        if S::ENABLED {
+            self.sink.emit(TraceEvent::TxAbort {
                 thread: ThreadId(j as u32),
                 at,
                 kind,
                 lost,
                 footprint,
-                retries: threads[j].htm.retries(),
+                retries: self.threads[j].htm.retries(),
             });
         }
-        threads[j].clock += self.cfg.abort_penalty + unroll;
-        threads[j].suspended = false;
-        threads[j].touched_safe_pages.clear();
+        self.threads[j].clock += self.cfg.abort_penalty + unroll;
+        self.threads[j].suspended = false;
+        self.threads[j].touched_safe_pages.clear();
 
-        let body = match &threads[j].state {
-            RunState::InTx { body, .. } => Rc::clone(body),
-            other => unreachable!("active TX with state {other:?}"),
-        };
-        let retries = threads[j].htm.retries();
-        threads[j].state = if kind == AbortKind::FallbackLock {
+        debug_assert!(
+            self.threads[j].mode == Mode::InTx,
+            "active TX with mode {:?}",
+            self.threads[j].mode
+        );
+        let retries = self.threads[j].htm.retries();
+        if kind == AbortKind::FallbackLock {
             // Killed by a lock acquisition: just wait for the lock and
             // retry in HTM mode.
-            RunState::WaitLock {
-                body,
-                fallback: false,
-            }
+            self.threads[j].mode = Mode::WaitLockHtm;
         } else if kind == AbortKind::Capacity || retries > self.cfg.machine.max_retries {
             // Capacity aborts never succeed on retry (§I): fall back.
-            RunState::WaitLock {
-                body,
-                fallback: true,
-            }
+            self.threads[j].mode = Mode::WaitLockFallback;
         } else {
             let backoff =
                 (self.cfg.backoff_base.raw() << (retries.min(6).saturating_sub(1))) + 37 * j as u64; // deterministic per-thread jitter
-            RunState::WaitRetry {
-                body,
-                resume_at: threads[j].clock + backoff,
-            }
-        };
+            self.threads[j].mode = Mode::WaitRetry;
+            self.threads[j].resume_at = self.threads[j].clock + backoff;
+        }
     }
 
     /// Executes one operation for thread `i`. `in_tx` marks speculative
     /// execution (fallback and non-TX sections pass `false`).
-    #[allow(clippy::too_many_arguments)]
-    fn exec_op(
-        &self,
-        i: usize,
-        op: &TxOp,
-        in_tx: bool,
-        threads: &mut [ThreadCtx],
-        mem: &mut Hierarchy,
-        vm: &mut VmSystem,
-        profiler: &mut Option<SharingProfiler>,
-        stats: &mut RunStats,
-        safe_sites: &[SiteId],
-        raw_static_sites: &[SiteId],
-        notary_pages: &[PageId],
-        scratch: &mut EngineScratch,
-        sink: &mut Option<&mut dyn TraceSink>,
-        want_access: bool,
-    ) -> StepOutcome {
-        let a: MemAccess = match op {
-            TxOp::Compute(c) => {
-                threads[i].clock += Cycles(*c);
+    fn exec_op(&mut self, i: usize, op: POp, in_tx: bool) -> StepOutcome {
+        match op.op {
+            OpKind::Compute => {
+                self.threads[i].clock += Cycles(op.cost);
                 return StepOutcome::Continue;
             }
-            TxOp::Suspend => {
-                debug_assert!(!threads[i].suspended, "nested suspend");
-                threads[i].suspended = true;
+            OpKind::Suspend => {
+                debug_assert!(!self.threads[i].suspended, "nested suspend");
+                self.threads[i].suspended = true;
                 return StepOutcome::Continue;
             }
-            TxOp::Resume => {
-                debug_assert!(threads[i].suspended, "resume without suspend");
-                threads[i].suspended = false;
+            OpKind::Resume => {
+                debug_assert!(self.threads[i].suspended, "resume without suspend");
+                self.threads[i].suspended = false;
                 return StepOutcome::Continue;
             }
-            TxOp::Access(a) => *a,
-        };
-        // Escape-action window: the access executes non-transactionally.
-        let in_tx = in_tx && !threads[i].suspended;
-        let tid = ThreadId(i as u32);
-        if want_access {
-            if let Some(s) = sink.as_mut() {
-                s.event(&TraceEvent::Access {
-                    thread: tid,
-                    at: threads[i].clock,
-                    access: a,
-                    in_tx,
-                });
-            }
+            OpKind::Access => {}
         }
-        let core = threads[i].core;
-        let page = a.addr.page();
-        let block = a.addr.block();
+        let a = op.access;
+        // Escape-action window: the access executes non-transactionally.
+        let in_tx = in_tx && !self.threads[i].suspended;
+        let tid = ThreadId(i as u32);
+        if S::ENABLED && self.sink.wants_accesses() {
+            self.sink.emit(TraceEvent::Access {
+                thread: tid,
+                at: self.threads[i].clock,
+                access: a,
+                in_tx,
+            });
+        }
+        let core = self.threads[i].core;
+        let page = op.page;
+        let block = op.block;
 
         // 1. Translation + dynamic page classification.
-        let vm_res = vm.access(core, tid, page, a.kind);
-        threads[i].clock += vm_res.cost;
+        let vm_res = self.vm.access(core, tid, page, a.kind);
+        self.threads[i].clock += vm_res.cost;
         let mut self_aborted = false;
         if let Some(sd) = vm_res.shootdown {
-            if let Some(s) = sink.as_mut() {
-                s.event(&TraceEvent::Shootdown {
+            // Slave-core clock bumps and page-mode aborts reach beyond the
+            // stepping thread.
+            self.local_only = false;
+            if S::ENABLED {
+                self.sink.emit(TraceEvent::Shootdown {
                     thread: tid,
-                    at: threads[i].clock,
+                    at: self.threads[i].clock,
                     page: sd.page,
                     slaves: sd.slave_cores.len() as u32,
                 });
             }
-            stats.page_mode_cycles += self.cfg.machine.shootdown_initiator_cost.raw();
+            self.stats.page_mode_cycles += self.cfg.machine.shootdown_initiator_cost.raw();
             for slave in &sd.slave_cores {
-                stats.page_mode_cycles += self.cfg.machine.shootdown_slave_cost.raw();
-                for (j, t) in threads.iter_mut().enumerate() {
+                self.stats.page_mode_cycles += self.cfg.machine.shootdown_slave_cost.raw();
+                for (j, t) in self.threads.iter_mut().enumerate() {
                     if t.core == *slave && j != i {
                         t.clock += self.cfg.machine.shootdown_slave_cost;
                     }
                 }
             }
             // Page-mode abort every TX that safely touched the page.
-            let mut running = scratch.active;
+            let mut running = self.active;
             while running != 0 {
                 let j = running.trailing_zeros() as usize;
                 running &= running - 1;
-                if threads[j].touched_safe_pages.contains(&sd.page) {
+                if self.threads[j].touched_safe_pages.contains(&sd.page) {
                     if j == i {
                         self_aborted = true;
                     }
-                    self.abort_thread(
-                        j,
-                        AbortKind::PageMode,
-                        threads,
-                        mem,
-                        stats,
-                        &mut scratch.rollback,
-                        &mut scratch.active,
-                        sink,
-                    );
+                    self.abort_thread(j, AbortKind::PageMode);
                 }
             }
         }
@@ -751,30 +1100,26 @@ impl Simulator {
             return StepOutcome::SelfAborted;
         }
 
-        // 2. Safety verdicts.
-        let hint_safe = a.hint.is_safe()
-            || safe_sites.binary_search(&a.site).is_ok()
-            || (self.cfg.hint_mode.uses_static() && notary_pages.binary_search(&page).is_ok());
-        let static_safe = self.cfg.hint_mode.uses_static() && hint_safe;
-        let dyn_safe = self.cfg.hint_mode.uses_dynamic()
-            && !static_safe
-            && a.kind == AccessKind::Load
-            && vm_res.safe_load;
+        // 2. Safety verdicts (static side pre-resolved into the op flags).
+        let static_safe = op.flags & F_STATIC_SAFE != 0;
+        let dyn_safe =
+            self.uses_dynamic && !static_safe && a.kind == AccessKind::Load && vm_res.safe_load;
         let safe = in_tx && (static_safe || dyn_safe);
 
         // 3. Cache access (into the reused scratch outcome; the fields the
         // rest of this function needs are all `Copy`).
-        mem.access_into(core, block, a.kind, &mut scratch.outcome);
-        let latency = scratch.outcome.latency;
-        let invalidated = scratch.outcome.invalidated.len() as u32;
-        let downgraded = scratch.outcome.downgraded.len() as u32;
-        let l1_victim = scratch.outcome.l1_victim;
-        threads[i].clock += latency;
-        if invalidated != 0 || downgraded != 0 {
-            if let Some(s) = sink.as_mut() {
-                s.event(&TraceEvent::Coherence {
+        self.mem
+            .access_into(core, block, a.kind, &mut self.scratch.outcome);
+        let latency = self.scratch.outcome.latency;
+        let l1_victim = self.scratch.outcome.l1_victim;
+        self.threads[i].clock += latency;
+        if S::ENABLED {
+            let invalidated = self.scratch.outcome.invalidated.len() as u32;
+            let downgraded = self.scratch.outcome.downgraded.len() as u32;
+            if invalidated != 0 || downgraded != 0 {
+                self.sink.emit(TraceEvent::Coherence {
                     thread: tid,
-                    at: threads[i].clock,
+                    at: self.threads[i].clock,
                     block,
                     invalidated,
                     downgraded,
@@ -783,74 +1128,47 @@ impl Simulator {
         }
 
         // 4. Eager conflict detection against all other active TXs.
-        scratch.victims.clear();
-        let mut others = scratch.active & !(1 << i);
-        while others != 0 {
-            let j = others.trailing_zeros() as usize;
-            others &= others - 1;
-            let t = &threads[j];
-            debug_assert!(t.htm.is_active());
-            let (reads, writes) = match a.kind {
-                // Stores conflict with both sets: one combined probe.
-                AccessKind::Store => t.htm.conflict_probe(block),
-                // Loads only conflict with the (always precise) writeset.
-                AccessKind::Load => {
-                    let w = t.htm.writes_block(block);
-                    (w, w)
-                }
-            };
-            let hits = writes || (a.kind == AccessKind::Store && reads);
-            if hits {
-                // `hits && !writes` can only arise for a store hitting a
-                // reader, so the read-set membership is already established;
-                // only the precision of that read still needs probing.
-                let kind = if !writes && !t.htm.precise_reads_block(block) {
-                    AbortKind::FalseConflict
-                } else {
-                    AbortKind::Conflict
-                };
-                scratch.victims.push((j, kind));
-            }
-        }
-        for k in 0..scratch.victims.len() {
-            let (j, kind) = scratch.victims[k];
-            match self.cfg.machine.conflict_policy {
-                ConflictPolicy::RequesterWins => {
-                    self.abort_thread(
-                        j,
-                        kind,
-                        threads,
-                        mem,
-                        stats,
-                        &mut scratch.rollback,
-                        &mut scratch.active,
-                        sink,
-                    );
-                }
-                ConflictPolicy::ResponderWins => {
-                    if in_tx && threads[i].htm.is_active() {
-                        self.abort_thread(
-                            i,
-                            kind,
-                            threads,
-                            mem,
-                            stats,
-                            &mut scratch.rollback,
-                            &mut scratch.active,
-                            sink,
-                        );
-                        return StepOutcome::SelfAborted;
+        let mut others = self.active & !(1 << i);
+        if others != 0 {
+            self.scratch.victims.clear();
+            while others != 0 {
+                let j = others.trailing_zeros() as usize;
+                others &= others - 1;
+                let t = &self.threads[j];
+                debug_assert!(t.htm.is_active());
+                let (reads, writes) = match a.kind {
+                    // Stores conflict with both sets: one combined probe.
+                    AccessKind::Store => t.htm.conflict_probe(block),
+                    // Loads only conflict with the (always precise) writeset.
+                    AccessKind::Load => {
+                        let w = t.htm.writes_block(block);
+                        (w, w)
                     }
-                    self.abort_thread(
-                        j,
-                        kind,
-                        threads,
-                        mem,
-                        stats,
-                        &mut scratch.rollback,
-                        &mut scratch.active,
-                        sink,
-                    );
+                };
+                let hits = writes || (a.kind == AccessKind::Store && reads);
+                if hits {
+                    // `hits && !writes` can only arise for a store hitting a
+                    // reader, so the read-set membership is already established;
+                    // only the precision of that read still needs probing.
+                    let kind = if !writes && !t.htm.precise_reads_block(block) {
+                        AbortKind::FalseConflict
+                    } else {
+                        AbortKind::Conflict
+                    };
+                    self.scratch.victims.push((j, kind));
+                }
+            }
+            for k in 0..self.scratch.victims.len() {
+                let (j, kind) = self.scratch.victims[k];
+                match self.cfg.machine.conflict_policy {
+                    ConflictPolicy::RequesterWins => self.abort_thread(j, kind),
+                    ConflictPolicy::ResponderWins => {
+                        if in_tx && self.threads[i].htm.is_active() {
+                            self.abort_thread(i, kind);
+                            return StepOutcome::SelfAborted;
+                        }
+                        self.abort_thread(j, kind);
+                    }
                 }
             }
         }
@@ -858,51 +1176,45 @@ impl Simulator {
         // 5. L1 eviction → in-L1 tracking capacity aborts (self or SMT
         // sibling sharing the L1).
         if let Some(victim) = l1_victim {
-            if let Some(s) = sink.as_mut() {
-                s.event(&TraceEvent::L1Eviction {
+            if S::ENABLED {
+                self.sink.emit(TraceEvent::L1Eviction {
                     thread: tid,
-                    at: threads[i].clock,
+                    at: self.threads[i].clock,
                     block: victim,
                 });
             }
-            scratch.evicted.clear();
-            let mut running = scratch.active;
-            while running != 0 {
-                let j = running.trailing_zeros() as usize;
-                running &= running - 1;
-                let t = &threads[j];
-                if t.core == core && t.htm.on_l1_eviction(victim) {
-                    scratch.evicted.push(j);
+            if self.active != 0 {
+                self.scratch.evicted.clear();
+                let mut running = self.active;
+                while running != 0 {
+                    let j = running.trailing_zeros() as usize;
+                    running &= running - 1;
+                    let t = &self.threads[j];
+                    if t.core == core && t.htm.on_l1_eviction(victim) {
+                        self.scratch.evicted.push(j);
+                    }
                 }
-            }
-            for k in 0..scratch.evicted.len() {
-                let j = scratch.evicted[k];
-                if j == i {
-                    self_aborted = true;
+                for k in 0..self.scratch.evicted.len() {
+                    let j = self.scratch.evicted[k];
+                    if j == i {
+                        self_aborted = true;
+                    }
+                    self.abort_thread(j, AbortKind::Capacity);
                 }
-                self.abort_thread(
-                    j,
-                    AbortKind::Capacity,
-                    threads,
-                    mem,
-                    stats,
-                    &mut scratch.rollback,
-                    &mut scratch.active,
-                    sink,
-                );
-            }
-            if self_aborted {
-                return StepOutcome::SelfAborted;
+                if self_aborted {
+                    return StepOutcome::SelfAborted;
+                }
             }
         }
 
         // 6. Profiling + transactional tracking.
-        if let Some(p) = profiler.as_mut() {
+        if let Some(p) = self.profiler.as_mut() {
             p.record(tid, a.addr, a.kind, in_tx);
         }
         if in_tx {
-            if dyn_safe && !threads[i].touched_safe_pages.contains(&page) {
-                threads[i].touched_safe_pages.push(page);
+            let t = &mut self.threads[i];
+            if dyn_safe && !t.touched_safe_pages.contains(&page) {
+                t.touched_safe_pages.push(page);
             }
             let slot = if static_safe {
                 0
@@ -911,30 +1223,20 @@ impl Simulator {
             } else {
                 2
             };
-            threads[i].attempt_breakdown[slot] += 1;
+            t.attempt_breakdown[slot] += 1;
             if self.cfg.record_tx_sizes {
-                let raw_static =
-                    a.hint.is_safe() || raw_static_sites.binary_search(&a.site).is_ok();
+                let raw_static = op.flags & F_RAW_STATIC != 0;
                 let raw_dyn = a.kind == AccessKind::Load && vm_res.safe_load;
-                threads[i].fp_all.insert(block);
+                t.fp_all.insert(block);
                 if !raw_static {
-                    threads[i].fp_nonstatic.insert(block);
+                    t.fp_nonstatic.insert(block);
                 }
                 if !raw_static && !raw_dyn {
-                    threads[i].fp_unsafe.insert(block);
+                    t.fp_unsafe.insert(block);
                 }
             }
-            if threads[i].htm.on_access(block, a.kind, safe).is_err() {
-                self.abort_thread(
-                    i,
-                    AbortKind::Capacity,
-                    threads,
-                    mem,
-                    stats,
-                    &mut scratch.rollback,
-                    &mut scratch.active,
-                    sink,
-                );
+            if t.htm.on_access(block, a.kind, safe).is_err() {
+                self.abort_thread(i, AbortKind::Capacity);
                 return StepOutcome::SelfAborted;
             }
         }

@@ -46,6 +46,17 @@ pub struct VmStats {
     pub unsafe_loads: u64,
 }
 
+/// Memo of a core's most recent translation, validated against the global
+/// table [`VmSystem::version`]. See [`VmSystem::access`] for the exact
+/// equivalence argument.
+#[derive(Clone, Copy, Debug)]
+struct CoreMemo {
+    page: PageId,
+    tid: ThreadId,
+    version: u64,
+    state: PageState,
+}
+
 /// The process-wide VM state: the extended page table and per-core TLBs.
 ///
 /// See the crate docs for an example.
@@ -59,6 +70,11 @@ pub struct VmSystem {
     shootdown_initiator_cost: Cycles,
     shootdown_slave_cost: Cycles,
     stats: VmStats,
+    /// Bumped whenever any page's table state changes; memos from older
+    /// versions are dead.
+    version: u64,
+    /// Per-core last-translation memo (the repeated-access fast path).
+    memos: Vec<Option<CoreMemo>>,
 }
 
 impl VmSystem {
@@ -76,6 +92,8 @@ impl VmSystem {
             shootdown_initiator_cost: cfg.shootdown_initiator_cost,
             shootdown_slave_cost: cfg.shootdown_slave_cost,
             stats: VmStats::default(),
+            version: 0,
+            memos: vec![None; cfg.num_cores],
         }
     }
 
@@ -121,6 +139,39 @@ impl VmSystem {
         page: PageId,
         kind: AccessKind,
     ) -> VmAccess {
+        // Fast path: this core's immediately preceding access hit the same
+        // (page, tid) and no page anywhere has changed state since. The
+        // memo then holds the page's exact current state; if stepping it
+        // is a no-op (the state machine is a fixed point for repeated
+        // identical accesses), the slow path below would charge zero cost
+        // — the TLB entry is still resident and MRU (this core performed
+        // no other access since installing/touching it, and any remote
+        // invalidation implies a `ToSharedRw` transition, which bumps the
+        // version) — so only the load-classification counters remain.
+        // Skipping the TLB's MRU re-touch is unobservable: relative LRU
+        // order, which alone determines evictions, is unchanged.
+        if let Some(m) = self.memos[core.index()] {
+            if m.page == page && m.tid == tid && m.version == self.version {
+                let (after, t) = step(Some(m.state), tid, kind, self.preserve);
+                if t == Transition::None {
+                    debug_assert_eq!(after, m.state);
+                    let safe_load = kind == AccessKind::Load && after.load_is_safe(tid);
+                    if kind == AccessKind::Load {
+                        if safe_load {
+                            self.stats.safe_loads += 1;
+                        } else {
+                            self.stats.unsafe_loads += 1;
+                        }
+                    }
+                    return VmAccess {
+                        safe_load,
+                        cost: Cycles::ZERO,
+                        shootdown: None,
+                    };
+                }
+            }
+        }
+
         let mut cost = Cycles::ZERO;
         let tlb_hit = self.tlbs[core.index()].lookup(page);
 
@@ -130,6 +181,9 @@ impl VmSystem {
             transition = t;
             after
         });
+        if transition != Transition::None {
+            self.version += 1;
+        }
 
         // A state transition invalidates any cached (now stale) entry; the
         // access then behaves like a TLB miss for cost purposes.
@@ -177,6 +231,13 @@ impl VmSystem {
                 self.stats.unsafe_loads += 1;
             }
         }
+
+        self.memos[core.index()] = Some(CoreMemo {
+            page,
+            tid,
+            version: self.version,
+            state: after,
+        });
 
         VmAccess {
             safe_load,

@@ -111,6 +111,12 @@ impl Workload for Kmeans {
         self.threads
     }
 
+    fn generation_is_thread_local(&self) -> bool {
+        // `next_section(t)` reads only `rngs[t]` and `remaining[t]`: safe
+        // for the engine's parallel lane generation.
+        true
+    }
+
     fn reset(&mut self, seed: u64) {
         let mut space = AddressSpace::new(self.threads);
         // One 64 B row per centroid: accumulators + count share a block.

@@ -167,6 +167,14 @@ impl Workload for Labyrinth {
         self.threads
     }
 
+    fn generation_is_thread_local(&self) -> bool {
+        // `next_section(t)` consults only `rngs[t]`, `remaining[t]`,
+        // `route_pending[t]`, `warmed_up[t]`, and `grids[t]` plus the
+        // immutable layout: safe for the engine's parallel lane
+        // generation.
+        true
+    }
+
     fn reset(&mut self, seed: u64) {
         let (x, y, z) = Self::dims(self.scale);
         let mut space = AddressSpace::new(self.threads);
