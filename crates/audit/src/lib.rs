@@ -16,9 +16,16 @@
 //!    hints (safe site observed racing) and missed hints (provably private
 //!    site left unhinted).
 //!
+//! A third, orthogonal static direction is capacity: [`analyze`] bounds
+//! every transaction's cache-block footprint with the
+//! [`hintm_ir::footprint()`] interval analysis, gives per-HTM-model
+//! fits/may-overflow/must-overflow verdicts, and diffs the declared
+//! safe-site set against what the classifier can re-infer.
+//!
 //! [`audit_workload`] runs both sides for one workload;
-//! [`audit_all`] sweeps the whole suite. `hintm audit` is the CLI front
-//! end.
+//! [`audit_all`] sweeps the whole suite; [`analyze_workload`] runs the
+//! static capacity analysis. `hintm audit` and `hintm analyze` are the
+//! CLI front ends.
 //!
 //! # Examples
 //!
@@ -30,20 +37,81 @@
 //! assert!(report.unsound.is_empty(), "all shipped hints are sound");
 //! ```
 
+pub mod analyze;
 pub mod lint;
 pub mod oracle;
 pub mod verify;
 
+pub use analyze::{analyze_all, analyze_module, analyze_workload, AnalyzeReport, AnalyzeStats};
 pub use lint::{default_lints, run_lints, Diagnostic, Lint, LintCtx, Severity};
 pub use oracle::{OracleRecorder, OracleReport, UnsoundHint};
 pub use verify::{verify, VerifyError};
 
 pub use hintm_workloads::Scale;
 
-use hintm_ir::{classify, points_to, replicate, sharing, verify_fixpoint, ClassifyStats, Module};
+use hintm_ir::{
+    classify, footprint, points_to, replicate, sharing, verify_fixpoint, ClassifyStats, Module,
+    ModuleFootprint, PointsTo, Replication, Sharing,
+};
 use hintm_sim::{SimConfig, Simulator, Workload};
 use hintm_types::SiteId;
 use std::collections::BTreeSet;
+
+/// The classification pipeline's artifacts, re-derived for auditing.
+///
+/// Shared by [`audit_module`] and [`analyze::analyze_module`]: both run
+/// the same verifier + pipeline + lint stack, differing only in what they
+/// do afterwards (dynamic oracle run vs. footprint reporting).
+struct Pipeline {
+    verify_errors: Vec<VerifyError>,
+    stats: ClassifyStats,
+    inferred: BTreeSet<SiteId>,
+    fp: ModuleFootprint,
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// Runs verifier, classification, footprint analysis, and the default
+/// lints over `(module, declared_safe)`.
+fn run_pipeline(module: &Module, declared_safe: &BTreeSet<SiteId>) -> Pipeline {
+    let mut verify_errors = verify::verify(module);
+
+    let classification = classify(module);
+    let inferred: BTreeSet<SiteId> = classification.safe_sites().iter().copied().collect();
+
+    // Re-run the pipeline stages to expose their artifacts to the lints.
+    let pt0: PointsTo = points_to(module);
+    let fp = footprint(module, &pt0);
+    let sh0: Sharing = sharing(module, &pt0);
+    let (module2, rep): (Module, Replication) = replicate(module, &pt0, &sh0);
+    let pt = points_to(&module2);
+    let sh = sharing(&module2, &pt);
+    if !verify_fixpoint(&module2, &pt) {
+        verify_errors.push(VerifyError {
+            func: None,
+            message: "points-to solution is not a fixpoint".to_string(),
+        });
+    }
+
+    let ctx = LintCtx {
+        original: module,
+        module: &module2,
+        pt: &pt,
+        sh: &sh,
+        rep: &rep,
+        safe: declared_safe,
+        fp: &fp,
+        inferred: &inferred,
+    };
+    let diagnostics = run_lints(&ctx, &default_lints());
+
+    Pipeline {
+        verify_errors,
+        stats: classification.stats(),
+        inferred,
+        fp,
+        diagnostics,
+    }
+}
 
 /// The combined audit verdict for one workload.
 #[derive(Clone, Debug)]
@@ -111,33 +179,8 @@ pub fn audit_module(
     workload: &mut dyn Workload,
     seed: u64,
 ) -> AuditReport {
-    let mut verify_errors = verify::verify(module);
-
-    let classification = classify(module);
-    let hint_mismatch = declared_safe != classification.safe_sites();
-
-    // Re-run the pipeline stages to expose their artifacts to the lints.
-    let pt0 = points_to(module);
-    let sh0 = sharing(module, &pt0);
-    let (module2, rep) = replicate(module, &pt0, &sh0);
-    let pt = points_to(&module2);
-    let sh = sharing(&module2, &pt);
-    if !verify_fixpoint(&module2, &pt) {
-        verify_errors.push(VerifyError {
-            func: None,
-            message: "points-to solution is not a fixpoint".to_string(),
-        });
-    }
-
-    let ctx = LintCtx {
-        original: module,
-        module: &module2,
-        pt: &pt,
-        sh: &sh,
-        rep: &rep,
-        safe: declared_safe,
-    };
-    let diagnostics = run_lints(&ctx, &default_lints());
+    let pipeline = run_pipeline(module, declared_safe);
+    let hint_mismatch = *declared_safe != pipeline.inferred;
 
     // Dynamic side: observe one run and judge every executed site.
     let mut obs = OracleRecorder::new();
@@ -146,9 +189,9 @@ pub fn audit_module(
 
     AuditReport {
         workload: name.to_string(),
-        verify_errors,
-        stats: classification.stats(),
-        diagnostics,
+        verify_errors: pipeline.verify_errors,
+        stats: pipeline.stats,
+        diagnostics: pipeline.diagnostics,
         hint_mismatch,
         sites_executed: oracle.sites_executed,
         addrs_touched: oracle.addrs_touched,
@@ -159,7 +202,7 @@ pub fn audit_module(
 
 /// Audits one suite workload by name. Returns `None` for unknown names.
 pub fn audit_workload(name: &str, scale: Scale, seed: u64) -> Option<AuditReport> {
-    let module = hintm_workloads::ir_module(name)?;
+    let module = hintm_workloads::ir_module(name, scale)?;
     let mut workload = hintm_workloads::by_name(name, scale)?;
     let declared: BTreeSet<SiteId> = workload.static_safe_sites().into_iter().collect();
     Some(audit_module(

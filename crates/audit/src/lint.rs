@@ -7,7 +7,10 @@
 //! hand-edited or stale safe set). Diagnostics come back in a stable
 //! order so audit output is byte-identical across runs.
 
-use hintm_ir::{Instr, Module, PointsTo, Replication, Sharing, Stmt, ValueId};
+use hintm_ir::{
+    CapacityModel, Instr, Module, ModuleFootprint, PointsTo, Replication, Sharing, Stmt, ValueId,
+    Verdict,
+};
 use hintm_types::SiteId;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -75,6 +78,10 @@ pub struct LintCtx<'a> {
     /// The safe-site set the workload *declares* (what the simulator will
     /// trust), not necessarily what `classify` would produce today.
     pub safe: &'a BTreeSet<SiteId>,
+    /// Capacity-footprint bounds of the *original* module's transactions.
+    pub fp: &'a ModuleFootprint,
+    /// The safe-site set `classify` infers from the module today.
+    pub inferred: &'a BTreeSet<SiteId>,
 }
 
 /// A check over a [`LintCtx`].
@@ -92,6 +99,10 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(SiteMapHoles),
         Box::new(TopPointsTo),
         Box::new(InertTx),
+        Box::new(CapacityMustOverflow),
+        Box::new(DeclaredButUninferable),
+        Box::new(InferableButUndeclared),
+        Box::new(FootprintExceedsDeclared),
     ]
 }
 
@@ -323,6 +334,167 @@ impl Lint for InertTx {
     }
 }
 
+/// A transaction whose *guaranteed* footprint already exceeds a model's
+/// capacity: every execution capacity-aborts and runs under the fallback
+/// lock, serializing the workload.
+///
+/// A warning, not an error — the bound can be legitimate (labyrinth's
+/// grid copy really is bigger than any HTM buffer; that is the paper's
+/// motivating workload) — but it is exactly the transaction the hint
+/// mechanism exists to rescue, so it deserves a callout.
+struct CapacityMustOverflow;
+
+impl Lint for CapacityMustOverflow {
+    fn name(&self) -> &'static str {
+        "capacity-must-overflow"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for tx in &ctx.fp.txs {
+            let models: Vec<&str> = CapacityModel::ALL
+                .iter()
+                .filter(|m| m.verdict(tx) == Verdict::MustOverflow)
+                .map(|m| m.name())
+                .collect();
+            if models.is_empty() {
+                continue;
+            }
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Warning,
+                func: ctx.original.func(tx.func).name.clone(),
+                site: None,
+                message: format!(
+                    "transaction #{} is guaranteed to touch {} blocks ({} written): \
+                     every execution overflows {}",
+                    tx.index,
+                    tx.total_lo,
+                    tx.write_lo,
+                    models.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// A *declared-safe* site the classifier cannot infer today.
+///
+/// The simulator trusts the declaration unconditionally, so a declared
+/// site with no static justification is an unauditable hint — stale after
+/// a kernel edit, or hand-planted. Either way the safety argument is
+/// gone: hard error.
+struct DeclaredButUninferable;
+
+impl Lint for DeclaredButUninferable {
+    fn name(&self) -> &'static str {
+        "declared-but-uninferable"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for &site in ctx.safe.difference(ctx.inferred) {
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Error,
+                func: site_func(ctx.original, site).unwrap_or_default(),
+                site: Some(site),
+                message: format!(
+                    "site {site} is declared safe but the classifier cannot re-derive it"
+                ),
+            });
+        }
+    }
+}
+
+/// A site the classifier proves safe that the shipped set leaves
+/// unhinted.
+///
+/// Sound but wasteful: the access is tracked by the HTM even though the
+/// static argument for skipping it exists, so capacity is left on the
+/// table. A warning — typically a stale hint table after the classifier
+/// improved.
+struct InferableButUndeclared;
+
+impl Lint for InferableButUndeclared {
+    fn name(&self) -> &'static str {
+        "inferable-but-undeclared"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for &site in ctx.inferred.difference(ctx.safe) {
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Warning,
+                func: site_func(ctx.original, site).unwrap_or_default(),
+                site: Some(site),
+                message: format!(
+                    "site {site} is provably safe but undeclared (capacity left on the table)"
+                ),
+            });
+        }
+    }
+}
+
+/// A transaction whose guaranteed footprint exceeds the module's own
+/// declared capacity budget ([`Module::declared_tx_cap`]).
+///
+/// The declaration is a contract ("no transaction here needs more than N
+/// blocks") that sizing decisions downstream may rely on; a lower bound
+/// above it means the contract is provably violated on every execution:
+/// hard error.
+struct FootprintExceedsDeclared;
+
+impl Lint for FootprintExceedsDeclared {
+    fn name(&self) -> &'static str {
+        "footprint-exceeds-declared"
+    }
+
+    fn check(&self, ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(cap) = ctx.original.declared_tx_cap else {
+            return;
+        };
+        for tx in &ctx.fp.txs {
+            if tx.total_lo > cap as u64 {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Error,
+                    func: ctx.original.func(tx.func).name.clone(),
+                    site: None,
+                    message: format!(
+                        "transaction #{} is guaranteed to touch {} blocks, exceeding the \
+                         module's declared capacity budget of {cap}",
+                        tx.index, tx.total_lo
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Name of the function containing `site`, if any.
+fn site_func(module: &Module, site: SiteId) -> Option<String> {
+    let mut found = None;
+    for (fid, f) in module.iter_funcs() {
+        module.visit_instrs(fid, |i| {
+            let hit = match i {
+                Instr::Load { site: s, .. } | Instr::Store { site: s, .. } => *s == site,
+                Instr::Memcpy {
+                    load_site,
+                    store_site,
+                    ..
+                } => *load_site == site || *store_site == site,
+                _ => false,
+            };
+            if hit {
+                found = Some(f.name.clone());
+            }
+        });
+        if found.is_some() {
+            break;
+        }
+    }
+    found
+}
+
 /// Access sites syntactically inside a transaction.
 fn collect_tx_sites(stmts: &[Stmt], depth: u32, out: &mut Vec<SiteId>) {
     let mut depth = depth;
@@ -344,7 +516,7 @@ fn collect_tx_sites(stmts: &[Stmt], depth: u32, out: &mut Vec<SiteId>) {
                 }
                 _ => {}
             },
-            Stmt::Loop(b) => collect_tx_sites(b, depth, out),
+            Stmt::Loop { body, .. } => collect_tx_sites(body, depth, out),
             Stmt::If(a, b) => {
                 collect_tx_sites(a, depth, out);
                 collect_tx_sites(b, depth, out);
@@ -378,6 +550,12 @@ mod tests {
 
     fn lint_with(module: &Module, safe: BTreeSet<SiteId>) -> Vec<Diagnostic> {
         let pt0 = points_to(module);
+        let fp = hintm_ir::footprint(module, &pt0);
+        let inferred: BTreeSet<SiteId> = hintm_ir::classify(module)
+            .safe_sites()
+            .iter()
+            .copied()
+            .collect();
         let sh0 = sharing(module, &pt0);
         let (module2, rep) = replicate(module, &pt0, &sh0);
         let pt = points_to(&module2);
@@ -389,6 +567,8 @@ mod tests {
             sh: &sh,
             rep: &rep,
             safe: &safe,
+            fp: &fp,
+            inferred: &inferred,
         };
         run_lints(&ctx, &default_lints())
     }
@@ -436,6 +616,92 @@ mod tests {
             diags.iter().all(|d| d.lint != "safe-store-to-shared"),
             "in-TX allocation exempts the publish pattern: {diags:?}"
         );
+    }
+
+    #[test]
+    fn guaranteed_overflow_warns_capacity_must_overflow() {
+        // A TX memcpy-ing a 100-block buffer must overflow P8 and P8S.
+        let mut m = ModuleBuilder::new();
+        let mut w = m.func("worker", 0);
+        let dst = w.halloc_sized(6400);
+        let src = w.halloc_sized(6400);
+        w.tx_begin();
+        w.memcpy(dst, src);
+        w.tx_end();
+        w.ret();
+        let worker = w.finish();
+        let mut main = m.func("main", 0);
+        main.spawn(worker, vec![]);
+        main.ret();
+        let entry = main.finish();
+        let module = m.finish(entry, worker);
+        let diags = lint_with(&module, BTreeSet::new());
+        let d = diags
+            .iter()
+            .find(|d| d.lint == "capacity-must-overflow")
+            .expect("fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("P8, P8S"), "{}", d.message);
+    }
+
+    #[test]
+    fn declared_minus_inferred_is_an_error_and_vice_versa_warns() {
+        // worker TX-stores to a private alloca: the classifier infers the
+        // site safe. Declaring a different (uninferable) site instead
+        // triggers both inference-diff lints.
+        let mut m = ModuleBuilder::new();
+        let g = m.global("counter");
+        let mut w = m.func("worker", 0);
+        let buf = w.alloca();
+        let ga = w.global_addr(g);
+        w.tx_begin();
+        let private = w.store(buf);
+        let shared = w.store(ga);
+        w.tx_end();
+        w.ret();
+        let worker = w.finish();
+        let mut main = m.func("main", 0);
+        main.spawn(worker, vec![]);
+        main.ret();
+        let entry = main.finish();
+        let module = m.finish(entry, worker);
+        let diags = lint_with(&module, [shared].into_iter().collect());
+        assert!(diags.iter().any(|d| d.lint == "declared-but-uninferable"
+            && d.severity == Severity::Error
+            && d.site == Some(shared)));
+        assert!(diags.iter().any(|d| d.lint == "inferable-but-undeclared"
+            && d.severity == Severity::Warning
+            && d.site == Some(private)));
+        // Declaring exactly the inferred set silences both.
+        let clean = lint_with(&module, [private].into_iter().collect());
+        assert!(clean
+            .iter()
+            .all(|d| d.lint != "declared-but-uninferable" && d.lint != "inferable-but-undeclared"));
+    }
+
+    #[test]
+    fn lying_capacity_budget_is_an_error() {
+        // The module promises no TX needs more than 4 blocks, then
+        // guarantees 8 distinct written blocks in one.
+        let mut m = ModuleBuilder::new();
+        m.declare_tx_cap(4);
+        let mut w = m.func("worker", 0);
+        let a = w.halloc_sized(512); // 8 blocks
+        let b = w.halloc_sized(512);
+        w.tx_begin();
+        w.memcpy(a, b);
+        w.tx_end();
+        w.ret();
+        let worker = w.finish();
+        let mut main = m.func("main", 0);
+        main.spawn(worker, vec![]);
+        main.ret();
+        let entry = main.finish();
+        let module = m.finish(entry, worker);
+        let diags = lint_with(&module, BTreeSet::new());
+        assert!(diags.iter().any(|d| d.lint == "footprint-exceeds-declared"
+            && d.severity == Severity::Error
+            && d.message.contains("budget of 4")));
     }
 
     #[test]

@@ -216,8 +216,8 @@ fn tx_delta(stmts: &[Stmt]) -> Result<i32, String> {
                 }
             }
             Stmt::Instr(_) => {}
-            Stmt::Loop(b) => {
-                let d = tx_delta(b)?;
+            Stmt::Loop { body, .. } => {
+                let d = tx_delta(body)?;
                 if d != 0 {
                     return Err(format!("loop body has net tx delta {d}"));
                 }
@@ -312,6 +312,7 @@ mod tests {
             num_params: 0,
             body: vec![Stmt::Instr(Instr::Return { val: None })],
             num_values: 0,
+            alloc_sizes: Default::default(),
         });
         let errs = verify(&module);
         assert!(errs.iter().any(|e| e.message.contains("orphan")));

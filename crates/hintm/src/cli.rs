@@ -13,11 +13,12 @@
 //! hintm trace <workload> [run options] [--events N] [--out <dir>]
 //! ```
 
+use crate::json::{analyze_report_to_json, audit_report_to_json, Json};
 use crate::{
     chrome_trace, write_binlog, AbortKind, Experiment, HintMode, HtmKind, RunReport, Scale,
     WORKLOAD_NAMES,
 };
-use hintm_audit::AuditReport;
+use hintm_audit::{AnalyzeReport, AuditReport};
 use std::fmt;
 
 /// A CLI parsing or execution error (rendered to stderr by the binary).
@@ -43,6 +44,9 @@ pub enum Command {
     Suite(RunArgs),
     /// Audit safety-hint soundness (verifier + lints + dynamic oracle).
     Audit(AuditArgs),
+    /// Static capacity-footprint analysis + hint inference (no simulator
+    /// run).
+    Analyze(AnalyzeArgs),
     /// Run one experiment under a trace recorder and report/export the
     /// captured event stream.
     Trace(TraceArgs),
@@ -105,6 +109,8 @@ pub struct AuditArgs {
     pub seed: u64,
     /// Input scale for the observed run.
     pub scale: Scale,
+    /// Emit a JSON report instead of the table.
+    pub json: bool,
 }
 
 impl Default for AuditArgs {
@@ -113,6 +119,28 @@ impl Default for AuditArgs {
             workloads: Vec::new(),
             seed: 42,
             scale: Scale::Sim,
+            json: false,
+        }
+    }
+}
+
+/// Options for `hintm analyze`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Workloads to analyze (empty = every registered workload).
+    pub workloads: Vec<String>,
+    /// Input scale the modules are annotated for.
+    pub scale: Scale,
+    /// Emit a JSON report instead of the table.
+    pub json: bool,
+}
+
+impl Default for AnalyzeArgs {
+    fn default() -> Self {
+        AnalyzeArgs {
+            workloads: Vec::new(),
+            scale: Scale::Sim,
+            json: false,
         }
     }
 }
@@ -179,6 +207,9 @@ pub struct SweepArgs {
     pub csv: bool,
     /// Audit every swept workload after the sweep (fails on unsound hints).
     pub audit: bool,
+    /// Statically analyze every swept workload after the sweep (fails on
+    /// lint or verifier errors).
+    pub analyze: bool,
     /// Trace every cell, summarizing metrics per cell and exporting the
     /// event streams under `<out>/traces/` (forces a cache bypass).
     pub trace: bool,
@@ -203,6 +234,7 @@ impl Default for SweepArgs {
             out: None,
             csv: false,
             audit: false,
+            analyze: false,
             trace: false,
         }
     }
@@ -303,6 +335,7 @@ USAGE:
   hintm run --workload <name> [options]
   hintm suite [options]
   hintm audit [audit options]
+  hintm analyze [<workload>] [analyze options]
   hintm trace <workload> [options] [trace options]
   hintm sweep [sweep options]
   hintm perf [perf options]
@@ -334,6 +367,16 @@ on any unsound hint, lint error, verifier error, or hint-table mismatch):
   --workloads <a,b,..>     workloads to audit                  [all registered]
   --all                    audit every registered workload (the default)
   --seed / --scale         as above, for the dynamically observed run
+  --json                   emit a JSON report instead of the table
+
+ANALYZE OPTIONS (static capacity-footprint bounds + per-model verdicts +
+hint inference diff; no simulator run; exits nonzero on any lint or
+verifier error):
+  <workload>               positional: analyze one workload
+  --workloads <a,b,..>     workloads to analyze                [all registered]
+  --all                    analyze every registered workload (the default)
+  --scale <s>              scale the module annotations describe         [sim]
+  --json                   emit a JSON report instead of the table
 
 SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --workloads <a,b,..>     workloads to sweep                  [all registered]
@@ -349,6 +392,8 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --out <dir>              write manifest.json + results.{csv,json} here
   --csv                    also print the results CSV to stdout
   --audit                  audit every swept workload after the sweep
+  --analyze                statically analyze every swept workload after the
+                           sweep (fails on lint/verifier errors)
   --trace                  trace every cell (bypasses the cache); with --out,
                            exports event streams under <out>/traces/
 
@@ -447,6 +492,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
         "audit" => parse_audit(&args[1..]),
+        "analyze" => parse_analyze(&args[1..]),
         "trace" => parse_trace(&args[1..]),
         "sweep" => parse_sweep(&args[1..]),
         "perf" => parse_perf(&args[1..]),
@@ -545,6 +591,7 @@ fn parse_audit(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError(format!("bad --seed `{v}`")))?;
             }
             "--scale" => aa.scale = parse_scale(&value(&mut i, "--scale")?)?,
+            "--json" => aa.json = true,
             other => return Err(CliError(format!("unknown flag `{other}`"))),
         }
         i += 1;
@@ -553,6 +600,35 @@ fn parse_audit(args: &[String]) -> Result<Command, CliError> {
         return Err(CliError("--all conflicts with --workloads".into()));
     }
     Ok(Command::Audit(aa))
+}
+
+fn parse_analyze(args: &[String]) -> Result<Command, CliError> {
+    let mut na = AnalyzeArgs::default();
+    let mut all = false;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, CliError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{flag} requires a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => {
+                na.workloads = parse_list(&value(&mut i, "--workloads")?, |s| Ok(s.to_string()))?;
+            }
+            "--all" => all = true,
+            "--scale" => na.scale = parse_scale(&value(&mut i, "--scale")?)?,
+            "--json" => na.json = true,
+            name if !name.starts_with('-') => na.workloads.push(name.to_string()),
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+    if all && !na.workloads.is_empty() {
+        return Err(CliError("--all conflicts with naming workloads".into()));
+    }
+    Ok(Command::Analyze(na))
 }
 
 fn parse_trace(args: &[String]) -> Result<Command, CliError> {
@@ -657,6 +733,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
             "--out" => sa.out = Some(value(&mut i, "--out")?),
             "--csv" => sa.csv = true,
             "--audit" => sa.audit = true,
+            "--analyze" => sa.analyze = true,
             "--trace" => sa.trace = true,
             other => return Err(CliError(format!("unknown flag `{other}`"))),
         }
@@ -860,6 +937,52 @@ pub fn audit_row(r: &AuditReport) -> String {
     )
 }
 
+/// Column header matching [`analyze_row`].
+pub fn analyze_header() -> String {
+    format!(
+        "{:<12} {:>3} {:>3}  {:<13} {:<13} {:<13} {:>4} {:>4} {:>5} {:>5}  verdict",
+        "workload", "txs", "unb", "P8", "P8S", "L1TM", "decl", "inf", "lintE", "lintW",
+    )
+}
+
+/// Renders one analyze report as a fixed-width table row.
+pub fn analyze_row(r: &AnalyzeReport) -> String {
+    let s = r.stats();
+    format!(
+        "{:<12} {:>3} {:>3}  {:<13} {:<13} {:<13} {:>4} {:>4} {:>5} {:>5}  {}",
+        r.workload,
+        s.num_txs,
+        s.unbounded_txs,
+        s.worst[0].to_string(),
+        s.worst[1].to_string(),
+        s.worst[2].to_string(),
+        s.declared_safe,
+        s.inferred_safe,
+        r.lint_errors(),
+        r.lint_warnings(),
+        if r.passed() { "PASS" } else { "FAIL" },
+    )
+}
+
+/// Writes one analyze report's detail lines (per-transaction bounds,
+/// verifier errors, lint diagnostics) beneath its table row.
+fn analyze_details(r: &AnalyzeReport, out: &mut impl std::io::Write) -> std::io::Result<()> {
+    for (tx, func) in r.footprint.txs.iter().zip(&r.tx_funcs) {
+        writeln!(
+            out,
+            "    tx#{} in {func}: reads<={} writes<={} total<={}, guaranteed {} ({} written)",
+            tx.index, tx.read_hi, tx.write_hi, tx.total_hi, tx.total_lo, tx.write_lo,
+        )?;
+    }
+    for e in &r.verify_errors {
+        writeln!(out, "    verify: {e}")?;
+    }
+    for d in &r.diagnostics {
+        writeln!(out, "    {d}")?;
+    }
+    Ok(())
+}
+
 /// Writes one report's detail lines (verifier errors, lint diagnostics,
 /// unsound hints, hint-table mismatch) beneath its table row.
 fn audit_details(r: &AuditReport, out: &mut impl std::io::Write) -> std::io::Result<()> {
@@ -982,19 +1105,63 @@ timeline (C commit, a/A/P aborts, F fallback, s shootdown):"
             } else {
                 aa.workloads.clone()
             };
-            writeln!(out, "{}", audit_header()).map_err(io)?;
+            if !aa.json {
+                writeln!(out, "{}", audit_header()).map_err(io)?;
+            }
             let mut failed = 0usize;
+            let mut reports = Vec::new();
             for name in &names {
                 let r = hintm_audit::audit_workload(name, aa.scale, aa.seed)
                     .ok_or_else(|| CliError(format!("unknown workload `{name}`")))?;
-                writeln!(out, "{}", audit_row(&r)).map_err(io)?;
-                audit_details(&r, out).map_err(io)?;
+                if aa.json {
+                    reports.push(audit_report_to_json(&r));
+                } else {
+                    writeln!(out, "{}", audit_row(&r)).map_err(io)?;
+                    audit_details(&r, out).map_err(io)?;
+                }
                 if !r.passed() {
                     failed += 1;
                 }
             }
+            if aa.json {
+                writeln!(out, "{}", Json::Arr(reports)).map_err(io)?;
+            }
             if failed > 0 {
                 return Err(CliError(format!("{failed} workload(s) failed the audit")));
+            }
+            Ok(())
+        }
+        Command::Analyze(na) => {
+            let names: Vec<String> = if na.workloads.is_empty() {
+                WORKLOAD_NAMES.iter().map(|s| s.to_string()).collect()
+            } else {
+                na.workloads.clone()
+            };
+            if !na.json {
+                writeln!(out, "{}", analyze_header()).map_err(io)?;
+            }
+            let mut failed = 0usize;
+            let mut reports = Vec::new();
+            for name in &names {
+                let r = hintm_audit::analyze_workload(name, na.scale)
+                    .ok_or_else(|| CliError(format!("unknown workload `{name}`")))?;
+                if na.json {
+                    reports.push(analyze_report_to_json(&r));
+                } else {
+                    writeln!(out, "{}", analyze_row(&r)).map_err(io)?;
+                    analyze_details(&r, out).map_err(io)?;
+                }
+                if !r.passed() {
+                    failed += 1;
+                }
+            }
+            if na.json {
+                writeln!(out, "{}", Json::Arr(reports)).map_err(io)?;
+            }
+            if failed > 0 {
+                return Err(CliError(format!(
+                    "{failed} workload(s) failed the static analysis"
+                )));
             }
             Ok(())
         }
@@ -1154,6 +1321,85 @@ mod tests {
     }
 
     #[test]
+    fn parses_analyze_command() {
+        assert_eq!(
+            parse(&argv("analyze")).unwrap(),
+            Command::Analyze(AnalyzeArgs::default())
+        );
+        assert_eq!(
+            parse(&argv("analyze --all")).unwrap(),
+            Command::Analyze(AnalyzeArgs::default())
+        );
+        let Command::Analyze(na) = parse(&argv("analyze kmeans ssca2 --scale large")).unwrap()
+        else {
+            panic!("expected analyze")
+        };
+        assert_eq!(na.workloads, vec!["kmeans", "ssca2"]);
+        assert_eq!(na.scale, Scale::Large);
+        assert!(!na.json);
+        let Command::Analyze(na) =
+            parse(&argv("analyze --workloads tpcc-no,tpcc-p --json")).unwrap()
+        else {
+            panic!("expected analyze")
+        };
+        assert_eq!(na.workloads, vec!["tpcc-no", "tpcc-p"]);
+        assert!(na.json);
+        assert!(parse(&argv("analyze --all kmeans")).is_err());
+        assert!(parse(&argv("analyze --scale weird")).is_err());
+        assert!(parse(&argv("analyze --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn executes_analyze_on_one_workload() {
+        let cmd = parse(&argv("analyze kmeans")).unwrap();
+        let mut buf = Vec::new();
+        execute(&cmd, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with(&analyze_header()));
+        assert!(s.contains("kmeans"));
+        assert!(s.contains("PASS"), "kmeans must analyze clean:\n{s}");
+        assert!(s.contains("fits"), "kmeans fits every model:\n{s}");
+    }
+
+    #[test]
+    fn executes_analyze_json() {
+        let cmd = parse(&argv("analyze kmeans labyrinth --json")).unwrap();
+        let mut buf = Vec::new();
+        execute(&cmd, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let j = Json::parse(&s).expect("analyze --json emits valid JSON");
+        let Json::Arr(reports) = j else {
+            panic!("expected a JSON array")
+        };
+        assert_eq!(reports.len(), 2);
+        assert!(s.contains("\"must-overflow\""), "{s}");
+        assert!(s.contains("\"fits\""), "{s}");
+        assert!(s.contains("\"histogram\""), "{s}");
+    }
+
+    #[test]
+    fn executes_audit_json() {
+        let cmd = parse(&argv("audit --workloads kmeans --json")).unwrap();
+        let mut buf = Vec::new();
+        execute(&cmd, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let j = Json::parse(&s).expect("audit --json emits valid JSON");
+        let Json::Arr(reports) = j else {
+            panic!("expected a JSON array")
+        };
+        assert_eq!(reports.len(), 1);
+        assert!(s.contains("\"unsound\""), "{s}");
+    }
+
+    #[test]
+    fn analyze_reports_unknown_workload() {
+        let cmd = parse(&argv("analyze nope")).unwrap();
+        let mut buf = Vec::new();
+        let err = execute(&cmd, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
     fn audit_reports_unknown_workload() {
         let cmd = parse(&argv("audit --workloads nope")).unwrap();
         let mut buf = Vec::new();
@@ -1214,13 +1460,13 @@ mod tests {
         let cmd = parse(&argv(
             "sweep --workloads vacation,labyrinth --htm p8,infcap --hints off,full \
              --seeds 1,2,3 --scale large --threads 16 --smt2 --preserve --jobs 8 \
-             --cache-dir /tmp/c --out /tmp/o --csv --audit --trace",
+             --cache-dir /tmp/c --out /tmp/o --csv --audit --analyze --trace",
         ))
         .unwrap();
         let Command::Sweep(sa) = cmd else {
             panic!("expected sweep")
         };
-        assert!(sa.trace);
+        assert!(sa.trace && sa.analyze);
         assert_eq!(sa.workloads, vec!["vacation", "labyrinth"]);
         assert_eq!(sa.htms, vec![HtmKind::P8, HtmKind::InfCap]);
         assert_eq!(sa.hints, vec![HintMode::Off, HintMode::Full]);

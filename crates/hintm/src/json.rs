@@ -22,6 +22,8 @@
 //! ```
 
 use crate::{HintMode, HtmKind, RunReport, RunStats};
+use hintm_audit::{AnalyzeReport, AuditReport, Diagnostic};
+use hintm_ir::{Bound, CapacityModel};
 use hintm_trace::{HistSummary, TraceSummary};
 use std::fmt;
 
@@ -654,6 +656,151 @@ impl RunReport {
             },
         })
     }
+}
+
+/// An upper [`Bound`] as JSON: the block count, or `null` for unbounded.
+fn bound_to_json(b: Bound) -> Json {
+    match b {
+        Bound::Finite(n) => Json::u64(n),
+        Bound::Unbounded => Json::Null,
+    }
+}
+
+/// One lint [`Diagnostic`] as JSON (shared by the `analyze` and `audit`
+/// reports).
+fn diagnostic_to_json(d: &Diagnostic) -> Json {
+    Json::Obj(vec![
+        ("lint".into(), Json::Str(d.lint.to_string())),
+        ("severity".into(), Json::Str(d.severity.to_string())),
+        ("func".into(), Json::Str(d.func.clone())),
+        (
+            "site".into(),
+            d.site.map_or(Json::Null, |s| Json::u64(s.0 as u64)),
+        ),
+        ("message".into(), Json::Str(d.message.clone())),
+    ])
+}
+
+/// A site-id set as a JSON array of numbers.
+fn sites_to_json(sites: &std::collections::BTreeSet<hintm_types::SiteId>) -> Json {
+    Json::Arr(sites.iter().map(|s| Json::u64(s.0 as u64)).collect())
+}
+
+/// Serializes one [`AnalyzeReport`] to a JSON value: per-transaction
+/// footprint bounds with per-model verdicts, the module-worst verdicts,
+/// the predicted size histogram, the declared/inferred safe-site sets,
+/// and every diagnostic.
+pub fn analyze_report_to_json(r: &AnalyzeReport) -> Json {
+    let txs = r
+        .footprint
+        .txs
+        .iter()
+        .zip(&r.tx_funcs)
+        .map(|(tx, func)| {
+            let verdicts = CapacityModel::ALL
+                .iter()
+                .map(|m| (m.name().to_string(), Json::Str(m.verdict(tx).to_string())))
+                .collect();
+            Json::Obj(vec![
+                ("func".into(), Json::Str(func.clone())),
+                ("index".into(), Json::u64(tx.index as u64)),
+                ("read_hi".into(), bound_to_json(tx.read_hi)),
+                ("write_hi".into(), bound_to_json(tx.write_hi)),
+                ("total_hi".into(), bound_to_json(tx.total_hi)),
+                ("total_lo".into(), Json::u64(tx.total_lo)),
+                ("write_lo".into(), Json::u64(tx.write_lo)),
+                ("balanced".into(), Json::Bool(tx.balanced)),
+                ("verdicts".into(), Json::Obj(verdicts)),
+            ])
+        })
+        .collect();
+    let worst = CapacityModel::ALL
+        .iter()
+        .map(|m| {
+            (
+                m.name().to_string(),
+                Json::Str(r.footprint.worst(*m).to_string()),
+            )
+        })
+        .collect();
+    let histogram = r
+        .footprint
+        .size_histogram()
+        .into_iter()
+        .map(|(label, n)| (label.to_string(), Json::u64(n as u64)))
+        .collect();
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(r.workload.clone())),
+        ("passed".into(), Json::Bool(r.passed())),
+        ("txs".into(), Json::Arr(txs)),
+        ("worst".into(), Json::Obj(worst)),
+        ("histogram".into(), Json::Obj(histogram)),
+        ("declared_safe".into(), sites_to_json(&r.declared)),
+        ("inferred_safe".into(), sites_to_json(&r.inferred)),
+        (
+            "verify_errors".into(),
+            Json::Arr(
+                r.verify_errors
+                    .iter()
+                    .map(|e| Json::Str(e.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "diagnostics".into(),
+            Json::Arr(r.diagnostics.iter().map(diagnostic_to_json).collect()),
+        ),
+    ])
+}
+
+/// Serializes one [`AuditReport`] to a JSON value, sharing the diagnostic
+/// encoding with [`analyze_report_to_json`].
+pub fn audit_report_to_json(r: &AuditReport) -> Json {
+    let unsound = r
+        .unsound
+        .iter()
+        .map(|u| {
+            Json::Obj(vec![
+                ("site".into(), Json::u64(u.site.0 as u64)),
+                ("kind".into(), Json::Str(format!("{:?}", u.kind))),
+                ("addr".into(), Json::u64(u.addr.raw())),
+                ("thread".into(), Json::u64(u.thread.0 as u64)),
+                ("epoch".into(), Json::u64(u.epoch as u64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(r.workload.clone())),
+        ("passed".into(), Json::Bool(r.passed())),
+        ("num_sites".into(), Json::u64(r.stats.num_sites as u64)),
+        ("safe_loads".into(), Json::u64(r.stats.safe_loads as u64)),
+        ("safe_stores".into(), Json::u64(r.stats.safe_stores as u64)),
+        (
+            "replicated_funcs".into(),
+            Json::u64(r.stats.replicated_funcs as u64),
+        ),
+        ("hint_mismatch".into(), Json::Bool(r.hint_mismatch)),
+        ("sites_executed".into(), Json::u64(r.sites_executed as u64)),
+        ("addrs_touched".into(), Json::u64(r.addrs_touched as u64)),
+        ("unsound".into(), Json::Arr(unsound)),
+        (
+            "missed".into(),
+            Json::Arr(r.missed.iter().map(|s| Json::u64(s.0 as u64)).collect()),
+        ),
+        (
+            "verify_errors".into(),
+            Json::Arr(
+                r.verify_errors
+                    .iter()
+                    .map(|e| Json::Str(e.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "diagnostics".into(),
+            Json::Arr(r.diagnostics.iter().map(diagnostic_to_json).collect()),
+        ),
+    ])
 }
 
 #[cfg(test)]

@@ -7,15 +7,20 @@
 //!
 //! * allocated inside the same transaction (Harris et al.'s rule: the
 //!   object is unreachable if the TX aborts), or
-//! * thread-private and not loaded earlier in the transaction, with the
-//!   store outside any loop (straight-line defined-before-use), or
+//! * thread-private and not loaded earlier in the transaction
+//!   (defined-before-use: the pre-TX value is never observed, so a retry
+//!   re-running the store is harmless), or
 //! * for a whole-object `memcpy`: thread-private with *no* prior access in
-//!   the transaction (the copy defines the entire object before any use —
-//!   labyrinth's grid-copy pattern).
+//!   the transaction and outside any loop (the copy defines the entire
+//!   object before any use — labyrinth's grid-copy pattern).
 //!
 //! Loops are handled conservatively: any load inside a loop is treated as
-//! preceding every store in that loop (a second iteration makes it so),
-//! and `if` branches merge pessimistically.
+//! preceding every store in that loop (a second iteration makes it so —
+//! the loop body is pre-scanned and its reads merged before the stores are
+//! judged), and `if` branches merge pessimistically. A store inside a loop
+//! to a never-loaded thread-private object remains safe: no iteration
+//! observes the pre-TX value, so dropping it from the write set cannot
+//! leak a stale value into a retry.
 //!
 //! Functions called inside a transaction are analyzed inline with the
 //! caller's state; a site called from several transactional contexts must
@@ -106,7 +111,7 @@ impl Walker<'_> {
                     self.visit_instr(fid, i, *idx, tx, &mut tx_depth, loop_depth);
                     *idx += 1;
                 }
-                Stmt::Loop(body) => {
+                Stmt::Loop { body, .. } => {
                     if let Some(state) = tx.as_mut() {
                         // Every load in the loop precedes every store in it
                         // (second iteration), so pre-merge.
@@ -176,9 +181,7 @@ impl Walker<'_> {
                     let safe = !objs.is_empty()
                         && objs.iter().all(|o| {
                             state.allocated.contains(o)
-                                || (self.sh.thread_private.contains(o)
-                                    && !state.loaded.contains(o)
-                                    && loop_depth == 0)
+                                || (self.sh.thread_private.contains(o) && !state.loaded.contains(o))
                         });
                     self.record(*site, safe);
                     state.accessed.extend(objs);
@@ -270,7 +273,7 @@ impl Walker<'_> {
                     }
                 }
                 Stmt::Instr(_) => {}
-                Stmt::Loop(b) => self.scan_reads_into(fid, b, loaded, accessed),
+                Stmt::Loop { body, .. } => self.scan_reads_into(fid, body, loaded, accessed),
                 Stmt::If(a, b) => {
                     self.scan_reads_into(fid, a, loaded, accessed);
                     self.scan_reads_into(fid, b, loaded, accessed);
@@ -361,7 +364,10 @@ mod tests {
     }
 
     #[test]
-    fn store_inside_loop_is_unsafe_unless_tx_allocated() {
+    fn looped_store_to_never_loaded_private_object_is_safe() {
+        // A store in a loop to a pre-TX thread-private object that is never
+        // loaded in the TX: no iteration observes the pre-TX value, so the
+        // store is still defined-before-use (scratch-buffer pattern).
         let mut loop_site = None;
         let mut alloc_site = None;
         let module = with_worker(|w| {
@@ -376,13 +382,31 @@ mod tests {
         });
         let safe = analyze(&module);
         assert!(
-            !safe.contains(&loop_site.unwrap()),
-            "looped store to pre-TX object"
+            safe.contains(&loop_site.unwrap()),
+            "looped store to never-loaded pre-TX private object"
         );
         assert!(
             safe.contains(&alloc_site.unwrap()),
             "looped store to TX-fresh object"
         );
+    }
+
+    #[test]
+    fn looped_store_with_load_in_same_loop_is_unsafe() {
+        // The pre-scan merges the loop's loads before judging its stores: a
+        // load anywhere in the loop body makes a store to the same pre-TX
+        // object unsafe even when the store syntactically precedes it.
+        let mut site = None;
+        let module = with_worker(|w| {
+            let pre = w.halloc();
+            w.tx_begin();
+            w.begin_loop();
+            site = Some(w.store(pre));
+            w.load(pre); // second iteration observes the stored value
+            w.end_block();
+            w.tx_end();
+        });
+        assert!(!analyze(&module).contains(&site.unwrap()));
     }
 
     #[test]

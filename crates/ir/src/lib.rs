@@ -29,6 +29,14 @@
 //! replicated functions, a per-call-site mapping from original to clone
 //! sites.
 //!
+//! Beyond the safety classification, the crate hosts a reusable
+//! [`dataflow`] effect-composition framework (worklist [`fixpoint`],
+//! interval [`Lattice`] with widening, memoized function summaries) and
+//! its capacity client, [`footprint()`]: per-transaction bounds on the
+//! distinct cache blocks read and written, with `fits` /
+//! `may-overflow` / `must-overflow` verdicts per HTM [`CapacityModel`].
+//! `hintm analyze` is the CLI front end.
+//!
 //! # Examples
 //!
 //! ```
@@ -56,6 +64,8 @@
 //! ```
 
 pub mod classify;
+pub mod dataflow;
+pub mod footprint;
 pub mod initializing;
 pub mod module;
 pub mod points_to;
@@ -64,6 +74,8 @@ pub mod replicate;
 pub mod sharing;
 
 pub use classify::{classify, ClassifyStats, StaticClassification};
+pub use dataflow::{fixpoint, Bound, EffectDomain, Interval, Lattice, SummaryCache};
+pub use footprint::{footprint, CapacityModel, ModuleFootprint, TxFootprint, Verdict};
 pub use module::{
     CallSiteId, FuncBuilder, FuncId, Function, GlobalId, Instr, Module, ModuleBuilder, ObjId,
     ObjKind, Stmt, ValueId,

@@ -104,8 +104,16 @@ pub enum Instr {
 pub enum Stmt {
     /// A single instruction.
     Instr(Instr),
-    /// A loop with statically unknown trip count (assume ≥ 2 iterations).
-    Loop(Vec<Stmt>),
+    /// A loop. `trip` is an optional static upper bound on the iteration
+    /// count (the body executes between 0 and `trip` times); `None` means
+    /// statically unbounded. Classification treats both forms identically —
+    /// the bound only feeds the footprint analysis.
+    Loop {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Static upper bound on iterations, if known.
+        trip: Option<u32>,
+    },
     /// A two-way branch; either side may execute.
     If(Vec<Stmt>, Vec<Stmt>),
 }
@@ -121,6 +129,10 @@ pub struct Function {
     pub body: Vec<Stmt>,
     /// Total virtual registers used (≥ `num_params`).
     pub num_values: usize,
+    /// Byte sizes of allocations, keyed by the allocation instruction's
+    /// visit index (per [`Module::visit_instrs`] order). Allocations absent
+    /// from the map have statically unknown size.
+    pub alloc_sizes: std::collections::BTreeMap<u32, u64>,
 }
 
 /// A global variable definition.
@@ -128,6 +140,8 @@ pub struct Function {
 pub struct GlobalDef {
     /// Human-readable name.
     pub name: String,
+    /// Byte size, if statically known.
+    pub size: Option<u64>,
 }
 
 /// A whole program: functions, globals, an entry point and the function
@@ -146,6 +160,10 @@ pub struct Module {
     pub num_sites: u32,
     /// Total call sites allocated.
     pub num_call_sites: u32,
+    /// Declared per-transaction capacity budget in cache blocks, if the
+    /// workload promises one. The footprint analysis checks every
+    /// transaction's lower bound against it (`footprint-exceeds-declared`).
+    pub declared_tx_cap: Option<u32>,
 }
 
 impl Module {
@@ -172,7 +190,7 @@ impl Module {
             for s in stmts {
                 match s {
                     Stmt::Instr(i) => visit(i),
-                    Stmt::Loop(b) => walk(b, visit),
+                    Stmt::Loop { body, .. } => walk(body, visit),
                     Stmt::If(a, b) => {
                         walk(a, visit);
                         walk(b, visit);
@@ -193,6 +211,7 @@ pub struct ModuleBuilder {
     globals: Vec<GlobalDef>,
     next_site: u32,
     next_call_site: u32,
+    declared_tx_cap: Option<u32>,
 }
 
 impl ModuleBuilder {
@@ -201,12 +220,28 @@ impl ModuleBuilder {
         Self::default()
     }
 
-    /// Declares a global variable.
+    /// Declares a global variable of unknown size.
     pub fn global(&mut self, name: &str) -> GlobalId {
         self.globals.push(GlobalDef {
             name: name.to_string(),
+            size: None,
         });
         GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Declares a global variable with a known byte size.
+    pub fn global_sized(&mut self, name: &str, size: u64) -> GlobalId {
+        self.globals.push(GlobalDef {
+            name: name.to_string(),
+            size: Some(size),
+        });
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Declares the module's per-transaction capacity budget in cache
+    /// blocks (see [`Module::declared_tx_cap`]).
+    pub fn declare_tx_cap(&mut self, blocks: u32) {
+        self.declared_tx_cap = Some(blocks);
     }
 
     /// Starts building a function with `num_params` parameters.
@@ -216,8 +251,10 @@ impl ModuleBuilder {
             name: name.to_string(),
             num_params,
             next_value: num_params as u32,
+            next_instr: 0,
             stack: vec![Vec::new()],
             frame_kinds: Vec::new(),
+            alloc_sizes: std::collections::BTreeMap::new(),
         }
     }
 
@@ -239,12 +276,13 @@ impl ModuleBuilder {
             thread_root,
             num_sites: self.next_site,
             num_call_sites: self.next_call_site,
+            declared_tx_cap: self.declared_tx_cap,
         }
     }
 }
 
 enum FrameKind {
-    Loop,
+    Loop(Option<u32>),
     Then,
     Else(Vec<Stmt>),
 }
@@ -255,8 +293,10 @@ pub struct FuncBuilder<'m> {
     name: String,
     num_params: usize,
     next_value: u32,
+    next_instr: u32,
     stack: Vec<Vec<Stmt>>,
     frame_kinds: Vec<FrameKind>,
+    alloc_sizes: std::collections::BTreeMap<u32, u64>,
 }
 
 impl FuncBuilder<'_> {
@@ -283,24 +323,39 @@ impl FuncBuilder<'_> {
     }
 
     fn push(&mut self, i: Instr) {
+        // Blocks close in LIFO order and splice in place, so emission order
+        // equals `visit_instrs` order — `next_instr` is the visit index.
+        self.next_instr += 1;
         self.stack
             .last_mut()
             .expect("open block")
             .push(Stmt::Instr(i));
     }
 
-    /// Emits a stack allocation.
+    /// Emits a stack allocation of unknown size.
     pub fn alloca(&mut self) -> ValueId {
         let out = self.fresh_value();
         self.push(Instr::Alloca { out });
         out
     }
 
-    /// Emits a heap allocation.
+    /// Emits a stack allocation of `size` bytes.
+    pub fn alloca_sized(&mut self, size: u64) -> ValueId {
+        self.alloc_sizes.insert(self.next_instr, size);
+        self.alloca()
+    }
+
+    /// Emits a heap allocation of unknown size.
     pub fn halloc(&mut self) -> ValueId {
         let out = self.fresh_value();
         self.push(Instr::Halloc { out });
         out
+    }
+
+    /// Emits a heap allocation of `size` bytes.
+    pub fn halloc_sized(&mut self, size: u64) -> ValueId {
+        self.alloc_sizes.insert(self.next_instr, size);
+        self.halloc()
     }
 
     /// Emits a heap free.
@@ -432,10 +487,18 @@ impl FuncBuilder<'_> {
         self.push(Instr::Return { val: Some(val) });
     }
 
-    /// Opens a loop body; close with [`FuncBuilder::end_block`].
+    /// Opens a loop body with unknown trip count; close with
+    /// [`FuncBuilder::end_block`].
     pub fn begin_loop(&mut self) {
         self.stack.push(Vec::new());
-        self.frame_kinds.push(FrameKind::Loop);
+        self.frame_kinds.push(FrameKind::Loop(None));
+    }
+
+    /// Opens a loop body whose iteration count is statically bounded by
+    /// `trip`; close with [`FuncBuilder::end_block`].
+    pub fn begin_loop_bounded(&mut self, trip: u32) {
+        self.stack.push(Vec::new());
+        self.frame_kinds.push(FrameKind::Loop(Some(trip)));
     }
 
     /// Opens the `then` side of a branch; call [`FuncBuilder::begin_else`]
@@ -469,11 +532,11 @@ impl FuncBuilder<'_> {
     pub fn end_block(&mut self) {
         let body = self.stack.pop().expect("open block");
         match self.frame_kinds.pop().expect("block kind") {
-            FrameKind::Loop => {
+            FrameKind::Loop(trip) => {
                 self.stack
                     .last_mut()
                     .expect("parent")
-                    .push(Stmt::Loop(body));
+                    .push(Stmt::Loop { body, trip });
             }
             FrameKind::Then => {
                 self.stack
@@ -503,6 +566,7 @@ impl FuncBuilder<'_> {
             num_params: self.num_params,
             body,
             num_values: self.next_value as usize,
+            alloc_sizes: self.alloc_sizes,
         });
         FuncId(self.parent.funcs.len() as u32 - 1)
     }
@@ -560,7 +624,8 @@ mod tests {
         let body = &module.func(id).body;
         assert_eq!(body.len(), 3); // alloca, loop, ret
         match &body[1] {
-            Stmt::Loop(inner) => {
+            Stmt::Loop { body: inner, trip } => {
+                assert_eq!(*trip, None);
                 assert_eq!(inner.len(), 2); // load, if
                 match &inner[1] {
                     Stmt::If(t, e) => {
@@ -595,6 +660,35 @@ mod tests {
         let mut f = m.func("f", 0);
         f.begin_loop();
         f.finish();
+    }
+
+    #[test]
+    fn size_and_trip_annotations_round_trip() {
+        let mut m = ModuleBuilder::new();
+        let g = m.global_sized("table", 4096);
+        m.declare_tx_cap(8);
+        let mut f = m.func("f", 0);
+        let a = f.alloca_sized(256); // visit index 0
+        f.load(a); // visit index 1
+        let b = f.halloc_sized(64); // visit index 2
+        let c = f.halloc(); // visit index 3: unknown size
+        f.begin_loop_bounded(30);
+        f.store(b);
+        f.store(c);
+        f.end_block();
+        f.ret();
+        let id = f.finish();
+        let module = m.finish(id, id);
+        assert_eq!(module.globals[g.0 as usize].size, Some(4096));
+        assert_eq!(module.declared_tx_cap, Some(8));
+        let func = module.func(id);
+        assert_eq!(func.alloc_sizes.get(&0), Some(&256));
+        assert_eq!(func.alloc_sizes.get(&2), Some(&64));
+        assert_eq!(func.alloc_sizes.get(&3), None);
+        match &func.body[4] {
+            Stmt::Loop { trip, .. } => assert_eq!(*trip, Some(30)),
+            other => panic!("expected Loop, got {other:?}"),
+        }
     }
 
     #[test]

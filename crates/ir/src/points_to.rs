@@ -77,6 +77,18 @@ impl PointsTo {
     pub fn global_obj(&self, g: crate::module::GlobalId) -> ObjId {
         self.global_objs[g.0 as usize]
     }
+
+    /// The single object `value` points to — for tests and diagnostics
+    /// where the points-to set is known to be a singleton.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the set has exactly one element.
+    pub fn expect_single_obj(&self, func: FuncId, value: ValueId) -> ObjId {
+        let pts = self.pts(func, value);
+        assert_eq!(pts.len(), 1, "expected singleton points-to set: {pts:?}");
+        *pts.iter().next().unwrap()
+    }
 }
 
 /// Runs the analysis on `module`.
@@ -185,7 +197,9 @@ fn walk_allocs(
                 }
                 *idx += 1;
             }
-            Stmt::Loop(b) => walk_allocs(b, fid, idx, tx, loop_depth + 1, objects, alloc_objs),
+            Stmt::Loop { body, .. } => {
+                walk_allocs(body, fid, idx, tx, loop_depth + 1, objects, alloc_objs)
+            }
             Stmt::If(a, b) => {
                 walk_allocs(a, fid, idx, tx, loop_depth, objects, alloc_objs);
                 walk_allocs(b, fid, idx, tx, loop_depth, objects, alloc_objs);
@@ -401,7 +415,7 @@ mod tests {
         let id = f.finish();
         let module = m.finish(id, id);
         let pt = points_to(&module);
-        let o = |v| *pt.pts(id, v).iter().next().unwrap();
+        let o = |v| pt.expect_single_obj(id, v);
         assert!(!pt.obj_info(o(outside)).in_tx);
         assert!(pt.obj_info(o(inside)).in_tx);
         assert!(!pt.obj_info(o(inside)).in_loop);

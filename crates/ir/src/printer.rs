@@ -165,9 +165,16 @@ fn print_stmts(
                 };
                 let _ = writeln!(out, "{pad}{line}");
             }
-            Stmt::Loop(b) => {
-                let _ = writeln!(out, "{pad}loop {{");
-                print_stmts(module, b, verdicts, depth + 1, out);
+            Stmt::Loop { body, trip } => {
+                match trip {
+                    Some(n) => {
+                        let _ = writeln!(out, "{pad}loop[≤{n}] {{");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{pad}loop {{");
+                    }
+                }
+                print_stmts(module, body, verdicts, depth + 1, out);
                 let _ = writeln!(out, "{pad}}}");
             }
             Stmt::If(a, b) => {

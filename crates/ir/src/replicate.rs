@@ -92,6 +92,9 @@ pub fn replicate(module: &Module, pt: &PointsTo, sh: &Sharing) -> (Module, Repli
                 num_params: original.num_params,
                 body: clone_body,
                 num_values: original.num_values,
+                // Cloning preserves instruction order, so visit-indexed
+                // size annotations carry over unchanged.
+                alloc_sizes: original.alloc_sizes.clone(),
             });
             let clone_id = FuncId(out.funcs.len() as u32 - 1);
             rep.replicated.push((callee, clone_id));
@@ -163,7 +166,10 @@ fn clone_stmts(
                 }
                 other => other.clone(),
             }),
-            Stmt::Loop(b) => Stmt::Loop(clone_stmts(b, site_remap, next_site, next_call_site)),
+            Stmt::Loop { body, trip } => Stmt::Loop {
+                body: clone_stmts(body, site_remap, next_site, next_call_site),
+                trip: *trip,
+            },
             Stmt::If(a, b) => Stmt::If(
                 clone_stmts(a, site_remap, next_site, next_call_site),
                 clone_stmts(b, site_remap, next_site, next_call_site),
@@ -179,7 +185,7 @@ fn rewrite_call(stmts: &mut [Stmt], target: CallSiteId, new_callee: FuncId) {
                 *callee = new_callee;
             }
             Stmt::Instr(_) => {}
-            Stmt::Loop(b) => rewrite_call(b, target, new_callee),
+            Stmt::Loop { body, .. } => rewrite_call(body, target, new_callee),
             Stmt::If(a, b) => {
                 rewrite_call(a, target, new_callee);
                 rewrite_call(b, target, new_callee);

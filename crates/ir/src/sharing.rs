@@ -218,8 +218,8 @@ mod tests {
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
 
-        let node_obj = *pt.pts(worker, node).iter().next().unwrap();
-        let scratch_obj = *pt.pts(worker, scratch).iter().next().unwrap();
+        let node_obj = pt.expect_single_obj(worker, node);
+        let scratch_obj = pt.expect_single_obj(worker, scratch);
         assert!(sh.shared.contains(&node_obj), "published node escapes");
         assert!(!sh.shared.contains(&scratch_obj));
         assert!(sh.thread_private.contains(&scratch_obj));
@@ -245,8 +245,8 @@ mod tests {
         let module = m.finish(entry, worker);
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
-        let ao = *pt.pts(worker, a).iter().next().unwrap();
-        let bo = *pt.pts(worker, b).iter().next().unwrap();
+        let ao = pt.expect_single_obj(worker, a);
+        let bo = pt.expect_single_obj(worker, b);
         assert!(sh.shared.contains(&ao));
         assert!(sh.shared.contains(&bo));
     }
@@ -320,7 +320,7 @@ mod tests {
         let module = m.finish(entry, worker);
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
-        let buf_obj = *pt.pts(helper, buf).iter().next().unwrap();
+        let buf_obj = pt.expect_single_obj(helper, buf);
         assert!(
             sh.shared.contains(&buf_obj),
             "returned-then-published object escapes"
@@ -347,7 +347,7 @@ mod tests {
         let module = m.finish(entry, worker);
         let pt = points_to(&module);
         let sh = sharing(&module, &pt);
-        let buf_obj = *pt.pts(helper, buf).iter().next().unwrap();
+        let buf_obj = pt.expect_single_obj(helper, buf);
         assert!(sh.thread_private.contains(&buf_obj));
     }
 

@@ -267,7 +267,7 @@ fn visit_instr_count_is_stable() {
                 .iter()
                 .map(|s| match s {
                     Stmt::Instr(_) => 1,
-                    Stmt::Loop(b) => tree_count(b),
+                    Stmt::Loop { body, .. } => tree_count(body),
                     Stmt::If(a, b) => tree_count(a) + tree_count(b),
                 })
                 .sum()

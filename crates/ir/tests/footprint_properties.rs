@@ -1,0 +1,218 @@
+//! Randomized tests of the footprint interval lattice and the
+//! transaction-footprint analysis built on it: lattice laws (join is a
+//! semilattice, widening terminates and over-approximates), and
+//! whole-analysis properties (total, deterministic, internally
+//! consistent bounds) on randomly generated modules. (Std-only: modules
+//! and intervals are drawn from the deterministic in-tree generator.)
+
+use hintm_ir::{footprint, points_to, Bound, Interval, Lattice, Module, ModuleBuilder};
+use hintm_types::rng::SmallRng;
+
+fn rand_bound(rng: &mut SmallRng) -> Bound {
+    if rng.gen_range(0..8u32) == 0 {
+        Bound::Unbounded
+    } else {
+        Bound::Finite(rng.gen_range(0..1000u64))
+    }
+}
+
+fn rand_interval(rng: &mut SmallRng) -> Interval {
+    match rng.gen_range(0..10u32) {
+        0 => Interval::EMPTY,
+        1 => Interval::ZERO,
+        _ => {
+            let lo = rng.gen_range(0..500u64);
+            // Keep hi >= lo so most samples are non-empty.
+            let hi = match rand_bound(rng) {
+                Bound::Finite(h) => Bound::Finite(lo.saturating_add(h)),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            Interval::new(lo, hi)
+        }
+    }
+}
+
+#[test]
+fn join_is_a_semilattice() {
+    let mut rng = SmallRng::seed_from_u64(0xF00D);
+    for _ in 0..500 {
+        let a = rand_interval(&mut rng);
+        let b = rand_interval(&mut rng);
+        let c = rand_interval(&mut rng);
+
+        // Idempotent: joining a value with itself is a fixpoint.
+        assert_eq!(a.join(&a), a, "join not idempotent on {a:?}");
+        // Commutative.
+        assert_eq!(a.join(&b), b.join(&a), "join not commutative");
+        // Associative.
+        assert_eq!(
+            a.join(&b).join(&c),
+            a.join(&b.join(&c)),
+            "join not associative"
+        );
+        // The join is an upper bound of both arguments (monotonicity of
+        // the induced order).
+        let j = a.join(&b);
+        assert!(a.leq(&j), "{a:?} not <= join {j:?}");
+        assert!(b.leq(&j), "{b:?} not <= join {j:?}");
+        // Bottom is the identity.
+        assert_eq!(a.join(&Interval::EMPTY), a);
+    }
+}
+
+#[test]
+fn widening_terminates_and_over_approximates() {
+    let mut rng = SmallRng::seed_from_u64(0x51DE);
+    for _ in 0..200 {
+        let a = rand_interval(&mut rng);
+        let b = rand_interval(&mut rng);
+
+        // Widening dominates the join: it is a sound (if coarse) upper
+        // bound, so replacing join with widen never loses soundness.
+        let j = a.join(&b);
+        let w = a.widen(&j);
+        assert!(j.leq(&w), "widen {w:?} must dominate join {j:?}");
+
+        // Any ascending chain driven by widening stabilizes in a few
+        // steps: lo can only drop to 0 once and hi can only jump to
+        // unbounded once, so the chain has finite height regardless of
+        // the update sequence.
+        let mut x = a;
+        let mut changes = 0usize;
+        for _ in 0..50 {
+            let update = x.join(&rand_interval(&mut rng));
+            let next = x.widen(&update);
+            if next != x {
+                changes += 1;
+                x = next;
+            }
+        }
+        assert!(
+            changes <= 3,
+            "widening chain from {a:?} moved {changes} times"
+        );
+    }
+}
+
+#[test]
+fn interval_composition_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    for _ in 0..300 {
+        let a = rand_interval(&mut rng);
+        let b = rand_interval(&mut rng);
+        let big = a.join(&b);
+
+        // Sequencing with a larger effect yields a larger effect. (Only
+        // stated away from bottom: `add` treats the empty interval as its
+        // identity, so it is deliberately not monotone at EMPTY.)
+        let c = rand_interval(&mut rng);
+        if !a.is_empty() && !big.is_empty() {
+            assert!(a.add(&c).leq(&big.add(&c)), "add not monotone");
+        }
+
+        // A loop with an unknown trip bound dominates any bounded trip.
+        let n = rng.gen_range(0..20u32);
+        let bounded = a.repeat(Some(n));
+        let unbounded = a.repeat(None);
+        assert!(
+            bounded.leq(&unbounded),
+            "repeat({n}) {bounded:?} must be <= repeat(None) {unbounded:?}"
+        );
+    }
+}
+
+/// Builds a worker whose single transaction is generated from `rng`:
+/// sized/unsized allocations, loads, stores, memcpys, and bounded or
+/// unbounded loops around access clusters.
+fn rand_module(rng: &mut SmallRng) -> Module {
+    let mut m = ModuleBuilder::new();
+    let g = m.global("g");
+    let mut w = m.func("worker", 0);
+    let mut pool = vec![w.halloc_sized(rng.gen_range(1..2048u64)), w.alloca()];
+    if rng.gen_range(0..2u32) == 0 {
+        pool.push(w.global_addr(g));
+    }
+    w.tx_begin();
+    let n = rng.gen_range(1..8usize);
+    for _ in 0..n {
+        let p = pool[rng.gen_range(0..pool.len())];
+        let q = pool[rng.gen_range(0..pool.len())];
+        let looped = rng.gen_range(0..3u32);
+        if looped == 1 {
+            w.begin_loop_bounded(rng.gen_range(0..16u32));
+        } else if looped == 2 {
+            w.begin_loop();
+        }
+        match rng.gen_range(0..4u32) {
+            0 => {
+                w.load(p);
+            }
+            1 => {
+                w.store(p);
+            }
+            2 => {
+                w.memcpy(p, q);
+            }
+            _ => {
+                w.load(p);
+                w.store(q);
+            }
+        }
+        if looped != 0 {
+            w.end_block();
+        }
+    }
+    w.tx_end();
+    w.ret();
+    let worker = w.finish();
+    let mut main = m.func("main", 0);
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    m.finish(entry, worker)
+}
+
+#[test]
+fn footprint_is_total_deterministic_and_internally_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xB10C);
+    for _ in 0..128 {
+        let module = rand_module(&mut rng);
+        let pt = points_to(&module);
+        let a = footprint(&module, &pt);
+        let b = footprint(&module, &pt);
+        assert_eq!(a.txs.len(), 1, "generator emits exactly one TX");
+
+        for (x, y) in a.txs.iter().zip(&b.txs) {
+            // Fixpoint idempotence: re-running the analysis on the same
+            // inputs reproduces every bound exactly.
+            assert_eq!(
+                (x.read_hi, x.write_hi, x.total_hi, x.total_lo, x.write_lo),
+                (y.read_hi, y.write_hi, y.total_hi, y.total_lo, y.write_lo),
+                "footprint not deterministic"
+            );
+            assert!(x.balanced, "generator emits balanced TX regions");
+
+            // Internal consistency: written blocks are a subset of
+            // touched blocks, and guarantees never exceed bounds.
+            assert!(
+                Bound::Finite(x.write_lo).le(match x.write_hi {
+                    Bound::Finite(n) => n,
+                    Bound::Unbounded => u64::MAX,
+                }),
+                "write_lo {} > write_hi {}",
+                x.write_lo,
+                x.write_hi
+            );
+            assert!(x.write_lo <= x.total_lo, "written blocks exceed touched");
+            if let (Bound::Finite(w), Bound::Finite(t)) = (x.write_hi, x.total_hi) {
+                assert!(w <= t, "write_hi {w} > total_hi {t}");
+            }
+            if let (Bound::Finite(r), Bound::Finite(t)) = (x.read_hi, x.total_hi) {
+                assert!(r <= t, "read_hi {r} > total_hi {t}");
+            }
+            if let Bound::Finite(t) = x.total_hi {
+                assert!(x.total_lo <= t, "total_lo {} > total_hi {t}", x.total_lo);
+            }
+        }
+    }
+}

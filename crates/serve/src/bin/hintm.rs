@@ -80,6 +80,9 @@ fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
     if sa.audit {
         audit_sweep(sa, &cells)?;
     }
+    if sa.analyze {
+        analyze_sweep(sa, &cells)?;
+    }
     Ok(())
 }
 
@@ -106,6 +109,32 @@ fn audit_sweep(sa: &SweepArgs, cells: &[hintm_runner::Cell]) -> Result<(), Strin
     }
     if failed > 0 {
         return Err(format!("{failed} workload(s) failed the audit"));
+    }
+    Ok(())
+}
+
+/// Statically analyzes every distinct workload a sweep touched: footprint
+/// bounds, per-model capacity verdicts, and the hint-inference diff, at
+/// the sweep's scale. No extra simulator runs.
+fn analyze_sweep(sa: &SweepArgs, cells: &[hintm_runner::Cell]) -> Result<(), String> {
+    let mut names: Vec<&str> = cells.iter().map(|c| c.workload.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    eprintln!("{}", cli::analyze_header());
+    let mut failed = 0usize;
+    for name in names {
+        match hintm_audit::analyze_workload(name, sa.scale) {
+            Some(r) => {
+                eprintln!("{}", cli::analyze_row(&r));
+                if !r.passed() {
+                    failed += 1;
+                }
+            }
+            None => return Err(format!("analyze: unknown workload `{name}`")),
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} workload(s) failed the static analysis"));
     }
     Ok(())
 }

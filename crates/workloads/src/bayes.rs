@@ -30,16 +30,23 @@ struct Sites {
     graph_link: SiteId,
 }
 
-fn build_module() -> (Sites, Module) {
+fn build_module(scale: Scale) -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
-    let g_adtree = m.global("adtree");
-    let g_graph = m.global("network");
+    // 4096 statistics rows of 64 B each.
+    let g_adtree = m.global_sized("adtree", 4096 * 64);
+    // Treap of 48 B nodes; initial edges plus one insert per transaction
+    // across up to 16 threads.
+    let edges = 192 + 16 * scale.scaled(60) as u64;
+    let g_graph = m.global_sized("network", edges * 48);
 
     let mut w = m.func("learn", 0);
     w.begin_loop();
     w.tx_begin();
-    let score = w.alloca(); // per-TX partial score buffer
+    let score = w.alloca_sized(192); // per-TX partial score buffer
+                                     // One store per partial-score block.
+    w.begin_loop_bounded(3);
     let score_store = w.store(score);
+    w.end_block();
     // The query helper dereferences either the AD-tree or (on the cached
     // path) a node of the mutable network — the merged points-to set
     // blocks a read-only proof for the AD-tree, exactly the conservatism
@@ -57,12 +64,24 @@ fn build_module() -> (Sites, Module) {
     w.store_ptr(cell, q1);
     w.store_ptr(cell, q2);
     let (qptr, _) = w.load_ptr(cell);
+    // 20-79 statistics queries per transaction.
+    w.begin_loop_bounded(80);
     let adtree_load = w.load(qptr);
+    w.end_block();
+    // One load per partial-score block.
+    w.begin_loop_bounded(3);
     let score_load = w.load(score);
+    w.end_block();
+    // Network probe: a root-to-leaf treap traversal.
+    w.begin_loop();
     let graph_traverse = w.load(gg);
-    let edge = w.halloc();
+    w.end_block();
+    let edge = w.halloc_sized(48);
     let graph_node_init = w.store(edge);
+    // Edge insertion rebalances a chain of network nodes.
+    w.begin_loop();
     let graph_link = w.store_ptr(gg, edge);
+    w.end_block();
     w.tx_end();
     w.end_block();
     w.ret();
@@ -89,12 +108,12 @@ fn build_module() -> (Sites, Module) {
 }
 
 /// The kernel's IR module, as fed to the classifier (for audit tooling).
-pub(crate) fn ir_module() -> Module {
-    build_module().1
+pub(crate) fn ir_module(scale: Scale) -> Module {
+    build_module(scale).1
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
-    let (sites, module) = build_module();
+fn build_ir(scale: Scale) -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module(scale);
     let c = classify(&module);
     (sites, c.safe_sites().iter().copied().collect())
 }
@@ -122,7 +141,7 @@ pub struct Bayes {
 impl Bayes {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
-        let (sites, safe_sites) = build_ir();
+        let (sites, safe_sites) = build_ir(scale);
         Bayes {
             scale,
             threads,
@@ -231,7 +250,7 @@ mod tests {
 
     #[test]
     fn adtree_loads_are_not_statically_provable() {
-        let (sites, safe) = build_ir();
+        let (sites, safe) = build_ir(Scale::Sim);
         assert!(
             !safe.contains(&sites.adtree_load),
             "the cache-aliased AD-tree pointer defeats the static pass"

@@ -44,15 +44,21 @@ fn build_module() -> (Sites, Module) {
     let part = w.param(0);
     w.begin_loop();
     w.tx_begin();
+    // One hash-table insert per segment in the batch.
+    w.begin_loop_bounded(12);
     let segment_load = w.load(part);
     let tg = w.global_addr(g_table);
     let bucket = w.load(tg);
+    // Bucket chain walk.
+    w.begin_loop();
     let chain = w.load(tg);
+    w.end_block();
     let pool = w.global_addr(g_pool);
     let (node, _) = w.load_ptr(pool); // grab a preallocated node
     w.store(pool); // bump the pool cursor (writes the pool in-region)
     let node_store = w.store(node); // pool node: shared, NOT initializing
     let link = w.store_ptr(tg, node);
+    w.end_block();
     w.tx_end();
     // Rare repair path: writes the partition, defeating a read-only proof
     // (the dynamic run never takes it).
@@ -62,8 +68,11 @@ fn build_module() -> (Sites, Module) {
     w.end_block();
     w.tx_begin();
     let sg = w.global_addr(g_seq);
+    // 4-9 chain slots linked per phase-3 transaction.
+    w.begin_loop_bounded(9);
     let seq_load = w.load(sg);
     let seq_store = w.store(sg);
+    w.end_block();
     w.tx_end();
     w.end_block();
     w.ret();

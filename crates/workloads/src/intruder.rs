@@ -46,15 +46,22 @@ fn build_module() -> (Sites, Module) {
     let queue_store = w.store(qg);
     w.tx_end();
     w.tx_begin();
+    // Per-fragment work; a flow-completing transaction repeats it for
+    // every reassembled fragment (the capacity spike).
+    w.begin_loop();
     let frag_load = w.load(arena);
     let mg = w.global_addr(g_map);
     let bucket = w.load(mg);
+    // Bucket chain walk.
+    w.begin_loop();
     let chain = w.load(mg);
+    w.end_block();
     let pool = w.global_addr(g_pool);
     let (node, _) = w.load_ptr(pool);
     w.store(pool); // bump the pool cursor (writes the pool in-region)
     let node_store = w.store(node);
     let link = w.store_ptr(mg, node);
+    w.end_block();
     w.tx_end();
     // Rare rebalance path writes the arena (never taken at runtime).
     w.begin_if();

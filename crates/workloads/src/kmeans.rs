@@ -24,13 +24,14 @@ struct Sites {
 
 fn build_module() -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
-    let g_centroids = m.global("centroids");
+    // 12 centroid rows of 64 B each: the whole table is 12 cache blocks.
+    let g_centroids = m.global_sized("centroids", CLUSTERS as u64 * 64);
 
     let mut w = m.func("work", 0);
     let points = w.halloc(); // private partition
     w.begin_loop();
-    let point_load = w.load(points);
     w.tx_begin();
+    let point_load = w.load(points); // the point read is part of the TX
     let cg = w.global_addr(g_centroids);
     let centroid_load = w.load(cg);
     let centroid_store = w.store(cg);

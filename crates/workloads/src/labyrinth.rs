@@ -40,15 +40,17 @@ struct Sites {
     head_store: SiteId,
 }
 
-fn build_module() -> (Sites, Module) {
+fn build_module(scale: Scale) -> (Sites, Module) {
+    let (x, y, z) = Labyrinth::dims(scale);
+    let grid_bytes = (x * y * z) as u64 * 8;
     let mut m = ModuleBuilder::new();
     let g_queue = m.global("work_queue");
-    let g_base = m.global("base_grid");
-    let g_overlay = m.global("overlay");
+    let g_base = m.global_sized("base_grid", grid_bytes);
+    let g_overlay = m.global_sized("overlay", grid_bytes);
     let g_paths = m.global("path_list");
 
     let mut w = m.func("router_solve", 0);
-    let my_grid = w.halloc();
+    let my_grid = w.halloc_sized(grid_bytes);
     w.begin_loop();
     w.tx_begin();
     let qg = w.global_addr(g_queue);
@@ -61,9 +63,12 @@ fn build_module() -> (Sites, Module) {
     let exp_store = w.store(my_grid);
     w.end_block();
     let og = w.global_addr(g_overlay);
+    // Validate/publish walks the chosen path cell by cell.
+    w.begin_loop();
     let val_load = w.load(og);
     let val_store = w.store(og);
-    let node = w.halloc();
+    w.end_block();
+    let node = w.halloc_sized(48);
     let node_init = w.store(node);
     let pg = w.global_addr(g_paths);
     let head_store = w.store_ptr(pg, node);
@@ -97,12 +102,13 @@ fn build_module() -> (Sites, Module) {
 }
 
 /// The kernel's IR module, as fed to the classifier (for audit tooling).
-pub(crate) fn ir_module() -> Module {
-    build_module().1
+/// Object sizes (grid dimensions) depend on the scale.
+pub(crate) fn ir_module(scale: Scale) -> Module {
+    build_module(scale).1
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
-    let (sites, module) = build_module();
+fn build_ir(scale: Scale) -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module(scale);
     let c = classify(&module);
     (sites, c.safe_sites().iter().copied().collect())
 }
@@ -140,7 +146,7 @@ impl Labyrinth {
 
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
-        let (sites, safe_sites) = build_ir();
+        let (sites, safe_sites) = build_ir(scale);
         Labyrinth {
             scale,
             threads,
@@ -320,7 +326,7 @@ mod tests {
 
     #[test]
     fn static_classification_matches_listing2() {
-        let (sites, safe) = build_ir();
+        let (sites, safe) = build_ir(Scale::Sim);
         assert!(
             safe.contains(&sites.copy_load),
             "base grid is read-only in region"

@@ -105,17 +105,20 @@ pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
 
 /// The IR module a workload feeds to the static classifier — the exact
 /// module whose safe-site set [`hintm_sim::Workload::static_safe_sites`]
-/// reports. Exposed so audit tooling can verify, lint, and re-classify it.
-pub fn ir_module(name: &str) -> Option<hintm_ir::Module> {
+/// reports. Exposed so audit tooling can verify, lint, re-classify, and
+/// bound the footprint of it. Allocation and trip-count annotations track
+/// the `scale` the workload runs at (classification itself is
+/// scale-independent).
+pub fn ir_module(name: &str, scale: Scale) -> Option<hintm_ir::Module> {
     let m = match name {
-        "bayes" => bayes::ir_module(),
+        "bayes" => bayes::ir_module(scale),
         "genome" => genome::ir_module(),
         "intruder" => intruder::ir_module(),
         "kmeans" => kmeans::ir_module(),
-        "labyrinth" => labyrinth::ir_module(),
+        "labyrinth" => labyrinth::ir_module(scale),
         "ssca2" => ssca2::ir_module(),
-        "vacation" => vacation::ir_module(),
-        "yada" => yada::ir_module(),
+        "vacation" => vacation::ir_module(scale),
+        "yada" => yada::ir_module(scale),
         "tpcc-no" => tpcc::no_ir_module(),
         "tpcc-p" => tpcc::pay_ir_module(),
         _ => return None,

@@ -30,8 +30,8 @@ fn build_module() -> (Sites, Module) {
     let mut w = m.func("compute_graph", 0);
     let edges = w.halloc(); // private edge list partition
     w.begin_loop();
-    let edge_load = w.load(edges);
     w.tx_begin();
+    let edge_load = w.load(edges); // the edge read is part of the TX
     let ag = w.global_addr(g_adj);
     let count_load = w.load(ag);
     let count_store = w.store(ag);

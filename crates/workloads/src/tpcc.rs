@@ -40,31 +40,43 @@ struct NoSites {
 
 fn build_no_module() -> (NoSites, Module) {
     let mut m = ModuleBuilder::new();
-    let g_wh = m.global("warehouse");
-    let g_dist = m.global("district");
-    let g_item = m.global("item");
-    let g_stock = m.global("stock");
-    let g_order = m.global("orders");
-    let g_cust = m.global("customer");
+    let g_wh = m.global_sized("warehouse", 64);
+    let g_dist = m.global_sized("district", DISTRICTS * 64);
+    let g_item = m.global_sized("item", ITEMS * 64);
+    let g_stock = m.global_sized("stock", STOCK * 128);
+    let g_order = m.global_sized("orders", 64 * 4096);
+    let g_cust = m.global_sized("customer", CUSTOMERS * 64);
 
     let mut w = m.func("new_order", 0);
-    let scratch = w.alloca(); // order-line staging buffer
+    let scratch = w.alloca_sized(256); // order-line staging buffer
     w.begin_loop();
     w.tx_begin();
+    // Staging buffer: one store per staged block.
+    w.begin_loop_bounded(2);
     let scratch_store = w.store(scratch);
+    w.end_block();
     let whg = w.global_addr(g_wh);
     let wh_load = w.load(whg);
     let dg = w.global_addr(g_dist);
     let dist_load = w.load(dg);
     let dist_store = w.store(dg);
     let ig = w.global_addr(g_item);
-    let item_load = w.load(ig); // item table: read-only in region → safe
     let sg = w.global_addr(g_stock);
+    // 5-15 order lines; the stock row spans two blocks, so the stock
+    // loads run at twice the line count.
+    w.begin_loop_bounded(30);
+    let item_load = w.load(ig); // item table: read-only in region → safe
     let stock_load = w.load(sg);
     let stock_store = w.store(sg);
+    w.end_block();
+    w.begin_loop_bounded(2);
     let scratch_load = w.load(scratch);
+    w.end_block();
     let og = w.global_addr(g_order);
+    // Order header plus one order-line row per line item.
+    w.begin_loop_bounded(16);
     let order_store = w.store(og);
+    w.end_block();
     let cg = w.global_addr(g_cust);
     let cust_load = w.load(cg);
     w.tx_end();
@@ -122,13 +134,13 @@ struct PaySites {
 
 fn build_pay_module() -> (PaySites, Module) {
     let mut m = ModuleBuilder::new();
-    let g_wh = m.global("warehouse");
-    let g_dist = m.global("district");
-    let g_cust = m.global("customer");
-    let g_hist = m.global("history");
+    let g_wh = m.global_sized("warehouse", 64);
+    let g_dist = m.global_sized("district", DISTRICTS * 64);
+    let g_cust = m.global_sized("customer", CUSTOMERS * 64);
+    let g_hist = m.global_sized("history", 16 * 4096);
 
     let mut w = m.func("payment", 0);
-    let scratch = w.alloca();
+    let scratch = w.alloca_sized(256);
     w.begin_loop();
     w.tx_begin();
     let scratch_store = w.store(scratch);
@@ -139,7 +151,10 @@ fn build_pay_module() -> (PaySites, Module) {
     let dist_load = w.load(dg);
     let dist_store = w.store(dg);
     let cg = w.global_addr(g_cust);
+    // By-name selection scans up to 78 customer rows.
+    w.begin_loop_bounded(78);
     let cust_load = w.load(cg);
+    w.end_block();
     let cust_store = w.store(cg);
     let scratch_load = w.load(scratch);
     let hg = w.global_addr(g_hist);

@@ -33,22 +33,35 @@ struct Sites {
     update: SiteId,
 }
 
-fn build_module() -> (Sites, Module) {
+fn build_module(scale: Scale) -> (Sites, Module) {
     let mut m = ModuleBuilder::new();
-    let g_tables = m.global("manager_tables");
+    // Three reservation treaps plus the customer table, 48 B nodes each;
+    // sized with headroom for nodes inserted during the run. The size
+    // bounds how many table blocks a single transaction can touch.
+    let nodes = 4 * scale.scaled(512) as u64;
+    let g_tables = m.global_sized("manager_tables", 2 * nodes * 48);
 
     let mut w = m.func("client_run", 0);
-    let scratch = w.alloca(); // itinerary buffer on the stack
+    let scratch = w.alloca_sized(256); // itinerary buffer on the stack
     w.begin_loop();
     w.tx_begin();
-    let scratch_store = w.store(scratch); // build itinerary: defined first
+    // Build the itinerary: defined first, one store per itinerary block.
+    w.begin_loop_bounded(4);
+    let scratch_store = w.store(scratch);
+    w.end_block();
     let tg = w.global_addr(g_tables);
+    // One treap traversal per queried item.
+    w.begin_loop();
     let traverse = w.load(tg);
     let scratch_load = w.load(scratch);
-    let node = w.halloc(); // new reservation entry
+    w.end_block();
+    let node = w.halloc_sized(48); // new reservation entry
     let node_init = w.store(node);
+    // Publishing and the balance updates touch a chain of table nodes.
+    w.begin_loop();
     let link = w.store_ptr(tg, node);
     let update = w.store(tg);
+    w.end_block();
     w.tx_end();
     w.end_block();
     w.ret();
@@ -73,12 +86,13 @@ fn build_module() -> (Sites, Module) {
 }
 
 /// The kernel's IR module, as fed to the classifier (for audit tooling).
-pub(crate) fn ir_module() -> Module {
-    build_module().1
+/// Table sizes depend on the scale.
+pub(crate) fn ir_module(scale: Scale) -> Module {
+    build_module(scale).1
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
-    let (sites, module) = build_module();
+fn build_ir(scale: Scale) -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module(scale);
     let c = classify(&module);
     (sites, c.safe_sites().iter().copied().collect())
 }
@@ -105,7 +119,7 @@ pub struct Vacation {
 impl Vacation {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
-        let (sites, safe_sites) = build_ir();
+        let (sites, safe_sites) = build_ir(scale);
         Vacation {
             scale,
             threads,
@@ -264,7 +278,7 @@ mod tests {
 
     #[test]
     fn classification_matches_paper_expectations() {
-        let (sites, safe) = build_ir();
+        let (sites, safe) = build_ir(Scale::Sim);
         assert!(safe.contains(&sites.scratch_store), "stack itinerary init");
         assert!(safe.contains(&sites.scratch_load), "stack itinerary reads");
         assert!(

@@ -29,10 +29,13 @@ struct Sites {
     work_store: SiteId,
 }
 
-fn build_module() -> (Sites, Module) {
+fn build_module(scale: Scale) -> (Sites, Module) {
+    let elems = scale.scaled(768) as u64;
     let mut m = ModuleBuilder::new();
-    let g_mesh = m.global("mesh_index");
-    let g_elems = m.global("element_pool");
+    // Treap of 48 B nodes; doubled for nodes inserted during refinement.
+    let g_mesh = m.global_sized("mesh_index", 2 * elems * 48);
+    // Element records, 64 B each; the pool is 4x the initial mesh.
+    let g_elems = m.global_sized("element_pool", 4 * elems * 64);
     let g_work = m.global("work_heap");
 
     let mut w = m.func("refine", 0);
@@ -42,11 +45,16 @@ fn build_module() -> (Sites, Module) {
     let work_load = w.load(wg);
     let work_store = w.store(wg);
     let mg = w.global_addr(g_mesh);
-    let mesh_traverse = w.load(mg);
     let eg = w.global_addr(g_elems);
+    // Cavity gathering: index traversals plus element-record reads, one
+    // iteration per visited mesh node; retire/insert writes ride the same
+    // walk (rotations touch a chain of index nodes).
+    w.begin_loop();
+    let mesh_traverse = w.load(mg);
     let elem_load = w.load(eg);
     let elem_store = w.store(eg);
     let link = w.store_ptr(mg, eg);
+    w.end_block();
     w.tx_end();
     w.end_block();
     w.ret();
@@ -71,12 +79,13 @@ fn build_module() -> (Sites, Module) {
 }
 
 /// The kernel's IR module, as fed to the classifier (for audit tooling).
-pub(crate) fn ir_module() -> Module {
-    build_module().1
+/// Mesh and pool sizes depend on the scale.
+pub(crate) fn ir_module(scale: Scale) -> Module {
+    build_module(scale).1
 }
 
-fn build_ir() -> (Sites, HashSet<SiteId>) {
-    let (sites, module) = build_module();
+fn build_ir(scale: Scale) -> (Sites, HashSet<SiteId>) {
+    let (sites, module) = build_module(scale);
     let c = classify(&module);
     (sites, c.safe_sites().iter().copied().collect())
 }
@@ -105,7 +114,7 @@ pub struct Yada {
 impl Yada {
     /// Creates the workload for `threads` threads.
     pub fn new(scale: Scale, threads: usize) -> Self {
-        let (sites, safe_sites) = build_ir();
+        let (sites, safe_sites) = build_ir(scale);
         Yada {
             scale,
             threads,
@@ -239,7 +248,7 @@ mod tests {
 
     #[test]
     fn static_classification_finds_nothing_safe() {
-        let (sites, safe) = build_ir();
+        let (sites, safe) = build_ir(Scale::Sim);
         for site in [
             sites.mesh_traverse,
             sites.elem_load,

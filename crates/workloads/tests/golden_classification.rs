@@ -8,7 +8,7 @@
 //! the row and say why in the commit.
 
 use hintm_ir::classify;
-use hintm_workloads::{ir_module, WORKLOAD_NAMES};
+use hintm_workloads::{ir_module, Scale, WORKLOAD_NAMES};
 
 /// `(workload, num_sites, safe_loads, safe_stores, replicated_funcs)`.
 const GOLDEN: &[(&str, u32, u32, u32, u32)] = &[
@@ -33,7 +33,7 @@ fn golden_covers_every_workload() {
 #[test]
 fn classification_stats_match_golden() {
     for &(name, num_sites, safe_loads, safe_stores, replicated_funcs) in GOLDEN {
-        let module = ir_module(name).expect("registered workload has a module");
+        let module = ir_module(name, Scale::Sim).expect("registered workload has a module");
         let stats = classify(&module).stats();
         assert_eq!(
             (
@@ -56,9 +56,9 @@ fn declared_safe_sites_match_the_classifier() {
     // `hint_mismatch` check, pinned here at the source.
     use std::collections::BTreeSet;
     for name in WORKLOAD_NAMES {
-        let module = ir_module(name).unwrap();
+        let module = ir_module(name, Scale::Sim).unwrap();
         let classified = classify(&module);
-        let w = hintm_workloads::by_name(name, hintm_workloads::Scale::Sim).unwrap();
+        let w = hintm_workloads::by_name(name, Scale::Sim).unwrap();
         let declared: BTreeSet<_> = w.static_safe_sites().into_iter().collect();
         assert_eq!(
             &declared,

@@ -1,12 +1,14 @@
-//! Negative fixture for the audit stack: a verifier-clean module whose
-//! *declared* safe set lies. One site stores to a shared global counter
-//! from every thread, and the fixture marks it safe anyway. Both audit
-//! sides must catch the lie independently — the `safe-store-to-shared`
-//! lint statically, and the dynamic oracle by observing the write-write
-//! race in an actual run.
+//! Negative fixtures for the audit stack: verifier-clean modules whose
+//! *declarations* lie. One fixture declares a racing store safe (caught
+//! by the `safe-store-to-shared` lint statically and by the dynamic
+//! oracle observing the write-write race); the others lie about
+//! capacity — a transaction guaranteed to overflow the real HTM models,
+//! and a declared footprint budget the IR provably exceeds — and must be
+//! caught by the capacity lints through `analyze_module`, failing the
+//! report so `hintm analyze` exits nonzero.
 
-use hintm_audit::{audit_module, verify, Severity};
-use hintm_ir::{Module, ModuleBuilder};
+use hintm_audit::{analyze_module, audit_module, verify, Severity};
+use hintm_ir::{CapacityModel, Module, ModuleBuilder, Verdict};
 use hintm_sim::{Section, TxBody, TxOp, Workload};
 use hintm_types::{Addr, MemAccess, SiteId, ThreadId};
 use std::collections::{BTreeSet, HashSet};
@@ -122,4 +124,85 @@ fn honest_hints_for_the_same_module_pass_both_sides() {
         !report.missed.contains(&SiteId(0)),
         "a genuinely shared site must not be reported as a missed hint"
     );
+}
+
+/// A TX that memcpy-s one 128-block heap buffer into another: every
+/// execution touches 256 distinct blocks, provably overflowing both
+/// POWER8 models. With `declared_cap`, the module additionally promises
+/// a per-TX budget it cannot keep.
+fn overflowing_memcpy_module(declared_cap: Option<u32>) -> Module {
+    let mut m = ModuleBuilder::new();
+    if let Some(cap) = declared_cap {
+        m.declare_tx_cap(cap);
+    }
+    let mut w = m.func("copier", 0);
+    let dst = w.halloc_sized(128 * 64);
+    let src = w.halloc_sized(128 * 64);
+    w.tx_begin();
+    w.memcpy(dst, src);
+    w.tx_end();
+    w.ret();
+    let worker = w.finish();
+    let mut main = m.func("main", 0);
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    m.finish(entry, worker)
+}
+
+#[test]
+fn guaranteed_overflow_is_flagged_but_informational() {
+    let module = overflowing_memcpy_module(None);
+    assert!(verify(&module).is_empty(), "fixture must verify clean");
+
+    let report = analyze_module("overflowing-copy", &module, &BTreeSet::new());
+    assert_eq!(report.worst(CapacityModel::P8), Verdict::MustOverflow);
+    assert_eq!(report.worst(CapacityModel::P8S), Verdict::MustOverflow);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == "capacity-must-overflow")
+        .expect("the overflow lint must fire");
+    assert_eq!(d.severity, Severity::Warning);
+    // Guaranteed overflow on a specific model is a truthful property of
+    // the code (labyrinth has it too), not a lie: warning, not failure.
+    assert!(report.passed());
+}
+
+#[test]
+fn lying_footprint_budget_fails_the_analysis() {
+    // The same overflowing TX, but now the module declares every TX fits
+    // in 16 blocks. The budget lint must fire as an error, which is what
+    // makes `hintm analyze` exit nonzero.
+    let module = overflowing_memcpy_module(Some(16));
+    assert!(verify(&module).is_empty(), "fixture must verify clean");
+
+    let report = analyze_module("lying-budget", &module, &BTreeSet::new());
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == "footprint-exceeds-declared")
+        .expect("the budget lint must fire");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("budget of 16"), "{}", d.message);
+    assert!(!report.passed(), "a lying budget must fail the analysis");
+    assert!(report.lint_errors() > 0);
+}
+
+#[test]
+fn lying_safe_set_fails_the_static_analysis_too() {
+    // The shared-counter fixture's lying hint table is caught purely
+    // statically by analyze_module — no simulator run needed: the
+    // declared site is both a safe store to a shared object and
+    // uninferable by the classifier.
+    let module = shared_counter_module();
+    let declared: BTreeSet<SiteId> = [SiteId(0)].into_iter().collect();
+    let report = analyze_module("lying-counter", &module, &declared);
+
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.lint == "declared-but-uninferable" && d.severity == Severity::Error));
+    assert_ne!(report.declared, report.inferred);
+    assert!(!report.passed());
 }
