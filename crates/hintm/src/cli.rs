@@ -15,8 +15,8 @@
 
 use crate::json::{analyze_report_to_json, audit_report_to_json, Json};
 use crate::{
-    chrome_trace, write_binlog, AbortKind, Experiment, HintMode, HtmKind, RunReport, Scale,
-    WORKLOAD_NAMES,
+    chrome_trace, write_binlog, AbortKind, ExecMode, Experiment, HintMode, HtmKind, RunReport,
+    Scale, WORKLOAD_NAMES,
 };
 use hintm_audit::{AnalyzeReport, AuditReport};
 use std::fmt;
@@ -188,6 +188,9 @@ pub struct SweepArgs {
     /// Host generation threads per cell (per-core lanes; results are
     /// bit-identical for every value, so the cache is shared across it).
     pub sim_threads: usize,
+    /// Execution tier for every cell (bit-identical results; the cache is
+    /// shared across it, like `sim_threads`).
+    pub exec: ExecMode,
     /// 2-way SMT.
     pub smt2: bool,
     /// §VI-B preserve optimization.
@@ -225,6 +228,7 @@ impl Default for SweepArgs {
             scale: Scale::Sim,
             threads: None,
             sim_threads: 1,
+            exec: ExecMode::Interp,
             smt2: false,
             preserve: false,
             jobs: None,
@@ -250,7 +254,12 @@ pub struct PerfArgs {
     /// snapshot; baselines taken at a different thread count refuse to
     /// compare.
     pub threads: usize,
-    /// Timed repetitions per cell (the median is reported).
+    /// Execution tier for every timed run. Recorded in the snapshot;
+    /// baselines taken under a different tier refuse to compare (same
+    /// rule as `threads`).
+    pub exec: ExecMode,
+    /// Timed repetitions per cell. The slowest repetition is dropped as
+    /// noise when `repeat >= 3`, then the median of the rest is reported.
     pub repeat: usize,
     /// Untimed warmup runs per cell.
     pub warmup: usize,
@@ -270,6 +279,7 @@ impl Default for PerfArgs {
         PerfArgs {
             smoke: false,
             threads: 1,
+            exec: ExecMode::Interp,
             repeat: 5,
             warmup: 1,
             out: None,
@@ -298,6 +308,9 @@ pub struct RunArgs {
     /// Host threads for section generation (per-core lanes; results are
     /// bit-identical for every value).
     pub sim_threads: usize,
+    /// Execution tier (interpreted, batch-compiled, or both in lockstep;
+    /// results are bit-identical for every value).
+    pub exec: ExecMode,
     /// 2-way SMT.
     pub smt2: bool,
     /// §VI-B preserve optimization.
@@ -318,6 +331,7 @@ impl Default for RunArgs {
             scale: Scale::Sim,
             threads: None,
             sim_threads: 1,
+            exec: ExecMode::Interp,
             smt2: false,
             preserve: false,
             csv: false,
@@ -352,6 +366,12 @@ OPTIONS:
   --threads <n>            override the workload's thread count
   --sim-threads <n>        host threads for section generation (per-core
                            lanes; results are bit-identical for any value) [1]
+  --exec <tier>            interp | compiled | both                  [interp]
+                           execution tier for resolved sections: `compiled`
+                           replays batch-compiled access programs, `both`
+                           runs the tiers in lockstep and fails loudly on
+                           the first divergence; results are bit-identical
+                           for every tier
   --smt2                   2-way SMT (16 hardware threads)
   --preserve               enable the preserve page-transition optimization
   --csv                    machine-readable CSV output
@@ -383,7 +403,7 @@ SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --htm <k1,k2,..>         HTM configurations to sweep                    [p8]
   --hints <m1,m2,..>       hint modes to sweep                           [off]
   --seeds <n1,n2,..>       seeds to sweep                                 [42]
-  --scale / --threads / --sim-threads / --smt2 / --preserve
+  --scale / --threads / --sim-threads / --exec / --smt2 / --preserve
                            as above, applied to every cell
   --jobs <n>               worker threads            [machine's parallelism]
   --no-cache               bypass the on-disk result cache
@@ -412,7 +432,13 @@ when the median events/sec regresses past the threshold):
   --threads <n>            host generation threads for every timed run;
                            recorded in the snapshot, and baselines taken at a
                            different count refuse to compare               [1]
-  --repeat <n>             timed repetitions per cell (median reported)    [5]
+  --exec <tier>            interp | compiled | both for every timed run;
+                           recorded in the snapshot, and baselines taken
+                           under a different tier refuse to compare   [interp]
+  --repeat <n>             timed repetitions per cell; with --repeat >= 3 the
+                           slowest repetition is dropped as noise and the
+                           median of the rest is reported (at 1-2 reps every
+                           sample counts, so the median is over all of them) [5]
   --warmup <n>             untimed warmup runs per cell                    [1]
   --out <dir>              directory for BENCH_*.json snapshots            [.]
   --baseline <file>        explicit baseline   [newest BENCH_*.json in --out]
@@ -530,6 +556,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         let v = value(&mut i, "--sim-threads")?;
                         ra.sim_threads = parse_sim_threads(&v)?;
                     }
+                    "--exec" => ra.exec = parse_exec(&value(&mut i, "--exec")?)?,
                     "--smt2" => ra.smt2 = true,
                     "--preserve" => ra.preserve = true,
                     "--csv" => ra.csv = true,
@@ -551,6 +578,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "unknown command `{other}` (try `hintm help`)"
         ))),
     }
+}
+
+/// Parses an execution-tier name (`interp` | `compiled` | `both`) as the
+/// CLI and the server's sweep-spec JSON spell it.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on an unknown name.
+pub fn parse_exec(v: &str) -> Result<ExecMode, CliError> {
+    ExecMode::parse(&v.to_ascii_lowercase())
+        .ok_or_else(|| CliError(format!("unknown --exec `{v}` (interp | compiled | both)")))
 }
 
 /// Parses a host-thread count (at least 1) for the parallel engine.
@@ -663,6 +701,7 @@ fn parse_trace(args: &[String]) -> Result<Command, CliError> {
                 let v = value(&mut i, "--sim-threads")?;
                 ta.run.sim_threads = parse_sim_threads(&v)?;
             }
+            "--exec" => ta.run.exec = parse_exec(&value(&mut i, "--exec")?)?,
             "--smt2" => ta.run.smt2 = true,
             "--preserve" => ta.run.preserve = true,
             "--events" => {
@@ -718,6 +757,7 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
                 let v = value(&mut i, "--sim-threads")?;
                 sa.sim_threads = parse_sim_threads(&v)?;
             }
+            "--exec" => sa.exec = parse_exec(&value(&mut i, "--exec")?)?,
             "--smt2" => sa.smt2 = true,
             "--preserve" => sa.preserve = true,
             "--jobs" => {
@@ -761,6 +801,7 @@ fn parse_perf(args: &[String]) -> Result<Command, CliError> {
                 let v = value(&mut i, "--threads")?;
                 pa.threads = parse_sim_threads(&v)?;
             }
+            "--exec" => pa.exec = parse_exec(&value(&mut i, "--exec")?)?,
             "--repeat" => {
                 let v = value(&mut i, "--repeat")?;
                 pa.repeat = v
@@ -873,7 +914,8 @@ fn experiment(name: &str, ra: &RunArgs) -> Experiment {
         .scale(ra.scale)
         .smt2(ra.smt2)
         .preserve(ra.preserve)
-        .sim_threads(ra.sim_threads);
+        .sim_threads(ra.sim_threads)
+        .exec(ra.exec);
     if let Some(t) = ra.threads {
         e = e.threads(t);
     }
@@ -1249,6 +1291,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_exec_everywhere() {
+        let Command::Run(ra) = parse(&argv("run --workload kmeans --exec compiled")).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(ra.exec, ExecMode::Compiled);
+        let Command::Trace(ta) = parse(&argv("trace kmeans --exec both")).unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(ta.run.exec, ExecMode::Both);
+        let Command::Sweep(sa) = parse(&argv("sweep --exec compiled")).unwrap() else {
+            panic!("expected sweep")
+        };
+        assert_eq!(sa.exec, ExecMode::Compiled);
+        let Command::Perf(pa) = parse(&argv("perf --exec compiled")).unwrap() else {
+            panic!("expected perf")
+        };
+        assert_eq!(pa.exec, ExecMode::Compiled);
+        // Defaults interpret; case-insensitive; garbage is rejected.
+        assert_eq!(RunArgs::default().exec, ExecMode::Interp);
+        assert_eq!(PerfArgs::default().exec, ExecMode::Interp);
+        assert_eq!(parse_exec("BOTH").unwrap(), ExecMode::Both);
+        assert!(parse(&argv("run --workload kmeans --exec jit")).is_err());
+        assert!(parse(&argv("suite --exec")).is_err());
+    }
+
+    #[test]
     fn rejects_unknown_values() {
         assert!(parse(&argv("run --workload x --htm weird")).is_err());
         assert!(parse(&argv("run --workload x --hints weird")).is_err());
@@ -1283,6 +1352,19 @@ mod tests {
         let row = lines.next().unwrap();
         assert!(row.starts_with("kmeans,P8,baseline,3,"));
         assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn exec_tiers_agree_end_to_end() {
+        let mut outs = Vec::new();
+        for exec in ["interp", "compiled", "both"] {
+            let cmd = parse(&argv(&format!("run --workload kmeans --csv --exec {exec}"))).unwrap();
+            let mut buf = Vec::new();
+            execute(&cmd, &mut buf).unwrap();
+            outs.push(String::from_utf8(buf).unwrap());
+        }
+        assert_eq!(outs[0], outs[1], "interp vs compiled reports differ");
+        assert_eq!(outs[0], outs[2], "interp vs both reports differ");
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod json;
 
 pub use hintm_htm::{HtmConfig, HtmKind};
 pub use hintm_sim::{
-    HintMode, Recording, RunStats, Section, SimConfig, Simulator, TraceEvent, TraceSink, TxBody,
-    TxOp, Workload,
+    AccessProgram, ExecMode, HintMode, Recording, RunStats, Section, SectionCompiler, SimConfig,
+    Simulator, TraceEvent, TraceSink, TxBody, TxOp, Workload,
 };
 pub use hintm_trace::{chrome_trace, chrome_trace_to, write_binlog, write_binlog_to, TraceSummary};
 pub use hintm_types::{AbortKind, Cycles, MachineConfig, SmtMode};
@@ -84,6 +84,7 @@ pub struct Experiment {
     seed: u64,
     record_tx_sizes: bool,
     profile_sharing: bool,
+    exec: ExecMode,
 }
 
 impl Experiment {
@@ -102,6 +103,7 @@ impl Experiment {
             seed: 42,
             record_tx_sizes: false,
             profile_sharing: false,
+            exec: ExecMode::Interp,
         }
     }
 
@@ -144,6 +146,15 @@ impl Experiment {
         self
     }
 
+    /// Selects the execution tier ([`ExecMode`]): the `POp` interpreter,
+    /// batch-compiled access programs, or the lockstep self-check. Like
+    /// [`Experiment::sim_threads`], results are bit-identical for every
+    /// value — the tier is a pure performance/verification knob.
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
     /// Enables 2-way SMT (16 hardware threads on 8 cores, §VI-D2).
     pub fn smt2(mut self, on: bool) -> Self {
         self.smt2 = on;
@@ -178,6 +189,7 @@ impl Experiment {
         cfg.record_tx_sizes = self.record_tx_sizes;
         cfg.profile_sharing = self.profile_sharing;
         cfg.sim_threads = self.sim_threads;
+        cfg.exec = self.exec;
         cfg
     }
 

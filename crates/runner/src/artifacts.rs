@@ -41,6 +41,7 @@ pub fn cell_to_json(cell: &Cell) -> Json {
             cell.threads.map_or(Json::Null, |t| Json::u64(t as u64)),
         ),
         ("sim_threads".into(), Json::u64(cell.sim_threads as u64)),
+        ("exec".into(), Json::Str(cell.exec.to_string())),
         ("smt2".into(), Json::Bool(cell.smt2)),
         ("preserve".into(), Json::Bool(cell.preserve)),
         ("record_tx_sizes".into(), Json::Bool(cell.record_tx_sizes)),

@@ -12,16 +12,18 @@
 //! guards *correctness* of hot-path rewrites; this harness guards their
 //! *speed*. Together they pin both sides of an optimization.
 //!
-//! Snapshot schema (`schema_version` 2; version 1 files lack `threads`
-//! and are read as `threads: 1`):
+//! Snapshot schema (`schema_version` 3; version 1 files lack `threads`
+//! and are read as `threads: 1`; version 1-2 files lack `exec` and are
+//! read as `exec: "interp"`):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "created": "2026-08-06",
 //!   "git_rev": "dc3908a",
 //!   "grid": "full",
 //!   "threads": 1,
+//!   "exec": "interp",
 //!   "repeat": 5,
 //!   "warmup": 1,
 //!   "median_events_per_sec": 2026240.0,
@@ -37,19 +39,25 @@
 //! different lane counts measures different host behavior, so a snapshot
 //! is only ever compared against a baseline taken at the *same* count: a
 //! mismatched auto-discovered baseline skips the comparison with a
-//! notice, and a mismatched explicit `--baseline` is an error.
+//! notice, and a mismatched explicit `--baseline` is an error. `exec`
+//! (the execution tier) follows the same rule: interpreted and compiled
+//! runs time different code paths, so cross-tier comparisons are refused
+//! identically. Non-interp snapshots also get their own file namespace
+//! (`BENCH_compiled_<date>.json`), so they are never auto-discovered as
+//! baselines for interpreter runs.
 
 use hintm::cli::PerfArgs;
-use hintm::{Experiment, HtmKind, Json, Scale};
+use hintm::{ExecMode, Experiment, HtmKind, Json, Scale};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Snapshot format version (bump on breaking schema changes). Version 2
-/// added the top-level `threads` field; version 1 files are still read,
-/// with `threads` defaulting to 1.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// added the top-level `threads` field; version 3 added `exec`. Older
+/// files are still read, with `threads` defaulting to 1 and `exec` to
+/// `interp`.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Default failure threshold: >25% slower than the baseline fails.
 pub const DEFAULT_THRESHOLD: f64 = 0.25;
@@ -137,20 +145,37 @@ fn median_f64(xs: &mut [f64]) -> f64 {
     }
 }
 
-/// Measures one cell: `warmup` untimed runs, `repeat` timed runs, median
-/// wall time, with the engine at `threads` generation lanes. The run
-/// configuration is pinned (seed 42, sim scale, hints off) so snapshots
-/// are comparable across machines only in ratio, but across commits on
-/// one machine in absolute terms.
+/// The noise-rejected representative wall time of a cell's timed runs:
+/// with 3 or more repeats the single slowest run is dropped, then the
+/// median of the rest is taken; with 1-2 repeats every sample counts and
+/// the median covers all of them.
 ///
-/// Noise rejection: when `repeat >= 3`, the single slowest run is dropped
-/// before taking the median. Wall-clock noise on a timed simulation is
-/// one-sided — a run can be descheduled, page-fault, or absorb another
-/// process's burst and come out slower, but nothing makes it spuriously
-/// *faster* — so the max is the only repeat a noise spike can inhabit.
-/// With an even count left after the drop, the median averages the two
-/// middle runs, which still never includes the dropped outlier. All raw
-/// repeats (including the dropped one) stay in `runs_ns` for forensics.
+/// Wall-clock noise on a timed simulation is one-sided — a run can be
+/// descheduled, page-fault, or absorb another process's burst and come
+/// out slower, but nothing makes it spuriously *faster* — so the max is
+/// the only repeat a noise spike can inhabit. With an even count left
+/// after the drop, the median averages the two middle runs, which still
+/// never includes the dropped outlier.
+///
+/// # Panics
+///
+/// Panics on an empty slice (the CLI enforces `--repeat >= 1`).
+pub fn noise_rejected_median(runs_ns: &[u64]) -> u64 {
+    let mut sorted = runs_ns.to_vec();
+    sorted.sort_unstable();
+    if sorted.len() >= 3 {
+        sorted.pop();
+    }
+    median_u64(&mut sorted)
+}
+
+/// Measures one cell: `warmup` untimed runs, `repeat` timed runs, with
+/// the engine at `threads` generation lanes executing under the `exec`
+/// tier; [`noise_rejected_median`] picks the representative wall time.
+/// The run configuration is pinned (seed 42, sim scale, hints off) so
+/// snapshots are comparable across machines only in ratio, but across
+/// commits on one machine in absolute terms. All raw repeats (including
+/// a dropped outlier) stay in `runs_ns` for forensics.
 ///
 /// # Errors
 ///
@@ -160,6 +185,7 @@ pub fn measure_cell(
     warmup: usize,
     repeat: usize,
     threads: usize,
+    exec: ExecMode,
 ) -> Result<CellMeasurement, String> {
     let exp = || {
         Experiment::new(cell.workload)
@@ -167,6 +193,7 @@ pub fn measure_cell(
             .seed(42)
             .scale(Scale::Sim)
             .sim_threads(threads)
+            .exec(exec)
     };
     let mut events = 0u64;
     for _ in 0..warmup {
@@ -180,12 +207,7 @@ pub fn measure_cell(
         runs_ns.push(t0.elapsed().as_nanos() as u64);
         events = r.stats.cache.accesses;
     }
-    let mut sorted = runs_ns.clone();
-    sorted.sort_unstable();
-    if sorted.len() >= 3 {
-        sorted.pop();
-    }
-    let wall_ns = median_u64(&mut sorted).max(1);
+    let wall_ns = noise_rejected_median(&runs_ns).max(1);
     Ok(CellMeasurement {
         workload: cell.workload.to_string(),
         htm: cell.htm.to_string(),
@@ -241,6 +263,7 @@ pub fn snapshot_json(
     cells: &[CellMeasurement],
     grid: &str,
     threads: usize,
+    exec: ExecMode,
     repeat: usize,
     warmup: usize,
 ) -> Json {
@@ -250,6 +273,7 @@ pub fn snapshot_json(
         ("git_rev".into(), Json::Str(git_rev())),
         ("grid".into(), Json::Str(grid.into())),
         ("threads".into(), Json::u64(threads as u64)),
+        ("exec".into(), Json::Str(exec.to_string())),
         ("repeat".into(), Json::u64(repeat as u64)),
         ("warmup".into(), Json::u64(warmup as u64)),
         (
@@ -290,6 +314,9 @@ pub struct Baseline {
     /// Generation-lane count the snapshot was taken at (1 for schema
     /// version 1 files, which predate the field).
     pub threads: usize,
+    /// Execution tier the snapshot was taken under (`interp` for schema
+    /// version 1-2 files, which predate the compilation tier).
+    pub exec: ExecMode,
     /// Overall median events/sec.
     pub median_events_per_sec: f64,
     /// `(workload, htm) -> events_per_sec`.
@@ -319,6 +346,14 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
     let threads = match j.get("threads") {
         Some(v) => v.as_u64().map_err(|e| e.to_string())? as usize,
         None => 1,
+    };
+    // v1-2 predate the compilation tier; those snapshots interpreted.
+    let exec = match j.get("exec") {
+        Some(v) => {
+            let s = v.as_str().map_err(|e| e.to_string())?;
+            ExecMode::parse(s).ok_or_else(|| format!("{}: bad exec `{s}`", path.display()))?
+        }
+        None => ExecMode::Interp,
     };
     let median = j
         .field("median_events_per_sec")
@@ -352,6 +387,7 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
             .unwrap_or("unknown")
             .to_string(),
         threads,
+        exec,
         median_events_per_sec: median,
         cells,
     })
@@ -413,24 +449,34 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
     };
     let out_dir = PathBuf::from(pa.out.as_deref().unwrap_or("."));
     // Smoke snapshots get their own namespace so a quick CI run can never
-    // clobber (or be mistaken for) a committed full-grid baseline.
+    // clobber (or be mistaken for) a committed full-grid baseline. The
+    // same goes for non-interp tiers: a compiled-tier run writes
+    // `BENCH_compiled_<date>.json`, which the auto-discovery (8-digit
+    // dates only) never picks as an interpreter baseline.
+    let exec_tag = match pa.exec {
+        ExecMode::Interp => "",
+        ExecMode::Compiled => "compiled_",
+        ExecMode::Both => "both_",
+    };
     let stamp_path = out_dir.join(format!(
-        "BENCH_{}{}.json",
+        "BENCH_{}{}{}.json",
         if pa.smoke { "smoke_" } else { "" },
+        exec_tag,
         today_utc().replace('-', "")
     ));
 
     eprintln!(
-        "perf: {} grid, {} cells, warmup {} + repeat {}, threads {}",
+        "perf: {} grid, {} cells, warmup {} + repeat {}, threads {}, exec {}",
         grid_name,
         grid.len(),
         pa.warmup,
         pa.repeat,
-        pa.threads
+        pa.threads,
+        pa.exec
     );
     let mut cells = Vec::with_capacity(grid.len());
     for c in &grid {
-        let m = measure_cell(c, pa.warmup, pa.repeat, pa.threads)?;
+        let m = measure_cell(c, pa.warmup, pa.repeat, pa.threads, pa.exec)?;
         eprintln!(
             "  {:<10} {:<7} {:>9} events  {:>9.0} ev/s  ({:.1} ms median)",
             m.workload,
@@ -445,7 +491,7 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
     eprintln!("perf: overall median {median:.0} events/sec");
 
     fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
-    let json = snapshot_json(&cells, grid_name, pa.threads, pa.repeat, pa.warmup);
+    let json = snapshot_json(&cells, grid_name, pa.threads, pa.exec, pa.repeat, pa.warmup);
     let mut file =
         fs::File::create(&stamp_path).map_err(|e| format!("{}: {e}", stamp_path.display()))?;
     writeln!(file, "{json}").map_err(|e| e.to_string())?;
@@ -472,6 +518,21 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
             base.path.display(),
             base.threads,
             pa.threads
+        );
+        if pa.baseline.is_some() {
+            return Err(format!("perf: refusing comparison: {msg}"));
+        }
+        eprintln!("perf: comparison skipped: {msg}");
+        return Ok(());
+    }
+    if base.exec != pa.exec {
+        // Same rule as a cross-thread-count comparison: the tiers time
+        // different code paths, so the ratio says nothing about either.
+        let msg = format!(
+            "baseline {} was taken under exec {}, this run under exec {}",
+            base.path.display(),
+            base.exec,
+            pa.exec
         );
         if pa.baseline.is_some() {
             return Err(format!("perf: refusing comparison: {msg}"));
@@ -540,21 +601,20 @@ mod tests {
     }
 
     #[test]
-    fn drop_max_median_matches_measure_cell_policy() {
-        // Mirror of measure_cell's noise rejection: repeat >= 3 drops the
-        // slowest run before the median; fewer repeats keep them all.
-        let median_after_drop = |mut runs: Vec<u64>| {
-            runs.sort_unstable();
-            if runs.len() >= 3 {
-                runs.pop();
-            }
-            median_u64(&mut runs)
-        };
-        // A single noise spike (1000) no longer drags the median up.
-        assert_eq!(median_after_drop(vec![10, 11, 1000, 12, 13]), 11);
+    fn noise_rejection_starts_at_three_repeats() {
+        // repeat 1: the single sample IS the result — nothing to reject.
+        assert_eq!(noise_rejected_median(&[7]), 7);
+        // repeat 2: both samples count; the median averages them. Dropping
+        // the slower of two would blindly trust a single run.
+        assert_eq!(noise_rejected_median(&[10, 1000]), 505);
+        assert_eq!(noise_rejected_median(&[1000, 10]), 505);
+        // repeat 3: the threshold — the slowest is dropped, the median of
+        // the remaining two is the average.
+        assert_eq!(noise_rejected_median(&[10, 12, 1000]), 11);
+        assert_eq!(noise_rejected_median(&[1000, 10, 12]), 11);
+        // repeat 5: a single noise spike no longer drags the median up.
+        assert_eq!(noise_rejected_median(&[10, 11, 1000, 12, 13]), 11);
         assert_eq!(median_u64(&mut [10, 11, 1000, 12, 13]), 12);
-        assert_eq!(median_after_drop(vec![10, 1000]), 505);
-        assert_eq!(median_after_drop(vec![7]), 7);
     }
 
     #[test]
@@ -581,10 +641,15 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_20260101.json");
-        fs::write(&path, snapshot_json(&cells, "smoke", 4, 2, 1).to_string()).unwrap();
+        fs::write(
+            &path,
+            snapshot_json(&cells, "smoke", 4, ExecMode::Compiled, 2, 1).to_string(),
+        )
+        .unwrap();
         let b = load_baseline(&path).unwrap();
         assert_eq!(b.median_events_per_sec, 1.5e9);
         assert_eq!(b.threads, 4);
+        assert_eq!(b.exec, ExecMode::Compiled);
         assert_eq!(b.cells.len(), 2);
         assert_eq!(b.cells[0].0, "kmeans");
         assert_eq!(b.cells[1].2, 1e9);
@@ -604,7 +669,25 @@ mod tests {
         .unwrap();
         let b = load_baseline(&path).unwrap();
         assert_eq!(b.threads, 1, "v1 files predate lanes: always serial");
+        assert_eq!(b.exec, ExecMode::Interp, "v1 files predate the compiler");
         assert_eq!(b.median_events_per_sec, 2.0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_snapshots_read_as_interp() {
+        let dir = std::env::temp_dir().join("hintm-perf-v2compat");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_20260101.json");
+        fs::write(
+            &path,
+            r#"{"schema_version": 2, "threads": 4, "median_events_per_sec": 2.0, "cells": []}"#,
+        )
+        .unwrap();
+        let b = load_baseline(&path).unwrap();
+        assert_eq!(b.threads, 4);
+        assert_eq!(b.exec, ExecMode::Interp, "v2 files predate the compiler");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -617,8 +700,12 @@ mod tests {
         fs::write(dir.join("BENCH_20260101.json"), "{}").unwrap();
         fs::write(dir.join("notes.txt"), "").unwrap();
         // Smoke snapshots sort above full ones ('s' > any digit) but must
-        // never be selected as a baseline.
+        // never be selected as a baseline; nor are compiled-tier ones —
+        // they would be refused anyway, but they shouldn't even shadow
+        // the newest interpreter snapshot.
         fs::write(dir.join("BENCH_smoke_20270101.json"), "{}").unwrap();
+        fs::write(dir.join("BENCH_compiled_20270101.json"), "{}").unwrap();
+        fs::write(dir.join("BENCH_both_20270101.json"), "{}").unwrap();
         let newest = dir.join("BENCH_20260101.json");
         assert_eq!(find_baseline(&dir, None), Some(newest.clone()));
         assert_eq!(
@@ -659,6 +746,7 @@ mod tests {
             0,
             1,
             1,
+            ExecMode::Interp,
         )
         .unwrap();
         assert!(m.events > 0);
@@ -675,8 +763,21 @@ mod tests {
             workload: "kmeans",
             htm: HtmKind::P8,
         };
-        let serial = measure_cell(&cell, 0, 1, 1).unwrap();
-        let laned = measure_cell(&cell, 0, 1, 4).unwrap();
+        let serial = measure_cell(&cell, 0, 1, 1, ExecMode::Interp).unwrap();
+        let laned = measure_cell(&cell, 0, 1, 4, ExecMode::Interp).unwrap();
         assert_eq!(serial.events, laned.events);
+    }
+
+    #[test]
+    fn exec_tiers_agree_on_events() {
+        // The compiled tier is digest-locked to the interpreter, so the
+        // event count must not depend on the execution tier either.
+        let cell = PerfCell {
+            workload: "kmeans",
+            htm: HtmKind::P8,
+        };
+        let interp = measure_cell(&cell, 0, 1, 1, ExecMode::Interp).unwrap();
+        let compiled = measure_cell(&cell, 0, 1, 1, ExecMode::Compiled).unwrap();
+        assert_eq!(interp.events, compiled.events);
     }
 }

@@ -7,7 +7,8 @@
 //! deduplicates cells that different axes happen to produce twice.
 
 use hintm::{
-    Experiment, HintMode, HtmKind, Recording, RunReport, Scale, UnknownWorkload, WORKLOAD_NAMES,
+    ExecMode, Experiment, HintMode, HtmKind, Recording, RunReport, Scale, UnknownWorkload,
+    WORKLOAD_NAMES,
 };
 use std::collections::HashSet;
 
@@ -30,6 +31,10 @@ pub struct Cell {
     /// bit-identical for every value, so this knob is deliberately NOT
     /// part of [`Cell::key`] — the cache is shared across thread counts.
     pub sim_threads: usize,
+    /// Execution tier (interpreter / compiled access programs / lockstep
+    /// self-check). Bit-identical results for every value, so — like
+    /// `sim_threads` — deliberately NOT part of [`Cell::key`].
+    pub exec: ExecMode,
     /// 2-way SMT (16 hardware threads on 8 cores).
     pub smt2: bool,
     /// §VI-B preserve optimization.
@@ -59,6 +64,7 @@ impl Cell {
             seed: 42,
             threads: None,
             sim_threads: 1,
+            exec: ExecMode::Interp,
             smt2: false,
             preserve: false,
             record_tx_sizes: false,
@@ -103,6 +109,13 @@ impl Cell {
         self
     }
 
+    /// Selects the execution tier. Does not change results and does not
+    /// enter [`Cell::key`].
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
     /// Enables 2-way SMT.
     pub fn smt2(mut self, on: bool) -> Self {
         self.smt2 = on;
@@ -130,9 +143,10 @@ impl Cell {
     /// The canonical identity of this cell: every *result-affecting*
     /// configuration knob in a fixed order. Two cells are the same run iff
     /// their keys are equal — the cache addresses results by a hash of
-    /// this string. `sim_threads` is intentionally absent: the engine is
-    /// bit-identical across thread counts, so resubmitting a spec at a
-    /// different `sim_threads` must hit the cache.
+    /// this string. `sim_threads` and `exec` are intentionally absent: the
+    /// engine is bit-identical across thread counts and execution tiers,
+    /// so resubmitting a spec at a different `sim_threads` or `exec` must
+    /// hit the cache.
     pub fn key(&self) -> String {
         format!(
             "{}|{}|{}|{}|seed={}|threads={}|smt2={}|preserve={}|txsizes={}|sharing={}",
@@ -169,7 +183,8 @@ impl Cell {
             .preserve(self.preserve)
             .record_tx_sizes(self.record_tx_sizes)
             .profile_sharing(self.profile_sharing)
-            .sim_threads(self.sim_threads);
+            .sim_threads(self.sim_threads)
+            .exec(self.exec);
         if let Some(t) = self.threads {
             e = e.threads(t);
         }
@@ -214,6 +229,7 @@ pub struct SweepSpec {
     seeds: Vec<u64>,
     threads: Option<usize>,
     sim_threads: usize,
+    exec: Option<ExecMode>,
     smt2: bool,
     preserve: bool,
     record_tx_sizes: bool,
@@ -295,6 +311,14 @@ impl SweepSpec {
         self
     }
 
+    /// Execution tier applied to every enumerated cell (including
+    /// extras). Purely a performance/self-checking knob — see
+    /// [`Cell::exec`].
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = Some(mode);
+        self
+    }
+
     /// 2-way SMT on every enumerated cell.
     pub fn smt2(mut self, on: bool) -> Self {
         self.smt2 = on;
@@ -371,6 +395,7 @@ impl SweepSpec {
                                 .profile_sharing(self.profile_sharing);
                             c.threads = self.threads;
                             c.sim_threads = self.sim_threads.max(1);
+                            c.exec = self.exec.unwrap_or_default();
                             product.push(c);
                         }
                     }
@@ -380,10 +405,13 @@ impl SweepSpec {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
         let extra = self.extra.iter().cloned().map(|mut c| {
-            // A spec-level sim_threads override also covers extras; an
-            // unset spec leaves each extra's own value alone.
+            // A spec-level sim_threads/exec override also covers extras;
+            // an unset spec leaves each extra's own value alone.
             if self.sim_threads > 0 {
                 c.sim_threads = self.sim_threads;
+            }
+            if let Some(exec) = self.exec {
+                c.exec = exec;
             }
             c
         });
@@ -429,6 +457,32 @@ mod tests {
         let a = Cell::new("kmeans");
         assert_eq!(a.key(), a.clone().sim_threads(4).key());
         assert_eq!(Cell::new("kmeans").sim_threads(0).sim_threads, 1);
+    }
+
+    #[test]
+    fn exec_is_not_part_of_the_key() {
+        // Same rule as sim_threads: execution tiers are digest-locked to
+        // produce identical results, so the cache is shared across them.
+        let a = Cell::new("kmeans");
+        assert_eq!(a.key(), a.clone().exec(ExecMode::Compiled).key());
+        assert_eq!(a.key(), a.clone().exec(ExecMode::Both).key());
+    }
+
+    #[test]
+    fn spec_exec_covers_product_and_extras() {
+        let cells = SweepSpec::new()
+            .workload("kmeans")
+            .cell(Cell::new("ssca2"))
+            .exec(ExecMode::Compiled)
+            .cells();
+        assert!(cells.iter().all(|c| c.exec == ExecMode::Compiled));
+        // Unset spec leaves an extra's own value alone.
+        let cells = SweepSpec::new()
+            .workload("kmeans")
+            .cell(Cell::new("ssca2").exec(ExecMode::Both))
+            .cells();
+        assert_eq!(cells[0].exec, ExecMode::Interp);
+        assert_eq!(cells[1].exec, ExecMode::Both);
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
         .seeds(sa.seeds.iter().copied())
         .scale(sa.scale)
         .sim_threads(sa.sim_threads)
+        .exec(sa.exec)
         .smt2(sa.smt2)
         .preserve(sa.preserve);
     if let Some(t) = sa.threads {

@@ -1,0 +1,814 @@
+//! The section compiler: lowering workload sections into executable
+//! programs for the engine's two execution tiers.
+//!
+//! # Two-tier lowering
+//!
+//! Every section is *resolved* once — per-op block/page split and every
+//! run-constant safety verdict — before execution (PR 7). This module owns
+//! that machinery and adds a second, denser target below it:
+//!
+//! * **Interpreter tier** ([`ExecMode::Interp`]): sections lower to a
+//!   `Program` of flat `POp` records, one 48-byte struct per op, and
+//!   the engine dispatches on the op kind per step.
+//! * **Compiled tier** ([`ExecMode::Compiled`]): sections lower to an
+//!   [`AccessProgram`] — a flat array of packed 16-byte slots, each a
+//!   one-byte opword (kind + safety flags + store bit + pre-resolved
+//!   escape-window membership) plus a single payload lane holding the
+//!   byte address (accesses) or cycle cost (computes). The engine's
+//!   replay loop executes straight from these slots — block/page splits
+//!   and the access record are rebuilt with register arithmetic — without
+//!   re-deciding structure per event, and the interpreter's per-access
+//!   `suspended` state test disappears: escape windows are folded into
+//!   each slot's `F_ESCAPED` bit at compile time, which is sound
+//!   because bodies replay verbatim across retries.
+//!
+//! What the compiled tier deliberately does *not* do is fold compute ops
+//! into accesses or drop suspend/resume markers: the scheduler interleaves
+//! threads between every op, so collapsing slots would change conflict
+//! windows, abort points, and [`crate::RunStats::steps`]. Both tiers
+//! execute exactly one slot per scheduling step and are locked together by
+//! the differential harness (`tests/exec_differential.rs`) — digests and
+//! stats are bit-identical by construction, which is why `exec` is
+//! excluded from sweep cache keys.
+//!
+//! # Cache keying
+//!
+//! Compiled programs are memoized in a `Compiler`-owned cache keyed by
+//! a 64-bit content digest of the section (op kinds, addresses, sites,
+//! hints, compute costs, TX-ness) folded with the resolver's *points-to
+//! generation* — a digest of the hint configuration and the safe-site /
+//! notary sets the static analysis produced. Identical section bodies
+//! recompile once per generation and share one [`Arc`]; a changed hint
+//! configuration changes the generation and invalidates every key.
+//!
+//! Streams whose sections never repeat (address-unique bodies) would pay
+//! the keying and probing for nothing, so the cache watches its own hit
+//! rate over a probation window and switches itself off for the rest of
+//! the run when the stream proves unrepeating; retired program buffers
+//! recycle through a spare pool either way, so steady-state compilation
+//! allocates nothing beyond one `Arc` per section.
+
+use crate::config::SimConfig;
+use crate::section::{Section, TxOp, Workload};
+use hintm_trace::Fnv64;
+use hintm_types::{AccessKind, Addr, BlockAddr, MemAccess, PageId, SafetyHint, SiteId};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The op carries a static-safe verdict (hint, static site set, or notary
+/// range, with static hints enabled).
+pub(crate) const F_STATIC_SAFE: u8 = 1 << 0;
+/// Hint-independent static classification (Fig. 6 footprint views).
+pub(crate) const F_RAW_STATIC: u8 = 1 << 1;
+/// Compiled opword: the access is a store.
+pub(crate) const F_STORE: u8 = 1 << 2;
+/// Compiled opword: the slot sits inside a Suspend..Resume escape window
+/// (pre-resolved; the access executes non-transactionally).
+pub(crate) const F_ESCAPED: u8 = 1 << 3;
+/// Compiled opword: the source access carried a compiler [`SafetyHint`]
+/// (the raw hint, before the resolver's site/notary folding — kept so the
+/// slot reconstructs the original [`MemAccess`] bit-for-bit).
+pub(crate) const F_HINT_SAFE: u8 = 1 << 4;
+
+/// Compiled opword kind field (bits 6–7).
+pub(crate) const K_MASK: u8 = 0b1100_0000;
+/// Kind: memory access (parallel arrays are meaningful).
+pub(crate) const K_ACCESS: u8 = 0;
+/// Kind: pure computation of the slot's cost cycles.
+pub(crate) const K_COMPUTE: u8 = 1 << 6;
+/// Kind: begin an escape window (step-consuming no-op when compiled).
+pub(crate) const K_SUSPEND: u8 = 2 << 6;
+/// Kind: end an escape window (step-consuming no-op when compiled).
+pub(crate) const K_RESUME: u8 = 3 << 6;
+
+/// What a pre-resolved operation does (interpreter tier).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    /// A memory access ([`POp::access`] is meaningful).
+    Access,
+    /// Pure computation of [`POp::cost`] cycles.
+    Compute,
+    /// Begin an escape window.
+    Suspend,
+    /// End an escape window.
+    Resume,
+}
+
+/// One flat, fully-resolved operation: the block/page split and every
+/// run-constant safety verdict are computed once per section (in the lane,
+/// when lanes are active) instead of once per executed access.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct POp {
+    pub(crate) op: OpKind,
+    pub(crate) flags: u8,
+    /// Compute cycles ([`OpKind::Compute`] only).
+    pub(crate) cost: u64,
+    pub(crate) access: MemAccess,
+    pub(crate) block: BlockAddr,
+    pub(crate) page: PageId,
+}
+
+/// A resolved section body. Replayed verbatim across retries. Retired
+/// programs return to an engine-level pool so steady-state resolution
+/// reuses their op storage instead of allocating per section.
+///
+/// Which representations are populated depends on the [`ExecMode`]:
+/// `ops` for the interpreter, `code` for the compiled tier, both for the
+/// lockstep-checking `both` mode.
+#[derive(Debug, Default)]
+pub(crate) struct Program {
+    /// Transactional (`Section::Tx`) or plain ops (`Section::NonTx`).
+    pub(crate) tx: bool,
+    pub(crate) ops: Vec<POp>,
+    pub(crate) code: Option<Arc<AccessProgram>>,
+}
+
+impl Program {
+    /// Slot count (identical in both representations by construction).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match &self.code {
+            Some(c) => c.len(),
+            None => self.ops.len(),
+        }
+    }
+}
+
+/// One unit delivered from generation to the merge loop.
+#[derive(Debug)]
+pub(crate) enum Resolved {
+    Program(Program),
+    Barrier,
+    Done,
+}
+
+use crate::config::ExecMode;
+
+/// Turns sections into `Program`s. Immutable after construction, so lane
+/// workers can share it by reference.
+pub(crate) struct Resolver {
+    uses_static: bool,
+    safe_sites: Vec<SiteId>,
+    raw_static_sites: Vec<SiteId>,
+    notary_pages: Vec<PageId>,
+    /// Points-to generation stamp: a digest of the hint configuration and
+    /// the site/notary sets the static analysis produced. Folded into
+    /// every [`Compiler`] cache key.
+    generation: u32,
+}
+
+impl Resolver {
+    pub(crate) fn new(workload: &dyn Workload, cfg: &SimConfig) -> Self {
+        // Hint sets become sorted slices: they are immutable for the whole
+        // run, and resolution binary-searches them once per section op
+        // instead of once per executed access.
+        let mut safe_sites: Vec<SiteId> = if cfg.hint_mode.uses_static() {
+            workload.static_safe_sites().into_iter().collect()
+        } else {
+            Vec::new()
+        };
+        safe_sites.sort_unstable();
+        // Raw static sites (for the hint-independent Fig. 6 views).
+        let mut raw_static_sites: Vec<SiteId> = workload.static_safe_sites().into_iter().collect();
+        raw_static_sites.sort_unstable();
+        // Notary-style manual privatization ranges, expanded to pages.
+        let mut notary_pages: HashSet<PageId> = HashSet::new();
+        for (base, len) in workload.notary_safe_ranges() {
+            let mut page = base.page().index();
+            let last = base.offset(len.saturating_sub(1)).page().index();
+            while page <= last {
+                notary_pages.insert(PageId::from_index(page));
+                page += 1;
+            }
+        }
+        let mut notary_pages: Vec<PageId> = notary_pages.into_iter().collect();
+        notary_pages.sort_unstable();
+        let mut h = Fnv64::new();
+        h.write(&[cfg.hint_mode.uses_static() as u8]);
+        for s in &safe_sites {
+            h.write_u64(s.0 as u64 + 1);
+        }
+        h.write(&[0xFE]);
+        for s in &raw_static_sites {
+            h.write_u64(s.0 as u64 + 1);
+        }
+        h.write(&[0xFD]);
+        for p in &notary_pages {
+            h.write_u64(p.index() + 1);
+        }
+        let generation = h.finish() as u32;
+        Resolver {
+            uses_static: cfg.hint_mode.uses_static(),
+            safe_sites,
+            raw_static_sites,
+            notary_pages,
+            generation,
+        }
+    }
+
+    /// The points-to generation stamp compiled programs are keyed by.
+    pub(crate) fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The run-constant safety flags for one access (`F_STATIC_SAFE` /
+    /// `F_RAW_STATIC`), shared by both lowering targets.
+    #[inline]
+    fn access_flags(&self, a: &MemAccess, page: PageId) -> u8 {
+        let hint_safe = a.hint.is_safe()
+            || self.safe_sites.binary_search(&a.site).is_ok()
+            || (self.uses_static && self.notary_pages.binary_search(&page).is_ok());
+        let mut flags = 0;
+        if self.uses_static && hint_safe {
+            flags |= F_STATIC_SAFE;
+        }
+        if a.hint.is_safe() || self.raw_static_sites.binary_search(&a.site).is_ok() {
+            flags |= F_RAW_STATIC;
+        }
+        flags
+    }
+
+    pub(crate) fn resolve(
+        &self,
+        section: Section,
+        exec: ExecMode,
+        compiler: &mut Compiler,
+    ) -> Resolved {
+        self.resolve_into(section, Program::default(), exec, compiler)
+    }
+
+    /// [`Resolver::resolve`] reusing `buf`'s op storage.
+    pub(crate) fn resolve_into(
+        &self,
+        section: Section,
+        buf: Program,
+        exec: ExecMode,
+        compiler: &mut Compiler,
+    ) -> Resolved {
+        match section {
+            Section::Barrier => Resolved::Barrier,
+            Section::NonTx(ops) => {
+                Resolved::Program(self.program(false, &ops, buf, exec, compiler))
+            }
+            Section::Tx(body) => {
+                Resolved::Program(self.program(true, &body.ops, buf, exec, compiler))
+            }
+        }
+    }
+
+    fn program(
+        &self,
+        tx: bool,
+        ops: &[TxOp],
+        mut out: Program,
+        exec: ExecMode,
+        compiler: &mut Compiler,
+    ) -> Program {
+        let filler = MemAccess::load(Addr::new(0), SiteId(0));
+        out.tx = tx;
+        out.ops.clear();
+        if let Some(old) = out.code.take() {
+            // The retired program's buffers feed the next lowering (unless
+            // the cache or another section still shares it).
+            compiler.recycle(old);
+        }
+        if exec.interprets() {
+            out.ops.extend(ops.iter().map(|op| match op {
+                TxOp::Compute(c) => POp {
+                    op: OpKind::Compute,
+                    flags: 0,
+                    cost: *c,
+                    access: filler,
+                    block: BlockAddr::from_index(0),
+                    page: PageId::from_index(0),
+                },
+                TxOp::Suspend => POp {
+                    op: OpKind::Suspend,
+                    flags: 0,
+                    cost: 0,
+                    access: filler,
+                    block: BlockAddr::from_index(0),
+                    page: PageId::from_index(0),
+                },
+                TxOp::Resume => POp {
+                    op: OpKind::Resume,
+                    flags: 0,
+                    cost: 0,
+                    access: filler,
+                    block: BlockAddr::from_index(0),
+                    page: PageId::from_index(0),
+                },
+                TxOp::Access(a) => {
+                    let page = a.addr.page();
+                    POp {
+                        op: OpKind::Access,
+                        flags: self.access_flags(a, page),
+                        cost: 0,
+                        access: *a,
+                        block: a.addr.block(),
+                        page,
+                    }
+                }
+            }));
+        }
+        if exec.compiles() {
+            out.code = Some(compiler.compile(self, tx, ops));
+            debug_assert!(
+                !exec.interprets()
+                    || out.ops.len() == out.code.as_ref().map(|c| c.len()).unwrap_or(0),
+                "compiled slot count must match the interpreter op count"
+            );
+        }
+        out
+    }
+}
+
+/// One compiled slot: a packed opword plus a single payload lane. The
+/// payload is the byte address for access slots and the cycle cost for
+/// compute slots — everything else (block, page, kind, hint) is
+/// reconstructed from the opword and address with register arithmetic.
+/// 16 bytes against the interpreter's 48-byte [`POp`]: the replay loop's
+/// per-event fetch is one bounds check and two machine words.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    /// Byte address ([`K_ACCESS`]) or compute cycles ([`K_COMPUTE`]).
+    payload: u64,
+    /// Issuing static site ([`K_ACCESS`] only).
+    site: SiteId,
+    /// Kind + flag bits (see the `K_*` / `F_*` constants).
+    word: u8,
+}
+
+/// A compiled section body: the structure-free target of the compiled
+/// tier. One packed 16-byte `Slot` per source op — kind, store bit,
+/// safety flags, and pre-resolved escape membership in the opword, the
+/// address or cost in the payload lane — which the engine's replay loop
+/// executes directly without re-deciding structure per event.
+#[derive(Debug)]
+pub struct AccessProgram {
+    tx: bool,
+    slots: Vec<Slot>,
+}
+
+impl AccessProgram {
+    /// A slotless program, ready for [`lower_into`] to fill.
+    fn empty() -> Self {
+        AccessProgram {
+            tx: false,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Number of slots (one per source op).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the program has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Compiled from a transactional section?
+    pub fn is_tx(&self) -> bool {
+        self.tx
+    }
+
+    /// Number of memory-access slots.
+    pub fn num_accesses(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.word & K_MASK == K_ACCESS)
+            .count()
+    }
+
+    /// Distinct cache blocks among the access slots — the quantity PR 8's
+    /// static footprint analysis bounds per transaction.
+    pub fn distinct_blocks(&self) -> usize {
+        let mut seen: HashSet<BlockAddr> = HashSet::new();
+        for s in &self.slots {
+            if s.word & K_MASK == K_ACCESS {
+                seen.insert(Addr::new(s.payload).block());
+            }
+        }
+        seen.len()
+    }
+
+    /// The packed slot at `pos` — the compiled tier's per-event fetch:
+    /// (opword, payload, site), one bounds check and two machine words.
+    #[inline]
+    pub(crate) fn packed(&self, pos: usize) -> (u8, u64, SiteId) {
+        let s = self.slots[pos];
+        (s.word, s.payload, s.site)
+    }
+
+    /// The full slot at `pos` (opword, cost, block, page, access), widened
+    /// back from the packed form.
+    #[inline]
+    pub(crate) fn slot(&self, pos: usize) -> (u8, u64, BlockAddr, PageId, MemAccess) {
+        let s = self.slots[pos];
+        if s.word & K_MASK == K_ACCESS {
+            let addr = Addr::new(s.payload);
+            let kind = if s.word & F_STORE != 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let hint = if s.word & F_HINT_SAFE != 0 {
+                SafetyHint::Safe
+            } else {
+                SafetyHint::Unsafe
+            };
+            let access = MemAccess {
+                addr,
+                kind,
+                site: s.site,
+                hint,
+            };
+            (s.word, 0, addr.block(), addr.page(), access)
+        } else {
+            (
+                s.word,
+                s.payload,
+                BlockAddr::from_index(0),
+                PageId::from_index(0),
+                MemAccess::load(Addr::new(0), SiteId(0)),
+            )
+        }
+    }
+}
+
+/// Entry cap for the compiled-program cache. Compiled programs are shared
+/// by `Arc`, so clearing a full cache never invalidates live programs.
+const CACHE_CAP: usize = 1024;
+
+/// Compile count after which the cache's hit rate is judged (see
+/// [`Compiler::maybe_bypass`]).
+const BYPASS_PROBATION: u64 = 512;
+
+/// The compile cache's keys are already well-mixed 64-bit digests (see
+/// [`Compiler::key`]), so the map's hasher is a passthrough: re-hashing
+/// them through SipHash would cost more than the probe it guards.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("compile-cache keys hash as u64");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type KeyMap = HashMap<u64, Arc<AccessProgram>, std::hash::BuildHasherDefault<KeyHasher>>;
+
+/// Lowers sections to [`AccessProgram`]s, memoizing them in a
+/// content-addressed cache (see the module docs for the keying rule).
+/// One compiler per generation context (the serial feed, or one per lane
+/// worker) — compilation is a pure function of the section and the
+/// resolver, so private caches stay deterministic at any lane count.
+pub(crate) struct Compiler {
+    generation: u32,
+    cache: KeyMap,
+    /// Retired programs whose buffers the next miss reuses: when the cache
+    /// clears, every entry nothing else still holds (`Arc` refcount 1) is
+    /// reclaimed here, so steady-state compilation allocates nothing — the
+    /// same zero-alloc property the interpreter's reused op buffer has.
+    spares: Vec<AccessProgram>,
+    /// Set once the probation window proves the section stream never
+    /// repeats (address-unique bodies): keying and probing the cache is
+    /// then pure overhead, so misses lower straight into recycled buffers.
+    /// Purely a fast path — programs are a function of (section, resolver),
+    /// so a hit and a fresh lowering are bit-identical.
+    bypass: bool,
+    hits: u64,
+    misses: u64,
+}
+
+/// One round of the cache-key mixer: full-width multiply-xor, two ops per
+/// section op instead of FNV's per-byte loop. Keys are internal to the
+/// cache (nothing golden depends on them), so speed wins over FNV here.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    let x = (h ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^ (x >> 29)
+}
+
+impl Compiler {
+    pub(crate) fn new(resolver: &Resolver) -> Self {
+        Compiler {
+            generation: resolver.generation(),
+            cache: KeyMap::default(),
+            spares: Vec::new(),
+            bypass: false,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Takes a retired program back. If nothing else still shares it (the
+    /// cache holds repeated programs at refcount >= 2), its buffers are
+    /// reused by the next lowering.
+    pub(crate) fn recycle(&mut self, p: Arc<AccessProgram>) {
+        if self.spares.len() < CACHE_CAP {
+            if let Ok(p) = Arc::try_unwrap(p) {
+                self.spares.push(p);
+            }
+        }
+    }
+
+    /// Cache key: a 64-bit content hash over the full section (kind,
+    /// store-ness, hint, site, address, cost per op), folded with the
+    /// resolver's points-to generation.
+    fn key(&self, tx: bool, ops: &[TxOp]) -> u64 {
+        let mut h = mix(
+            0x517c_c1b7_2722_0a95,
+            (u64::from(self.generation) << 1) | tx as u64,
+        );
+        for op in ops {
+            match op {
+                TxOp::Access(a) => {
+                    let tag = 1u64
+                        | ((a.kind == AccessKind::Store) as u64) << 1
+                        | (a.hint.is_safe() as u64) << 2
+                        | (a.site.0 as u64) << 3;
+                    h = mix(h, tag);
+                    h = mix(h, a.addr.raw());
+                }
+                TxOp::Compute(c) => {
+                    h = mix(h, 4);
+                    h = mix(h, *c);
+                }
+                TxOp::Suspend => h = mix(h, 5),
+                TxOp::Resume => h = mix(h, 6),
+            }
+        }
+        h
+    }
+
+    pub(crate) fn compile(
+        &mut self,
+        resolver: &Resolver,
+        tx: bool,
+        ops: &[TxOp],
+    ) -> Arc<AccessProgram> {
+        if self.bypass {
+            self.misses += 1;
+            let mut prog = self.spares.pop().unwrap_or_else(AccessProgram::empty);
+            lower_into(resolver, tx, ops, &mut prog);
+            return Arc::new(prog);
+        }
+        let key = self.key(tx, ops);
+        if let Some(p) = self.cache.get(&key) {
+            self.hits += 1;
+            return Arc::clone(p);
+        }
+        self.misses += 1;
+        let mut prog = self.spares.pop().unwrap_or_else(AccessProgram::empty);
+        lower_into(resolver, tx, ops, &mut prog);
+        let p = Arc::new(prog);
+        if self.cache.len() >= CACHE_CAP {
+            // Reclaim buffers from entries no in-flight section still
+            // references; live programs stay valid through their own Arc.
+            let retired = self
+                .cache
+                .drain()
+                .filter_map(|(_, p)| Arc::try_unwrap(p).ok());
+            self.spares.extend(retired);
+            self.spares.truncate(CACHE_CAP);
+        }
+        self.cache.insert(key, Arc::clone(&p));
+        self.maybe_bypass();
+        p
+    }
+
+    /// Probation check: after [`BYPASS_PROBATION`] compiles, a stream that
+    /// almost never repeats (hit rate below 1 in 8) switches the cache off
+    /// for the rest of the run and reclaims its buffers into the spare
+    /// pool. Runs once — the counter sum passes the threshold exactly once.
+    fn maybe_bypass(&mut self) {
+        if self.hits + self.misses == BYPASS_PROBATION && self.hits * 8 < self.misses {
+            self.bypass = true;
+            let retired = std::mem::take(&mut self.cache)
+                .into_values()
+                .filter_map(|p| Arc::try_unwrap(p).ok());
+            self.spares.extend(retired);
+            self.spares.truncate(CACHE_CAP);
+        }
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Lowers one section body to its SoA form. Escape windows are resolved
+/// positionally: a slot is marked [`F_ESCAPED`] iff the suspend depth at
+/// its program point is positive, which matches the interpreter's runtime
+/// `suspended` state exactly because bodies replay verbatim from slot 0 on
+/// every retry.
+fn lower_into(resolver: &Resolver, tx: bool, ops: &[TxOp], p: &mut AccessProgram) {
+    p.tx = tx;
+    p.slots.clear();
+    p.slots.reserve(ops.len());
+    let mut depth = 0u32;
+    for op in ops {
+        let slot = match op {
+            TxOp::Compute(c) => Slot {
+                payload: *c,
+                site: SiteId(0),
+                word: K_COMPUTE,
+            },
+            TxOp::Suspend => {
+                debug_assert!(depth == 0, "nested suspend");
+                depth += 1;
+                Slot {
+                    payload: 0,
+                    site: SiteId(0),
+                    word: K_SUSPEND,
+                }
+            }
+            TxOp::Resume => {
+                debug_assert!(depth > 0, "resume without suspend");
+                depth = depth.saturating_sub(1);
+                Slot {
+                    payload: 0,
+                    site: SiteId(0),
+                    word: K_RESUME,
+                }
+            }
+            TxOp::Access(a) => {
+                let mut w = K_ACCESS | resolver.access_flags(a, a.addr.page());
+                if a.kind == AccessKind::Store {
+                    w |= F_STORE;
+                }
+                if a.hint.is_safe() {
+                    w |= F_HINT_SAFE;
+                }
+                if depth > 0 {
+                    w |= F_ESCAPED;
+                }
+                Slot {
+                    payload: a.addr.raw(),
+                    site: a.site,
+                    word: w,
+                }
+            }
+        };
+        p.slots.push(slot);
+    }
+}
+
+/// Public entry point into the compilation tier: compiles the sections a
+/// workload generates, with the same resolver + cache the engine uses.
+/// Tooling and tests use it to inspect [`AccessProgram`]s (e.g. checking
+/// per-TX distinct-block counts against the static footprint analysis)
+/// without running a simulation.
+pub struct SectionCompiler {
+    resolver: Resolver,
+    compiler: Compiler,
+}
+
+impl SectionCompiler {
+    /// A compiler over `workload`'s hint sets under `cfg`.
+    pub fn new(workload: &dyn Workload, cfg: &SimConfig) -> Self {
+        let resolver = Resolver::new(workload, cfg);
+        let compiler = Compiler::new(&resolver);
+        SectionCompiler { resolver, compiler }
+    }
+
+    /// Compiles one section (`None` for barriers, which carry no ops).
+    pub fn compile(&mut self, section: &Section) -> Option<Arc<AccessProgram>> {
+        match section {
+            Section::Barrier => None,
+            Section::NonTx(ops) => Some(self.compiler.compile(&self.resolver, false, ops)),
+            Section::Tx(body) => Some(self.compiler.compile(&self.resolver, true, &body.ops)),
+        }
+    }
+
+    /// Cache hits so far (identical section bodies share one program).
+    pub fn cache_hits(&self) -> u64 {
+        self.compiler.hits()
+    }
+
+    /// Cache misses so far (each lowered the section once).
+    pub fn cache_misses(&self) -> u64 {
+        self.compiler.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::TxBody;
+    use hintm_types::ThreadId;
+
+    struct NoWorkload;
+    impl Workload for NoWorkload {
+        fn name(&self) -> &'static str {
+            "none"
+        }
+        fn num_threads(&self) -> usize {
+            1
+        }
+        fn reset(&mut self, _seed: u64) {}
+        fn next_section(&mut self, _tid: ThreadId) -> Option<Section> {
+            None
+        }
+    }
+
+    fn body() -> TxBody {
+        TxBody::new(vec![
+            TxOp::Access(MemAccess::load(Addr::new(0x40), SiteId(1))),
+            TxOp::Compute(17),
+            TxOp::Suspend,
+            TxOp::Access(MemAccess::store(Addr::new(0x80), SiteId(2))),
+            TxOp::Resume,
+            TxOp::Access(MemAccess::store(Addr::new(0x40), SiteId(3))),
+        ])
+    }
+
+    #[test]
+    fn lowering_packs_kind_store_and_escape() {
+        let mut sc = SectionCompiler::new(&NoWorkload, &SimConfig::default());
+        let p = sc.compile(&Section::Tx(body())).expect("tx compiles");
+        assert!(p.is_tx());
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.num_accesses(), 3);
+        assert_eq!(p.distinct_blocks(), 2);
+        let words: Vec<u8> = (0..p.len()).map(|i| p.slot(i).0).collect();
+        assert_eq!(words[0] & K_MASK, K_ACCESS);
+        assert_eq!(words[0] & (F_STORE | F_ESCAPED), 0);
+        assert_eq!(words[1] & K_MASK, K_COMPUTE);
+        assert_eq!(p.slot(1).1, 17, "compute cost rides in the cost lane");
+        assert_eq!(words[2] & K_MASK, K_SUSPEND);
+        assert_eq!(
+            words[3] & (K_MASK | F_STORE | F_ESCAPED),
+            F_STORE | F_ESCAPED,
+            "store inside the window is escaped"
+        );
+        assert_eq!(words[4] & K_MASK, K_RESUME);
+        assert_eq!(
+            words[5] & (K_MASK | F_STORE | F_ESCAPED),
+            F_STORE,
+            "store after the window is transactional again"
+        );
+    }
+
+    #[test]
+    fn cache_amortizes_identical_sections() {
+        let mut sc = SectionCompiler::new(&NoWorkload, &SimConfig::default());
+        let a = sc.compile(&Section::Tx(body())).unwrap();
+        let b = sc.compile(&Section::Tx(body())).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second compile is a cache hit");
+        assert_eq!((sc.cache_hits(), sc.cache_misses()), (1, 1));
+        // TX-ness is part of the key: the same ops as a NonTx section are a
+        // distinct program.
+        let c = sc.compile(&Section::NonTx(body().ops)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!c.is_tx());
+        assert_eq!((sc.cache_hits(), sc.cache_misses()), (1, 2));
+    }
+
+    #[test]
+    fn generation_keys_differ_across_hint_configs() {
+        // Same workload, different hint modes: the notary/site sets feed
+        // the generation stamp only when static hints are on.
+        struct Notary;
+        impl Workload for Notary {
+            fn name(&self) -> &'static str {
+                "notary"
+            }
+            fn num_threads(&self) -> usize {
+                1
+            }
+            fn reset(&mut self, _seed: u64) {}
+            fn next_section(&mut self, _tid: ThreadId) -> Option<Section> {
+                None
+            }
+            fn notary_safe_ranges(&self) -> Vec<(Addr, u64)> {
+                vec![(Addr::new(0x1000), 64)]
+            }
+        }
+        let off = Resolver::new(&Notary, &SimConfig::default());
+        let on = Resolver::new(
+            &Notary,
+            &SimConfig::default().hint_mode(crate::config::HintMode::Static),
+        );
+        assert_ne!(off.generation(), on.generation());
+    }
+
+    #[test]
+    fn barriers_do_not_compile() {
+        let mut sc = SectionCompiler::new(&NoWorkload, &SimConfig::default());
+        assert!(sc.compile(&Section::Barrier).is_none());
+    }
+}

@@ -32,22 +32,34 @@
 //!
 //! The merge loop is monomorphized over the sink (`NoSink` for untraced
 //! runs compiles every event construction away), executes pre-resolved
-//! `POp`s (no per-access hint-set searches; programs are reused verbatim
+//! programs (no per-access hint-set searches; programs are reused verbatim
 //! across retries), and keeps a *same-thread fast path*: after a step that
 //! touched no other thread's clock/state and no lock state, the scheduler
 //! re-picks the same thread without rescanning as long as its new ready
 //! time still beats the second-best candidate from the last full scan
 //! (ties broken toward the lower index, exactly like the scan itself).
+//!
+//! Sections replay through one of two tiers (see [`crate::compile`]): the
+//! `POp` interpreter, or batch-compiled SoA [`crate::AccessProgram`]s
+//! whose packed opwords carry pre-resolved escape-window membership. Both
+//! tiers execute one slot per scheduling step through the same shared
+//! access pipeline, so statistics and trace digests are bit-identical;
+//! [`crate::ExecMode::Both`] executes compiled slots while asserting the
+//! interpreter decode agrees at every op.
 
-use crate::config::SimConfig;
-use crate::section::{Section, TxOp, Workload};
+use crate::compile::{
+    Compiler, OpKind, POp, Program, Resolved, Resolver, F_ESCAPED, F_HINT_SAFE, F_RAW_STATIC,
+    F_STATIC_SAFE, F_STORE, K_ACCESS, K_COMPUTE, K_MASK, K_RESUME, K_SUSPEND,
+};
+use crate::config::{ExecMode, SimConfig};
+use crate::section::Workload;
 use crate::stats::RunStats;
 use hintm_cache::{AccessOutcome, Hierarchy};
 use hintm_htm::HtmThread;
 use hintm_trace::{TraceEvent, TraceSink};
 use hintm_types::{
     AbortKind, AccessKind, Addr, BlockAddr, ConflictPolicy, CoreId, Cycles, MemAccess, PageId,
-    SiteId, ThreadId,
+    SafetyHint, SiteId, ThreadId,
 };
 use hintm_vm::{SharingProfiler, VmSystem};
 use std::collections::HashSet;
@@ -58,174 +70,14 @@ use std::sync::Mutex;
 /// buffer ahead of the merge loop.
 const EPOCH_WINDOW: usize = 64;
 
-/// The op carries a static-safe verdict (hint, static site set, or notary
-/// range, with static hints enabled).
-const F_STATIC_SAFE: u8 = 1 << 0;
-/// Hint-independent static classification (Fig. 6 footprint views).
-const F_RAW_STATIC: u8 = 1 << 1;
-
-/// What a pre-resolved operation does.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum OpKind {
-    /// A memory access ([`POp::access`] is meaningful).
-    Access,
-    /// Pure computation of [`POp::cost`] cycles.
-    Compute,
-    /// Begin an escape window.
-    Suspend,
-    /// End an escape window.
-    Resume,
-}
-
-/// One flat, fully-resolved operation: the block/page split and every
-/// run-constant safety verdict are computed once per section (in the lane,
-/// when lanes are active) instead of once per executed access.
-#[derive(Clone, Copy, Debug)]
-struct POp {
-    op: OpKind,
-    flags: u8,
-    /// Compute cycles ([`OpKind::Compute`] only).
-    cost: u64,
-    access: MemAccess,
-    block: BlockAddr,
-    page: PageId,
-}
-
-/// A resolved section body. Replayed verbatim across retries. Retired
-/// programs return to an engine-level pool so steady-state resolution
-/// reuses their op storage instead of allocating per section.
-#[derive(Debug, Default)]
-struct Program {
-    /// Transactional (`Section::Tx`) or plain ops (`Section::NonTx`).
-    tx: bool,
-    ops: Vec<POp>,
-}
-
-/// One unit delivered from generation to the merge loop.
-#[derive(Debug)]
-enum Resolved {
-    Program(Program),
-    Barrier,
-    Done,
-}
-
-/// Turns sections into `Program`s. Immutable after construction, so lane
-/// workers can share it by reference.
-struct Resolver {
-    uses_static: bool,
-    safe_sites: Vec<SiteId>,
-    raw_static_sites: Vec<SiteId>,
-    notary_pages: Vec<PageId>,
-}
-
-impl Resolver {
-    fn new(workload: &dyn Workload, cfg: &SimConfig) -> Self {
-        // Hint sets become sorted slices: they are immutable for the whole
-        // run, and resolution binary-searches them once per section op
-        // instead of once per executed access.
-        let mut safe_sites: Vec<SiteId> = if cfg.hint_mode.uses_static() {
-            workload.static_safe_sites().into_iter().collect()
-        } else {
-            Vec::new()
-        };
-        safe_sites.sort_unstable();
-        // Raw static sites (for the hint-independent Fig. 6 views).
-        let mut raw_static_sites: Vec<SiteId> = workload.static_safe_sites().into_iter().collect();
-        raw_static_sites.sort_unstable();
-        // Notary-style manual privatization ranges, expanded to pages.
-        let mut notary_pages: HashSet<PageId> = HashSet::new();
-        for (base, len) in workload.notary_safe_ranges() {
-            let mut page = base.page().index();
-            let last = base.offset(len.saturating_sub(1)).page().index();
-            while page <= last {
-                notary_pages.insert(PageId::from_index(page));
-                page += 1;
-            }
-        }
-        let mut notary_pages: Vec<PageId> = notary_pages.into_iter().collect();
-        notary_pages.sort_unstable();
-        Resolver {
-            uses_static: cfg.hint_mode.uses_static(),
-            safe_sites,
-            raw_static_sites,
-            notary_pages,
-        }
-    }
-
-    fn resolve(&self, section: Section) -> Resolved {
-        self.resolve_into(section, Program::default())
-    }
-
-    /// [`Resolver::resolve`] reusing `buf`'s op storage.
-    fn resolve_into(&self, section: Section, buf: Program) -> Resolved {
-        match section {
-            Section::Barrier => Resolved::Barrier,
-            Section::NonTx(ops) => Resolved::Program(self.program(false, &ops, buf)),
-            Section::Tx(body) => Resolved::Program(self.program(true, &body.ops, buf)),
-        }
-    }
-
-    fn program(&self, tx: bool, ops: &[TxOp], mut out: Program) -> Program {
-        let filler = MemAccess::load(Addr::new(0), SiteId(0));
-        out.tx = tx;
-        out.ops.clear();
-        out.ops.extend(ops.iter().map(|op| match op {
-            TxOp::Compute(c) => POp {
-                op: OpKind::Compute,
-                flags: 0,
-                cost: *c,
-                access: filler,
-                block: BlockAddr::from_index(0),
-                page: PageId::from_index(0),
-            },
-            TxOp::Suspend => POp {
-                op: OpKind::Suspend,
-                flags: 0,
-                cost: 0,
-                access: filler,
-                block: BlockAddr::from_index(0),
-                page: PageId::from_index(0),
-            },
-            TxOp::Resume => POp {
-                op: OpKind::Resume,
-                flags: 0,
-                cost: 0,
-                access: filler,
-                block: BlockAddr::from_index(0),
-                page: PageId::from_index(0),
-            },
-            TxOp::Access(a) => {
-                let page = a.addr.page();
-                let hint_safe = a.hint.is_safe()
-                    || self.safe_sites.binary_search(&a.site).is_ok()
-                    || (self.uses_static && self.notary_pages.binary_search(&page).is_ok());
-                let mut flags = 0;
-                if self.uses_static && hint_safe {
-                    flags |= F_STATIC_SAFE;
-                }
-                if a.hint.is_safe() || self.raw_static_sites.binary_search(&a.site).is_ok() {
-                    flags |= F_RAW_STATIC;
-                }
-                POp {
-                    op: OpKind::Access,
-                    flags,
-                    cost: 0,
-                    access: *a,
-                    block: a.addr.block(),
-                    page,
-                }
-            }
-        }));
-        out
-    }
-}
-
 /// Where the merge loop gets resolved sections from.
 enum Feed<'w, 'r> {
     /// Serial path: generate + resolve inline at the `Idle` step.
     Direct {
         workload: &'w mut dyn Workload,
         resolver: &'r Resolver,
+        compiler: Compiler,
+        exec: ExecMode,
     },
     /// Lane path: per-thread receivers fed by lane workers.
     Lanes(Vec<Receiver<Resolved>>),
@@ -237,12 +89,15 @@ impl Feed<'_, '_> {
     /// built on the worker side, so it is dropped there).
     fn next(&mut self, tid: usize, recycle: Option<Program>) -> Resolved {
         match self {
-            Feed::Direct { workload, resolver } => {
-                match workload.next_section(ThreadId(tid as u32)) {
-                    None => Resolved::Done,
-                    Some(s) => resolver.resolve_into(s, recycle.unwrap_or_default()),
-                }
-            }
+            Feed::Direct {
+                workload,
+                resolver,
+                compiler,
+                exec,
+            } => match workload.next_section(ThreadId(tid as u32)) {
+                None => Resolved::Done,
+                Some(s) => resolver.resolve_into(s, recycle.unwrap_or_default(), *exec, compiler),
+            },
             Feed::Lanes(rxs) => rxs[tid]
                 .recv()
                 .expect("generation lane disconnected (worker panicked)"),
@@ -456,8 +311,14 @@ impl Simulator {
         sink: S,
     ) -> RunStats {
         let mut engine = Engine::new(&self.cfg, n, smt, sink);
+        let exec = self.cfg.exec;
         if lanes <= 1 {
-            let mut feed = Feed::Direct { workload, resolver };
+            let mut feed = Feed::Direct {
+                workload,
+                resolver,
+                compiler: Compiler::new(resolver),
+                exec,
+            };
             engine.run(&mut feed);
             return engine.into_stats();
         }
@@ -478,7 +339,7 @@ impl Simulator {
                     .map(|i| (i, txs[i].take().expect("sender claimed once")))
                     .collect();
                 let gen = &gen;
-                scope.spawn(move || lane_worker(gen, resolver, mine));
+                scope.spawn(move || lane_worker(gen, resolver, mine, exec));
             }
             // If the merge loop panics (max_steps, deadlock assert), the
             // receivers drop during unwinding, the workers' try_send fails
@@ -498,7 +359,12 @@ fn lane_worker(
     gen: &Mutex<&mut dyn Workload>,
     resolver: &Resolver,
     mine: Vec<(usize, SyncSender<Resolved>)>,
+    exec: ExecMode,
 ) {
+    // Each lane owns a private compiled-program cache: compilation is a
+    // pure function of (section, resolver), so per-lane caches stay
+    // deterministic at any lane count.
+    let mut compiler = Compiler::new(resolver);
     struct Slot {
         tid: usize,
         tx: SyncSender<Resolved>,
@@ -529,7 +395,7 @@ fn lane_worker(
                 };
                 slot.pending = Some(match section {
                     None => Resolved::Done,
-                    Some(s) => resolver.resolve(s),
+                    Some(s) => resolver.resolve(s, exec, &mut compiler),
                 });
             }
             let item = slot.pending.take().expect("pending set above");
@@ -844,14 +710,13 @@ impl<'e, S: SinkPort> Engine<'e, S> {
             Mode::NonTx => {
                 let pos = self.threads[i].pos;
                 let prog = self.threads[i].prog.as_ref().expect("NonTx has a program");
-                if pos >= prog.ops.len() {
+                if pos >= prog.len() {
                     self.threads[i].mode = Mode::Idle;
                     self.retire(i);
                     return;
                 }
-                let op = prog.ops[pos];
                 self.threads[i].pos = pos + 1;
-                let _ = self.exec_op(i, op, false);
+                let _ = self.exec_at(i, pos, false);
             }
             Mode::InFallback => {
                 let pos = self.threads[i].pos;
@@ -859,7 +724,7 @@ impl<'e, S: SinkPort> Engine<'e, S> {
                     .prog
                     .as_ref()
                     .expect("InFallback has a program");
-                if pos >= prog.ops.len() {
+                if pos >= prog.len() {
                     self.threads[i].htm.commit_fallback();
                     if S::ENABLED {
                         self.sink.emit(TraceEvent::FallbackCommit {
@@ -875,14 +740,13 @@ impl<'e, S: SinkPort> Engine<'e, S> {
                     self.retire(i);
                     return;
                 }
-                let op = prog.ops[pos];
                 self.threads[i].pos = pos + 1;
-                let _ = self.exec_op(i, op, false);
+                let _ = self.exec_at(i, pos, false);
             }
             Mode::InTx => {
                 let pos = self.threads[i].pos;
                 let prog = self.threads[i].prog.as_ref().expect("InTx has a program");
-                if pos >= prog.ops.len() {
+                if pos >= prog.len() {
                     // Commit. Footprint/set sizes/retries must be captured
                     // before `commit()` clears the tracker.
                     self.threads[i].clock += self.cfg.tx_commit_cost;
@@ -918,9 +782,8 @@ impl<'e, S: SinkPort> Engine<'e, S> {
                     self.retire(i);
                     return;
                 }
-                let op = prog.ops[pos];
                 self.threads[i].pos = pos + 1;
-                let _ = self.exec_op(i, op, true);
+                let _ = self.exec_at(i, pos, true);
             }
         }
     }
@@ -1022,29 +885,222 @@ impl<'e, S: SinkPort> Engine<'e, S> {
         }
     }
 
-    /// Executes one operation for thread `i`. `in_tx` marks speculative
-    /// execution (fallback and non-TX sections pass `false`).
+    /// Executes the slot at `pos` of thread `i`'s program through the
+    /// configured execution tier. `in_tx` marks speculative execution
+    /// (fallback and non-TX sections pass `false`).
+    #[inline]
+    fn exec_at(&mut self, i: usize, pos: usize, in_tx: bool) -> StepOutcome {
+        match self.cfg.exec {
+            ExecMode::Interp => {
+                let op = self.threads[i].prog.as_ref().expect("program").ops[pos];
+                self.exec_op(i, op, in_tx)
+            }
+            ExecMode::Compiled => {
+                let (w, payload, site) = self.threads[i]
+                    .prog
+                    .as_ref()
+                    .expect("program")
+                    .code
+                    .as_deref()
+                    .expect("compiled program")
+                    .packed(pos);
+                self.exec_packed(i, w, payload, site, in_tx)
+            }
+            ExecMode::Both => {
+                let prog = self.threads[i].prog.as_ref().expect("program");
+                let op = prog.ops[pos];
+                let (w, cost, block, page, access) =
+                    prog.code.as_deref().expect("compiled program").slot(pos);
+                self.check_lockstep(i, pos, op, w, cost, block, page, access);
+                self.exec_slot(i, w, cost, block, page, access, in_tx)
+            }
+        }
+    }
+
+    /// Interpreter tier: execute one pre-resolved `POp`.
     fn exec_op(&mut self, i: usize, op: POp, in_tx: bool) -> StepOutcome {
         match op.op {
             OpKind::Compute => {
                 self.threads[i].clock += Cycles(op.cost);
-                return StepOutcome::Continue;
+                StepOutcome::Continue
             }
             OpKind::Suspend => {
                 debug_assert!(!self.threads[i].suspended, "nested suspend");
                 self.threads[i].suspended = true;
-                return StepOutcome::Continue;
+                StepOutcome::Continue
             }
             OpKind::Resume => {
                 debug_assert!(self.threads[i].suspended, "resume without suspend");
                 self.threads[i].suspended = false;
-                return StepOutcome::Continue;
+                StepOutcome::Continue
             }
-            OpKind::Access => {}
+            OpKind::Access => {
+                // Escape-action window: the access executes
+                // non-transactionally.
+                let in_tx = in_tx && !self.threads[i].suspended;
+                self.exec_access(
+                    i,
+                    op.access,
+                    op.block,
+                    op.page,
+                    op.flags & F_STATIC_SAFE != 0,
+                    op.flags & F_RAW_STATIC != 0,
+                    in_tx,
+                )
+            }
         }
-        let a = op.access;
-        // Escape-action window: the access executes non-transactionally.
-        let in_tx = in_tx && !self.threads[i].suspended;
+    }
+
+    /// Compiled tier: execute one packed `AccessProgram` slot straight
+    /// from its (opword, payload, site) form. Suspend/resume are
+    /// step-consuming no-ops (escape membership is pre-resolved into each
+    /// access slot's `F_ESCAPED` bit), the opword replaces both the kind
+    /// dispatch and the runtime `suspended` test, and the access record
+    /// plus its block/page split are rebuilt with register arithmetic only
+    /// on the access path.
+    #[inline]
+    fn exec_packed(
+        &mut self,
+        i: usize,
+        w: u8,
+        payload: u64,
+        site: SiteId,
+        in_tx: bool,
+    ) -> StepOutcome {
+        match w & K_MASK {
+            K_COMPUTE => {
+                self.threads[i].clock += Cycles(payload);
+                StepOutcome::Continue
+            }
+            K_SUSPEND | K_RESUME => StepOutcome::Continue,
+            _ => {
+                let addr = Addr::new(payload);
+                let access = MemAccess {
+                    addr,
+                    kind: if w & F_STORE != 0 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
+                    site,
+                    hint: if w & F_HINT_SAFE != 0 {
+                        SafetyHint::Safe
+                    } else {
+                        SafetyHint::Unsafe
+                    },
+                };
+                let in_tx = in_tx && w & F_ESCAPED == 0;
+                self.exec_access(
+                    i,
+                    access,
+                    addr.block(),
+                    addr.page(),
+                    w & F_STATIC_SAFE != 0,
+                    w & F_RAW_STATIC != 0,
+                    in_tx,
+                )
+            }
+        }
+    }
+
+    /// Compiled tier, widened form (`both` mode): execute one
+    /// already-reconstructed `AccessProgram` slot.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_slot(
+        &mut self,
+        i: usize,
+        w: u8,
+        cost: u64,
+        block: BlockAddr,
+        page: PageId,
+        access: MemAccess,
+        in_tx: bool,
+    ) -> StepOutcome {
+        match w & K_MASK {
+            K_COMPUTE => {
+                self.threads[i].clock += Cycles(cost);
+                StepOutcome::Continue
+            }
+            K_SUSPEND | K_RESUME => StepOutcome::Continue,
+            _ => {
+                let in_tx = in_tx && w & F_ESCAPED == 0;
+                self.exec_access(
+                    i,
+                    access,
+                    block,
+                    page,
+                    w & F_STATIC_SAFE != 0,
+                    w & F_RAW_STATIC != 0,
+                    in_tx,
+                )
+            }
+        }
+    }
+
+    /// `both` mode: assert the interpreter decode of slot `pos` agrees
+    /// with the compiled slot, then keep the interpreter-visible escape
+    /// state in sync so `F_ESCAPED` can be checked against it.
+    #[allow(clippy::too_many_arguments)]
+    fn check_lockstep(
+        &mut self,
+        i: usize,
+        pos: usize,
+        op: POp,
+        w: u8,
+        cost: u64,
+        block: BlockAddr,
+        page: PageId,
+        access: MemAccess,
+    ) {
+        let kind_ok = matches!(
+            (op.op, w & K_MASK),
+            (OpKind::Access, K_ACCESS)
+                | (OpKind::Compute, K_COMPUTE)
+                | (OpKind::Suspend, K_SUSPEND)
+                | (OpKind::Resume, K_RESUME)
+        );
+        let mut ok = kind_ok;
+        match op.op {
+            OpKind::Compute => ok &= cost == op.cost,
+            OpKind::Access => {
+                ok &=
+                    w & (F_STATIC_SAFE | F_RAW_STATIC) == op.flags & (F_STATIC_SAFE | F_RAW_STATIC);
+                ok &= (w & F_STORE != 0) == (op.access.kind == AccessKind::Store);
+                ok &= (w & F_ESCAPED != 0) == self.threads[i].suspended;
+                ok &= block == op.block && page == op.page && access == op.access;
+            }
+            OpKind::Suspend | OpKind::Resume => {}
+        }
+        assert!(
+            ok,
+            "exec-tier divergence at thread {i} slot {pos}: interpreter decoded \
+             {op:?} (suspended={}), compiled slot word={w:#010b} cost={cost} \
+             block={block:?} page={page:?} access={access:?}",
+            self.threads[i].suspended
+        );
+        match op.op {
+            OpKind::Suspend => self.threads[i].suspended = true,
+            OpKind::Resume => self.threads[i].suspended = false,
+            _ => {}
+        }
+    }
+
+    /// The shared six-stage access pipeline both tiers feed: VM +
+    /// shootdowns, safety verdicts, cache probe, eager conflict detection,
+    /// L1-eviction capacity aborts, profiling + transactional tracking.
+    /// `in_tx` already accounts for escape windows.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_access(
+        &mut self,
+        i: usize,
+        a: MemAccess,
+        block: BlockAddr,
+        page: PageId,
+        static_safe: bool,
+        raw_static: bool,
+        in_tx: bool,
+    ) -> StepOutcome {
         let tid = ThreadId(i as u32);
         if S::ENABLED && self.sink.wants_accesses() {
             self.sink.emit(TraceEvent::Access {
@@ -1055,8 +1111,6 @@ impl<'e, S: SinkPort> Engine<'e, S> {
             });
         }
         let core = self.threads[i].core;
-        let page = op.page;
-        let block = op.block;
 
         // 1. Translation + dynamic page classification.
         let vm_res = self.vm.access(core, tid, page, a.kind);
@@ -1101,7 +1155,6 @@ impl<'e, S: SinkPort> Engine<'e, S> {
         }
 
         // 2. Safety verdicts (static side pre-resolved into the op flags).
-        let static_safe = op.flags & F_STATIC_SAFE != 0;
         let dyn_safe =
             self.uses_dynamic && !static_safe && a.kind == AccessKind::Load && vm_res.safe_load;
         let safe = in_tx && (static_safe || dyn_safe);
@@ -1225,7 +1278,6 @@ impl<'e, S: SinkPort> Engine<'e, S> {
             };
             t.attempt_breakdown[slot] += 1;
             if self.cfg.record_tx_sizes {
-                let raw_static = op.flags & F_RAW_STATIC != 0;
                 let raw_dyn = a.kind == AccessKind::Load && vm_res.safe_load;
                 t.fp_all.insert(block);
                 if !raw_static {

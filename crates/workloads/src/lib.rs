@@ -32,6 +32,7 @@ pub mod bayes;
 pub mod common;
 pub mod genome;
 pub mod intruder;
+pub mod irexec;
 pub mod kmeans;
 pub mod labyrinth;
 pub mod ssca2;
@@ -40,6 +41,7 @@ pub mod vacation;
 pub mod yada;
 
 pub use common::{Recorder, Scale};
+pub use irexec::IrExec;
 
 use hintm_sim::Workload;
 

@@ -1,0 +1,220 @@
+//! Compiled-vs-interpreted differential fuzzer.
+//!
+//! The batch compiler (`--exec compiled`) lowers every resolved section
+//! into a flat access program and the engine probes the caches straight
+//! from it; the interpreter walks the resolved op list. The two tiers
+//! share no lowering code, so the only thing keeping them equal is the
+//! contract this test enforces: **for any module, every observable output
+//! is bit-identical across tiers** — the full FNV-64 trace digest (every
+//! lifecycle event, access, eviction, shootdown, barrier epoch in
+//! scheduling order) and the complete `RunStats` fingerprint.
+//!
+//! The fuzzer feeds ≥256 seeded random IR modules (the footprint property
+//! suite's generator, extended with geps, branches, pointer stores and
+//! calls) through [`hintm_workloads::IrExec`], which turns an arbitrary
+//! module into a deterministic workload. Each case runs interp, compiled,
+//! and lockstep (`both` — which panics loudly on the first diverging
+//! access) across a rotating HTM model × hint mode, with a slice of cases
+//! additionally escape-encoded so the compiler's suspend/resume lowering
+//! is exercised.
+//!
+//! On a mismatch the failing module is shrunk by greedily dropping
+//! statements from its functions while the divergence reproduces, then
+//! pretty-printed, so the report is a minimal reproducer rather than a
+//! 40-statement haystack.
+
+use hintm::{ExecMode, HtmKind};
+use hintm_ir::{print_module, Module, ModuleBuilder};
+use hintm_sim::{EscapeEncoded, HintMode, SimConfig, Simulator, Workload};
+use hintm_trace::DigestSink;
+use hintm_types::rng::SmallRng;
+use hintm_workloads::IrExec;
+
+const CASES: usize = 256;
+const MODELS: [HtmKind; 6] = [
+    HtmKind::P8,
+    HtmKind::P8S,
+    HtmKind::L1Tm,
+    HtmKind::InfCap,
+    HtmKind::Rot,
+    HtmKind::LogTm,
+];
+const HINTS: [HintMode; 4] = [
+    HintMode::Off,
+    HintMode::Static,
+    HintMode::Dynamic,
+    HintMode::Full,
+];
+
+/// A worker whose single transaction is generated from `rng`: sized and
+/// unsized allocations, loads, stores, memcpys, geps, pointer round trips,
+/// helper calls, branches, and bounded or unbounded loops around access
+/// clusters. A superset of the footprint property suite's generator.
+fn rand_module(rng: &mut SmallRng) -> Module {
+    let mut m = ModuleBuilder::new();
+    let g = m.global("g");
+
+    let mut h = m.func("helper", 1);
+    let hp = h.param(0);
+    h.load(hp);
+    h.store(hp);
+    h.ret_val(hp);
+    let helper = h.finish();
+
+    let mut w = m.func("worker", 0);
+    let mut pool = vec![w.halloc_sized(rng.gen_range(1..2048u64)), w.alloca()];
+    if rng.gen_range(0..2u32) == 0 {
+        pool.push(w.global_addr(g));
+    }
+    w.tx_begin();
+    let n = rng.gen_range(1..8usize);
+    for _ in 0..n {
+        let p = pool[rng.gen_range(0..pool.len())];
+        let q = pool[rng.gen_range(0..pool.len())];
+        let looped = rng.gen_range(0..3u32);
+        if looped == 1 {
+            w.begin_loop_bounded(rng.gen_range(0..16u32));
+        } else if looped == 2 {
+            w.begin_loop();
+        }
+        match rng.gen_range(0..7u32) {
+            0 => {
+                w.load(p);
+            }
+            1 => {
+                w.store(p);
+            }
+            2 => {
+                w.memcpy(p, q);
+            }
+            3 => {
+                let d = w.gep(p);
+                w.load(d);
+            }
+            4 => {
+                w.store_ptr(p, q);
+                let (r, _) = w.load_ptr(p);
+                w.load(r);
+            }
+            5 => {
+                w.begin_if();
+                w.load(p);
+                w.begin_else();
+                w.store(q);
+                w.end_block();
+            }
+            _ => {
+                w.call(helper, vec![p]);
+            }
+        }
+        if looped != 0 {
+            w.end_block();
+        }
+    }
+    w.tx_end();
+    if rng.gen_range(0..2u32) == 0 {
+        w.load(pool[0]); // trailing non-transactional stretch
+    }
+    w.ret();
+    let worker = w.finish();
+
+    let mut main = m.func("main", 0);
+    main.spawn(worker, vec![]);
+    main.ret();
+    let entry = main.finish();
+    m.finish(entry, worker)
+}
+
+/// The per-case simulator configuration, rotated so the fuzzer sweeps
+/// every HTM model and hint mode (hinted runs drive the compiler's
+/// static-safe and escape-window slot flags).
+fn config(case: usize) -> SimConfig {
+    SimConfig::with_htm(MODELS[case % MODELS.len()]).hint_mode(HINTS[case % HINTS.len()])
+}
+
+fn workload(module: &Module, case: usize) -> Box<dyn Workload> {
+    let inner = IrExec::new(module.clone(), 2 + case % 3, 1 + case % 2);
+    if case.is_multiple_of(5) {
+        // Escape-encode a slice of cases: safe sites become suspend/resume
+        // windows in the op stream, covering the compiled tier's
+        // suspend/resume opwords.
+        Box::new(EscapeEncoded::new(Box::new(inner)))
+    } else {
+        Box::new(inner)
+    }
+}
+
+fn fingerprint(module: &Module, case: usize, exec: ExecMode) -> (u64, String) {
+    let mut w = workload(module, case);
+    let mut sink = DigestSink::new();
+    let stats = Simulator::new(config(case).exec(exec)).run_with_sink(w.as_mut(), 42, &mut sink);
+    (sink.digest(), format!("{stats:?}"))
+}
+
+/// Runs `module` under interp and compiled; `Some(description)` if any
+/// observable output differs.
+fn mismatch(module: &Module, case: usize) -> Option<String> {
+    let (di, si) = fingerprint(module, case, ExecMode::Interp);
+    let (dc, sc) = fingerprint(module, case, ExecMode::Compiled);
+    if di != dc {
+        return Some(format!(
+            "trace digest {di:016x} (interp) != {dc:016x} (compiled)"
+        ));
+    }
+    if si != sc {
+        return Some(format!(
+            "RunStats diverged:\n  interp:   {si}\n  compiled: {sc}"
+        ));
+    }
+    None
+}
+
+/// Greedy structural shrink: repeatedly drop one top-level statement from
+/// any function while the divergence still reproduces.
+fn shrink(mut module: Module, case: usize) -> Module {
+    loop {
+        let mut shrunk = false;
+        'search: for f in 0..module.funcs.len() {
+            for i in 0..module.funcs[f].body.len() {
+                let mut candidate = module.clone();
+                candidate.funcs[f].body.remove(i);
+                if mismatch(&candidate, case).is_some() {
+                    module = candidate;
+                    shrunk = true;
+                    break 'search;
+                }
+            }
+        }
+        if !shrunk {
+            return module;
+        }
+    }
+}
+
+#[test]
+fn random_modules_execute_identically_across_tiers() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    for case in 0..CASES {
+        let module = rand_module(&mut rng);
+        if let Some(why) = mismatch(&module, case) {
+            let minimal = shrink(module, case);
+            panic!(
+                "case {case} ({:?} x {:?}): compiled tier diverged from the \
+                 interpreter: {why}\nminimized reproducer:\n{}",
+                MODELS[case % MODELS.len()],
+                HINTS[case % HINTS.len()],
+                print_module(&minimal, None),
+            );
+        }
+        // Lockstep mode re-runs the case with both tiers marching together;
+        // `check_lockstep` panics with op-level context on the first
+        // diverging slot, so reaching the end is the assertion.
+        let (db, sb) = fingerprint(&module, case, ExecMode::Both);
+        let (di, si) = fingerprint(&module, case, ExecMode::Interp);
+        assert_eq!(
+            (db, sb),
+            (di, si),
+            "case {case}: lockstep run diverged from interp"
+        );
+    }
+}

@@ -13,7 +13,7 @@
 //! A third test closes the export loop: the binary log round-trips the
 //! event stream and its payload hash equals the streaming digest.
 
-use hintm::{Experiment, WORKLOAD_NAMES};
+use hintm::{ExecMode, Experiment, WORKLOAD_NAMES};
 use hintm_trace::binlog::payload_digest;
 use hintm_trace::{read_binlog, write_binlog};
 
@@ -29,6 +29,36 @@ fn tracing_changes_no_simulation_outcome() {
         );
         assert!(traced.trace.is_some(), "{name}: summary missing");
         assert!(plain.trace.is_none());
+    }
+}
+
+/// Passivity must hold per execution tier: the compiled engine emits its
+/// trace events from the flat slot arrays rather than the interpreted op
+/// walk, and attaching a sink there must be just as invisible.
+#[test]
+fn tracing_changes_no_simulation_outcome_under_the_compiled_tier() {
+    for name in WORKLOAD_NAMES {
+        let plain = Experiment::new(name)
+            .exec(ExecMode::Compiled)
+            .run()
+            .unwrap();
+        let (traced, rec) = Experiment::new(name)
+            .exec(ExecMode::Compiled)
+            .run_traced(1024)
+            .unwrap();
+        assert_eq!(
+            format!("{:?}", plain.stats),
+            format!("{:?}", traced.stats),
+            "{name}: tracing changed the compiled-tier simulation outcome"
+        );
+        // And the stream itself is tier-invariant: an interpreted run with
+        // the same seed digests to the same value.
+        let (_, interp) = Experiment::new(name).run_traced(1024).unwrap();
+        assert_eq!(
+            rec.digest(),
+            interp.digest(),
+            "{name}: compiled-tier event stream diverged from interpreted"
+        );
     }
 }
 
