@@ -99,6 +99,8 @@ impl AnalyzeReport {
                 self.worst(CapacityModel::P8),
                 self.worst(CapacityModel::P8S),
                 self.worst(CapacityModel::L1Tm),
+                self.worst(CapacityModel::Lrws),
+                self.worst(CapacityModel::PStretch),
             ],
             declared_safe: self.declared.len(),
             inferred_safe: self.inferred.len(),
@@ -115,8 +117,8 @@ pub struct AnalyzeStats {
     /// Transactions whose total upper bound is unbounded.
     pub unbounded_txs: usize,
     /// Worst verdict per model, in [`CapacityModel::ALL`] order
-    /// (P8, P8S, L1TM).
-    pub worst: [Verdict; 3],
+    /// (P8, P8S, L1TM, LRWS, PStretch).
+    pub worst: [Verdict; 5],
     /// Declared safe sites.
     pub declared_safe: usize,
     /// Classifier-inferred safe sites.

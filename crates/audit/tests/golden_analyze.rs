@@ -14,60 +14,96 @@ use hintm_ir::{Bound, CapacityModel, Verdict};
 /// standing for an unbounded upper bound.
 type TxBounds = (Option<u64>, Option<u64>, Option<u64>, u64, u64);
 
-/// `(workload, per-tx bounds, worst verdict per model in P8/P8S/L1TM
-/// order)`.
-const GOLDEN: &[(&str, &[TxBounds], [Verdict; 3])] = {
+/// `(workload, per-tx bounds, worst verdict per model in
+/// P8/P8S/L1TM/LRWS/PStretch order)`.
+const GOLDEN: &[(&str, &[TxBounds], [Verdict; 5])] = {
     use Verdict::{Fits, MayOverflow, MustOverflow};
     &[
         (
             "bayes",
             &[(Some(948), Some(870), Some(954), 2, 2)],
-            [MayOverflow, MayOverflow, MayOverflow],
+            [
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+            ],
         ),
         (
             "genome",
             &[(None, None, None, 0, 0), (Some(9), Some(9), Some(18), 0, 0)],
-            [MayOverflow, MayOverflow, MayOverflow],
+            [
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+            ],
         ),
         (
             "intruder",
             &[(Some(1), Some(1), Some(2), 1, 1), (None, None, None, 0, 0)],
-            [MayOverflow, MayOverflow, MayOverflow],
+            [
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+            ],
         ),
         (
             "kmeans",
             &[(Some(2), Some(1), Some(3), 2, 1)],
-            [Fits, Fits, Fits],
+            [Fits, Fits, Fits, Fits, Fits],
         ),
         (
             "labyrinth",
             &[(Some(601), Some(403), Some(604), 403, 203)],
-            [MustOverflow, MustOverflow, MayOverflow],
+            [
+                MustOverflow,
+                MustOverflow,
+                MayOverflow,
+                MustOverflow,
+                MustOverflow,
+            ],
         ),
         (
             "ssca2",
             &[(Some(2), Some(2), Some(4), 2, 1)],
-            [Fits, Fits, Fits],
+            [Fits, Fits, Fits, Fits, Fits],
         ),
         (
             "vacation",
             &[(Some(3076), Some(3077), Some(3077), 1, 1)],
-            [MayOverflow, MayOverflow, MayOverflow],
+            [
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+            ],
         ),
         (
             "yada",
             &[(Some(4225), Some(4225), Some(4226), 1, 1)],
-            [MayOverflow, MayOverflow, MayOverflow],
+            [
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+                MayOverflow,
+            ],
         ),
         (
             "tpcc-no",
             &[(Some(65), Some(49), Some(114), 3, 1)],
-            [MayOverflow, Fits, MayOverflow],
+            [MayOverflow, Fits, MayOverflow, MayOverflow, MayOverflow],
         ),
         (
             "tpcc-p",
             &[(Some(81), Some(5), Some(85), 5, 5)],
-            [MayOverflow, Fits, MayOverflow],
+            [MayOverflow, Fits, MayOverflow, Fits, Fits],
         ),
     ]
 };

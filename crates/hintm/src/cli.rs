@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! hintm list
-//! hintm run   --workload vacation [--htm p8|p8s|l1tm|infcap|rot|logtm]
+//! hintm run   --workload vacation [--htm p8|p8s|l1tm|infcap|rot|logtm|lrws|pstretch]
 //!             [--hints off|static|dynamic|full] [--seed N] [--scale sim|large]
 //!             [--threads N] [--smt2] [--preserve] [--csv]
 //! hintm suite [--htm ...] [--hints ...] [--seed N] [--scale ...] [--csv]
@@ -15,8 +15,8 @@
 
 use crate::json::{analyze_report_to_json, audit_report_to_json, Json};
 use crate::{
-    chrome_trace, write_binlog, AbortKind, ExecMode, Experiment, HintMode, HtmKind, RunReport,
-    Scale, WORKLOAD_NAMES,
+    chrome_trace, write_binlog, AbortKind, AllocConfig, ExecMode, Experiment, HintMode, HtmKind,
+    RunReport, Scale, WORKLOAD_NAMES,
 };
 use hintm_audit::{AnalyzeReport, AuditReport};
 use std::fmt;
@@ -195,6 +195,12 @@ pub struct SweepArgs {
     pub smt2: bool,
     /// §VI-B preserve optimization.
     pub preserve: bool,
+    /// Heap-placement color strides to sweep (empty = `[0]`, the packed
+    /// default). A result-affecting axis, unlike `sim_threads`/`exec`.
+    pub alloc_colors: Vec<u64>,
+    /// Sweep a three-workload smoke subset instead of every registered
+    /// workload (ignored when `--workloads` names them explicitly).
+    pub smoke: bool,
     /// Worker threads (`None` = the machine's available parallelism).
     pub jobs: Option<usize>,
     /// Bypass the result cache entirely.
@@ -231,6 +237,8 @@ impl Default for SweepArgs {
             exec: ExecMode::Interp,
             smt2: false,
             preserve: false,
+            alloc_colors: Vec::new(),
+            smoke: false,
             jobs: None,
             no_cache: false,
             resume: false,
@@ -315,6 +323,11 @@ pub struct RunArgs {
     pub smt2: bool,
     /// §VI-B preserve optimization.
     pub preserve: bool,
+    /// Heap-placement color stride in bytes (`--alloc-color`): padding
+    /// inserted after every fresh heap allocation. `0` keeps the packed
+    /// default. Unlike `sim_threads`/`exec` this changes simulated
+    /// addresses, so it changes results.
+    pub alloc_color: u64,
     /// Emit CSV instead of a table.
     pub csv: bool,
     /// Print a lifecycle timeline after the run (`run` only).
@@ -334,6 +347,7 @@ impl Default for RunArgs {
             exec: ExecMode::Interp,
             smt2: false,
             preserve: false,
+            alloc_color: 0,
             csv: false,
             trace: false,
         }
@@ -359,7 +373,8 @@ USAGE:
 
 OPTIONS:
   --workload <name>        one of the registered workloads (see `hintm list`)
-  --htm <kind>             p8 | p8s | l1tm | infcap | rot | logtm   [p8]
+  --htm <kind>             p8 | p8s | l1tm | infcap | rot | logtm |
+                           lrws | pstretch                          [p8]
   --hints <mode>           off | static | dynamic | full            [off]
   --seed <n>               run seed                                  [42]
   --scale <s>              sim | large                              [sim]
@@ -374,6 +389,9 @@ OPTIONS:
                            for every tier
   --smt2                   2-way SMT (16 hardware threads)
   --preserve               enable the preserve page-transition optimization
+  --alloc-color <bytes>    heap-placement color stride: pad every fresh heap
+                           allocation by <bytes>. Changes simulated addresses
+                           (and so abort counts), never committed state    [0]
   --csv                    machine-readable CSV output
   --trace                  print a per-thread lifecycle timeline (run only)
 
@@ -401,8 +419,13 @@ verifier error):
 SWEEP OPTIONS (comma-separated lists sweep the cross product):
   --workloads <a,b,..>     workloads to sweep                  [all registered]
   --htm <k1,k2,..>         HTM configurations to sweep                    [p8]
+  --models <k1,k2,..>      alias for --htm
   --hints <m1,m2,..>       hint modes to sweep                           [off]
   --seeds <n1,n2,..>       seeds to sweep                                 [42]
+  --alloc-colors <b1,b2,.> heap-placement color strides to sweep (a
+                           result-affecting axis; --alloc-color also works) [0]
+  --smoke                  sweep a fast three-workload smoke subset instead
+                           of every registered workload
   --scale / --threads / --sim-threads / --exec / --smt2 / --preserve
                            as above, applied to every cell
   --jobs <n>               worker threads            [machine's parallelism]
@@ -461,6 +484,8 @@ pub fn parse_htm(v: &str) -> Result<HtmKind, CliError> {
         "infcap" => Ok(HtmKind::InfCap),
         "rot" => Ok(HtmKind::Rot),
         "logtm" => Ok(HtmKind::LogTm),
+        "lrws" => Ok(HtmKind::Lrws),
+        "pstretch" => Ok(HtmKind::PStretch),
         other => Err(CliError(format!("unknown --htm `{other}`"))),
     }
 }
@@ -559,6 +584,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--exec" => ra.exec = parse_exec(&value(&mut i, "--exec")?)?,
                     "--smt2" => ra.smt2 = true,
                     "--preserve" => ra.preserve = true,
+                    "--alloc-color" => {
+                        ra.alloc_color = parse_alloc_color(&value(&mut i, "--alloc-color")?)?;
+                    }
                     "--csv" => ra.csv = true,
                     "--trace" => ra.trace = true,
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
@@ -589,6 +617,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 pub fn parse_exec(v: &str) -> Result<ExecMode, CliError> {
     ExecMode::parse(&v.to_ascii_lowercase())
         .ok_or_else(|| CliError(format!("unknown --exec `{v}` (interp | compiled | both)")))
+}
+
+/// Parses a heap-placement color stride in bytes (`--alloc-color`).
+fn parse_alloc_color(v: &str) -> Result<u64, CliError> {
+    v.parse()
+        .map_err(|_| CliError(format!("bad --alloc-color `{v}` (expected bytes >= 0)")))
 }
 
 /// Parses a host-thread count (at least 1) for the parallel engine.
@@ -704,6 +738,9 @@ fn parse_trace(args: &[String]) -> Result<Command, CliError> {
             "--exec" => ta.run.exec = parse_exec(&value(&mut i, "--exec")?)?,
             "--smt2" => ta.run.smt2 = true,
             "--preserve" => ta.run.preserve = true,
+            "--alloc-color" => {
+                ta.run.alloc_color = parse_alloc_color(&value(&mut i, "--alloc-color")?)?;
+            }
             "--events" => {
                 let v = value(&mut i, "--events")?;
                 ta.events = v
@@ -738,7 +775,9 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
             "--workloads" => {
                 sa.workloads = parse_list(&value(&mut i, "--workloads")?, |s| Ok(s.to_string()))?;
             }
-            "--htm" => sa.htms = parse_list(&value(&mut i, "--htm")?, parse_htm)?,
+            flag @ ("--htm" | "--models") => {
+                sa.htms = parse_list(&value(&mut i, flag)?, parse_htm)?;
+            }
             "--hints" => sa.hints = parse_list(&value(&mut i, "--hints")?, parse_hints)?,
             "--seeds" => {
                 sa.seeds = parse_list(&value(&mut i, "--seeds")?, |s| {
@@ -760,6 +799,10 @@ fn parse_sweep(args: &[String]) -> Result<Command, CliError> {
             "--exec" => sa.exec = parse_exec(&value(&mut i, "--exec")?)?,
             "--smt2" => sa.smt2 = true,
             "--preserve" => sa.preserve = true,
+            flag @ ("--alloc-color" | "--alloc-colors") => {
+                sa.alloc_colors = parse_list(&value(&mut i, flag)?, parse_alloc_color)?;
+            }
+            "--smoke" => sa.smoke = true,
             "--jobs" => {
                 let v = value(&mut i, "--jobs")?;
                 sa.jobs = Some(
@@ -915,7 +958,11 @@ fn experiment(name: &str, ra: &RunArgs) -> Experiment {
         .smt2(ra.smt2)
         .preserve(ra.preserve)
         .sim_threads(ra.sim_threads)
-        .exec(ra.exec);
+        .exec(ra.exec)
+        .alloc(AllocConfig {
+            color_stride: ra.alloc_color,
+            ..AllocConfig::default()
+        });
     if let Some(t) = ra.threads {
         e = e.threads(t);
     }
@@ -982,8 +1029,19 @@ pub fn audit_row(r: &AuditReport) -> String {
 /// Column header matching [`analyze_row`].
 pub fn analyze_header() -> String {
     format!(
-        "{:<12} {:>3} {:>3}  {:<13} {:<13} {:<13} {:>4} {:>4} {:>5} {:>5}  verdict",
-        "workload", "txs", "unb", "P8", "P8S", "L1TM", "decl", "inf", "lintE", "lintW",
+        "{:<12} {:>3} {:>3}  {:<13} {:<13} {:<13} {:<13} {:<13} {:>4} {:>4} {:>5} {:>5}  verdict",
+        "workload",
+        "txs",
+        "unb",
+        "P8",
+        "P8S",
+        "L1TM",
+        "LRWS",
+        "PStretch",
+        "decl",
+        "inf",
+        "lintE",
+        "lintW",
     )
 }
 
@@ -991,13 +1049,15 @@ pub fn analyze_header() -> String {
 pub fn analyze_row(r: &AnalyzeReport) -> String {
     let s = r.stats();
     format!(
-        "{:<12} {:>3} {:>3}  {:<13} {:<13} {:<13} {:>4} {:>4} {:>5} {:>5}  {}",
+        "{:<12} {:>3} {:>3}  {:<13} {:<13} {:<13} {:<13} {:<13} {:>4} {:>4} {:>5} {:>5}  {}",
         r.workload,
         s.num_txs,
         s.unbounded_txs,
         s.worst[0].to_string(),
         s.worst[1].to_string(),
         s.worst[2].to_string(),
+        s.worst[3].to_string(),
+        s.worst[4].to_string(),
         s.declared_safe,
         s.inferred_safe,
         r.lint_errors(),
@@ -1330,6 +1390,52 @@ mod tests {
     fn hint_aliases() {
         assert_eq!(parse_hints("st").unwrap(), HintMode::Static);
         assert_eq!(parse_hints("dyn").unwrap(), HintMode::Dynamic);
+    }
+
+    #[test]
+    fn parses_capacity_model_names() {
+        assert_eq!(parse_htm("lrws").unwrap(), HtmKind::Lrws);
+        assert_eq!(parse_htm("PStretch").unwrap(), HtmKind::PStretch);
+        let Command::Run(ra) = parse(&argv("run --workload kmeans --htm pstretch")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(ra.htm, HtmKind::PStretch);
+    }
+
+    #[test]
+    fn parses_alloc_color_everywhere() {
+        let Command::Run(ra) = parse(&argv("run --workload kmeans --alloc-color 64")).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(ra.alloc_color, 64);
+        let Command::Trace(ta) = parse(&argv("trace kmeans --alloc-color 128")).unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(ta.run.alloc_color, 128);
+        let Command::Sweep(sa) = parse(&argv("sweep --alloc-colors 0,64,128")).unwrap() else {
+            panic!("expected sweep")
+        };
+        assert_eq!(sa.alloc_colors, vec![0, 64, 128]);
+        // Defaults keep the packed layout; garbage is rejected.
+        assert_eq!(RunArgs::default().alloc_color, 0);
+        assert!(SweepArgs::default().alloc_colors.is_empty());
+        assert!(parse(&argv("run --workload kmeans --alloc-color nope")).is_err());
+    }
+
+    #[test]
+    fn sweep_models_alias_and_smoke() {
+        let Command::Sweep(sa) = parse(&argv("sweep --models lrws,pstretch --smoke")).unwrap()
+        else {
+            panic!("expected sweep")
+        };
+        assert_eq!(sa.htms, vec![HtmKind::Lrws, HtmKind::PStretch]);
+        assert!(sa.smoke);
+        let Command::Sweep(sa) = parse(&argv("sweep --htm p8")).unwrap() else {
+            panic!("expected sweep")
+        };
+        assert_eq!(sa.htms, vec![HtmKind::P8]);
+        assert!(!sa.smoke);
     }
 
     #[test]

@@ -394,6 +394,8 @@ fn htm_from_str(s: &str) -> Result<HtmKind, JsonError> {
         "InfCap" => Ok(HtmKind::InfCap),
         "ROT" => Ok(HtmKind::Rot),
         "LogTM" => Ok(HtmKind::LogTm),
+        "LRWS" => Ok(HtmKind::Lrws),
+        "PStretch" => Ok(HtmKind::PStretch),
         other => err(format!("unknown htm kind `{other}`")),
     }
 }

@@ -46,7 +46,7 @@ pub use hintm_sim::{
     Simulator, TraceEvent, TraceSink, TxBody, TxOp, Workload,
 };
 pub use hintm_trace::{chrome_trace, chrome_trace_to, write_binlog, write_binlog_to, TraceSummary};
-pub use hintm_types::{AbortKind, Cycles, MachineConfig, SmtMode};
+pub use hintm_types::{AbortKind, AllocConfig, Cycles, MachineConfig, SmtMode};
 pub use hintm_workloads::{all, by_name, by_name_with_threads, Scale, WORKLOAD_NAMES};
 pub use json::{Json, JsonError};
 
@@ -85,6 +85,9 @@ pub struct Experiment {
     record_tx_sizes: bool,
     profile_sharing: bool,
     exec: ExecMode,
+    alloc: AllocConfig,
+    lrws_limits: Option<(usize, usize)>,
+    max_stretches: Option<u32>,
 }
 
 impl Experiment {
@@ -104,6 +107,9 @@ impl Experiment {
             record_tx_sizes: false,
             profile_sharing: false,
             exec: ExecMode::Interp,
+            alloc: AllocConfig::default(),
+            lrws_limits: None,
+            max_stretches: None,
         }
     }
 
@@ -155,6 +161,30 @@ impl Experiment {
         self
     }
 
+    /// Selects the heap-placement policy ([`AllocConfig`]) the workload's
+    /// simulated allocator uses — the malloc-placement sensitivity axis.
+    /// Unlike `sim_threads`/`exec`, placement changes the address stream
+    /// and therefore the results.
+    pub fn alloc(mut self, cfg: AllocConfig) -> Self {
+        self.alloc = cfg;
+        self
+    }
+
+    /// Overrides the [`HtmKind::Lrws`] read/write-set limits (defaults
+    /// 32/32). Only meaningful under the LRWS model; with both limits at
+    /// the buffer capacity the model degenerates to exact P8 tracking.
+    pub fn lrws_limits(mut self, read: usize, write: usize) -> Self {
+        self.lrws_limits = Some((read, write));
+        self
+    }
+
+    /// Overrides the [`HtmKind::PStretch`] per-transaction stretch budget
+    /// (default 4). Only meaningful under the PStretch model.
+    pub fn max_stretches(mut self, n: u32) -> Self {
+        self.max_stretches = Some(n);
+        self
+    }
+
     /// Enables 2-way SMT (16 hardware threads on 8 cores, §VI-D2).
     pub fn smt2(mut self, on: bool) -> Self {
         self.smt2 = on;
@@ -190,6 +220,13 @@ impl Experiment {
         cfg.profile_sharing = self.profile_sharing;
         cfg.sim_threads = self.sim_threads;
         cfg.exec = self.exec;
+        if let Some((read, write)) = self.lrws_limits {
+            cfg.htm.lrws_read_limit = read;
+            cfg.htm.lrws_write_limit = write;
+        }
+        if let Some(n) = self.max_stretches {
+            cfg.htm.max_stretches = n;
+        }
         cfg
     }
 
@@ -253,11 +290,13 @@ impl Experiment {
     }
 
     fn workload(&self) -> Result<Box<dyn Workload>, UnknownWorkload> {
-        match self.threads {
+        let mut w = match self.threads {
             Some(t) => by_name_with_threads(&self.workload, self.scale, t),
             None => by_name(&self.workload, self.scale),
         }
-        .ok_or_else(|| UnknownWorkload(self.workload.clone()))
+        .ok_or_else(|| UnknownWorkload(self.workload.clone()))?;
+        w.set_alloc_config(self.alloc);
+        Ok(w)
     }
 
     fn report(&self, stats: RunStats) -> RunReport {

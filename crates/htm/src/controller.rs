@@ -24,6 +24,14 @@ pub enum HtmKind {
     /// LogTM-style large HTM: bounded fast path + unbounded memory log;
     /// never capacity-aborts but pays per-overflow-block commit/abort work.
     LogTm,
+    /// FORTH-style limited read/write-set HTM: asymmetric bounds — an exact
+    /// write-set limit plus a read-set limit whose overflow spills into a
+    /// signature; writes never evict buffer entries.
+    Lrws,
+    /// POWER-style capacity stretching: a P8 buffer that sheds read-only
+    /// entries through a bounded number of suspend/resume windows per
+    /// transaction, keeping them precisely conflict-visible.
+    PStretch,
 }
 
 impl fmt::Display for HtmKind {
@@ -35,6 +43,8 @@ impl fmt::Display for HtmKind {
             HtmKind::InfCap => write!(f, "InfCap"),
             HtmKind::Rot => write!(f, "ROT"),
             HtmKind::LogTm => write!(f, "LogTM"),
+            HtmKind::Lrws => write!(f, "LRWS"),
+            HtmKind::PStretch => write!(f, "PStretch"),
         }
     }
 }
@@ -46,10 +56,19 @@ pub struct HtmConfig {
     pub kind: HtmKind,
     /// P8 buffer entries (paper: 64).
     pub buffer_entries: usize,
-    /// Signature bits for [`HtmKind::P8S`] (paper: 1 kbit).
+    /// Signature bits for [`HtmKind::P8S`] and [`HtmKind::Lrws`] (paper:
+    /// 1 kbit).
     pub sig_bits: usize,
     /// Signature hash functions.
     pub sig_hashes: u32,
+    /// Read-set limit for [`HtmKind::Lrws`] (exact entries before reads
+    /// spill to the signature).
+    pub lrws_read_limit: usize,
+    /// Write-set limit for [`HtmKind::Lrws`] (exact, never evicted).
+    pub lrws_write_limit: usize,
+    /// Suspend/resume stretch events allowed per transaction for
+    /// [`HtmKind::PStretch`].
+    pub max_stretches: u32,
 }
 
 impl HtmConfig {
@@ -60,6 +79,9 @@ impl HtmConfig {
             buffer_entries: 64,
             sig_bits: 1024,
             sig_hashes: 2,
+            lrws_read_limit: 32,
+            lrws_write_limit: 32,
+            max_stretches: 4,
         }
     }
 
@@ -71,6 +93,14 @@ impl HtmConfig {
             HtmKind::InfCap => Tracker::inf(),
             HtmKind::Rot => Tracker::rot(self.buffer_entries),
             HtmKind::LogTm => Tracker::log_tm(self.buffer_entries),
+            HtmKind::Lrws => Tracker::lrws(
+                self.buffer_entries,
+                self.lrws_read_limit,
+                self.lrws_write_limit,
+                self.sig_bits,
+                self.sig_hashes,
+            ),
+            HtmKind::PStretch => Tracker::pstretch(self.buffer_entries, self.max_stretches),
         }
     }
 }
@@ -313,6 +343,12 @@ impl HtmThread {
         self.tracker.overflowed_blocks()
     }
 
+    /// Capacity-stretch events consumed by the current transaction
+    /// (PStretch suspend/resume windows).
+    pub fn stretch_events(&self) -> u64 {
+        self.tracker.stretch_events()
+    }
+
     /// Commits the active transaction.
     ///
     /// # Panics
@@ -493,6 +529,39 @@ mod tests {
             t.on_access(blk(i), AccessKind::Store, false).unwrap();
         }
         assert!(t.on_access(blk(999), AccessKind::Store, false).is_err());
+    }
+
+    #[test]
+    fn lrws_write_limit_aborts_before_buffer_fills() {
+        let mut t = HtmThread::new(&HtmConfig::new(HtmKind::Lrws));
+        t.begin();
+        for i in 0..32u64 {
+            t.on_access(blk(i), AccessKind::Store, false).unwrap();
+        }
+        assert!(t.on_access(blk(99), AccessKind::Store, false).is_err());
+        t.abort(AbortKind::Capacity);
+        // Reads alone never capacity-abort at the default limits.
+        t.begin();
+        for i in 0..500u64 {
+            t.on_access(blk(i), AccessKind::Load, false).unwrap();
+        }
+        assert_eq!(t.read_set_size(), 500);
+        t.commit();
+    }
+
+    #[test]
+    fn pstretch_expands_read_capacity_by_stretching() {
+        let mut t = HtmThread::new(&HtmConfig::new(HtmKind::PStretch));
+        t.begin();
+        // 64-entry buffer + 4 stretches that each empty it of reads:
+        // 5 * 64 = 320 distinct read blocks fit, the next one aborts.
+        for i in 0..320u64 {
+            t.on_access(blk(i), AccessKind::Load, false).unwrap();
+        }
+        assert_eq!(t.stretch_events(), 4);
+        assert!(t.on_access(blk(999), AccessKind::Load, false).is_err());
+        t.abort(AbortKind::Capacity);
+        assert_eq!(t.stretch_events(), 0, "abort resets stretch state");
     }
 
     #[test]

@@ -63,6 +63,30 @@ enum Backend {
         capacity: usize,
         overflowed: u64,
     },
+    /// FORTH-style limited read/write-set HTM: one exact buffer shared by
+    /// both sets, but the read-set is bounded at `read_limit` (excess reads
+    /// spill into a lossy signature, `overflow_reads` being the precise
+    /// shadow) while the write-set is bounded at `write_limit` and stays
+    /// exact — writes never evict anything.
+    Lrws {
+        entries: BlockSet,
+        capacity: usize,
+        read_limit: usize,
+        write_limit: usize,
+        sig: Signature,
+        overflow_reads: BlockSet,
+    },
+    /// POWER-style capacity stretching: a P8 buffer that, when full, sheds
+    /// all read-only entries into `stretched` (a precise unbounded set kept
+    /// conflict-visible) through a suspend/resume window, at most
+    /// `max_stretches` times per transaction.
+    PStretch {
+        entries: BlockSet,
+        capacity: usize,
+        stretched: BlockSet,
+        max_stretches: u32,
+        stretches_used: u32,
+    },
 }
 
 impl Tracker {
@@ -130,11 +154,57 @@ impl Tracker {
         })
     }
 
+    /// A limited read/write-set tracker: one `capacity`-entry exact buffer,
+    /// read-set bounded at `read_limit` (spills to a signature), write-set
+    /// bounded at `write_limit` (exact, never evicted).
+    ///
+    /// With `read_limit == write_limit == capacity` the limits are
+    /// unreachable before the buffer itself fills, and the tracker
+    /// degenerates to exactly [`Tracker::p8`].
+    pub fn lrws(
+        capacity: usize,
+        read_limit: usize,
+        write_limit: usize,
+        sig_bits: usize,
+        sig_hashes: u32,
+    ) -> Self {
+        Tracker(Backend::Lrws {
+            entries: BlockSet::fixed(capacity),
+            capacity,
+            read_limit,
+            write_limit,
+            sig: Signature::new(sig_bits, sig_hashes),
+            overflow_reads: BlockSet::growable(),
+        })
+    }
+
+    /// A POWER-style capacity-stretching tracker: a `capacity`-entry exact
+    /// buffer that may shed its read-only entries to a precise side set up
+    /// to `max_stretches` times per transaction (suspend/resume windows).
+    pub fn pstretch(capacity: usize, max_stretches: u32) -> Self {
+        Tracker(Backend::PStretch {
+            entries: BlockSet::fixed(capacity),
+            capacity,
+            stretched: BlockSet::growable(),
+            max_stretches,
+            stretches_used: 0,
+        })
+    }
+
     /// Blocks tracked beyond the fast-path capacity (LogTM log length);
     /// 0 for every other backend.
     pub fn overflowed_blocks(&self) -> u64 {
         match &self.0 {
             Backend::Log { overflowed, .. } => *overflowed,
+            _ => 0,
+        }
+    }
+
+    /// Capacity-stretch events consumed by the current transaction
+    /// (PStretch suspend/resume windows); 0 for every other backend.
+    pub fn stretch_events(&self) -> u64 {
+        match &self.0 {
+            Backend::PStretch { stretches_used, .. } => u64::from(*stretches_used),
             _ => 0,
         }
     }
@@ -229,6 +299,99 @@ impl Tracker {
                 entries.insert_new(block, is_write);
                 Ok(())
             }
+            Backend::Lrws {
+                entries,
+                capacity,
+                read_limit,
+                write_limit,
+                sig,
+                overflow_reads,
+            } => {
+                if let Some((_, written)) = entries.get(block) {
+                    if is_write && !written && entries.writes_len() >= *write_limit {
+                        return Err(CapacityAbort);
+                    }
+                    entries.touch_existing(block, is_write);
+                    return Ok(());
+                }
+                if is_write {
+                    // Writes stay exact and never evict: they need both a
+                    // write-limit slot and a free buffer entry.
+                    if entries.writes_len() >= *write_limit || entries.len() >= *capacity {
+                        return Err(CapacityAbort);
+                    }
+                    entries.insert_new(block, true);
+                    return Ok(());
+                }
+                if overflow_reads.contains(block) {
+                    // Re-read of an already-spilled block: it lives in the
+                    // signature, not the buffer.
+                    sig.insert(block);
+                    return Ok(());
+                }
+                if entries.len() >= *capacity {
+                    return Err(CapacityAbort);
+                }
+                if entries.len() - entries.writes_len() >= *read_limit {
+                    // Read-limit pressure: evict the lowest-addressed
+                    // read-only entry into the signature (deterministic
+                    // victim, as in P8S) to make room for the new read.
+                    if let Some(victim) = entries.min_read_only() {
+                        entries.remove(victim);
+                        sig.insert(victim);
+                        if !overflow_reads.touch_existing(victim, false) {
+                            overflow_reads.insert_new(victim, false);
+                        }
+                    }
+                }
+                entries.insert_new(block, false);
+                Ok(())
+            }
+            Backend::PStretch {
+                entries,
+                capacity,
+                stretched,
+                max_stretches,
+                stretches_used,
+            } => {
+                if entries.touch_existing(block, is_write) {
+                    return Ok(());
+                }
+                if !is_write && stretched.contains(block) {
+                    // The suspended window services re-reads of shed blocks
+                    // without re-occupying a buffer slot.
+                    return Ok(());
+                }
+                if entries.len() < *capacity {
+                    entries.insert_new(block, is_write);
+                    return Ok(());
+                }
+                if *stretches_used >= *max_stretches {
+                    return Err(CapacityAbort);
+                }
+                // Stretch: suspend, shed every read-only entry into the
+                // precise (still conflict-visible) stretched set, resume.
+                let mut shed = Vec::new();
+                entries.for_each(|b, _, w| {
+                    if !w {
+                        shed.push(b);
+                    }
+                });
+                if shed.is_empty() {
+                    // An all-write buffer cannot be stretched; do not burn a
+                    // stretch event on a hopeless window.
+                    return Err(CapacityAbort);
+                }
+                for b in shed {
+                    entries.remove(b);
+                    if !stretched.touch_existing(b, false) {
+                        stretched.insert_new(b, false);
+                    }
+                }
+                *stretches_used += 1;
+                entries.insert_new(block, is_write);
+                Ok(())
+            }
         }
     }
 
@@ -248,9 +411,12 @@ impl Tracker {
     /// for the signature-backed backend (aliasing).
     pub fn reads_block(&self, block: BlockAddr) -> bool {
         match &self.0 {
-            Backend::P8Sig { entries, sig, .. } => {
+            Backend::P8Sig { entries, sig, .. } | Backend::Lrws { entries, sig, .. } => {
                 entries.reads_block(block) || sig.maybe_contains(block)
             }
+            Backend::PStretch {
+                entries, stretched, ..
+            } => entries.reads_block(block) || stretched.contains(block),
             _ => self.entries().reads_block(block),
         }
     }
@@ -263,7 +429,15 @@ impl Tracker {
                 entries,
                 overflow_reads,
                 ..
+            }
+            | Backend::Lrws {
+                entries,
+                overflow_reads,
+                ..
             } => entries.reads_block(block) || overflow_reads.contains(block),
+            Backend::PStretch {
+                entries, stretched, ..
+            } => entries.reads_block(block) || stretched.contains(block),
             _ => self.entries().reads_block(block),
         }
     }
@@ -282,7 +456,10 @@ impl Tracker {
     pub fn conflict_probe(&self, block: BlockAddr) -> (bool, bool) {
         let (r, w) = self.entries().get(block).unwrap_or((false, false));
         match &self.0 {
-            Backend::P8Sig { sig, .. } => (r || sig.maybe_contains(block), w),
+            Backend::P8Sig { sig, .. } | Backend::Lrws { sig, .. } => {
+                (r || sig.maybe_contains(block), w)
+            }
+            Backend::PStretch { stretched, .. } => (r || stretched.contains(block), w),
             _ => (r, w),
         }
     }
@@ -308,7 +485,10 @@ impl Tracker {
     pub fn read_set_size(&self) -> usize {
         let base = self.entries().reads_len();
         match &self.0 {
-            Backend::P8Sig { overflow_reads, .. } => base + overflow_reads.len(),
+            Backend::P8Sig { overflow_reads, .. } | Backend::Lrws { overflow_reads, .. } => {
+                base + overflow_reads.len()
+            }
+            Backend::PStretch { stretched, .. } => base + stretched.len(),
             _ => base,
         }
     }
@@ -325,6 +505,11 @@ impl Tracker {
                 entries,
                 overflow_reads,
                 ..
+            }
+            | Backend::Lrws {
+                entries,
+                overflow_reads,
+                ..
             } => {
                 // A spilled read later re-inserted by a write lives in both
                 // sets; count it once.
@@ -335,6 +520,19 @@ impl Tracker {
                     }
                 });
                 entries.len() + overflow_reads.len() - rejoined
+            }
+            Backend::PStretch {
+                entries, stretched, ..
+            } => {
+                // A shed read later re-inserted by a write lives in both
+                // sets; count it once.
+                let mut rejoined = 0usize;
+                stretched.for_each(|b, _, _| {
+                    if entries.contains(b) {
+                        rejoined += 1;
+                    }
+                });
+                entries.len() + stretched.len() - rejoined
             }
             _ => self.entries().len(),
         }
@@ -360,10 +558,26 @@ impl Tracker {
                 sig,
                 overflow_reads,
                 ..
+            }
+            | Backend::Lrws {
+                entries,
+                sig,
+                overflow_reads,
+                ..
             } => {
                 entries.clear();
                 sig.clear();
                 overflow_reads.clear();
+            }
+            Backend::PStretch {
+                entries,
+                stretched,
+                stretches_used,
+                ..
+            } => {
+                entries.clear();
+                stretched.clear();
+                *stretches_used = 0;
             }
         }
     }
@@ -375,7 +589,9 @@ impl Tracker {
             | Backend::L1 { entries }
             | Backend::Inf { entries }
             | Backend::Rot { entries, .. }
-            | Backend::Log { entries, .. } => entries,
+            | Backend::Log { entries, .. }
+            | Backend::Lrws { entries, .. }
+            | Backend::PStretch { entries, .. } => entries,
         }
     }
 }
@@ -564,6 +780,124 @@ mod tests {
         t.track(blk(0), true).unwrap();
         assert_eq!(t.overflowed_blocks(), 0);
         assert_eq!(Tracker::inf().overflowed_blocks(), 0);
+    }
+
+    #[test]
+    fn lrws_read_overflow_spills_to_signature() {
+        let mut t = Tracker::lrws(8, 2, 2, 1024, 2);
+        for i in 0..6u64 {
+            t.track(blk(i), false).unwrap(); // read-limit 2: blocks spill
+        }
+        assert_eq!(t.read_set_size(), 6, "spilled reads stay precise");
+        for i in 0..6u64 {
+            assert!(t.reads_block(blk(i)));
+            assert!(t.precise_reads_block(blk(i)));
+        }
+        // The exact buffer only holds the two most recent reads.
+        assert_eq!(t.footprint(), 6);
+    }
+
+    #[test]
+    fn lrws_write_limit_aborts_exactly() {
+        let mut t = Tracker::lrws(64, 32, 2, 1024, 2);
+        t.track(blk(1), true).unwrap();
+        t.track(blk(2), true).unwrap();
+        assert_eq!(t.track(blk(3), true), Err(CapacityAbort));
+        // Re-touching a tracked write is fine; upgrading a read is not.
+        t.track(blk(1), true).unwrap();
+        t.track(blk(9), false).unwrap();
+        assert_eq!(t.track(blk(9), true), Err(CapacityAbort));
+        assert!(t.reads_block(blk(9)), "failed upgrade leaves the read");
+    }
+
+    #[test]
+    fn lrws_spilled_block_reread_stays_in_signature() {
+        let mut t = Tracker::lrws(8, 1, 4, 1024, 2);
+        t.track(blk(1), false).unwrap();
+        t.track(blk(2), false).unwrap(); // spills 1
+        t.track(blk(1), false).unwrap(); // re-read: signature only
+        assert_eq!(t.footprint(), 2);
+        assert!(t.precise_reads_block(blk(1)));
+        // A write to the spilled block rejoins the exact buffer.
+        t.track(blk(1), true).unwrap();
+        assert!(t.writes_block(blk(1)));
+        assert_eq!(t.footprint(), 2, "rejoined block counted once");
+    }
+
+    #[test]
+    fn lrws_degenerate_limits_match_p8() {
+        let mut l = Tracker::lrws(4, 4, 4, 1024, 2);
+        let mut p = Tracker::p8(4);
+        for (i, w) in [(1u64, false), (2, true), (3, false), (2, false), (4, true)] {
+            assert_eq!(l.track(blk(i), w), p.track(blk(i), w));
+        }
+        assert_eq!(l.track(blk(99), false), Err(CapacityAbort));
+        assert_eq!(p.track(blk(99), false), Err(CapacityAbort));
+        assert_eq!(l.footprint(), p.footprint());
+        assert_eq!(l.read_set_size(), p.read_set_size());
+    }
+
+    #[test]
+    fn pstretch_sheds_reads_until_stretches_exhausted() {
+        let mut t = Tracker::pstretch(4, 2);
+        for i in 0..4u64 {
+            t.track(blk(i), false).unwrap();
+        }
+        t.track(blk(4), false).unwrap(); // stretch 1: sheds 0..4
+        assert_eq!(t.stretch_events(), 1);
+        for i in 5..8u64 {
+            t.track(blk(i), false).unwrap(); // refills the buffer
+        }
+        t.track(blk(8), false).unwrap(); // stretch 2
+        assert_eq!(t.stretch_events(), 2);
+        for i in 9..12u64 {
+            t.track(blk(i), false).unwrap();
+        }
+        assert_eq!(t.track(blk(12), false), Err(CapacityAbort));
+        // Every shed block is still precisely conflict-visible.
+        for i in 0..12u64 {
+            assert!(t.reads_block(blk(i)));
+            assert!(t.precise_reads_block(blk(i)));
+        }
+        assert_eq!(t.footprint(), 12);
+        assert_eq!(t.read_set_size(), 12);
+        t.clear();
+        assert_eq!((t.footprint(), t.stretch_events()), (0, 0));
+    }
+
+    #[test]
+    fn pstretch_reread_of_shed_block_needs_no_slot() {
+        let mut t = Tracker::pstretch(2, 1);
+        t.track(blk(1), false).unwrap();
+        t.track(blk(2), false).unwrap();
+        t.track(blk(3), false).unwrap(); // stretch: sheds 1, 2
+        t.track(blk(4), false).unwrap(); // buffer: {3, 4}
+        t.track(blk(1), false).unwrap(); // serviced by the stretched set
+        assert_eq!(t.track(blk(5), false), Err(CapacityAbort));
+        // A write to a shed block needs a slot, and none is stretchable.
+        assert_eq!(t.track(blk(2), true), Err(CapacityAbort));
+    }
+
+    #[test]
+    fn pstretch_all_write_buffer_aborts_without_burning_a_stretch() {
+        let mut t = Tracker::pstretch(2, 4);
+        t.track(blk(1), true).unwrap();
+        t.track(blk(2), true).unwrap();
+        assert_eq!(t.track(blk(3), true), Err(CapacityAbort));
+        assert_eq!(t.stretch_events(), 0, "hopeless window burns no stretch");
+    }
+
+    #[test]
+    fn pstretch_write_rejoin_counts_once() {
+        let mut t = Tracker::pstretch(2, 2);
+        t.track(blk(1), false).unwrap();
+        t.track(blk(2), false).unwrap();
+        t.track(blk(3), true).unwrap(); // stretch: sheds 1, 2
+        t.track(blk(1), true).unwrap(); // shed read rejoins as a write
+        assert_eq!(t.footprint(), 3, "block 1 counted once");
+        assert!(t.writes_block(blk(1)));
+        assert!(t.precise_reads_block(blk(2)));
+        assert_eq!(t.read_set_size(), 2);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Model-conformance suite for the LRWS and PStretch tracking backends:
+//! randomized tracker-vs-reference-map agreement, plus the capacity
+//! theorems each model is sold on — LRWS never aborts while the write
+//! set has room, PStretch never aborts earlier than plain P8 on an
+//! identical access stream and fits `cap + stretches * cap` distinct
+//! reads. Same deterministic in-tree generator as `tracker_properties`.
+
+use hintm_htm::Tracker;
+use hintm_types::rng::SmallRng;
+use hintm_types::BlockAddr;
+use std::collections::HashMap;
+
+fn blk(i: u64) -> BlockAddr {
+    BlockAddr::from_index(i)
+}
+
+fn ops(rng: &mut SmallRng) -> Vec<(u64, bool)> {
+    let n = rng.gen_range(1..200usize);
+    (0..n)
+        .map(|_| (rng.gen_range(0..96u64), rng.gen_bool(0.5)))
+        .collect()
+}
+
+/// Reference read/write-set model.
+#[derive(Default)]
+struct Model {
+    sets: HashMap<u64, (bool, bool)>,
+}
+
+impl Model {
+    fn track(&mut self, b: u64, w: bool) {
+        let e = self.sets.entry(b).or_default();
+        e.0 |= !w;
+        e.1 |= w;
+    }
+    fn writes(&self) -> usize {
+        self.sets.values().filter(|(_, w)| *w).count()
+    }
+}
+
+/// While tracking succeeds, LRWS agrees with the reference model: the
+/// writeset is exact, every read stays conflict-visible (resident or
+/// spilled to the signature — no false negatives), the *precise* readset
+/// matches the model bit-for-bit, and the footprint counts every
+/// distinct block exactly once even across spill/re-write round trips.
+#[test]
+fn lrws_tracker_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x12A5);
+    for _ in 0..128 {
+        let cap = rng.gen_range(4..32usize);
+        let read_limit = rng.gen_range(1..cap);
+        let write_limit = cap - read_limit;
+        let mut t = Tracker::lrws(cap, read_limit, write_limit, 1024, 2);
+        let mut m = Model::default();
+        for (b, w) in ops(&mut rng) {
+            if t.track(blk(b), w).is_err() {
+                break;
+            }
+            m.track(b, w);
+        }
+        for (&b, &(r, w)) in &m.sets {
+            assert_eq!(t.writes_block(blk(b)), w, "write bit of {b} drifted");
+            if r {
+                assert!(t.reads_block(blk(b)), "read of {b} lost");
+            }
+            assert_eq!(t.precise_reads_block(blk(b)), r, "precise read bit of {b}");
+        }
+        assert_eq!(t.footprint(), m.sets.len());
+        assert_eq!(t.write_set_size(), m.writes());
+        assert_eq!(t.write_blocks().len(), m.writes());
+    }
+}
+
+/// The LRWS capacity theorem (for `read_limit + write_limit <= capacity`,
+/// the shipped shape): resident read-only entries are bounded by the read
+/// limit (excess spills to the signature) and writes by the write limit,
+/// so the buffer itself can never be the binding constraint. Every abort
+/// — read *or* write — therefore implies the write set is at its limit;
+/// in particular LRWS never aborts on a write while the write set has
+/// room. This is the property the static `CapacityModel::Lrws` verdict
+/// formula leans on.
+#[test]
+fn lrws_aborts_only_at_the_write_limit() {
+    let mut rng = SmallRng::seed_from_u64(0x12A6);
+    for _ in 0..128 {
+        let cap = rng.gen_range(4..32usize);
+        let read_limit = rng.gen_range(1..cap);
+        let write_limit = cap - read_limit;
+        let mut t = Tracker::lrws(cap, read_limit, write_limit, 1024, 2);
+        for (b, w) in ops(&mut rng) {
+            let before = t.write_set_size();
+            if t.track(blk(b), w).is_err() {
+                assert_eq!(
+                    before,
+                    write_limit,
+                    "LRWS aborted a {} with the write set below its limit \
+                     ({before} < {write_limit})",
+                    if w { "write" } else { "read" },
+                );
+                break;
+            }
+            assert!(t.write_set_size() <= write_limit);
+            assert!(t.footprint() >= t.write_set_size());
+        }
+    }
+}
+
+/// While tracking succeeds, PStretch agrees with the reference model:
+/// shed reads stay *precisely* conflict-visible from the stretched side
+/// set (this is why stretch windows can never change conflict outcomes),
+/// the writeset is exact, and the footprint is precise across
+/// shed/re-write round trips.
+#[test]
+fn pstretch_tracker_matches_model() {
+    let mut rng = SmallRng::seed_from_u64(0x9573);
+    for _ in 0..128 {
+        let cap = rng.gen_range(4..32usize);
+        let max_stretches = rng.gen_range(0..5u32);
+        let mut t = Tracker::pstretch(cap, max_stretches);
+        let mut m = Model::default();
+        for (b, w) in ops(&mut rng) {
+            if t.track(blk(b), w).is_err() {
+                break;
+            }
+            m.track(b, w);
+        }
+        assert!(t.stretch_events() <= u64::from(max_stretches));
+        for (&b, &(r, w)) in &m.sets {
+            assert_eq!(t.writes_block(blk(b)), w, "write bit of {b} drifted");
+            if r {
+                assert!(t.reads_block(blk(b)), "read of {b} lost");
+                assert!(t.precise_reads_block(blk(b)), "shed read of {b} imprecise");
+            }
+        }
+        assert_eq!(t.footprint(), m.sets.len());
+        assert_eq!(t.write_set_size(), m.writes());
+    }
+}
+
+/// Stretching is pure slack: on any identical access stream, PStretch
+/// survives at least as far as a plain P8 buffer of the same capacity
+/// (and tracks at least as many distinct blocks when it finally aborts).
+/// A PStretch abort needs a full buffer *and* no shed-able reads or no
+/// stretch budget — strictly harder to reach than P8's full buffer.
+#[test]
+fn pstretch_never_aborts_earlier_than_p8() {
+    let mut rng = SmallRng::seed_from_u64(0x9574);
+    for _ in 0..128 {
+        let cap = rng.gen_range(2..16usize);
+        let max_stretches = rng.gen_range(0..5u32);
+        let seq = ops(&mut rng);
+
+        let first_abort = |mut t: Tracker| -> (Option<usize>, usize) {
+            for (i, &(b, w)) in seq.iter().enumerate() {
+                if t.track(blk(b), w).is_err() {
+                    return (Some(i), t.footprint());
+                }
+            }
+            (None, t.footprint())
+        };
+        let (p8_abort, p8_tracked) = first_abort(Tracker::p8(cap));
+        let (ps_abort, ps_tracked) = first_abort(Tracker::pstretch(cap, max_stretches));
+
+        match (p8_abort, ps_abort) {
+            (None, Some(i)) => panic!("PStretch aborted at op {i}, P8 survived"),
+            (Some(p), Some(s)) => assert!(
+                s >= p,
+                "PStretch aborted at op {s}, before P8's abort at op {p}"
+            ),
+            _ => {}
+        }
+        assert!(
+            ps_tracked >= p8_tracked,
+            "PStretch committed footprint {ps_tracked} < P8's {p8_tracked}"
+        );
+    }
+}
+
+/// The shipped PStretch envelope, exactly: a read-only stream fits
+/// `cap * (1 + max_stretches)` distinct blocks (each stretch sheds a
+/// full buffer of reads) and aborts on the next one, with every shed
+/// read still precisely visible at the end.
+#[test]
+fn pstretch_read_envelope_is_exact() {
+    const CAP: usize = 64;
+    const STRETCHES: u32 = 4;
+    let mut t = Tracker::pstretch(CAP, STRETCHES);
+    let limit = CAP as u64 * (1 + STRETCHES as u64);
+    for b in 0..limit {
+        assert!(t.track(blk(b), false).is_ok(), "read {b} aborted early");
+    }
+    assert_eq!(t.stretch_events(), u64::from(STRETCHES));
+    assert_eq!(t.footprint(), limit as usize);
+    assert!(t.track(blk(limit), false).is_err(), "envelope not tight");
+    for b in 0..limit {
+        assert!(t.precise_reads_block(blk(b)), "shed read {b} lost");
+    }
+}
+
+/// clear() restores a pristine tracker for the new backends too (the
+/// stretched side set, stretch counter, spill signature and overflow
+/// shadow must all reset between transactions).
+#[test]
+fn clear_restores_pristine_new_backends() {
+    let mut rng = SmallRng::seed_from_u64(0xC1EA3);
+    for _ in 0..64 {
+        let seq = ops(&mut rng);
+        for mut t in [Tracker::lrws(8, 4, 4, 256, 2), Tracker::pstretch(8, 2)] {
+            for &(b, w) in &seq {
+                let _ = t.track(blk(b), w);
+            }
+            t.clear();
+            assert_eq!(t.footprint(), 0);
+            assert_eq!(t.read_set_size(), 0);
+            assert_eq!(t.write_set_size(), 0);
+            assert_eq!(t.stretch_events(), 0);
+            for &(b, _) in &seq {
+                assert!(!t.reads_block(blk(b)));
+                assert!(!t.writes_block(blk(b)));
+            }
+        }
+    }
+}

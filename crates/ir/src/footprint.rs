@@ -261,12 +261,26 @@ pub enum CapacityModel {
     /// blocks can never lose a line to associativity pressure, while one
     /// touching more than 512 blocks cannot fit in the cache at all.
     L1Tm,
+    /// Limited read/write-set HTM (64-entry buffer, read-limit 32,
+    /// write-limit 32): the write-set is exact and bounded at 32 blocks,
+    /// reads beyond 32 spill to a signature but still occupy pressure
+    /// against the shared buffer.
+    Lrws,
+    /// POWER-style capacity stretching (64-entry buffer, 4 stretch events
+    /// per TX): each stretch sheds the read-only entries, so the effective
+    /// capacity grows with how small the write-set stays.
+    PStretch,
 }
 
 impl CapacityModel {
     /// All capacity-bounded models, in display order.
-    pub const ALL: [CapacityModel; 3] =
-        [CapacityModel::P8, CapacityModel::P8S, CapacityModel::L1Tm];
+    pub const ALL: [CapacityModel; 5] = [
+        CapacityModel::P8,
+        CapacityModel::P8S,
+        CapacityModel::L1Tm,
+        CapacityModel::Lrws,
+        CapacityModel::PStretch,
+    ];
 
     /// Display name matching `HtmKind`'s.
     pub fn name(&self) -> &'static str {
@@ -274,6 +288,8 @@ impl CapacityModel {
             CapacityModel::P8 => "P8",
             CapacityModel::P8S => "P8S",
             CapacityModel::L1Tm => "L1TM",
+            CapacityModel::Lrws => "LRWS",
+            CapacityModel::PStretch => "PStretch",
         }
     }
 
@@ -286,6 +302,52 @@ impl CapacityModel {
                 if tx.total_hi.le(8) {
                     Verdict::Fits
                 } else if tx.total_lo > 512 {
+                    Verdict::MustOverflow
+                } else {
+                    Verdict::MayOverflow
+                }
+            }
+            CapacityModel::Lrws => {
+                const CAP: u64 = 64;
+                const R_LIM: u64 = 32;
+                const W_LIM: u64 = 32;
+                // Sound fit: the write-set never exceeds its limit, and the
+                // shared buffer (write-set + at most `R_LIM` resident reads)
+                // never fills. When reads stay within the read limit the
+                // buffer holds at most `write_hi + read_hi` entries; once
+                // reads can spill, a new read may arrive with `R_LIM`
+                // resident reads, so the write-set must leave a free slot.
+                let fits = tx.write_hi.le(W_LIM)
+                    && (tx.read_hi.le(R_LIM) || tx.write_hi.le(CAP - R_LIM - 1));
+                if fits {
+                    Verdict::Fits
+                } else if tx.write_lo > W_LIM {
+                    // Writes are exact and never evicted, so a write-set
+                    // that must exceed the limit must abort.
+                    Verdict::MustOverflow
+                } else {
+                    Verdict::MayOverflow
+                }
+            }
+            CapacityModel::PStretch => {
+                const CAP: u64 = 64;
+                const STRETCHES: u64 = 4;
+                if tx.total_hi.le(CAP) {
+                    return Verdict::Fits;
+                }
+                // Stretch-aware fit: insert events are bounded by
+                // `total + write` (a shed read re-enters at most once, as a
+                // write), and each of the `STRETCHES` windows frees at
+                // least `CAP - write_hi` slots since writes are never shed.
+                let fits = match (tx.total_hi, tx.write_hi) {
+                    (Bound::Finite(t), Bound::Finite(w)) if w < CAP => {
+                        t + w <= CAP + STRETCHES * (CAP - w)
+                    }
+                    _ => false,
+                };
+                if fits {
+                    Verdict::Fits
+                } else if tx.write_lo > CAP {
                     Verdict::MustOverflow
                 } else {
                     Verdict::MayOverflow
@@ -769,5 +831,73 @@ mod tests {
         assert_eq!(hist[0], ("<=1", 1));
         let buck128: u32 = hist.iter().find(|(l, _)| *l == "<=128").unwrap().1;
         assert_eq!(buck128, 1, "101-block TX lands in <=128");
+    }
+
+    /// Builds a footprint with the given bounds and an empty effect — the
+    /// verdict functions only look at the bound fields.
+    fn bounds(read_hi: Bound, write_hi: Bound, total_lo: u64, write_lo: u64) -> TxFootprint {
+        TxFootprint {
+            func: FuncId(0),
+            index: 0,
+            effect: AccessEffect {
+                reads: BTreeMap::new(),
+                writes: BTreeMap::new(),
+                unbounded_reads: false,
+                unbounded_writes: false,
+            },
+            read_hi,
+            write_hi,
+            total_hi: read_hi.add(write_hi),
+            total_lo,
+            write_lo,
+            balanced: true,
+        }
+    }
+
+    #[test]
+    fn lrws_verdicts() {
+        use Bound::{Finite, Unbounded};
+        // Reads and writes both within their limits: fits.
+        let tx = bounds(Finite(32), Finite(32), 0, 0);
+        assert_eq!(CapacityModel::Lrws.verdict(&tx), Verdict::Fits);
+        // Reads spill past the read limit: fine while the write-set leaves
+        // a free buffer slot...
+        let tx = bounds(Finite(500), Finite(31), 0, 0);
+        assert_eq!(CapacityModel::Lrws.verdict(&tx), Verdict::Fits);
+        // ...but with the write-set at its full limit, a spilling read can
+        // find the buffer full.
+        let tx = bounds(Finite(33), Finite(32), 0, 0);
+        assert_eq!(CapacityModel::Lrws.verdict(&tx), Verdict::MayOverflow);
+        // Unbounded reads alone never force an abort statically.
+        let tx = bounds(Unbounded, Finite(31), 0, 0);
+        assert_eq!(CapacityModel::Lrws.verdict(&tx), Verdict::Fits);
+        // Write-set past the exact limit: may overflow; guaranteed past it:
+        // must.
+        let tx = bounds(Finite(1), Finite(33), 0, 0);
+        assert_eq!(CapacityModel::Lrws.verdict(&tx), Verdict::MayOverflow);
+        let tx = bounds(Finite(1), Finite(40), 34, 33);
+        assert_eq!(CapacityModel::Lrws.verdict(&tx), Verdict::MustOverflow);
+    }
+
+    #[test]
+    fn pstretch_verdicts() {
+        use Bound::{Finite, Unbounded};
+        // Within the raw buffer: fits without stretching.
+        let tx = bounds(Finite(60), Finite(4), 0, 0);
+        assert_eq!(CapacityModel::PStretch.verdict(&tx), Verdict::Fits);
+        // Read-heavy overflow absorbed by stretch windows: total+write
+        // 310+10 <= 64 + 4*(64-10) = 280? No — 320 > 280: may overflow.
+        let tx = bounds(Finite(300), Finite(10), 0, 0);
+        assert_eq!(CapacityModel::PStretch.verdict(&tx), Verdict::MayOverflow);
+        // 250+10 = 260 <= 280: fits thanks to stretching.
+        let tx = bounds(Finite(240), Finite(10), 0, 0);
+        assert_eq!(CapacityModel::PStretch.verdict(&tx), Verdict::Fits);
+        // Unbounded totals can never be proven to fit.
+        let tx = bounds(Unbounded, Finite(1), 0, 0);
+        assert_eq!(CapacityModel::PStretch.verdict(&tx), Verdict::MayOverflow);
+        // Writes are never shed: a guaranteed 65-block write-set aborts on
+        // every execution.
+        let tx = bounds(Finite(0), Finite(100), 65, 65);
+        assert_eq!(CapacityModel::PStretch.verdict(&tx), Verdict::MustOverflow);
     }
 }

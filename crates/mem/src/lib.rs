@@ -41,3 +41,5 @@ pub mod space;
 pub use recorder::{AccessRecorder, AddrHistory, EpochSharing};
 pub use sink::{AccessSink, CountingSink, NullSink, VecSink};
 pub use space::{AddressSpace, AllocStats, SegmentKind};
+
+pub use hintm_types::AllocConfig;

@@ -16,7 +16,7 @@
 //! recycled through per-arena size-class free lists so long-running
 //! workloads reuse addresses the way a real allocator does.
 
-use hintm_types::{Addr, ThreadId, PAGE_SIZE};
+use hintm_types::{Addr, AllocConfig, ThreadId, PAGE_SIZE};
 use std::fmt;
 
 const GLOBAL_BASE: u64 = 0x0000_1000_0000;
@@ -134,6 +134,7 @@ pub struct AddressSpace {
     arenas: Vec<Arena>,
     stack_tops: Vec<u64>,
     stats: AllocStats,
+    alloc: AllocConfig,
 }
 
 fn round_up(v: u64, align: u64) -> u64 {
@@ -156,9 +157,25 @@ impl AddressSpace {
     ///
     /// Panics if `num_threads` is 0 or exceeds 1024.
     pub fn new(num_threads: usize) -> Self {
+        Self::with_config(num_threads, AllocConfig::default())
+    }
+
+    /// Creates an address space whose heap arenas follow the given
+    /// placement policy (see [`AllocConfig`]). `with_config(n, default)`
+    /// is exactly [`AddressSpace::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is 0 or exceeds 1024, or if `alloc.align`
+    /// is not a power of two ≥ 16.
+    pub fn with_config(num_threads: usize, alloc: AllocConfig) -> Self {
         assert!(
             num_threads > 0 && num_threads <= 1024,
             "unsupported thread count"
+        );
+        assert!(
+            alloc.align >= 16 && alloc.align.is_power_of_two(),
+            "alloc.align must be a power of two >= 16"
         );
         AddressSpace {
             num_threads,
@@ -166,12 +183,18 @@ impl AddressSpace {
             arenas: (0..num_threads).map(|_| Arena::default()).collect(),
             stack_tops: vec![0; num_threads],
             stats: AllocStats::default(),
+            alloc,
         }
     }
 
     /// Number of threads this space was created for.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// The heap-placement policy this space was created with.
+    pub fn alloc_config(&self) -> AllocConfig {
+        self.alloc
     }
 
     /// Allocates `size` bytes from the global segment (16-byte aligned).
@@ -207,8 +230,11 @@ impl AddressSpace {
             self.stats.heap_recycled += 1;
             return Addr::new(HEAP_BASE + tid.index() as u64 * HEAP_ARENA_SIZE + off);
         }
-        let off = arena.bump;
-        arena.bump += cls;
+        // Placement policy applies to fresh bump space only: recycled
+        // chunks keep their addresses, so committed program state is
+        // placement-independent.
+        let off = round_up(arena.bump, self.alloc.align);
+        arena.bump = off + cls + self.alloc.color_stride;
         assert!(
             arena.bump <= HEAP_ARENA_SIZE,
             "heap arena exhausted for {tid}"
@@ -417,6 +443,66 @@ mod tests {
         let mut s = AddressSpace::new(1);
         let g = s.alloc_global(32);
         s.hfree(ThreadId(0), g, 32);
+    }
+
+    #[test]
+    fn color_stride_shears_fresh_allocations() {
+        let mut plain = AddressSpace::new(1);
+        let mut colored = AddressSpace::with_config(
+            1,
+            AllocConfig {
+                color_stride: 48,
+                align: 16,
+            },
+        );
+        let (a0, a1) = (plain.halloc(ThreadId(0), 32), plain.halloc(ThreadId(0), 32));
+        let (b0, b1) = (
+            colored.halloc(ThreadId(0), 32),
+            colored.halloc(ThreadId(0), 32),
+        );
+        assert_eq!(a1.raw() - a0.raw(), 32);
+        assert_eq!(b1.raw() - b0.raw(), 32 + 48, "stride pads each fresh alloc");
+        // Recycled chunks keep their addresses under any policy.
+        colored.hfree(ThreadId(0), b0, 32);
+        assert_eq!(colored.halloc(ThreadId(0), 32), b0);
+    }
+
+    #[test]
+    fn alloc_align_rounds_fresh_allocations() {
+        let mut s = AddressSpace::with_config(
+            1,
+            AllocConfig {
+                color_stride: 0,
+                align: 64,
+            },
+        );
+        let a = s.halloc(ThreadId(0), 8);
+        let b = s.halloc(ThreadId(0), 8);
+        assert_eq!(a.raw() % 64, 0);
+        assert_eq!(b.raw() % 64, 0);
+        assert_eq!(b.raw() - a.raw(), 64);
+    }
+
+    #[test]
+    fn default_config_matches_new() {
+        let mut a = AddressSpace::new(2);
+        let mut b = AddressSpace::with_config(2, AllocConfig::default());
+        for i in 1..20u64 {
+            assert_eq!(a.halloc(ThreadId(0), i * 24), b.halloc(ThreadId(0), i * 24));
+        }
+        assert!(a.alloc_config().is_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_align_panics() {
+        let _ = AddressSpace::with_config(
+            1,
+            AllocConfig {
+                color_stride: 0,
+                align: 24,
+            },
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn cell_to_json(cell: &Cell) -> Json {
         ("exec".into(), Json::Str(cell.exec.to_string())),
         ("smt2".into(), Json::Bool(cell.smt2)),
         ("preserve".into(), Json::Bool(cell.preserve)),
+        ("alloc_color".into(), Json::u64(cell.alloc_color)),
         ("record_tx_sizes".into(), Json::Bool(cell.record_tx_sizes)),
         ("profile_sharing".into(), Json::Bool(cell.profile_sharing)),
     ])

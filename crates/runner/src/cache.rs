@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Version of the cached-entry format AND of anything that feeds the
 /// simulated numbers. Bump it whenever reports change meaning (new stats
 /// fields, simulator behavior changes) to invalidate every prior entry.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a. Collisions are harmless (the stored key is re-checked),
 /// so a small fast non-cryptographic hash is enough.

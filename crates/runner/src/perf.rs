@@ -75,10 +75,18 @@ pub struct PerfCell {
 }
 
 /// The full pinned grid: five workloads spanning small/large footprints
-/// and three capacity models spanning cheap/expensive tracking.
+/// and five capacity models spanning cheap/expensive tracking (including
+/// the bounded read/write-set and capacity-stretching backends, whose
+/// spill paths cost differently from plain exact tracking).
 pub fn full_grid() -> Vec<PerfCell> {
     const WORKLOADS: [&str; 5] = ["kmeans", "ssca2", "vacation", "genome", "tpcc-no"];
-    const HTMS: [HtmKind; 3] = [HtmKind::P8, HtmKind::P8S, HtmKind::InfCap];
+    const HTMS: [HtmKind; 5] = [
+        HtmKind::P8,
+        HtmKind::P8S,
+        HtmKind::InfCap,
+        HtmKind::Lrws,
+        HtmKind::PStretch,
+    ];
     WORKLOADS
         .iter()
         .flat_map(|w| {
@@ -90,7 +98,7 @@ pub fn full_grid() -> Vec<PerfCell> {
         .collect()
 }
 
-/// The 3-cell smoke grid for CI: one workload per capacity model.
+/// The 5-cell smoke grid for CI: one workload per capacity model.
 pub fn smoke_grid() -> Vec<PerfCell> {
     vec![
         PerfCell {
@@ -104,6 +112,14 @@ pub fn smoke_grid() -> Vec<PerfCell> {
         PerfCell {
             workload: "vacation",
             htm: HtmKind::P8S,
+        },
+        PerfCell {
+            workload: "genome",
+            htm: HtmKind::Lrws,
+        },
+        PerfCell {
+            workload: "tpcc-no",
+            htm: HtmKind::PStretch,
         },
     ]
 }
@@ -317,6 +333,9 @@ pub struct Baseline {
     /// Execution tier the snapshot was taken under (`interp` for schema
     /// version 1-2 files, which predate the compilation tier).
     pub exec: ExecMode,
+    /// Grid name the snapshot timed (`full` when the field is absent —
+    /// only full-grid snapshots predate it).
+    pub grid: String,
     /// Overall median events/sec.
     pub median_events_per_sec: f64,
     /// `(workload, htm) -> events_per_sec`.
@@ -355,6 +374,11 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
         }
         None => ExecMode::Interp,
     };
+    let grid = j
+        .get("grid")
+        .and_then(|v| v.as_str().ok())
+        .unwrap_or("full")
+        .to_string();
     let median = j
         .field("median_events_per_sec")
         .and_then(|v| v.as_f64())
@@ -388,6 +412,7 @@ pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
             .to_string(),
         threads,
         exec,
+        grid,
         median_events_per_sec: median,
         cells,
     })
@@ -505,10 +530,28 @@ pub fn run_perf(pa: &PerfArgs) -> Result<(), String> {
         None => find_baseline(&out_dir, Some(&stamp_path)),
     };
     let Some(bp) = baseline_path else {
-        eprintln!("perf: no baseline snapshot found; comparison skipped");
+        eprintln!(
+            "perf: no baseline snapshot (BENCH_<date>.json) in {}; comparison skipped",
+            out_dir.display()
+        );
         return Ok(());
     };
     let base = load_baseline(&bp)?;
+    if base.grid != grid_name {
+        // A smoke median covers a different (and far smaller) cell set
+        // than a full-grid median: the ratio compares nothing comparable.
+        let msg = format!(
+            "baseline {} timed the {} grid, this run the {} grid",
+            base.path.display(),
+            base.grid,
+            grid_name
+        );
+        if pa.baseline.is_some() {
+            return Err(format!("perf: refusing comparison: {msg}"));
+        }
+        eprintln!("perf: comparison skipped: {msg}");
+        return Ok(());
+    }
     if base.threads != pa.threads {
         // Lane counts measure different host behavior; the ratio would be
         // meaningless. An explicit ask that can't be honored is an error;
@@ -583,8 +626,8 @@ mod tests {
 
     #[test]
     fn grids_are_pinned() {
-        assert_eq!(full_grid().len(), 15);
-        assert_eq!(smoke_grid().len(), 3);
+        assert_eq!(full_grid().len(), 25);
+        assert_eq!(smoke_grid().len(), 5);
         // Every smoke cell is drawn from the full grid.
         for s in smoke_grid() {
             assert!(full_grid()
@@ -650,6 +693,7 @@ mod tests {
         assert_eq!(b.median_events_per_sec, 1.5e9);
         assert_eq!(b.threads, 4);
         assert_eq!(b.exec, ExecMode::Compiled);
+        assert_eq!(b.grid, "smoke");
         assert_eq!(b.cells.len(), 2);
         assert_eq!(b.cells[0].0, "kmeans");
         assert_eq!(b.cells[1].2, 1e9);
@@ -670,6 +714,7 @@ mod tests {
         let b = load_baseline(&path).unwrap();
         assert_eq!(b.threads, 1, "v1 files predate lanes: always serial");
         assert_eq!(b.exec, ExecMode::Interp, "v1 files predate the compiler");
+        assert_eq!(b.grid, "full", "only full-grid snapshots predate `grid`");
         assert_eq!(b.median_events_per_sec, 2.0);
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -7,8 +7,8 @@
 //! deduplicates cells that different axes happen to produce twice.
 
 use hintm::{
-    ExecMode, Experiment, HintMode, HtmKind, Recording, RunReport, Scale, UnknownWorkload,
-    WORKLOAD_NAMES,
+    AllocConfig, ExecMode, Experiment, HintMode, HtmKind, Recording, RunReport, Scale,
+    UnknownWorkload, WORKLOAD_NAMES,
 };
 use std::collections::HashSet;
 
@@ -39,6 +39,10 @@ pub struct Cell {
     pub smt2: bool,
     /// §VI-B preserve optimization.
     pub preserve: bool,
+    /// Heap-placement color stride in bytes (0 = packed). Placement
+    /// changes simulated addresses and so abort counts — unlike
+    /// `sim_threads`/`exec`, this IS part of [`Cell::key`].
+    pub alloc_color: u64,
     /// Record per-committed-transaction footprints (Fig. 6 CDFs).
     pub record_tx_sizes: bool,
     /// Feed every access to the sharing profiler (Fig. 1 metrics).
@@ -67,6 +71,7 @@ impl Cell {
             exec: ExecMode::Interp,
             smt2: false,
             preserve: false,
+            alloc_color: 0,
             record_tx_sizes: false,
             profile_sharing: false,
         }
@@ -128,6 +133,13 @@ impl Cell {
         self
     }
 
+    /// Sets the heap-placement color stride (bytes padded after every
+    /// fresh allocation). Result-affecting: enters [`Cell::key`].
+    pub fn alloc_color(mut self, stride: u64) -> Self {
+        self.alloc_color = stride;
+        self
+    }
+
     /// Records per-transaction footprints.
     pub fn record_tx_sizes(mut self, on: bool) -> Self {
         self.record_tx_sizes = on;
@@ -149,7 +161,7 @@ impl Cell {
     /// hit the cache.
     pub fn key(&self) -> String {
         format!(
-            "{}|{}|{}|{}|seed={}|threads={}|smt2={}|preserve={}|txsizes={}|sharing={}",
+            "{}|{}|{}|{}|seed={}|threads={}|smt2={}|preserve={}|color={}|txsizes={}|sharing={}",
             self.workload,
             self.htm,
             self.hint,
@@ -159,6 +171,7 @@ impl Cell {
                 .map_or_else(|| "auto".to_string(), |t| t.to_string()),
             self.smt2,
             self.preserve,
+            self.alloc_color,
             self.record_tx_sizes,
             self.profile_sharing,
         )
@@ -184,7 +197,11 @@ impl Cell {
             .record_tx_sizes(self.record_tx_sizes)
             .profile_sharing(self.profile_sharing)
             .sim_threads(self.sim_threads)
-            .exec(self.exec);
+            .exec(self.exec)
+            .alloc(AllocConfig {
+                color_stride: self.alloc_color,
+                ..AllocConfig::default()
+            });
         if let Some(t) = self.threads {
             e = e.threads(t);
         }
@@ -218,8 +235,8 @@ impl Cell {
 /// registered workloads, `[P8]`, `[off]`, `[sim]`, `[42]`. Irregular cells
 /// (e.g. one profiling run per workload) ride along via
 /// [`SweepSpec::cell`]. Enumeration order is stable — workload-major, then
-/// HTM, hint, scale, seed, then the extra cells — and duplicates are
-/// dropped, keeping the first occurrence.
+/// HTM, hint, scale, seed, alloc color, then the extra cells — and
+/// duplicates are dropped, keeping the first occurrence.
 #[derive(Clone, Debug, Default)]
 pub struct SweepSpec {
     workloads: Vec<String>,
@@ -227,6 +244,7 @@ pub struct SweepSpec {
     hints: Vec<HintMode>,
     scales: Vec<Scale>,
     seeds: Vec<u64>,
+    alloc_colors: Vec<u64>,
     threads: Option<usize>,
     sim_threads: usize,
     exec: Option<ExecMode>,
@@ -294,6 +312,19 @@ impl SweepSpec {
     /// Adds several seeds.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds.extend(seeds);
+        self
+    }
+
+    /// Adds one heap-placement color stride to the sweep (a
+    /// result-affecting axis; empty = `[0]`, the packed default).
+    pub fn alloc_color(mut self, stride: u64) -> Self {
+        self.alloc_colors.push(stride);
+        self
+    }
+
+    /// Adds several heap-placement color strides.
+    pub fn alloc_colors(mut self, strides: impl IntoIterator<Item = u64>) -> Self {
+        self.alloc_colors.extend(strides);
         self
     }
 
@@ -377,6 +408,11 @@ impl SweepSpec {
         } else {
             self.seeds.clone()
         };
+        let alloc_colors = if self.alloc_colors.is_empty() {
+            vec![0]
+        } else {
+            self.alloc_colors.clone()
+        };
 
         let mut product = Vec::new();
         for w in &workloads {
@@ -384,19 +420,22 @@ impl SweepSpec {
                 for &hint in &hints {
                     for &scale in &scales {
                         for &seed in &seeds {
-                            let mut c = Cell::new(w)
-                                .htm(htm)
-                                .hint(hint)
-                                .scale(scale)
-                                .seed(seed)
-                                .smt2(self.smt2)
-                                .preserve(self.preserve)
-                                .record_tx_sizes(self.record_tx_sizes)
-                                .profile_sharing(self.profile_sharing);
-                            c.threads = self.threads;
-                            c.sim_threads = self.sim_threads.max(1);
-                            c.exec = self.exec.unwrap_or_default();
-                            product.push(c);
+                            for &color in &alloc_colors {
+                                let mut c = Cell::new(w)
+                                    .htm(htm)
+                                    .hint(hint)
+                                    .scale(scale)
+                                    .seed(seed)
+                                    .smt2(self.smt2)
+                                    .preserve(self.preserve)
+                                    .alloc_color(color)
+                                    .record_tx_sizes(self.record_tx_sizes)
+                                    .profile_sharing(self.profile_sharing);
+                                c.threads = self.threads;
+                                c.sim_threads = self.sim_threads.max(1);
+                                c.exec = self.exec.unwrap_or_default();
+                                product.push(c);
+                            }
                         }
                     }
                 }
@@ -441,6 +480,7 @@ mod tests {
             a.clone().threads(4),
             a.clone().smt2(true),
             a.clone().preserve(true),
+            a.clone().alloc_color(64),
             a.clone().record_tx_sizes(true),
             a.clone().profile_sharing(true),
         ];
@@ -516,6 +556,22 @@ mod tests {
         assert!(cells[..8].iter().all(|c| c.workload == "kmeans"));
         assert!(cells[8..].iter().all(|c| c.workload == "ssca2"));
         assert_eq!(spec.cells(), cells);
+    }
+
+    #[test]
+    fn alloc_color_is_a_result_affecting_axis() {
+        // Placement shifts addresses, so the cache must NOT share results
+        // across strides: the key includes the axis.
+        let cells = SweepSpec::new()
+            .workload("kmeans")
+            .alloc_colors([0, 64])
+            .cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].alloc_color, 0);
+        assert_eq!(cells[1].alloc_color, 64);
+        assert_ne!(cells[0].key(), cells[1].key());
+        // The packed default enumerates exactly the old single cell.
+        assert_eq!(Cell::new("kmeans").key(), cells[0].key());
     }
 
     #[test]

@@ -125,6 +125,14 @@ pub fn cells_from_spec_json(j: &Json) -> Result<Vec<Cell>, String> {
             }
             "smt2" => spec = spec.smt2(as_bool(value, "smt2")?),
             "preserve" => spec = spec.preserve(as_bool(value, "preserve")?),
+            "alloc_colors" => {
+                let strides = value
+                    .as_arr()
+                    .map_err(|_| "`alloc_colors` must be an array of integers".to_string())?;
+                for s in strides {
+                    spec = spec.alloc_color(s.as_u64().map_err(|_| "bad alloc color".to_string())?);
+                }
+            }
             other => return Err(format!("unknown sweep spec field `{other}`")),
         }
     }
@@ -185,6 +193,11 @@ pub fn cell_from_json(j: &Json) -> Result<Cell, String> {
     if let Some(v) = j.get("exec") {
         cell = cell
             .exec(parse_exec(v.as_str().map_err(|e| e.to_string())?).map_err(|e| e.to_string())?);
+    }
+    // Absent on pre-placement manifests: those cells used the packed
+    // default layout.
+    if let Some(v) = j.get("alloc_color") {
+        cell = cell.alloc_color(v.as_u64().map_err(|e| e.to_string())?);
     }
     Ok(cell)
 }

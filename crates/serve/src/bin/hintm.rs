@@ -25,17 +25,27 @@ fn build_runner(sa: &SweepArgs) -> Runner {
     runner
 }
 
+/// The `hintm sweep --smoke` workload subset: one small workload per
+/// footprint regime (fits / read-heavy / write-present), fast enough for
+/// a CI smoke job.
+const SMOKE_WORKLOADS: [&str; 3] = ["kmeans", "ssca2", "tpcc-p"];
+
 fn run_sweep(sa: &SweepArgs) -> Result<(), String> {
     let mut spec = SweepSpec::new()
-        .workloads(sa.workloads.iter().map(String::as_str))
         .htms(sa.htms.iter().copied())
         .hints(sa.hints.iter().copied())
         .seeds(sa.seeds.iter().copied())
+        .alloc_colors(sa.alloc_colors.iter().copied())
         .scale(sa.scale)
         .sim_threads(sa.sim_threads)
         .exec(sa.exec)
         .smt2(sa.smt2)
         .preserve(sa.preserve);
+    spec = if sa.workloads.is_empty() && sa.smoke {
+        spec.workloads(SMOKE_WORKLOADS)
+    } else {
+        spec.workloads(sa.workloads.iter().map(String::as_str))
+    };
     if let Some(t) = sa.threads {
         spec = spec.threads(t);
     }

@@ -111,6 +111,10 @@ pub struct SimConfig {
     pub backoff_base: Cycles,
     /// LogTM: per-overflowed-block log-unroll cost charged on abort.
     pub log_unroll_cost: Cycles,
+    /// PStretch: cost of one capacity-stretch suspend/resume round trip,
+    /// charged to the stretching thread's clock when the tracker sheds its
+    /// read-only entries.
+    pub stretch_cost: Cycles,
     /// Record per-committed-TX footprints (Fig. 6 CDFs).
     pub record_tx_sizes: bool,
     /// Feed every access to the sharing profiler (Fig. 1 metrics).
@@ -143,6 +147,7 @@ impl Default for SimConfig {
             abort_penalty: Cycles(150),
             backoff_base: Cycles(100),
             log_unroll_cost: Cycles(20),
+            stretch_cost: Cycles(40),
             record_tx_sizes: false,
             profile_sharing: false,
             max_steps: 2_000_000_000,

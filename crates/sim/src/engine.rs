@@ -55,7 +55,7 @@ use crate::config::{ExecMode, SimConfig};
 use crate::section::Workload;
 use crate::stats::RunStats;
 use hintm_cache::{AccessOutcome, Hierarchy};
-use hintm_htm::HtmThread;
+use hintm_htm::{HtmKind, HtmThread};
 use hintm_trace::{TraceEvent, TraceSink};
 use hintm_types::{
     AbortKind, AccessKind, Addr, BlockAddr, ConflictPolicy, CoreId, Cycles, MemAccess, PageId,
@@ -445,6 +445,9 @@ struct Engine<'e, S: SinkPort> {
     /// thread count (the most programs ever live at once).
     pool: Vec<Program>,
     uses_dynamic: bool,
+    /// `true` only for the PStretch capacity model: gates the per-access
+    /// stretch-event probe so every other model's hot path is untouched.
+    uses_stretch: bool,
     steps: u64,
     epoch: u32,
     /// `true` while the current step has not (a) touched another thread's
@@ -484,6 +487,7 @@ impl<'e, S: SinkPort> Engine<'e, S> {
             sink,
             pool: Vec::new(),
             uses_dynamic: cfg.hint_mode.uses_dynamic(),
+            uses_stretch: cfg.htm.kind == HtmKind::PStretch,
             steps: 0,
             epoch: 0,
             local_only: true,
@@ -1287,9 +1291,21 @@ impl<'e, S: SinkPort> Engine<'e, S> {
                     t.fp_unsafe.insert(block);
                 }
             }
+            let pre_stretches = if self.uses_stretch {
+                t.htm.stretch_events()
+            } else {
+                0
+            };
             if t.htm.on_access(block, a.kind, safe).is_err() {
                 self.abort_thread(i, AbortKind::Capacity);
                 return StepOutcome::SelfAborted;
+            }
+            if self.uses_stretch {
+                // A consumed stretch event is a suspend/resume round trip:
+                // charge it to the stretching thread's clock.
+                let t = &mut self.threads[i];
+                let stretched = t.htm.stretch_events() - pre_stretches;
+                t.clock += Cycles(stretched * self.cfg.stretch_cost.raw());
             }
         }
         StepOutcome::Continue

@@ -105,6 +105,12 @@ pub trait Workload: Send {
     /// Re-initializes all state for a fresh run with `seed`.
     fn reset(&mut self, seed: u64);
 
+    /// Sets the heap-placement policy the workload's address space should
+    /// use from the next [`Workload::reset`] on (the malloc-placement
+    /// sensitivity axis). Workloads that allocate no heap may keep the
+    /// default no-op.
+    fn set_alloc_config(&mut self, _cfg: hintm_types::AllocConfig) {}
+
     /// Produces `tid`'s next section, or `None` when the thread is done.
     fn next_section(&mut self, tid: ThreadId) -> Option<Section>;
 
@@ -197,6 +203,10 @@ impl Workload for EscapeEncoded {
 
     fn reset(&mut self, seed: u64) {
         self.inner.reset(seed);
+    }
+
+    fn set_alloc_config(&mut self, cfg: hintm_types::AllocConfig) {
+        self.inner.set_alloc_config(cfg);
     }
 
     fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
@@ -316,6 +326,10 @@ impl Workload for DigestingWorkload {
         self.inner.reset(seed);
         self.digests = vec![Fnv64::new(); self.inner.num_threads()];
         self.sections = vec![0; self.inner.num_threads()];
+    }
+
+    fn set_alloc_config(&mut self, cfg: hintm_types::AllocConfig) {
+        self.inner.set_alloc_config(cfg);
     }
 
     fn next_section(&mut self, tid: ThreadId) -> Option<Section> {

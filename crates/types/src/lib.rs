@@ -28,5 +28,5 @@ pub mod stats_util;
 
 pub use access::{AccessKind, MemAccess, SafetyClass, SafetyHint};
 pub use addr::{Addr, BlockAddr, PageId, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
-pub use config::{AbortKind, ConflictPolicy, MachineConfig, SmtMode};
+pub use config::{AbortKind, AllocConfig, ConflictPolicy, MachineConfig, SmtMode};
 pub use ids::{CoreId, Cycles, HwThreadId, SiteId, ThreadId, TxId};

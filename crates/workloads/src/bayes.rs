@@ -17,7 +17,7 @@ use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +133,7 @@ struct State {
 pub struct Bayes {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -145,6 +146,7 @@ impl Bayes {
         Bayes {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -165,8 +167,12 @@ impl Workload for Bayes {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let adtree_rows = 4096u64;
         let adtree = space.alloc_global_page_aligned(adtree_rows * 64);
         let mut graph = SimTreap::new(48);

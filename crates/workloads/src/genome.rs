@@ -19,7 +19,7 @@ use hintm_mem::ds::{HashMapSites, SimHashMap};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -127,6 +127,7 @@ struct State {
 pub struct Genome {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -139,6 +140,7 @@ impl Genome {
         Genome {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -162,8 +164,12 @@ impl Workload for Genome {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let table = SimHashMap::with_bucket_stride(&mut space, 256, 32, 64);
         // One shared input buffer, partitioned by thread: pages are only
         // ever touched by their owning thread at runtime.

@@ -15,7 +15,7 @@ use hintm_mem::ds::{HashMapSites, SimHashMap};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -134,6 +134,7 @@ struct State {
 pub struct Intruder {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -148,6 +149,7 @@ impl Intruder {
         Intruder {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -168,8 +170,12 @@ impl Workload for Intruder {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let map = SimHashMap::with_bucket_stride(&mut space, 128, 32, 64);
         let queue_ctrl = space.alloc_global(64);
         let arena = space.alloc_global_page_aligned(self.threads as u64 * ARENA_BYTES);

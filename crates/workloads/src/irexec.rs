@@ -37,7 +37,7 @@ use hintm_ir::{classify, Function, Instr, Module, Stmt};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::{HashSet, VecDeque};
 
 /// Bytes per cache block (mirrors the footprint analysis).
@@ -98,6 +98,7 @@ pub struct IrExec {
     /// Indexed bodies, parallel to `module.funcs`.
     indexed: Vec<Vec<IStmt>>,
     threads: usize,
+    alloc: AllocConfig,
     rounds: usize,
     safe: HashSet<SiteId>,
     queues: Vec<VecDeque<Section>>,
@@ -119,6 +120,7 @@ impl IrExec {
             module,
             indexed,
             threads: threads.max(1),
+            alloc: AllocConfig::default(),
             rounds: rounds.max(1),
             safe,
             queues: Vec::new(),
@@ -381,8 +383,12 @@ impl Workload for IrExec {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let mut objects: Vec<ObjState> = Vec::new();
 
         // Globals first: whole blocks in the global segment.

@@ -12,7 +12,7 @@ use hintm_mem::ds::SimArray;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{SiteId, ThreadId};
+use hintm_types::{AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +78,7 @@ struct State {
 pub struct Kmeans {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -92,6 +93,7 @@ impl Kmeans {
         Kmeans {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -118,8 +120,12 @@ impl Workload for Kmeans {
         true
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         // One 64 B row per centroid: accumulators + count share a block.
         let centroids = SimArray::new_global(&mut space, CLUSTERS, 64);
         let points = (0..self.threads)

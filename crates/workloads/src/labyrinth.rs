@@ -22,7 +22,7 @@ use hintm_mem::ds::SimGrid;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 /// Access sites of the labyrinth kernel (indices into its IR module).
@@ -130,6 +130,7 @@ struct State {
 pub struct Labyrinth {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -150,6 +151,7 @@ impl Labyrinth {
         Labyrinth {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -181,9 +183,13 @@ impl Workload for Labyrinth {
         true
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
         let (x, y, z) = Self::dims(self.scale);
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let mut base = SimGrid::new_global(&mut space, x, y, z);
         // Initialize obstacle cells (setup, untraced).
         let mut rng = thread_rng(seed, usize::MAX, 0);

@@ -12,7 +12,7 @@ use hintm_mem::ds::SimArray;
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{SiteId, ThreadId};
+use hintm_types::{AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +81,7 @@ struct State {
 pub struct Ssca2 {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -93,6 +94,7 @@ impl Ssca2 {
         Ssca2 {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -117,8 +119,12 @@ impl Workload for Ssca2 {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let nv = self.num_vertices();
         let counts = SimArray::new_global(&mut space, nv, 8);
         let slots = SimArray::new_global(&mut space, nv * 8, 8);

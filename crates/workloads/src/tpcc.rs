@@ -15,7 +15,7 @@ use hintm_ir::{classify, Module, ModuleBuilder};
 use hintm_mem::{AccessSink, AddressSpace};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 /// Shared table geometry.
@@ -210,8 +210,8 @@ struct Tables {
     next_order: u64,
 }
 
-fn setup_tables(threads: usize, seed: u64, salt: u64, txs: usize) -> Tables {
-    let mut space = AddressSpace::new(threads);
+fn setup_tables(threads: usize, alloc: AllocConfig, seed: u64, salt: u64, txs: usize) -> Tables {
+    let mut space = AddressSpace::with_config(threads, alloc);
     let warehouse = space.alloc_global(64);
     let district = space.alloc_global(DISTRICTS * 64);
     let item = space.alloc_global_page_aligned(ITEMS * 64);
@@ -242,6 +242,7 @@ fn setup_tables(threads: usize, seed: u64, salt: u64, txs: usize) -> Tables {
 pub struct TpccNewOrder {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: NoSites,
     safe_sites: HashSet<SiteId>,
     st: Option<Tables>,
@@ -254,6 +255,7 @@ impl TpccNewOrder {
         TpccNewOrder {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -270,8 +272,18 @@ impl Workload for TpccNewOrder {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        self.st = Some(setup_tables(self.threads, seed, 9, self.scale.scaled(220)));
+        self.st = Some(setup_tables(
+            self.threads,
+            self.alloc,
+            seed,
+            9,
+            self.scale.scaled(220),
+        ));
     }
 
     fn next_section(&mut self, tid: ThreadId) -> Option<Section> {
@@ -334,6 +346,7 @@ impl Workload for TpccNewOrder {
 pub struct TpccPayment {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: PaySites,
     safe_sites: HashSet<SiteId>,
     st: Option<Tables>,
@@ -346,6 +359,7 @@ impl TpccPayment {
         TpccPayment {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -362,8 +376,18 @@ impl Workload for TpccPayment {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        self.st = Some(setup_tables(self.threads, seed, 10, self.scale.scaled(280)));
+        self.st = Some(setup_tables(
+            self.threads,
+            self.alloc,
+            seed,
+            10,
+            self.scale.scaled(280),
+        ));
     }
 
     fn next_section(&mut self, tid: ThreadId) -> Option<Section> {

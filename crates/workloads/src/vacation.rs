@@ -20,7 +20,7 @@ use hintm_mem::ds::{SimTreap, TreapSites};
 use hintm_mem::{AccessSink, AddressSpace, NullSink};
 use hintm_sim::{Section, Workload};
 use hintm_types::rng::SmallRng;
-use hintm_types::{Addr, SiteId, ThreadId};
+use hintm_types::{Addr, AllocConfig, SiteId, ThreadId};
 use std::collections::HashSet;
 
 #[derive(Clone, Copy, Debug)]
@@ -111,6 +111,7 @@ struct State {
 pub struct Vacation {
     scale: Scale,
     threads: usize,
+    alloc: AllocConfig,
     sites: Sites,
     safe_sites: HashSet<SiteId>,
     st: Option<State>,
@@ -123,6 +124,7 @@ impl Vacation {
         Vacation {
             scale,
             threads,
+            alloc: AllocConfig::default(),
             sites,
             safe_sites,
             st: None,
@@ -147,8 +149,12 @@ impl Workload for Vacation {
         self.threads
     }
 
+    fn set_alloc_config(&mut self, cfg: AllocConfig) {
+        self.alloc = cfg;
+    }
+
     fn reset(&mut self, seed: u64) {
-        let mut space = AddressSpace::new(self.threads);
+        let mut space = AddressSpace::with_config(self.threads, self.alloc);
         let n = self.table_size();
         // The manager populates all tables before clients start (main
         // thread's arena, untraced).

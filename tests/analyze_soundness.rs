@@ -17,7 +17,7 @@
 //! attempts never weaken the check: committed footprints are always a
 //! subset of what the static analysis bounded.
 
-use hintm::{AbortKind, Experiment, HtmKind};
+use hintm::{AbortKind, AllocConfig, Experiment, HtmKind};
 use hintm_audit::{analyze_workload, AnalyzeReport, Scale};
 use hintm_ir::{Bound, CapacityModel, Verdict};
 use hintm_workloads::WORKLOAD_NAMES;
@@ -28,6 +28,8 @@ fn htm_for(model: CapacityModel) -> HtmKind {
         CapacityModel::P8 => HtmKind::P8,
         CapacityModel::P8S => HtmKind::P8S,
         CapacityModel::L1Tm => HtmKind::L1Tm,
+        CapacityModel::Lrws => HtmKind::Lrws,
+        CapacityModel::PStretch => HtmKind::PStretch,
     }
 }
 
@@ -102,17 +104,24 @@ fn fits_verdicts_mean_no_capacity_aborts() {
             );
         }
     }
-    // kmeans and ssca2 fit all three models; tpcc-no/tpcc-p fit P8S.
-    assert_eq!(fits_cases, 8, "expected fits verdicts drifted");
+    // kmeans and ssca2 fit all five models; tpcc-p fits P8S, LRWS and
+    // PStretch; tpcc-no fits P8S.
+    assert_eq!(fits_cases, 14, "expected fits verdicts drifted");
 }
 
 #[test]
 fn must_overflow_verdicts_mean_capacity_aborts_happen() {
-    // labyrinth is guaranteed to exceed both P8 models: the run must
-    // actually hit capacity aborts there, proving the lower bounds are
-    // not vacuous.
+    // labyrinth is guaranteed to exceed every bounded buffer model (its
+    // write set alone overflows the 64-entry buffer, which no amount of
+    // read spilling or stretching relieves): the run must actually hit
+    // capacity aborts there, proving the lower bounds are not vacuous.
     let report = analyze_workload("labyrinth", Scale::Sim).expect("known workload");
-    for model in [CapacityModel::P8, CapacityModel::P8S] {
+    for model in [
+        CapacityModel::P8,
+        CapacityModel::P8S,
+        CapacityModel::Lrws,
+        CapacityModel::PStretch,
+    ] {
         assert_eq!(report.worst(model), Verdict::MustOverflow);
         let (run, _) = Experiment::new("labyrinth")
             .htm(htm_for(model))
@@ -124,4 +133,42 @@ fn must_overflow_verdicts_mean_capacity_aborts_happen() {
             model.name(),
         );
     }
+}
+
+/// Malloc placement is a real capacity axis: coloring genome's heap
+/// arenas (`--alloc-color`) moves which allocations share cache sets and
+/// shifts the P8 capacity-abort count — but never the committed outcome.
+/// Both pinned counts come from the same seed-42 run the digest table
+/// locks; a drift here means heap placement leaked into tracking
+/// semantics (or vice versa) rather than just into addresses.
+#[test]
+fn alloc_coloring_shifts_capacity_aborts_not_commits() {
+    let run_colored = |stride: u64| {
+        Experiment::new("genome")
+            .htm(HtmKind::P8)
+            .alloc(AllocConfig {
+                color_stride: stride,
+                ..AllocConfig::default()
+            })
+            .run()
+            .expect("known workload")
+    };
+    let plain = run_colored(0);
+    let colored = run_colored(64);
+
+    // The sensitivity itself, pinned: different placements, different
+    // capacity pressure.
+    assert_eq!(plain.stats.aborts_of(AbortKind::Capacity), 172);
+    assert_eq!(colored.stats.aborts_of(AbortKind::Capacity), 181);
+
+    // ... but placement must never change what commits: every transaction
+    // still completes (in HTM or on the fallback path) under both
+    // placements.
+    let committed = |r: &hintm::RunReport| r.stats.commits + r.stats.fallback_commits;
+    assert_eq!(
+        committed(&plain),
+        committed(&colored),
+        "alloc coloring changed the committed transaction count"
+    );
+    assert_eq!(committed(&plain), 352);
 }

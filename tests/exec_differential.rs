@@ -27,17 +27,21 @@ use hintm::{ExecMode, HtmKind};
 use hintm_ir::{print_module, Module, ModuleBuilder};
 use hintm_sim::{EscapeEncoded, HintMode, SimConfig, Simulator, Workload};
 use hintm_trace::DigestSink;
+use hintm_types::config::AbortKind;
 use hintm_types::rng::SmallRng;
 use hintm_workloads::IrExec;
+use std::fmt::Write as _;
 
 const CASES: usize = 256;
-const MODELS: [HtmKind; 6] = [
+const MODELS: [HtmKind; 8] = [
     HtmKind::P8,
     HtmKind::P8S,
     HtmKind::L1Tm,
     HtmKind::InfCap,
     HtmKind::Rot,
     HtmKind::LogTm,
+    HtmKind::Lrws,
+    HtmKind::PStretch,
 ];
 const HINTS: [HintMode; 4] = [
     HintMode::Off,
@@ -169,6 +173,40 @@ fn mismatch(module: &Module, case: usize) -> Option<String> {
     None
 }
 
+/// Per-model abort-kind histograms for a (usually minimized) module: the
+/// module is re-run under every HTM model at the failing case's hint mode
+/// (interp tier), and each model's abort counts are tabulated by
+/// [`AbortKind`]. Attached to the minimal-reproducer report so a
+/// divergence can be read against how each capacity model actually aborts
+/// on the same access stream — a compiled-tier bug that only shows under
+/// one model usually correlates with that model's abort column.
+fn abort_histograms(module: &Module, case: usize) -> String {
+    let mut out = String::from("per-model abort-kind histogram (interp):\n");
+    writeln!(
+        out,
+        "  {:>8}  {:>8} {:>8} {:>14} {:>9} {:>13}",
+        "model", "conflict", "capacity", "false-conflict", "page-mode", "fallback-lock"
+    )
+    .unwrap();
+    for &m in &MODELS {
+        let mut w = workload(module, case);
+        let cfg = SimConfig::with_htm(m).hint_mode(HINTS[case % HINTS.len()]);
+        let stats = Simulator::new(cfg).run(w.as_mut(), 42);
+        write!(out, "  {:>8}", m.to_string()).unwrap();
+        writeln!(
+            out,
+            "  {:>8} {:>8} {:>14} {:>9} {:>13}",
+            stats.aborts_of(AbortKind::Conflict),
+            stats.aborts_of(AbortKind::Capacity),
+            stats.aborts_of(AbortKind::FalseConflict),
+            stats.aborts_of(AbortKind::PageMode),
+            stats.aborts_of(AbortKind::FallbackLock),
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Greedy structural shrink: repeatedly drop one top-level statement from
 /// any function while the divergence still reproduces.
 fn shrink(mut module: Module, case: usize) -> Module {
@@ -200,10 +238,11 @@ fn random_modules_execute_identically_across_tiers() {
             let minimal = shrink(module, case);
             panic!(
                 "case {case} ({:?} x {:?}): compiled tier diverged from the \
-                 interpreter: {why}\nminimized reproducer:\n{}",
+                 interpreter: {why}\nminimized reproducer:\n{}\n{}",
                 MODELS[case % MODELS.len()],
                 HINTS[case % HINTS.len()],
                 print_module(&minimal, None),
+                abort_histograms(&minimal, case),
             );
         }
         // Lockstep mode re-runs the case with both tiers marching together;
